@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Section IV-F / VI-D ablation: merger area. The paper reports SpArch's
+ * flattened mergers (128 64-bit comparators for throughput 16) at 13x
+ * the area of the simpler row-partitioned mergers, and its hierarchical
+ * merge trees at 13x the area of OuterSPACE-style flat mergers.
+ */
+
+#include "bench_common.hpp"
+
+#include "model/area.hpp"
+#include "sim/merger.hpp"
+#include "sparse/suitesparse.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+void
+report()
+{
+    model::AreaParams params;
+    bench::banner("Merger area ablation (um^2)");
+    bench::row({"Merger", "Config", "Area", "vs row-part(32)"}, 20);
+    bench::rule(4, 20);
+    double row32 = model::rowPartitionedMergerArea(params, 32);
+    struct Entry
+    {
+        std::string name;
+        std::string config;
+        double area;
+    };
+    std::vector<Entry> entries = {
+        {"row-partitioned", "8 lanes",
+         model::rowPartitionedMergerArea(params, 8)},
+        {"row-partitioned", "32 lanes", row32},
+        {"row-partitioned", "64 lanes",
+         model::rowPartitionedMergerArea(params, 64)},
+        {"flattened", "tput 8", model::flattenedMergerArea(params, 8)},
+        {"flattened", "tput 16 (SpArch)",
+         model::flattenedMergerArea(params, 16)},
+        {"flattened", "tput 32", model::flattenedMergerArea(params, 32)},
+        {"hierarchical", "tput 16, 64-way",
+         model::hierarchicalMergerArea(params, 16, 64)},
+    };
+    for (const auto &entry : entries) {
+        bench::row({entry.name, entry.config,
+                    formatDouble(entry.area / 1e3, 1) + "K",
+                    formatDouble(entry.area / row32, 1) + "x"},
+                   20);
+    }
+    std::printf("\npaper: the flattened SpArch merger is 13x the area of "
+                "the row-partitioned\nmerger; measured: %.1fx\n",
+                model::flattenedMergerArea(params, 16) / row32);
+
+    // Performance side of Section IV-F: the expensive hierarchical tree
+    // merges W ways per pass instead of two.
+    bench::banner("Hierarchical (64-way tree) vs pairwise flattened "
+                  "merging");
+    auto profile = stellar::sparse::scaleProfile(
+            stellar::sparse::profileByName("poisson3Da"), 30000);
+    auto matrix = stellar::sparse::synthesize(profile, 5);
+    auto partials = stellar::sparse::outerProductPartials(
+            stellar::sparse::csrToCsc(matrix), matrix);
+    stellar::sim::MergerConfig merger_config;
+    auto pairwise = stellar::sim::runMergeSchedule(
+            merger_config, stellar::sim::MergerKind::Flattened, partials);
+    auto tree = stellar::sim::runHierarchicalMerge(merger_config, partials,
+                                                   64);
+    bench::row({"schedule", "cycles", "merged elements"}, 18);
+    bench::rule(3, 18);
+    bench::row({"pairwise", std::to_string(pairwise.cycles),
+                std::to_string(pairwise.mergedElements)}, 18);
+    bench::row({"64-way tree", std::to_string(tree.cycles),
+                std::to_string(tree.mergedElements)}, 18);
+    std::printf("\nthe tree costs %.1fx the comparator area (above) but "
+                "merges in %.1fx fewer cycles.\n",
+                model::hierarchicalMergerArea(params, 16, 64) / row32,
+                double(pairwise.cycles) / double(tree.cycles));
+}
+
+void
+BM_MergerAreaSweep(benchmark::State &state)
+{
+    model::AreaParams params;
+    for (auto _ : state) {
+        double total = 0.0;
+        for (int t = 2; t <= 64; t *= 2)
+            total += model::flattenedMergerArea(params, t) +
+                     model::rowPartitionedMergerArea(params, t);
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_MergerAreaSweep);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

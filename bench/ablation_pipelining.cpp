@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig 3 ablation: pipelining strategies. Changing a single value in the
+ * time row of the space-time transform adds or removes pipeline
+ * registers along the A-streaming axis of the input-stationary matmul
+ * array; this sweep reports the frequency/area/register trade-off.
+ */
+
+#include "bench_common.hpp"
+
+#include "core/accelerator.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "model/area.hpp"
+#include "model/timing.hpp"
+#include "rtl/generate.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+core::GeneratedAccelerator
+generateWith(std::int64_t extra_time, int dim)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "pipelining_" + std::to_string(extra_time);
+    spec.functional = func::matmulSpec();
+    spec.transform =
+            dataflow::dataflows::inputStationaryPipelined(extra_time);
+    spec.elaborationBounds = {dim, dim, dim};
+    return core::generate(spec);
+}
+
+void
+report()
+{
+    bench::banner("Fig 3 ablation: time-row pipelining of the 16x16 "
+                  "input-stationary array");
+    bench::row({"time-row entry", "regs/hop (A)", "Fmax (MHz)",
+                "array area", "RTL FF bits"}, 15);
+    bench::rule(5, 15);
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    for (std::int64_t extra : {0, 1, 2, 3}) {
+        auto generated = generateWith(extra, 16);
+        auto timing = model::timingOf(timing_params, generated, false);
+        double area = model::arrayArea(area_params, generated, 8, 8, true);
+        auto design = rtl::lowerToVerilog(generated);
+        bench::row({std::to_string(extra),
+                    std::to_string(generated.spec.transform.pipelineDepth(
+                            {0, 1, 0})),
+                    formatDouble(timing.fmaxMhz(), 0),
+                    formatDouble(area / 1e3, 0) + "K",
+                    std::to_string(rtl::countRegisters(design))},
+                   15);
+    }
+    std::printf("\npaper (Fig 3): larger time-row entries mean more "
+                "aggressive pipelining --\nhigher frequency at the cost "
+                "of more registers.\n");
+}
+
+void
+BM_GeneratePipelined(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto generated = generateWith(state.range(0), 8);
+        benchmark::DoNotOptimize(generated);
+    }
+}
+BENCHMARK(BM_GeneratePipelined)
+        ->Arg(0)
+        ->Arg(2)
+        ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benchmarks.
+ *
+ * Every bench binary (one per paper table/figure) prints its
+ * reproduction table to stdout first — paper value next to measured
+ * value so the shape can be compared at a glance — and then runs its
+ * google-benchmark microbenchmarks.
+ */
+
+#ifndef STELLAR_BENCH_COMMON_HPP
+#define STELLAR_BENCH_COMMON_HPP
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace stellar::bench
+{
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/** Print one row of right-padded cells. */
+inline void
+row(const std::vector<std::string> &cells, std::size_t width = 16)
+{
+    std::string line;
+    for (const auto &cell : cells)
+        line += padRight(cell, width) + " ";
+    std::printf("%s\n", line.c_str());
+}
+
+/** Print a horizontal rule sized for n cells. */
+inline void
+rule(std::size_t cells, std::size_t width = 16)
+{
+    std::printf("%s\n", std::string(cells * (width + 1), '-').c_str());
+}
+
+/** Standard main: print the reproduction report, then run benchmarks. */
+#define STELLAR_BENCH_MAIN(report_fn)                                     \
+    int main(int argc, char **argv)                                       \
+    {                                                                      \
+        report_fn();                                                       \
+        ::benchmark::Initialize(&argc, argv);                              \
+        ::benchmark::RunSpecifiedBenchmarks();                             \
+        return 0;                                                          \
+    }
+
+} // namespace stellar::bench
+
+#endif // STELLAR_BENCH_COMMON_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 15 reproduction: PE utilization of the handwritten vs the
+ * Stellar-generated SCNN on pruned AlexNet. The paper reports the
+ * generated design reaching 83-94% of the handwritten accelerator.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/scnn.hpp"
+#include "workloads/alexnet.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+void
+report()
+{
+    bench::banner("Fig 15: SCNN PE utilization on pruned AlexNet");
+    bench::row({"Layer", "Handwritten", "Stellar-gen", "Relative",
+                "Paper rel."});
+    bench::rule(5);
+
+    sim::ScnnConfig handwritten;
+    sim::ScnnConfig generated;
+    generated.stellarGenerated = true;
+
+    double worst = 1.0, best = 0.0;
+    for (const auto &layer : workloads::alexnetConvLayers()) {
+        auto hand = sim::simulateScnnLayer(handwritten, layer, 1);
+        auto gen = sim::simulateScnnLayer(generated, layer, 1);
+        double relative = gen.utilization / hand.utilization;
+        worst = std::min(worst, relative);
+        best = std::max(best, relative);
+        bench::row({layer.name,
+                    formatDouble(100.0 * hand.utilization, 1) + "%",
+                    formatDouble(100.0 * gen.utilization, 1) + "%",
+                    formatDouble(100.0 * relative, 1) + "%",
+                    "83-94%"});
+    }
+    std::printf("\nmeasured relative range: %.1f%% - %.1f%% "
+                "(paper: 83%% - 94%%)\n", 100.0 * worst, 100.0 * best);
+}
+
+void
+BM_ScnnConv3(benchmark::State &state)
+{
+    sim::ScnnConfig config;
+    config.stellarGenerated = state.range(0) != 0;
+    const auto &layer = workloads::alexnetConvLayers()[2];
+    for (auto _ : state) {
+        auto result = sim::simulateScnnLayer(config, layer, 1);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ScnnConv3)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

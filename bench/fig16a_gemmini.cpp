@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig 16a reproduction: PE utilization of the handwritten vs the
+ * Stellar-generated Gemmini running ResNet50 (batch 1, both at
+ * 500 MHz). The paper reports the generated design achieving ~90% of
+ * the handwritten accelerator's utilization end to end.
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/systolic.hpp"
+#include "workloads/resnet.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+void
+report()
+{
+    bench::banner("Fig 16a: Gemmini utilization on ResNet50 (batch 1)");
+    bench::row({"Layer", "M", "N", "K", "Handwritten", "Stellar-gen",
+                "Relative"}, 13);
+    bench::rule(7, 13);
+
+    sim::SystolicConfig handwritten;
+    sim::SystolicConfig generated;
+    generated.stellarGenerated = true;
+
+    std::int64_t hand_cycles = 0, gen_cycles = 0, total_macs = 0;
+    for (const auto &layer : workloads::resnet50Layers()) {
+        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
+                                                layer.n, layer.k);
+        auto gen = sim::simulateSystolicMatmul(generated, layer.m, layer.n,
+                                               layer.k);
+        hand_cycles += hand.cycles;
+        gen_cycles += gen.cycles;
+        total_macs += layer.macs();
+        bool representative = false;
+        for (const auto &rep : workloads::resnet50Representative())
+            if (rep.name == layer.name)
+                representative = true;
+        if (representative) {
+            bench::row({layer.name, std::to_string(layer.m),
+                        std::to_string(layer.n), std::to_string(layer.k),
+                        formatDouble(100.0 * hand.utilization, 1) + "%",
+                        formatDouble(100.0 * gen.utilization, 1) + "%",
+                        formatDouble(100.0 * gen.utilization /
+                                             hand.utilization, 1) + "%"},
+                       13);
+        }
+    }
+    double peak = 256.0;
+    double hand_util = double(total_macs) / (double(hand_cycles) * peak);
+    double gen_util = double(total_macs) / (double(gen_cycles) * peak);
+    std::printf("\nend-to-end utilization: handwritten %.1f%%, "
+                "stellar-generated %.1f%%\n", 100.0 * hand_util,
+                100.0 * gen_util);
+    std::printf("measured relative utilization: %.1f%% (paper: ~90%%)\n",
+                100.0 * gen_util / hand_util);
+}
+
+void
+BM_SimulateResnetLayer(benchmark::State &state)
+{
+    sim::SystolicConfig config;
+    config.stellarGenerated = state.range(0) != 0;
+    for (auto _ : state) {
+        auto result = sim::simulateSystolicMatmul(config, 3136, 64, 576);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_SimulateResnetLayer)
+        ->Arg(0)
+        ->Arg(1)
+        ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

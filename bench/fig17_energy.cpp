@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fig 17 reproduction: energy per MAC of the handwritten vs the
+ * Stellar-generated Gemmini on ResNet50 layers (Intel-22nm-like model,
+ * 500 MHz). The paper reports Stellar's power overhead ranging from 7%
+ * at best to 30% at worst across layers.
+ */
+
+#include "bench_common.hpp"
+
+#include "accel/designs.hpp"
+#include "model/area.hpp"
+#include "model/energy.hpp"
+#include "sim/systolic.hpp"
+#include "workloads/resnet.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+model::EnergyEvents
+eventsOf(const sim::SystolicResult &result, double area_mm2,
+         bool stellar_generated)
+{
+    model::EnergyEvents events;
+    events.macs = result.macs;
+    events.macBits = 8;
+    events.sramReadBytes = result.spadReadBytes;
+    events.sramWriteBytes = result.spadWriteBytes;
+    events.regfileBytes = result.regfileBytes;
+    events.dramBytes = result.dramBytes;
+    events.cycles = result.cycles;
+    events.areaMm2 = area_mm2;
+    // Stellar PEs toggle their time counters and global stall wiring
+    // every cycle (Section VI-B).
+    if (stellar_generated)
+        events.peToggleEvents = result.cycles * 256;
+    return events;
+}
+
+void
+report()
+{
+    bench::banner("Fig 17: energy per MAC on ResNet50 layers (pJ)");
+    bench::row({"Layer", "Handwritten", "Stellar-gen", "Overhead",
+                "Paper range"}, 14);
+    bench::rule(5, 14);
+
+    model::AreaParams area_params;
+    model::EnergyParams energy_params;
+    double hand_mm2 =
+            accel::gemminiAreaBreakdown(area_params, false).total() / 1e6;
+    double gen_mm2 =
+            accel::gemminiAreaBreakdown(area_params, true).total() / 1e6;
+
+    sim::SystolicConfig handwritten;
+    sim::SystolicConfig generated;
+    generated.stellarGenerated = true;
+
+    double worst = 0.0, best = 1e9;
+    for (const auto &layer : workloads::resnet50Representative()) {
+        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
+                                                layer.n, layer.k);
+        auto gen = sim::simulateSystolicMatmul(generated, layer.m, layer.n,
+                                               layer.k);
+        double hand_pj = model::energyPerMac(
+                energy_params, eventsOf(hand, hand_mm2, false));
+        double gen_pj = model::energyPerMac(
+                energy_params, eventsOf(gen, gen_mm2, true));
+        double overhead = gen_pj / hand_pj - 1.0;
+        worst = std::max(worst, overhead);
+        best = std::min(best, overhead);
+        bench::row({layer.name, formatDouble(hand_pj, 3),
+                    formatDouble(gen_pj, 3),
+                    formatDouble(100.0 * overhead, 1) + "%", "7-30%"},
+                   14);
+    }
+    std::printf("\nmeasured overhead range: %.1f%% - %.1f%% "
+                "(paper: 7%% at best, 30%% at worst)\n", 100.0 * best,
+                100.0 * worst);
+}
+
+void
+BM_EnergyModel(benchmark::State &state)
+{
+    model::EnergyParams params;
+    model::EnergyEvents events;
+    events.macs = 1000000;
+    events.sramReadBytes = 4000000;
+    events.cycles = 10000;
+    events.areaMm2 = 3.7;
+    for (auto _ : state) {
+        double pj = model::energyPerMac(params, events);
+        benchmark::DoNotOptimize(pj);
+    }
+}
+BENCHMARK(BM_EnergyModel);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig 18 reproduction: merged elements per cycle of row-partitioned
+ * (throughput 32) vs flattened (throughput 16) mergers, merging the
+ * partial matrices of C = A*A in SpArch's execution order. The paper
+ * reports the row-partitioned merger reaching >= 80% of the flattened
+ * merger on over a third of the matrices, and beating it outright on
+ * four (e.g. poisson3Da and cop20k_A).
+ */
+
+#include "bench_common.hpp"
+
+#include "sim/merger.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/suitesparse.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+constexpr std::int64_t kNnzBudget = 60000;
+
+std::vector<sparse::PartialMatrix>
+partialsOf(const sparse::CsrMatrix &matrix)
+{
+    return sparse::outerProductPartials(sparse::csrToCsc(matrix), matrix);
+}
+
+void
+report()
+{
+    bench::banner("Fig 18: merged elements/cycle, row-partitioned (tput "
+                  "32) vs flattened (tput 16)");
+    std::printf("partial matrices from C = A*A in SpArch pairwise order; "
+                "matrices scaled to <= %lld nnz\n\n",
+                (long long)kNnzBudget);
+    bench::row({"Matrix", "row-part e/c", "flattened e/c", "ratio",
+                "winner"}, 15);
+    bench::rule(5, 15);
+
+    sim::MergerConfig config;
+    int at_least_80 = 0, row_wins = 0, total = 0;
+    std::vector<std::string> winners;
+    for (const auto &profile : sparse::outerSpaceSuite()) {
+        auto scaled = sparse::scaleProfile(profile, kNnzBudget);
+        auto matrix = sparse::synthesize(scaled, 2);
+        auto partials = partialsOf(matrix);
+        auto row = sim::runMergeSchedule(
+                config, sim::MergerKind::RowPartitioned, partials);
+        auto flat = sim::runMergeSchedule(
+                config, sim::MergerKind::Flattened, partials);
+        double ratio = row.elementsPerCycle() / flat.elementsPerCycle();
+        total++;
+        if (ratio >= 0.8)
+            at_least_80++;
+        if (ratio > 1.0) {
+            row_wins++;
+            winners.push_back(profile.name);
+        }
+        bench::row({profile.name, formatDouble(row.elementsPerCycle(), 2),
+                    formatDouble(flat.elementsPerCycle(), 2),
+                    formatDouble(ratio, 2),
+                    ratio > 1.0 ? "row-partitioned" : "flattened"},
+                   15);
+    }
+    bench::rule(5, 15);
+    std::printf("\nrow-partitioned >= 80%% of flattened on %d/%d matrices "
+                "(paper: over a third)\n", at_least_80, total);
+    std::printf("row-partitioned wins outright on %d matrices "
+                "(paper: four, incl. poisson3Da, cop20k_A):", row_wins);
+    for (const auto &name : winners)
+        std::printf(" %s", name.c_str());
+    std::printf("\n");
+}
+
+void
+BM_MergeSchedule(benchmark::State &state)
+{
+    auto profile = sparse::scaleProfile(
+            sparse::profileByName("poisson3Da"), 20000);
+    auto matrix = sparse::synthesize(profile, 2);
+    auto partials = partialsOf(matrix);
+    sim::MergerConfig config;
+    auto kind = state.range(0) == 0 ? sim::MergerKind::RowPartitioned
+                                    : sim::MergerKind::Flattened;
+    for (auto _ : state) {
+        auto result = sim::runMergeSchedule(config, kind, partials);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_MergeSchedule)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table I reproduction: the framework feature matrix. The Stellar row is
+ * introspected from this library (every capability probed through the
+ * real pipeline); prior-framework rows are transcribed from the paper.
+ */
+
+#include "bench_common.hpp"
+
+#include "accel/features.hpp"
+
+namespace
+{
+
+using namespace stellar;
+using namespace stellar::accel;
+
+void
+report()
+{
+    bench::banner("Table I: framework feature comparison");
+    std::vector<std::string> header = {"Framework"};
+    for (auto feature : allFeatures())
+        header.push_back(featureName(feature));
+    bench::row(header, 22);
+    bench::rule(header.size(), 22);
+
+    auto print_row = [](const FrameworkRow &fr) {
+        std::vector<std::string> cells = {fr.name};
+        for (auto support : fr.support)
+            cells.push_back(supportMark(support));
+        bench::row(cells, 22);
+    };
+    for (const auto &fr : priorFrameworkRows())
+        print_row(fr);
+    print_row(stellarRow());
+    std::printf("\npaper: Stellar supports every axis except simulator "
+                "output, and is the only\nframework with an ISA-level "
+                "interface. The Stellar row above is introspected\nfrom "
+                "this library at runtime.\n");
+}
+
+void
+BM_IntrospectStellarRow(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto row = stellarRow();
+        benchmark::DoNotOptimize(row);
+    }
+}
+BENCHMARK(BM_IntrospectStellarRow)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+STELLAR_BENCH_MAIN(report)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured 2:4 sparsity (Fig 5): the OptimisticSkip path.
+ *
+ * Unlike unstructured sparsity — where Stellar removes PE-to-PE
+ * connections — the A100's 2:4 format keeps the connections and widens
+ * them into 4-value bundles that per-PE muxes select from. This example
+ * generates the bundled array, emits its Verilog plus a testbench,
+ * checks the structured format round-trips, and compares dense vs 2:4
+ * execution on the systolic model.
+ */
+
+#include <cstdio>
+
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/testbench.hpp"
+#include "sim/systolic.hpp"
+#include "sparse/structured.hpp"
+#include "util/rng.hpp"
+
+using namespace stellar;
+
+int
+main()
+{
+    // Generate the OptimisticSkip array.
+    auto spec = accel::a100SparseSpec(8);
+    auto generated = core::generate(spec);
+    const auto &fn = generated.spec.functional;
+    const auto *b_conn =
+            generated.iterSpace.aliveConnFor(fn.tensorIdByName("b"));
+    std::printf("2:4 array: %lld PEs; B connections %s with bundle "
+                "size %d\n",
+                (long long)generated.array.numPes(),
+                b_conn && b_conn->bundled ? "RETAINED and widened"
+                                          : "(unexpected!)",
+                b_conn ? b_conn->bundleSize : 0);
+
+    auto design = rtl::lowerToVerilog(generated);
+    auto tb = rtl::addTopTestbench(design, 64);
+    auto issues = rtl::lintAll(design);
+    std::printf("Verilog with testbench %s: %zu modules, %zu lint "
+                "issues\n", tb.c_str(), design.modules().size(),
+                issues.size());
+    design.writeFile("/tmp/a100_24.v");
+    std::printf("wrote /tmp/a100_24.v\n\n");
+
+    // The packed format round-trips losslessly.
+    Rng rng(3);
+    auto packed = sparse::generateStructured(rng, 16, 64, 2, 4);
+    auto dense = sparse::structuredToDense(packed);
+    bool valid = sparse::isStructuredNM(dense, 2, 4);
+    auto repacked = sparse::denseToStructured(dense, 2, 4);
+    std::printf("generated 16x64 2:4 matrix: %lld nonzeros, N:M property "
+                "%s, round trip %s\n", (long long)packed.nnz(),
+                valid ? "holds" : "VIOLATED",
+                sparse::structuredToDense(repacked) == dense ? "ok"
+                                                             : "WRONG");
+
+    // Performance: dense vs 2:4 on the same array.
+    sim::SystolicConfig config;
+    config.stellarGenerated = true;
+    auto dense_run = sim::simulateSystolicMatmul(config, 512, 512, 512);
+    auto sparse_run =
+            sim::simulateStructuredSparseMatmul(config, 512, 512, 512, 2, 4);
+    std::printf("\ndense 512^3: %lld cycles; 2:4 structured: %lld cycles "
+                "-> %.2fx speedup (ideal 2x)\n",
+                (long long)dense_run.cycles, (long long)sparse_run.cycles,
+                double(dense_run.cycles) / double(sparse_run.cycles));
+    return issues.empty() && valid ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Automated design-space exploration: enumerate every distinct causal
+ * dataflow for the matmul specification (entries in [-1, 1]), generate
+ * each accelerator, and rank them by delay-area product. The well-known
+ * hand-designed dataflows (Fig 2) fall out of the enumeration rather
+ * than being special cases.
+ */
+
+#include <cstdio>
+
+#include "accel/dse.hpp"
+#include "func/library.hpp"
+#include "util/strings.hpp"
+
+using namespace stellar;
+
+int
+main()
+{
+    accel::DseOptions options;
+    options.topK = 12;
+    options.enumerate.maxHopLength = 2;
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+
+    auto spec = func::matmulSpec();
+    auto candidates = accel::exploreDataflows(spec, {8, 8, 8}, options,
+                                              area_params, timing_params);
+
+    std::printf("explored matmul dataflows with coefficients in [-1, 1]; "
+                "top %zu by delay-area:\n\n", candidates.size());
+    std::printf("%s %s %s %s %s %s %s\n", padRight("rank", 5).c_str(),
+                padRight("PEs", 6).c_str(), padRight("wires", 7).c_str(),
+                padRight("steps", 6).c_str(), padRight("Fmax", 9).c_str(),
+                padRight("area", 9).c_str(),
+                padRight("transform (rows)", 30).c_str());
+    int rank = 1;
+    for (const auto &candidate : candidates) {
+        std::string rows;
+        const auto &m = candidate.transform.matrix();
+        for (int r = 0; r < m.rows(); r++)
+            rows += vecToString(m.row(r)) + (r + 1 < m.rows() ? " " : "");
+        std::printf("%s %s %s %s %s %s %s\n",
+                    padRight(std::to_string(rank++), 5).c_str(),
+                    padRight(std::to_string(candidate.pes), 6).c_str(),
+                    padRight(std::to_string(candidate.wires), 7).c_str(),
+                    padRight(std::to_string(candidate.scheduleLength), 6)
+                            .c_str(),
+                    padRight(formatDouble(candidate.fmaxMhz, 0) + "MHz", 9)
+                            .c_str(),
+                    padRight(formatDouble(candidate.areaUm2 / 1e3, 0) + "K",
+                             9)
+                            .c_str(),
+                    rows.c_str());
+    }
+    std::printf("\nEvery candidate passed invertibility and causality "
+                "checks and went through\nthe full generation pipeline; "
+                "classic input-/output-stationary arrays appear\namong "
+                "the leaders automatically.\n");
+    return candidates.empty() ? 1 : 0;
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A command-line front end for the generator — the "type one command,
+ * get Verilog" experience:
+ *
+ *   stellar_cli <design> [--dim N] [--out FILE] [--report] [--soc]
+ *                        [--testbench] [--dma-inflight R]
+ *
+ * designs: gemmini | scnn | outerspace | gamma | sparch | a100 | pipeline
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "accel/designs.hpp"
+#include "accel/pipeline.hpp"
+#include "accel/report.hpp"
+#include "core/accelerator.hpp"
+#include "core/selftest.hpp"
+#include "func/diagnose.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/soc.hpp"
+#include "rtl/testbench.hpp"
+
+using namespace stellar;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+            "usage: stellar_cli <design> [options]\n"
+            "  designs: gemmini scnn outerspace gamma sparch a100 "
+            "pipeline\n"
+            "  --dim N           array dimension (default 8)\n"
+            "  --out FILE        write Verilog to FILE\n"
+            "  --report          print the architect's design report\n"
+            "  --soc             wrap into a full SoC (CPU + L2)\n"
+            "  --testbench       add an auto-generated testbench\n"
+            "  --selftest        check schedule vs golden model\n"
+            "  --dma-inflight R  DMA requests per cycle (default 1)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    std::string design_name = argv[1];
+    int dim = 8;
+    std::string out_path;
+    bool want_report = false, want_soc = false, want_tb = false;
+    bool want_selftest = false;
+    rtl::RtlOptions rtl_options;
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--dim")
+            dim = std::atoi(next());
+        else if (arg == "--out")
+            out_path = next();
+        else if (arg == "--report")
+            want_report = true;
+        else if (arg == "--soc")
+            want_soc = true;
+        else if (arg == "--testbench")
+            want_tb = true;
+        else if (arg == "--selftest")
+            want_selftest = true;
+        else if (arg == "--dma-inflight")
+            rtl_options.dmaMaxInflight = std::atoi(next());
+        else {
+            usage();
+            return 1;
+        }
+    }
+
+    try {
+        rtl::Design design;
+        if (design_name == "pipeline") {
+            auto pipeline = accel::generatePipeline(
+                    accel::sparseMatmulPipelineSpec(dim, dim));
+            design = accel::lowerPipelineToVerilog(pipeline, rtl_options);
+            std::printf("generated pipeline: %zu stages, %lld PEs total\n",
+                        pipeline.stages.size(),
+                        (long long)pipeline.totalPes());
+        } else {
+            core::AcceleratorSpec spec;
+            if (design_name == "gemmini")
+                spec = accel::gemminiLikeSpec(dim);
+            else if (design_name == "scnn")
+                spec = accel::scnnLikeSpec();
+            else if (design_name == "outerspace")
+                spec = accel::outerSpaceLikeSpec(dim);
+            else if (design_name == "gamma")
+                spec = accel::gammaMergerSpec(dim);
+            else if (design_name == "sparch")
+                spec = accel::spArchMergerSpec(dim);
+            else if (design_name == "a100")
+                spec = accel::a100SparseSpec(dim);
+            else {
+                usage();
+                return 1;
+            }
+            auto generated = core::generate(spec);
+            std::printf("generated %s: %lld PEs, %zu regfiles, schedule "
+                        "%lld steps\n", spec.name.c_str(),
+                        (long long)generated.array.numPes(),
+                        generated.regfiles.size(),
+                        (long long)generated.array.scheduleLength());
+            if (want_report) {
+                model::AreaParams area_params;
+                model::TimingParams timing_params;
+                std::printf("%s\n",
+                            accel::designReport(generated, area_params,
+                                                timing_params)
+                                    .c_str());
+                auto findings = func::diagnose(spec.functional);
+                if (!findings.empty())
+                    std::printf("-- diagnostics --\n%s\n",
+                                func::diagnosticsToString(findings)
+                                        .c_str());
+            }
+            if (want_selftest) {
+                auto check = core::selfTest(generated, 1);
+                std::printf("self-test: %s (%lld outputs checked, "
+                            "%.1f%% PE utilization)\n",
+                            check.passed ? "PASS" : "FAIL",
+                            (long long)check.outputsChecked,
+                            100.0 * check.utilization);
+                if (!check.passed)
+                    std::printf("  %s\n", check.failure.c_str());
+            }
+            design = rtl::lowerToVerilog(generated, rtl_options);
+        }
+
+        if (want_soc)
+            rtl::assembleSoc(design);
+        if (want_tb)
+            rtl::addTopTestbench(design, 256);
+
+        auto issues = rtl::lintAll(design);
+        std::printf("%zu Verilog modules, %zu lint issues\n",
+                    design.modules().size(), issues.size());
+        for (const auto &issue : issues)
+            std::printf("  lint: %s: %s\n", issue.module.c_str(),
+                        issue.message.c_str());
+        if (!out_path.empty()) {
+            design.writeFile(out_path);
+            std::printf("wrote %s\n", out_path.c_str());
+        }
+        return issues.empty() ? 0 : 1;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+}

@@ -1,0 +1,204 @@
+#include "accel/designs.hpp"
+
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "mem/format.hpp"
+#include "sparsity/skip.hpp"
+
+namespace stellar::accel
+{
+
+namespace
+{
+
+/** Dense double-buffered scratchpad bound to one matmul operand. */
+mem::MemBufferSpec
+denseBuffer(const std::string &name, const std::string &tensor,
+            std::int64_t capacity_bytes, int lanes, int span)
+{
+    mem::MemBufferSpec buf;
+    buf.name = name;
+    buf.boundTensor = tensor;
+    buf.format = mem::denseFormat(2);
+    buf.capacityBytes = capacity_bytes;
+    buf.readPorts = lanes;
+    buf.writePorts = lanes;
+    buf.banks = 4;
+    buf.hardcodedRead.spans = {span, span};
+    buf.hardcodedRead.dataStrides = {1, span};
+    return buf;
+}
+
+mem::MemBufferSpec
+csrBuffer(const std::string &name, const std::string &tensor,
+          std::int64_t capacity_bytes)
+{
+    mem::MemBufferSpec buf;
+    buf.name = name;
+    buf.boundTensor = tensor;
+    buf.format = mem::csrFormat();
+    buf.capacityBytes = capacity_bytes;
+    buf.banks = 2;
+    return buf;
+}
+
+} // namespace
+
+core::AcceleratorSpec
+gemminiLikeSpec(int dim)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "gemmini_like";
+    spec.functional = func::matmulSpec();
+    // Weight-stationary and fully pipelined, like Gemmini's WS array.
+    spec.transform = dataflow::dataflows::inputStationaryPipelined(1);
+    spec.elaborationBounds = {dim, dim, dim};
+    spec.buffers.push_back(
+            denseBuffer("SPAD_A", "A", 128 * 1024, dim, dim));
+    spec.buffers.push_back(
+            denseBuffer("SPAD_B", "B", 128 * 1024, dim, dim));
+    spec.buffers.push_back(
+            denseBuffer("ACC_C", "C", 64 * 1024, dim, dim));
+    return spec;
+}
+
+core::AcceleratorSpec
+scnnLikeSpec()
+{
+    core::AcceleratorSpec spec;
+    spec.name = "scnn_like";
+    spec.functional = func::matmulSpec();
+    // Cartesian-product PEs: both operands skip zeros (unstructured
+    // weight and activation sparsity), partial sums scatter to buffers.
+    spec.transform = dataflow::dataflows::outputStationary();
+    spec.elaborationBounds = {8, 8, 4};
+    int A = spec.functional.tensorIdByName("A");
+    int B = spec.functional.tensorIdByName("B");
+    spec.sparsity.add(sparsity::skipWhenZero(
+            0, A, {func::makeIndexExpr(0), func::makeIndexExpr(2)}));
+    spec.sparsity.add(sparsity::skipWhenZero(
+            1, B, {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    spec.buffers.push_back(csrBuffer("WEIGHT_FIFO", "A", 32 * 1024));
+    spec.buffers.push_back(csrBuffer("ACT_RAM", "B", 64 * 1024));
+    spec.buffers.push_back(csrBuffer("ACC_RAM", "C", 32 * 1024));
+    return spec;
+}
+
+core::AcceleratorSpec
+outerSpaceLikeSpec(int dim)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "outerspace_like";
+    spec.functional = func::matmulSpec();
+    spec.transform = dataflow::dataflows::outputStationary();
+    spec.elaborationBounds = {dim, dim, dim};
+    int A = spec.functional.tensorIdByName("A");
+    int B = spec.functional.tensorIdByName("B");
+    // A is CSC (skip i within a column), B is CSR (skip j within a row):
+    // the outer-product formulation of Listing 2's first case.
+    spec.sparsity.add(sparsity::skipWhenZero(
+            0, A, {func::makeIndexExpr(0), func::makeIndexExpr(2)}));
+    spec.sparsity.add(sparsity::skipWhenZero(
+            1, B, {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    // Adjacent-row work sharing, Listing 3 style.
+    balance::ShiftSpec shift;
+    shift.shifts = {balance::shiftRange(0, dim, 2 * dim, 0, dim),
+                    balance::shiftUnchanged(1),
+                    balance::shiftRange(2, 0, dim, 1, dim + 1)};
+    spec.balancing.add(shift);
+    spec.buffers.push_back(csrBuffer("SRAM_A", "A", 64 * 1024));
+    spec.buffers.push_back(csrBuffer("SRAM_B", "B", 64 * 1024));
+    mem::MemBufferSpec partials = csrBuffer("PARTIALS", "C", 128 * 1024);
+    partials.format = mem::linkedListFormat();
+    spec.buffers.push_back(partials);
+    return spec;
+}
+
+core::AcceleratorSpec
+gammaMergerSpec(int lanes)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "gamma_merger";
+    spec.functional = func::mergeSpec();
+    spec.transform = dataflow::SpaceTimeTransform(IntMatrix{{1}},
+                                                  "sequential");
+    spec.elaborationBounds = {lanes};
+    spec.buffers.push_back(csrBuffer("FIBER_A", "AVal", 16 * 1024));
+    spec.buffers.push_back(csrBuffer("FIBER_B", "BVal", 16 * 1024));
+    spec.buffers.push_back(csrBuffer("MERGED", "OutVal", 32 * 1024));
+    return spec;
+}
+
+core::AcceleratorSpec
+spArchMergerSpec(int throughput)
+{
+    core::AcceleratorSpec spec = gammaMergerSpec(throughput);
+    spec.name = "sparch_merger";
+    return spec;
+}
+
+core::AcceleratorSpec
+a100SparseSpec(int dim)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "a100_24";
+    spec.functional = func::matmulSpec();
+    spec.transform = dataflow::dataflows::outputStationary();
+    spec.elaborationBounds = {dim, dim, dim};
+    int A = spec.functional.tensorIdByName("A");
+    // 2:4 structured sparsity along k: OptimisticSkip with bundles of 4
+    // (Fig 5), which keeps PE-to-PE connections but widens them.
+    spec.sparsity.add(sparsity::optimisticSkip(
+            2, A, {func::makeIndexExpr(0), func::makeIndexExpr(2)}, 4));
+    spec.buffers.push_back(
+            denseBuffer("SPAD_B", "B", 128 * 1024, dim, dim));
+    return spec;
+}
+
+model::AreaBreakdown
+gemminiAreaBreakdown(const model::AreaParams &params, bool stellar_generated,
+                     int dim)
+{
+    model::AreaBreakdown breakdown;
+    auto spec = gemminiLikeSpec(dim);
+    auto generated = core::generate(spec);
+
+    // Matmul array: 8-bit weight-stationary PEs with 48 pipeline bits
+    // (8b activation + 32b partial sum + 8b weight), per Table III.
+    double array = double(generated.array.numPes()) *
+                   model::peArea(params, 8, 48, stellar_generated);
+    breakdown.add("Matmul array", array);
+
+    double srams = 0.0;
+    for (const auto &buf : spec.buffers)
+        srams += model::bufferArea(params, buf);
+    breakdown.add("SRAMs", srams);
+
+    double regfiles = 0.0;
+    for (const auto &plan : generated.regfiles) {
+        int width = plan.tensorName == "C" ? 32 : 8;
+        regfiles += model::regfileArea(params, plan.config, width, 16);
+    }
+    if (!stellar_generated) {
+        // The handwritten design only keeps small transpose/preload
+        // registers (Table III: 25K).
+        regfiles = 25000.0;
+    }
+    breakdown.add("Regfiles", regfiles);
+
+    double unrollers;
+    if (stellar_generated) {
+        unrollers = 0.0;
+        for (const auto &buf : spec.buffers)
+            unrollers += model::bufferAddrGenArea(params, buf, dim);
+    } else {
+        unrollers = params.centralUnroller;
+    }
+    breakdown.add("Loop unrollers", unrollers);
+
+    breakdown.add("Dma", model::dmaArea(params, 1, stellar_generated));
+    breakdown.add("Host CPU", params.hostCpu);
+    return breakdown;
+}
+
+} // namespace stellar::accel

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Pre-built accelerator specifications reproducing the designs the paper
+ * generates and evaluates (Section VI):
+ *
+ *  - a Gemmini-like dense DNN accelerator: 16x16 weight-stationary
+ *    systolic array with 8-bit inputs;
+ *  - an SCNN-like sparse CNN accelerator: cartesian-product PEs with
+ *    both operands skipped on zeros;
+ *  - an OuterSPACE-like sparse matmul accelerator: outer-product dataflow
+ *    with CSC-A and CSR-B skips, scattered partial sums;
+ *  - GAMMA-style row-partitioned and SpArch-style flattened mergers;
+ *  - an A100-style 2:4 structured-sparsity matmul array (OptimisticSkip).
+ *
+ * Builders only assemble five-axis AcceleratorSpecs; all generation runs
+ * through the shared compiler pipeline in src/core.
+ */
+
+#ifndef STELLAR_ACCEL_DESIGNS_HPP
+#define STELLAR_ACCEL_DESIGNS_HPP
+
+#include "core/accelerator.hpp"
+#include "model/area.hpp"
+
+namespace stellar::accel
+{
+
+/** 16x16 weight-stationary dense matmul accelerator (Gemmini-like). */
+core::AcceleratorSpec gemminiLikeSpec(int dim = 16);
+
+/** Sparse CNN accelerator with both operands skipped (SCNN-like). */
+core::AcceleratorSpec scnnLikeSpec();
+
+/** Outer-product sparse-sparse matmul accelerator (OuterSPACE-like). */
+core::AcceleratorSpec outerSpaceLikeSpec(int dim = 16);
+
+/** Row-partitioned merger (GAMMA-style, Fig 19a). */
+core::AcceleratorSpec gammaMergerSpec(int lanes = 32);
+
+/** Flattened merger (SpArch-style, Fig 19b). */
+core::AcceleratorSpec spArchMergerSpec(int throughput = 16);
+
+/** Output-stationary array with A in the A100 2:4 format (Fig 5). */
+core::AcceleratorSpec a100SparseSpec(int dim = 16);
+
+/**
+ * The Table III area breakdown of a Gemmini-class SoC. When
+ * `stellar_generated` is false the handwritten design's components
+ * (no PE overheads, centralized loop unroller) are used.
+ */
+model::AreaBreakdown gemminiAreaBreakdown(const model::AreaParams &params,
+                                          bool stellar_generated,
+                                          int dim = 16);
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_DESIGNS_HPP

@@ -1,0 +1,57 @@
+#include "accel/dse.hpp"
+
+#include <algorithm>
+
+#include "model/area.hpp"
+#include "model/timing.hpp"
+
+namespace stellar::accel
+{
+
+std::vector<DseCandidate>
+exploreDataflows(const func::FunctionalSpec &functional,
+                 const IntVec &bounds, const DseOptions &options,
+                 const model::AreaParams &area_params,
+                 const model::TimingParams &timing_params)
+{
+    auto transforms =
+            dataflow::enumerateTransforms(functional, options.enumerate);
+
+    std::vector<DseCandidate> candidates;
+    for (auto &transform : transforms) {
+        core::AcceleratorSpec spec;
+        spec.name = "dse";
+        spec.functional = functional;
+        spec.transform = transform;
+        spec.sparsity = options.sparsity;
+        spec.balancing = options.balancing;
+        spec.elaborationBounds = bounds;
+        auto generated = core::generate(spec);
+
+        DseCandidate candidate;
+        candidate.transform = transform;
+        candidate.pes = generated.array.numPes();
+        candidate.wires = generated.array.totalWires();
+        candidate.wireLength = generated.array.totalWireLength();
+        candidate.scheduleLength = generated.array.scheduleLength();
+        auto timing = model::timingOf(timing_params, generated,
+                                      /*centralized=*/false);
+        candidate.fmaxMhz = timing.fmaxMhz();
+        candidate.areaUm2 = model::arrayArea(area_params, generated,
+                                             options.macBits,
+                                             options.dataWidth, true);
+        double seconds = double(candidate.scheduleLength) /
+                         (candidate.fmaxMhz * 1e6);
+        candidate.score = seconds * candidate.areaUm2;
+        candidates.push_back(std::move(candidate));
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const DseCandidate &a, const DseCandidate &b) {
+                  return a.score < b.score;
+              });
+    if (candidates.size() > options.topK)
+        candidates.resize(options.topK);
+    return candidates;
+}
+
+} // namespace stellar::accel

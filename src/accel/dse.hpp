@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Automated design-space exploration: enumerate dataflows for a
+ * functional specification, generate each candidate accelerator, and
+ * rank them by a delay-area product computed from the timing and area
+ * models. This is the "rapid design space exploration" loop the paper's
+ * introduction motivates.
+ */
+
+#ifndef STELLAR_ACCEL_DSE_HPP
+#define STELLAR_ACCEL_DSE_HPP
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "dataflow/enumerate.hpp"
+#include "model/params.hpp"
+
+namespace stellar::accel
+{
+
+/** One explored design point. */
+struct DseCandidate
+{
+    dataflow::SpaceTimeTransform transform;
+    std::int64_t pes = 0;
+    std::int64_t wires = 0;
+    std::int64_t wireLength = 0;
+    std::int64_t scheduleLength = 0;
+    double fmaxMhz = 0.0;
+    double areaUm2 = 0.0;
+
+    /** Execution time x area; lower is better. */
+    double score = 0.0;
+};
+
+/** Exploration settings. */
+struct DseOptions
+{
+    dataflow::EnumerateOptions enumerate;
+    std::size_t topK = 10;
+    int dataWidth = 8;
+    int macBits = 8;
+
+    /** Optional sparsity/balancing applied to every candidate, so the
+     *  search sees the interactions between dataflow and the other
+     *  concerns (pruned conns change both wiring and regfile cost). */
+    sparsity::SparsitySpec sparsity;
+    balance::BalanceSpec balancing;
+};
+
+/**
+ * Explore dataflows for a spec at the given elaboration bounds. The
+ * returned candidates are sorted by ascending score (best first).
+ */
+std::vector<DseCandidate> exploreDataflows(
+        const func::FunctionalSpec &functional, const IntVec &bounds,
+        const DseOptions &options, const model::AreaParams &area_params,
+        const model::TimingParams &timing_params);
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_DSE_HPP

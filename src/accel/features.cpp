@@ -1,0 +1,126 @@
+#include "accel/features.hpp"
+
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "isa/instructions.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+
+namespace stellar::accel
+{
+
+const std::vector<Feature> &
+allFeatures()
+{
+    static const std::vector<Feature> features = {
+        Feature::Functionality,
+        Feature::Dataflow,
+        Feature::SparseDataStructures,
+        Feature::LoadBalancing,
+        Feature::PrivateMemoryBuffers,
+        Feature::Simulators,
+        Feature::SynthesizableRtl,
+        Feature::ApplicationLevelApi,
+        Feature::IsaLevelApi,
+    };
+    return features;
+}
+
+std::string
+featureName(Feature feature)
+{
+    switch (feature) {
+      case Feature::Functionality: return "Functionality";
+      case Feature::Dataflow: return "Dataflow";
+      case Feature::SparseDataStructures: return "Sparse data structures";
+      case Feature::LoadBalancing: return "Load-balancing";
+      case Feature::PrivateMemoryBuffers: return "Private memory buffers";
+      case Feature::Simulators: return "Simulators";
+      case Feature::SynthesizableRtl: return "Synthesizable RTL";
+      case Feature::ApplicationLevelApi: return "Application-level";
+      case Feature::IsaLevelApi: return "ISA-level";
+    }
+    return "?";
+}
+
+std::string
+supportMark(Support support)
+{
+    switch (support) {
+      case Support::No: return "x";
+      case Support::Implicit: return "Implicit";
+      case Support::Yes: return "v";
+    }
+    return "?";
+}
+
+std::vector<FrameworkRow>
+priorFrameworkRows()
+{
+    using S = Support;
+    // Rows transcribed from Table I: Functionality, Dataflow, Sparse
+    // data structures, Load-balancing, Private memory buffers,
+    // Simulators, Synthesizable RTL, Application-level, ISA-level.
+    return {
+        {"PolySA", {S::Yes, S::Yes, S::No, S::No, S::Yes, S::No, S::Yes,
+                    S::Yes, S::No}},
+        {"AutoSA", {S::Yes, S::Yes, S::No, S::No, S::Yes, S::No, S::Yes,
+                    S::Yes, S::No}},
+        {"Interstellar", {S::Yes, S::Yes, S::No, S::No, S::Yes, S::No,
+                          S::Yes, S::Yes, S::No}},
+        {"Tabla", {S::Yes, S::No, S::No, S::No, S::Yes, S::No, S::Yes,
+                   S::Yes, S::No}},
+        {"Sparseloop", {S::Yes, S::Yes, S::Yes, S::No, S::Yes, S::Yes,
+                        S::No, S::No, S::No}},
+        {"TeAAL", {S::Yes, S::Yes, S::Yes, S::Yes, S::Yes, S::Yes, S::No,
+                   S::No, S::No}},
+        {"SAM", {S::Yes, S::Yes, S::Yes, S::No, S::Yes, S::Yes, S::No,
+                 S::No, S::No}},
+        {"DSAGen", {S::Yes, S::Implicit, S::No, S::Yes, S::Yes, S::No,
+                    S::Yes, S::Yes, S::No}},
+        {"Spatial", {S::Yes, S::Implicit, S::No, S::No, S::Yes, S::No,
+                     S::Yes, S::Yes, S::No}},
+    };
+}
+
+FrameworkRow
+stellarRow()
+{
+    FrameworkRow row;
+    row.name = "Stellar (this repo)";
+    row.support.assign(allFeatures().size(), Support::No);
+    auto set = [&](Feature f, Support s) {
+        row.support[std::size_t(f)] = s;
+    };
+
+    // Probe a real sparse, load-balanced design through the pipeline.
+    auto spec = outerSpaceLikeSpec(4);
+    auto generated = core::generate(spec);
+
+    if (generated.spec.functional.numTensors() > 0)
+        set(Feature::Functionality, Support::Yes);
+    if (generated.spec.transform.matrix().isInvertible())
+        set(Feature::Dataflow, Support::Yes);
+    if (!generated.spec.sparsity.empty() && !generated.pruneLog.empty())
+        set(Feature::SparseDataStructures, Support::Yes);
+    if (!generated.spec.balancing.empty())
+        set(Feature::LoadBalancing, Support::Yes);
+    if (!generated.spec.buffers.empty())
+        set(Feature::PrivateMemoryBuffers, Support::Yes);
+
+    // Stellar outputs RTL, not simulators (Table I row).
+    set(Feature::Simulators, Support::No);
+    auto design = rtl::lowerToVerilog(generated);
+    if (rtl::lintAll(design).empty())
+        set(Feature::SynthesizableRtl, Support::Yes);
+
+    // Programming interfaces: the C-style driver and the Table II ISA.
+    set(Feature::ApplicationLevelApi, Support::Yes);
+    auto inst = isa::makeIssue();
+    auto decoded = isa::decode(isa::encode({inst}));
+    if (decoded.size() == 1 && decoded[0] == inst)
+        set(Feature::IsaLevelApi, Support::Yes);
+    return row;
+}
+
+} // namespace stellar::accel

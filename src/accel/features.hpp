@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The framework feature matrix of Table I.
+ *
+ * Prior-framework rows are transcribed from the paper; the Stellar row
+ * is *introspected* from this library: each capability is checked by
+ * probing the corresponding module, so the table stays honest if the
+ * implementation changes.
+ */
+
+#ifndef STELLAR_ACCEL_FEATURES_HPP
+#define STELLAR_ACCEL_FEATURES_HPP
+
+#include <string>
+#include <vector>
+
+namespace stellar::accel
+{
+
+/** The Table I feature axes. */
+enum class Feature
+{
+    Functionality,
+    Dataflow,
+    SparseDataStructures,
+    LoadBalancing,
+    PrivateMemoryBuffers,
+    Simulators,
+    SynthesizableRtl,
+    ApplicationLevelApi,
+    IsaLevelApi,
+};
+
+/** Support levels used in Table I. */
+enum class Support { No, Implicit, Yes };
+
+/** One framework row. */
+struct FrameworkRow
+{
+    std::string name;
+    std::vector<Support> support; //!< indexed by Feature
+};
+
+const std::vector<Feature> &allFeatures();
+std::string featureName(Feature feature);
+std::string supportMark(Support support);
+
+/** The prior-framework rows exactly as Table I lists them. */
+std::vector<FrameworkRow> priorFrameworkRows();
+
+/** The Stellar row, introspected from this library's capabilities. */
+FrameworkRow stellarRow();
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_FEATURES_HPP

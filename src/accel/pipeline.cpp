@@ -1,0 +1,81 @@
+#include "accel/pipeline.hpp"
+
+#include "accel/designs.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::accel
+{
+
+std::int64_t
+GeneratedPipeline::totalPes() const
+{
+    std::int64_t total = 0;
+    for (const auto &stage : stages)
+        total += stage.array.numPes();
+    return total;
+}
+
+GeneratedPipeline
+generatePipeline(const PipelineSpec &spec)
+{
+    require(!spec.stages.empty(), "pipeline needs at least one stage");
+    GeneratedPipeline pipeline;
+    pipeline.spec = spec;
+    for (const auto &stage : spec.stages)
+        pipeline.stages.push_back(core::generate(stage));
+    return pipeline;
+}
+
+rtl::Design
+lowerPipelineToVerilog(const GeneratedPipeline &pipeline,
+                       const rtl::RtlOptions &options)
+{
+    rtl::Design design;
+    std::vector<std::string> stage_tops;
+    for (const auto &stage : pipeline.stages) {
+        // Lower each stage into its own namespace of modules, then copy
+        // them into the shared design.
+        rtl::Design stage_design = rtl::lowerToVerilog(stage, options);
+        for (const auto &module : stage_design.modules()) {
+            if (design.findModule(module.name()) != nullptr)
+                continue; // shared helper (e.g. a pipereg template)
+            design.addModule(module.name()) = module;
+        }
+        stage_tops.push_back(stage_design.top());
+    }
+
+    std::string base = sanitizeIdentifier(pipeline.spec.name);
+    std::string top_name = "stellar_pipeline_" + base;
+    rtl::Module &top = design.addModule(top_name);
+    top.setComment("Accelerator pipeline (Fig 8): " +
+                   std::to_string(stage_tops.size()) +
+                   " stages behind one shared DMA; stage n+1 consumes "
+                   "stage n's output buffers.");
+    top.addPort(rtl::PortDir::Input, "clock", 1);
+    top.addPort(rtl::PortDir::Input, "reset", 1);
+    top.addPort(rtl::PortDir::Input, "enable", 1);
+    for (std::size_t s = 0; s < stage_tops.size(); s++) {
+        rtl::Instance inst;
+        inst.moduleName = stage_tops[s];
+        inst.instanceName = "stage" + std::to_string(s);
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"enable", "enable"});
+        top.addInstance(std::move(inst));
+    }
+    design.setTop(top_name);
+    return design;
+}
+
+PipelineSpec
+sparseMatmulPipelineSpec(int dim, int merge_lanes)
+{
+    PipelineSpec pipeline;
+    pipeline.name = "sparse_matmul_pipeline";
+    pipeline.stages.push_back(outerSpaceLikeSpec(dim));
+    pipeline.stages.push_back(gammaMergerSpec(merge_lanes));
+    return pipeline;
+}
+
+} // namespace stellar::accel

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-array accelerator pipelines (Fig 8).
+ *
+ * The paper's example sparse-matmul accelerator is a *pipeline*: a
+ * multiplier spatial array produces scattered partial sums which merger
+ * arrays then combine, with register files and private memory buffers
+ * between the stages and one shared DMA in front. A PipelineSpec chains
+ * several five-axis AcceleratorSpecs; generation runs each stage through
+ * the standard compiler and lowering produces one Verilog design with a
+ * shared DMA and the stage tops instantiated side by side.
+ */
+
+#ifndef STELLAR_ACCEL_PIPELINE_HPP
+#define STELLAR_ACCEL_PIPELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "rtl/generate.hpp"
+
+namespace stellar::accel
+{
+
+/** A chain of accelerator stages sharing one DMA and memory system. */
+struct PipelineSpec
+{
+    std::string name;
+    std::vector<core::AcceleratorSpec> stages;
+};
+
+/** Every stage's compiled result. */
+struct GeneratedPipeline
+{
+    PipelineSpec spec;
+    std::vector<core::GeneratedAccelerator> stages;
+
+    std::int64_t totalPes() const;
+};
+
+/** Compile every stage. */
+GeneratedPipeline generatePipeline(const PipelineSpec &spec);
+
+/**
+ * Lower the whole pipeline into one Verilog design: per-stage arrays,
+ * regfiles and buffers, plus a single shared DMA and a pipeline top.
+ */
+rtl::Design lowerPipelineToVerilog(const GeneratedPipeline &pipeline,
+                                   const rtl::RtlOptions &options = {});
+
+/**
+ * The Fig 8 design: an OuterSPACE-style sparse multiplier stage feeding
+ * a merger stage.
+ */
+PipelineSpec sparseMatmulPipelineSpec(int dim = 8, int merge_lanes = 8);
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_PIPELINE_HPP

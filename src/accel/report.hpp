@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Human-readable design reports.
+ *
+ * For any generated accelerator, produce the summary an architect wants
+ * when comparing design points: the five input specifications, the
+ * pruning decisions, the physical array, regfile plans, buffer
+ * pipelines, the modeled area breakdown, and the timing report. Used by
+ * the examples and handy when exploring with the DSE driver.
+ */
+
+#ifndef STELLAR_ACCEL_REPORT_HPP
+#define STELLAR_ACCEL_REPORT_HPP
+
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "model/params.hpp"
+
+namespace stellar::accel
+{
+
+/** Options controlling which report sections appear. */
+struct ReportOptions
+{
+    bool includeSpecs = true;
+    bool includeArray = true;
+    bool includeRegfiles = true;
+    bool includeBuffers = true;
+    bool includeArea = true;
+    bool includeTiming = true;
+    int dataWidth = 8;
+    int macBits = 8;
+};
+
+/** Render the full report. */
+std::string designReport(const core::GeneratedAccelerator &accel,
+                         const model::AreaParams &area_params,
+                         const model::TimingParams &timing_params,
+                         const ReportOptions &options = {});
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_REPORT_HPP

@@ -1,0 +1,144 @@
+#include "balance/shift.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::balance
+{
+
+bool
+IndexShift::isManyToFew() const
+{
+    switch (kind) {
+      case Kind::Unchanged:
+        return false;
+      case Kind::RangeMap:
+        return (srcHi - srcLo) > (dstHi - dstLo);
+      case Kind::Collapse:
+        return true;
+    }
+    return false;
+}
+
+std::int64_t
+IndexShift::offset() const
+{
+    return kind == Kind::RangeMap ? dstLo - srcLo : 0;
+}
+
+IntVec
+ShiftSpec::biasVector(int num_indices) const
+{
+    IntVec bias(std::size_t(num_indices), 0);
+    for (const auto &shift : shifts) {
+        invariant(shift.index >= 0 && shift.index < num_indices,
+                  "shift references unknown iterator");
+        bias[std::size_t(shift.index)] = shift.offset();
+    }
+    return bias;
+}
+
+IndexShift
+shiftUnchanged(int index)
+{
+    IndexShift s;
+    s.index = index;
+    s.kind = IndexShift::Kind::Unchanged;
+    return s;
+}
+
+IndexShift
+shiftRange(int index, std::int64_t src_lo, std::int64_t src_hi,
+           std::int64_t dst_lo, std::int64_t dst_hi)
+{
+    IndexShift s;
+    s.index = index;
+    s.kind = IndexShift::Kind::RangeMap;
+    s.srcLo = src_lo;
+    s.srcHi = src_hi;
+    s.dstLo = dst_lo;
+    s.dstHi = dst_hi;
+    return s;
+}
+
+IndexShift
+shiftCollapse(int index, std::int64_t dst_lo, std::int64_t dst_hi)
+{
+    IndexShift s;
+    s.index = index;
+    s.kind = IndexShift::Kind::Collapse;
+    s.dstLo = dst_lo;
+    s.dstHi = dst_hi;
+    return s;
+}
+
+std::set<int>
+BalanceSpec::perPeAxes(const dataflow::SpaceTimeTransform &t) const
+{
+    std::set<int> axes;
+    for (const auto &spec : shifts_) {
+        for (const auto &shift : spec.shifts) {
+            if (!shift.isManyToFew())
+                continue;
+            for (int axis = 0; axis < t.spaceDims(); axis++)
+                if (t.matrix().at(axis, shift.index) != 0)
+                    axes.insert(axis);
+        }
+    }
+    return axes;
+}
+
+Granularity
+BalanceSpec::granularity(const dataflow::SpaceTimeTransform &t) const
+{
+    return perPeAxes(t).empty() ? Granularity::RowGranular
+                                : Granularity::PerPE;
+}
+
+std::string
+BalanceSpec::toString(const func::FunctionalSpec &spec) const
+{
+    std::ostringstream os;
+    for (const auto &shift_spec : shifts_) {
+        os << "Shift ";
+        auto render = [&](bool src) {
+            std::vector<std::string> parts;
+            for (const auto &shift : shift_spec.shifts) {
+                const auto &name =
+                        spec.indexNames()[std::size_t(shift.index)];
+                std::ostringstream part;
+                switch (shift.kind) {
+                  case IndexShift::Kind::Unchanged:
+                    part << name;
+                    break;
+                  case IndexShift::Kind::RangeMap:
+                    if (src) {
+                        part << name << " = " << shift.srcLo << "->"
+                             << shift.srcHi;
+                    } else {
+                        part << name << " = " << shift.dstLo << "->"
+                             << shift.dstHi;
+                    }
+                    break;
+                  case IndexShift::Kind::Collapse:
+                    if (src)
+                        part << name;
+                    else
+                        part << name << " = " << shift.dstLo << "->"
+                             << shift.dstHi;
+                    break;
+                }
+                parts.push_back(part.str());
+            }
+            std::string out;
+            for (std::size_t i = 0; i < parts.size(); i++)
+                out += (i ? ", " : "") + parts[i];
+            return out;
+        };
+        os << render(true) << " to " << render(false) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stellar::balance

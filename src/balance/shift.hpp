@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Load-balancing specifications (Section III-D).
+ *
+ * A ShiftSpec says that computations in one region of the tensor iteration
+ * space may be shifted onto "target" iterations when the targets would
+ * otherwise be idle (Listings 3 and 4). At runtime the load balancer
+ * applies a *space-time bias* (Eq. 2): T * (p + b) = (x, y, t), making the
+ * biased PEs behave as if they were located elsewhere in the array.
+ *
+ * The *granularity* of a shift determines its hardware cost (Fig 10):
+ * row-granular shifts preserve intra-row PE-to-PE connections, while
+ * per-PE shifts force those connections to be replaced with regfile ports.
+ */
+
+#ifndef STELLAR_BALANCE_SHIFT_HPP
+#define STELLAR_BALANCE_SHIFT_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataflow/transform.hpp"
+#include "func/spec.hpp"
+#include "util/int_matrix.hpp"
+
+namespace stellar::balance
+{
+
+/** How one iterator participates in a shift. */
+struct IndexShift
+{
+    enum class Kind
+    {
+        Unchanged,  //!< the iterator passes through: "j" -> "j"
+        RangeMap,   //!< [srcLo, srcHi) -> [dstLo, dstHi): "N->2N" to "0->N"
+        Collapse,   //!< any source value -> [dstLo, dstHi): "i" to "i=0"
+    };
+
+    int index = -1;
+    Kind kind = Kind::Unchanged;
+    std::int64_t srcLo = 0, srcHi = 0;
+    std::int64_t dstLo = 0, dstHi = 0;
+
+    /** True when more source values map to fewer target values. */
+    bool isManyToFew() const;
+
+    /** The additive bias dst - src (RangeMap only; 0 otherwise). */
+    std::int64_t offset() const;
+};
+
+/** One Shift declaration. */
+struct ShiftSpec
+{
+    std::vector<IndexShift> shifts;
+
+    /** The space-time bias vector b of Eq. 2 (one entry per iterator). */
+    IntVec biasVector(int num_indices) const;
+};
+
+/** Builders mirroring Listings 3 and 4. */
+IndexShift shiftUnchanged(int index);
+IndexShift shiftRange(int index, std::int64_t src_lo, std::int64_t src_hi,
+                      std::int64_t dst_lo, std::int64_t dst_hi);
+IndexShift shiftCollapse(int index, std::int64_t dst_lo, std::int64_t dst_hi);
+
+/** Granularity of a balancing scheme (Fig 10). */
+enum class Granularity { RowGranular, PerPE };
+
+/** The full load-balancing specification for an accelerator. */
+class BalanceSpec
+{
+  public:
+    void add(const ShiftSpec &shift) { shifts_.push_back(shift); }
+
+    const std::vector<ShiftSpec> &shifts() const { return shifts_; }
+    bool empty() const { return shifts_.empty(); }
+
+    /**
+     * The spatial axes along which PEs can be re-targeted *independently*.
+     * An axis is per-PE balanced when a many-to-few iterator shift maps
+     * onto it under the dataflow transform; connections along such axes
+     * are no longer guaranteed to carry the right values and must be
+     * pruned (Fig 10b vs Fig 10a).
+     */
+    std::set<int> perPeAxes(const dataflow::SpaceTimeTransform &t) const;
+
+    /** Overall granularity under a given dataflow. */
+    Granularity granularity(const dataflow::SpaceTimeTransform &t) const;
+
+    std::string toString(const func::FunctionalSpec &spec) const;
+
+  private:
+    std::vector<ShiftSpec> shifts_;
+};
+
+} // namespace stellar::balance
+
+#endif // STELLAR_BALANCE_SHIFT_HPP

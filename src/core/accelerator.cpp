@@ -1,0 +1,98 @@
+#include "core/accelerator.hpp"
+
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+const RegfilePlan *
+GeneratedAccelerator::regfileFor(const std::string &tensor) const
+{
+    for (const auto &plan : regfiles)
+        if (plan.tensorName == tensor)
+            return &plan;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Number of distinct elements of a tensor touched by the array. */
+std::int64_t
+touchedElements(const mem::AccessOrder &order)
+{
+    std::set<IntVec> coords;
+    for (std::size_t t = 0; t < order.steps(); t++)
+        for (const auto &coord : order.step(t))
+            coords.insert(coord);
+    return std::int64_t(coords.size());
+}
+
+} // namespace
+
+GeneratedAccelerator
+generate(const AcceleratorSpec &spec)
+{
+    spec.functional.validate();
+    require(spec.transform.dims() == spec.functional.numIndices(),
+            "dataflow transform rank must match the functional spec");
+    require(spec.transform.isCausalFor(spec.functional),
+            "dataflow transform is not causal for this functional spec");
+
+    // Fig 7 pipeline: elaborate, prune, transform.
+    IterationSpace space = elaborate(spec.functional,
+                                     spec.elaborationBounds);
+    std::vector<PruneDecision> log;
+    for (auto &decision : applySparsity(space, spec.sparsity))
+        log.push_back(std::move(decision));
+    for (auto &decision :
+             applyBalancing(space, spec.balancing, spec.transform)) {
+        log.push_back(std::move(decision));
+    }
+    SpatialArray array = applyTransform(space, spec.transform);
+
+    // Regfile optimization per external tensor (Section IV-D): compare
+    // the buffer's emit order (known when its read parameters are
+    // hardcoded) with the array's consumption order.
+    GeneratedAccelerator result{spec, space, array, {}, std::move(log),
+                                func::diagnose(spec.functional)};
+    const auto &fn = spec.functional;
+    for (int t = 0; t < fn.numTensors(); t++) {
+        if (fn.tensorKind(t) == func::TensorKind::Intermediate)
+            continue;
+        mem::AccessOrder consumer =
+                arrayAccessOrder(space, spec.transform, t);
+        if (consumer.steps() == 0)
+            continue;
+        std::int64_t entries = touchedElements(consumer);
+
+        RegfilePlan plan;
+        plan.externalTensor = t;
+        plan.tensorName = fn.tensorNames()[std::size_t(t)];
+
+        const mem::MemBufferSpec *buffer = nullptr;
+        for (const auto &candidate : spec.buffers)
+            if (candidate.boundTensor == plan.tensorName)
+                buffer = &candidate;
+
+        if (buffer != nullptr &&
+                buffer->hardcodedRead.fullySpecified(buffer->format.rank()) &&
+                buffer->format.isAllDense()) {
+            mem::AccessOrder producer = mem::bufferEmitOrder(*buffer);
+            plan.config = optimizeRegfile(producer, consumer, entries);
+        } else {
+            // Producer order unknown at elaboration time: fall back to
+            // the baseline fully-associative design (Fig 14a).
+            auto ports = std::int64_t(consumer.maxPerStep());
+            plan.config = configForKind(RegfileKind::FullyAssociative,
+                                        entries, std::max<std::int64_t>(ports, 1),
+                                        std::max<std::int64_t>(ports, 1));
+        }
+        result.regfiles.push_back(std::move(plan));
+    }
+    return result;
+}
+
+} // namespace stellar::core

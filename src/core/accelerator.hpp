@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The five-axis accelerator specification and the generation driver.
+ *
+ * An AcceleratorSpec bundles the five independently-specified design
+ * concerns of Section III: functionality, dataflow, sparse data
+ * structures, load balancing, and private memory buffers. generate()
+ * runs the compiler pipeline of Fig 7: elaborate the IterationSpace,
+ * prune its connections, apply the space-time transform, and run the
+ * regfile optimization passes. The result feeds the RTL backend
+ * (src/rtl), the cost models (src/model), and the simulator (src/sim).
+ */
+
+#ifndef STELLAR_CORE_ACCELERATOR_HPP
+#define STELLAR_CORE_ACCELERATOR_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "balance/shift.hpp"
+#include "core/iteration_space.hpp"
+#include "core/prune.hpp"
+#include "core/regfile_opt.hpp"
+#include "core/spatial_array.hpp"
+#include "dataflow/transform.hpp"
+#include "func/diagnose.hpp"
+#include "func/spec.hpp"
+#include "mem/buffer_spec.hpp"
+#include "sparsity/skip.hpp"
+
+namespace stellar::core
+{
+
+/** The complete, five-axis specification of one accelerator. */
+struct AcceleratorSpec
+{
+    std::string name;
+    func::FunctionalSpec functional{"unnamed"};
+    dataflow::SpaceTimeTransform transform;
+    sparsity::SparsitySpec sparsity;
+    balance::BalanceSpec balancing;
+    std::vector<mem::MemBufferSpec> buffers;
+
+    /** Concrete iterator bounds the hardware is elaborated for. */
+    IntVec elaborationBounds;
+};
+
+/** The regfile generated for one external tensor. */
+struct RegfilePlan
+{
+    int externalTensor = -1;
+    std::string tensorName;
+    RegfileConfig config;
+};
+
+/** Everything the compiler produced for one accelerator. */
+struct GeneratedAccelerator
+{
+    AcceleratorSpec spec;
+    IterationSpace iterSpace;   //!< post-pruning (Fig 9b)
+    SpatialArray array;         //!< post-transform (Fig 9c)
+    std::vector<RegfilePlan> regfiles;
+    std::vector<PruneDecision> pruneLog;
+
+    /** Advisory findings from func::diagnose on the functional spec. */
+    std::vector<func::Diagnostic> diagnostics;
+
+    /** The regfile plan for a tensor by name; nullptr when absent. */
+    const RegfilePlan *regfileFor(const std::string &tensor) const;
+};
+
+/** Run the full generation pipeline of Fig 7. */
+GeneratedAccelerator generate(const AcceleratorSpec &spec);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_ACCELERATOR_HPP

@@ -1,0 +1,197 @@
+#include "core/interpreter.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+using func::ExprOp;
+using func::ExprPtr;
+
+double
+evalExprAt(const ExprPtr &node, const IntVec &point, const IntVec &bounds,
+           const TensorSet &tensors)
+{
+    invariant(node != nullptr, "evaluating a null expression");
+    auto operand = [&](std::size_t i) {
+        return evalExprAt(node->operands[i], point, bounds, tensors);
+    };
+    switch (node->op) {
+      case ExprOp::Constant:
+        return node->value;
+      case ExprOp::Access:
+      case ExprOp::Indirect: {
+        IntVec coords;
+        for (std::size_t i = 0; i < node->coords.size(); i++) {
+            if (node->op == ExprOp::Indirect && int(i) == node->indirectPos)
+                coords.push_back(std::int64_t(operand(0)));
+            else
+                coords.push_back(node->coords[i].evaluate(point, bounds));
+        }
+        auto it = tensors.find(node->tensor);
+        if (it == tensors.end())
+            return 0.0;
+        return tensorAt(it->second, coords);
+      }
+      case ExprOp::Add: return operand(0) + operand(1);
+      case ExprOp::Sub: return operand(0) - operand(1);
+      case ExprOp::Mul: return operand(0) * operand(1);
+      case ExprOp::Div: return operand(0) / operand(1);
+      case ExprOp::Min: return std::min(operand(0), operand(1));
+      case ExprOp::Max: return std::max(operand(0), operand(1));
+      case ExprOp::Eq: return operand(0) == operand(1) ? 1.0 : 0.0;
+      case ExprOp::Ne: return operand(0) != operand(1) ? 1.0 : 0.0;
+      case ExprOp::Lt: return operand(0) < operand(1) ? 1.0 : 0.0;
+      case ExprOp::Le: return operand(0) <= operand(1) ? 1.0 : 0.0;
+      case ExprOp::And: return (operand(0) != 0.0 && operand(1) != 0.0)
+                               ? 1.0 : 0.0;
+      case ExprOp::Or: return (operand(0) != 0.0 || operand(1) != 0.0)
+                              ? 1.0 : 0.0;
+      case ExprOp::Not: return operand(0) == 0.0 ? 1.0 : 0.0;
+      case ExprOp::Select: return operand(0) != 0.0 ? operand(1)
+                                                    : operand(2);
+    }
+    panic("unhandled expression op");
+}
+
+bool
+assignmentDefinesHalo(const func::Assignment &assign)
+{
+    for (const auto &coord : assign.lhs.coords)
+        if (coord.kind == func::IndexExpr::Kind::LowerHalo)
+            return true;
+    return false;
+}
+
+IntVec
+evalLhsCoordsAt(const func::Assignment &assign, const IntVec &point,
+                const IntVec &bounds)
+{
+    IntVec coords;
+    for (const auto &coord : assign.lhs.coords)
+        coords.push_back(coord.evaluate(point, bounds));
+    return coords;
+}
+
+namespace
+{
+
+void
+forEachPointLex(const IntVec &bounds,
+                const std::function<void(const IntVec &)> &fn)
+{
+    IntVec point(bounds.size(), 0);
+    while (true) {
+        fn(point);
+        int axis = int(bounds.size()) - 1;
+        while (axis >= 0) {
+            if (++point[std::size_t(axis)] < bounds[std::size_t(axis)])
+                break;
+            point[std::size_t(axis)] = 0;
+            axis--;
+        }
+        if (axis < 0)
+            return;
+    }
+}
+
+} // namespace
+
+TensorData
+denseToTensor(const std::vector<double> &values, std::int64_t rows,
+              std::int64_t cols)
+{
+    require(std::int64_t(values.size()) == rows * cols,
+            "denseToTensor size mismatch");
+    TensorData data;
+    for (std::int64_t r = 0; r < rows; r++)
+        for (std::int64_t c = 0; c < cols; c++)
+            data[{r, c}] = values[std::size_t(r * cols + c)];
+    return data;
+}
+
+double
+tensorAt(const TensorData &data, const IntVec &coords)
+{
+    auto it = data.find(coords);
+    return it == data.end() ? 0.0 : it->second;
+}
+
+TensorSet
+evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
+             const TensorSet &inputs)
+{
+    spec.validate();
+    require(int(bounds.size()) == spec.numIndices(),
+            "evaluateSpec bounds must cover every iterator");
+
+    // Lexicographic execution is only valid when every recurrence moves
+    // lexicographically forward.
+    for (const auto &rec : spec.recurrences()) {
+        bool forward = true;
+        for (auto d : rec.diff) {
+            if (d > 0)
+                break;
+            if (d < 0) {
+                forward = false;
+                break;
+            }
+        }
+        require(forward, "spec has a lexicographically backward recurrence; "
+                         "the reference interpreter cannot order it");
+    }
+
+    TensorSet tensors = inputs;
+
+    // Pass 1: halo definitions (external inputs entering the array).
+    forEachPointLex(bounds, [&](const IntVec &point) {
+        for (const auto &assign : spec.assignments()) {
+            if (!assignmentDefinesHalo(assign))
+                continue;
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            auto &data = tensors[assign.lhs.tensor];
+            if (data.count(coords))
+                continue;
+            data[coords] = evalExprAt(assign.rhs.node(), point, bounds,
+                                      tensors);
+        }
+    });
+
+    // Pass 2: interior intermediate computation, first definition wins.
+    forEachPointLex(bounds, [&](const IntVec &point) {
+        for (const auto &assign : spec.assignments()) {
+            if (assignmentDefinesHalo(assign))
+                continue;
+            if (spec.tensorKind(assign.lhs.tensor) !=
+                    func::TensorKind::Intermediate) {
+                continue;
+            }
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            double value = evalExprAt(assign.rhs.node(), point, bounds,
+                                      tensors);
+            tensors[assign.lhs.tensor].try_emplace(coords, value);
+        }
+    });
+
+    // Pass 3: outputs.
+    forEachPointLex(bounds, [&](const IntVec &point) {
+        for (const auto &assign : spec.assignments()) {
+            if (spec.tensorKind(assign.lhs.tensor) !=
+                    func::TensorKind::Output) {
+                continue;
+            }
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            auto &data = tensors[assign.lhs.tensor];
+            if (data.count(coords))
+                continue;
+            data[coords] = evalExprAt(assign.rhs.node(), point, bounds,
+                                      tensors);
+        }
+    });
+    return tensors;
+}
+
+} // namespace stellar::core

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A reference interpreter for functional specifications.
+ *
+ * The interpreter executes a FunctionalSpec directly over the tensor
+ * iteration space, with no notion of dataflow, sparsity, or hardware.
+ * It serves as the golden model against which generated accelerators
+ * (and their simulations) are validated: whatever the hardware computes
+ * must match what the interpreter computes.
+ *
+ * Semantics: every iterator ranges over [0, bound). LHS lowerBound
+ * markers define halo values at coordinate -1; RHS upperBound markers
+ * read coordinate bound-1. Points execute in lexicographic order, which
+ * is valid whenever all recurrence difference vectors are lexicographically
+ * nonnegative (checked). Within a point, the first assignment to define a
+ * coordinate wins, matching the paper's listing order convention.
+ */
+
+#ifndef STELLAR_CORE_INTERPRETER_HPP
+#define STELLAR_CORE_INTERPRETER_HPP
+
+#include <map>
+
+#include "func/spec.hpp"
+#include "util/int_matrix.hpp"
+
+namespace stellar::core
+{
+
+/** Sparse point-value storage for one tensor. */
+using TensorData = std::map<IntVec, double>;
+
+/** All tensor contents, keyed by tensor id. */
+using TensorSet = std::map<int, TensorData>;
+
+/**
+ * Evaluate a specification over the given bounds. `inputs` must provide
+ * data for every Input tensor (missing coordinates read as 0). Returns
+ * the contents of every tensor, including intermediates; callers usually
+ * read only the Output tensors.
+ */
+TensorSet evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
+                       const TensorSet &inputs);
+
+/** Convert a row-major dense matrix into TensorData. */
+TensorData denseToTensor(const std::vector<double> &values,
+                         std::int64_t rows, std::int64_t cols);
+
+/** Read one coordinate of a tensor (0.0 when absent). */
+double tensorAt(const TensorData &data, const IntVec &coords);
+
+/** Evaluate an expression at a concrete iteration point. Shared by the
+ *  interpreter and the schedule executor. */
+double evalExprAt(const func::ExprPtr &node, const IntVec &point,
+                  const IntVec &bounds, const TensorSet &tensors);
+
+/** True when an assignment's LHS carries a lower-halo marker. */
+bool assignmentDefinesHalo(const func::Assignment &assign);
+
+/** Evaluate an assignment's LHS coordinates at a point. */
+IntVec evalLhsCoordsAt(const func::Assignment &assign, const IntVec &point,
+                       const IntVec &bounds);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_INTERPRETER_HPP

@@ -1,0 +1,191 @@
+#include "core/iteration_space.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+IterationSpace::IterationSpace(const func::FunctionalSpec &spec,
+                               IntVec bounds)
+    : spec_(spec), bounds_(std::move(bounds))
+{
+    require(int(bounds_.size()) == spec.numIndices(),
+            "elaboration bounds must cover every iterator");
+    for (auto bound : bounds_)
+        require(bound > 0, "elaboration bounds must be positive");
+}
+
+std::int64_t
+IterationSpace::numPoints() const
+{
+    std::int64_t n = 1;
+    for (auto bound : bounds_)
+        n *= bound;
+    return n;
+}
+
+void
+IterationSpace::forEachPoint(
+        const std::function<void(const IntVec &)> &fn) const
+{
+    IntVec point(bounds_.size(), 0);
+    while (true) {
+        fn(point);
+        int axis = int(bounds_.size()) - 1;
+        while (axis >= 0) {
+            if (++point[std::size_t(axis)] < bounds_[std::size_t(axis)])
+                break;
+            point[std::size_t(axis)] = 0;
+            axis--;
+        }
+        if (axis < 0)
+            return;
+    }
+}
+
+bool
+IterationSpace::isInterior(const IntVec &point) const
+{
+    if (point.size() != bounds_.size())
+        return false;
+    for (std::size_t i = 0; i < point.size(); i++)
+        if (point[i] < 0 || point[i] >= bounds_[i])
+            return false;
+    return true;
+}
+
+std::vector<Point2PointConn>
+IterationSpace::aliveConns() const
+{
+    std::vector<Point2PointConn> out;
+    for (const auto &conn : conns_)
+        if (conn.alive())
+            out.push_back(conn);
+    return out;
+}
+
+const Point2PointConn *
+IterationSpace::aliveConnFor(int tensor) const
+{
+    for (const auto &conn : conns_)
+        if (conn.tensor == tensor && conn.alive())
+            return &conn;
+    return nullptr;
+}
+
+std::int64_t
+IterationSpace::connInstances(const Point2PointConn &conn) const
+{
+    // A conn instance exists at every p where both p and p - diff are
+    // interior; the count is the product of (bound - |diff|) per axis.
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < bounds_.size(); i++) {
+        std::int64_t d = conn.diff[i];
+        std::int64_t span = bounds_[i] - (d < 0 ? -d : d);
+        if (span <= 0)
+            return 0;
+        n *= span;
+    }
+    return n;
+}
+
+std::int64_t
+IterationSpace::totalConnInstances() const
+{
+    std::int64_t total = 0;
+    for (const auto &conn : conns_)
+        if (conn.alive())
+            total += connInstances(conn);
+    return total;
+}
+
+std::int64_t
+IterationSpace::ioInstances(const IOConn &io) const
+{
+    if (io.perPoint)
+        return numPoints();
+    // Boundary IO fires on the face where the boundary iterator is at its
+    // first (input) or last (output) value: the product of other bounds.
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < bounds_.size(); i++)
+        if (int(i) != io.boundaryIndex)
+            n *= bounds_[i];
+    return n;
+}
+
+std::string
+IterationSpace::toString() const
+{
+    std::ostringstream os;
+    os << "IterationSpace of " << spec_.name() << " bounds "
+       << vecToString(bounds_) << "\n";
+    for (const auto &conn : conns_) {
+        os << "  conn " << spec_.tensorNames()[std::size_t(conn.tensor)]
+           << " diff " << vecToString(conn.diff);
+        if (conn.bundled)
+            os << " [bundle=" << conn.bundleSize << "]";
+        switch (conn.pruned) {
+          case PruneReason::NotPruned:
+            break;
+          case PruneReason::Sparsity:
+            os << " [pruned: sparsity]";
+            break;
+          case PruneReason::LoadBalancing:
+            os << " [pruned: load-balancing]";
+            break;
+        }
+        os << "\n";
+    }
+    for (const auto &io : ioConns_) {
+        os << "  io " << spec_.tensorNames()[std::size_t(io.tensor)]
+           << (io.isInput ? " <- " : " -> ");
+        if (io.externalTensor >= 0)
+            os << spec_.tensorNames()[std::size_t(io.externalTensor)];
+        else
+            os << "<regfile>";
+        os << (io.perPoint ? " (per-point)" : " (boundary)") << "\n";
+    }
+    return os.str();
+}
+
+IterationSpace
+elaborate(const func::FunctionalSpec &spec, const IntVec &bounds)
+{
+    spec.validate();
+    IterationSpace space(spec, bounds);
+
+    // Conn classes: one per uniform recurrence with a nonzero direction.
+    for (const auto &rec : spec.recurrences()) {
+        if (vecIsZero(rec.diff))
+            continue;
+        Point2PointConn conn;
+        conn.tensor = rec.tensor;
+        conn.diff = rec.diff;
+        space.conns().push_back(std::move(conn));
+    }
+
+    // Boundary IOConns from the input/output bindings.
+    for (const auto &binding : spec.inputBindings()) {
+        IOConn io;
+        io.tensor = binding.intermediate;
+        io.externalTensor = binding.external;
+        io.isInput = true;
+        io.boundaryIndex = binding.boundaryIndex;
+        io.externalCoords = binding.externalCoords;
+        space.ioConns().push_back(std::move(io));
+    }
+    for (const auto &binding : spec.outputBindings()) {
+        IOConn io;
+        io.tensor = binding.intermediate;
+        io.externalTensor = binding.external;
+        io.isInput = false;
+        io.boundaryIndex = binding.boundaryIndex;
+        io.externalCoords = binding.externalCoords;
+        space.ioConns().push_back(std::move(io));
+    }
+    return space;
+}
+
+} // namespace stellar::core

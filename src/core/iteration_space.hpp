@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The compiler's central IR: the IterationSpace (Section IV-B, Fig 9).
+ *
+ * An IterationSpace is the set of Points of the tensor iteration space
+ * together with Point2PointConns (data dependencies between points) and
+ * IOConns (input/output requests to external register files). It starts
+ * as a purely functional object (Fig 9a), has its connections pruned by
+ * the sparsity and load-balancing specifications (Fig 9b), and is finally
+ * mapped through the space-time transform into a physical spatial array
+ * (Fig 9c, src/core/spatial_array.hpp).
+ *
+ * Connections are stored as per-variable *direction classes* rather than
+ * per-point instances: a class (tensor v, diff d) stands for the conn
+ * from every point p - d into p. Per-point enumeration is derived on
+ * demand, which keeps the IR small for large arrays.
+ */
+
+#ifndef STELLAR_CORE_ITERATION_SPACE_HPP
+#define STELLAR_CORE_ITERATION_SPACE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "func/spec.hpp"
+#include "util/int_matrix.hpp"
+
+namespace stellar::core
+{
+
+/** Why a Point2PointConn class was removed (for reports and tests). */
+enum class PruneReason
+{
+    NotPruned,
+    Sparsity,       //!< expanded-coordinate difference became symbolic
+    LoadBalancing,  //!< per-PE balancing may re-target the destination
+};
+
+/**
+ * A class of point-to-point connections: variable `tensor` flows from
+ * point p - diff into point p, for every interior p where p - diff is
+ * also interior.
+ */
+struct Point2PointConn
+{
+    int tensor = -1;
+    IntVec diff;
+    PruneReason pruned = PruneReason::NotPruned;
+
+    /** OptimisticSkip widens the conn into a bundle instead of pruning. */
+    bool bundled = false;
+    int bundleSize = 1;
+
+    bool alive() const { return pruned == PruneReason::NotPruned; }
+};
+
+/** A class of IO connections between points and external register files. */
+struct IOConn
+{
+    int tensor = -1;          //!< intermediate variable
+    int externalTensor = -1;  //!< bound Input/Output tensor (-1 if none)
+    bool isInput = true;
+
+    /**
+     * Boundary IO fires where the iterator `boundaryIndex` is at its
+     * first (inputs) or last (outputs) interior value. Per-point IO —
+     * created when a conn class is pruned — fires at *every* point.
+     */
+    bool perPoint = false;
+    int boundaryIndex = -1;
+
+    std::vector<func::IndexExpr> externalCoords;
+};
+
+/** The IR for one spatial array. */
+class IterationSpace
+{
+  public:
+    IterationSpace(const func::FunctionalSpec &spec, IntVec bounds);
+
+    const func::FunctionalSpec &spec() const { return spec_; }
+    const IntVec &bounds() const { return bounds_; }
+    int numIndices() const { return int(bounds_.size()); }
+
+    /** Total interior points (product of bounds). */
+    std::int64_t numPoints() const;
+
+    /** Call fn for every interior point, in lexicographic order. */
+    void forEachPoint(const std::function<void(const IntVec &)> &fn) const;
+
+    bool isInterior(const IntVec &point) const;
+
+    std::vector<Point2PointConn> &conns() { return conns_; }
+    const std::vector<Point2PointConn> &conns() const { return conns_; }
+
+    std::vector<IOConn> &ioConns() { return ioConns_; }
+    const std::vector<IOConn> &ioConns() const { return ioConns_; }
+
+    /** Surviving (unpruned) conn classes. */
+    std::vector<Point2PointConn> aliveConns() const;
+
+    /** The conn class for a variable, if it survived pruning. */
+    const Point2PointConn *aliveConnFor(int tensor) const;
+
+    /** Count per-point conn instances of one class (for area/wiring). */
+    std::int64_t connInstances(const Point2PointConn &conn) const;
+
+    /** Total per-point instances across alive conn classes. */
+    std::int64_t totalConnInstances() const;
+
+    /** Number of per-point IO requests a given IOConn class makes. */
+    std::int64_t ioInstances(const IOConn &io) const;
+
+    std::string toString() const;
+
+  private:
+    /** Owned copy, so an IterationSpace never outlives its spec. */
+    func::FunctionalSpec spec_;
+    IntVec bounds_;
+    std::vector<Point2PointConn> conns_;
+    std::vector<IOConn> ioConns_;
+};
+
+/**
+ * Build the initial, dense IterationSpace of a functional specification
+ * (Fig 9a): conn classes from the spec's uniform recurrences and boundary
+ * IOConns from its input/output bindings.
+ */
+IterationSpace elaborate(const func::FunctionalSpec &spec,
+                         const IntVec &bounds);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_ITERATION_SPACE_HPP

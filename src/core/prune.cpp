@@ -1,0 +1,148 @@
+#include "core/prune.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+namespace
+{
+
+/** Add a per-point IOConn for a variable whose conn class was pruned. */
+void
+addPerPointIo(IterationSpace &space, int tensor)
+{
+    const auto &spec = space.spec();
+    // Direction: a variable that is drained into an output tensor must be
+    // written out per point; everything else is read in per point.
+    bool is_input = true;
+    int external = -1;
+    std::vector<func::IndexExpr> coords;
+    for (const auto &binding : spec.outputBindings()) {
+        if (binding.intermediate == tensor) {
+            is_input = false;
+            external = binding.external;
+            coords = binding.externalCoords;
+        }
+    }
+    if (is_input) {
+        for (const auto &binding : spec.inputBindings()) {
+            if (binding.intermediate == tensor) {
+                external = binding.external;
+                coords = binding.externalCoords;
+            }
+        }
+    }
+    IOConn io;
+    io.tensor = tensor;
+    io.externalTensor = external;
+    io.isInput = is_input;
+    io.perPoint = true;
+    io.externalCoords = std::move(coords);
+    space.ioConns().push_back(std::move(io));
+    // Accumulating variables that now scatter partial results also need to
+    // *read* prior partial values per point.
+    if (!is_input && spec.recurrenceDiff(tensor).has_value()) {
+        IOConn rd = space.ioConns().back();
+        rd.isInput = true;
+        space.ioConns().push_back(std::move(rd));
+    }
+}
+
+} // namespace
+
+std::vector<PruneDecision>
+applySparsity(IterationSpace &space, const sparsity::SparsitySpec &sparsity)
+{
+    std::vector<PruneDecision> decisions;
+    if (sparsity.empty())
+        return decisions;
+    const auto &spec = space.spec();
+
+    for (auto &conn : space.conns()) {
+        if (!conn.alive())
+            continue;
+        auto identity = spec.identityIndices(conn.tensor);
+        // An identity index m of v becomes symbolic along d when m is
+        // skipped and either d moves along m itself or along one of the
+        // iterators parameterizing m's expansion function.
+        bool symbolic = false;
+        bool all_optimistic = true;
+        std::ostringstream why;
+        for (int m : identity) {
+            if (!sparsity.isSkipped(m))
+                continue;
+            bool moves = conn.diff[std::size_t(m)] != 0;
+            for (int dep : sparsity.expansionDeps(m))
+                if (conn.diff[std::size_t(dep)] != 0)
+                    moves = true;
+            if (moves) {
+                symbolic = true;
+                all_optimistic = all_optimistic && sparsity.isOptimistic(m);
+                why << "expanded " << spec.indexNames()[std::size_t(m)]
+                    << " is symbolic along "
+                    << vecToString(conn.diff) << "; ";
+            }
+        }
+        if (!symbolic)
+            continue;
+        PruneDecision decision;
+        decision.tensor = conn.tensor;
+        decision.diff = conn.diff;
+        decision.explanation = why.str();
+        if (all_optimistic) {
+            // OptimisticSkip: retain the conn but widen it into a bundle
+            // of potentially-useful values (Fig 5).
+            conn.bundled = true;
+            for (int m : identity)
+                if (sparsity.isOptimistic(m))
+                    conn.bundleSize = std::max(conn.bundleSize,
+                                               sparsity.bundleSizeOf(m));
+            decision.bundled = true;
+        } else {
+            conn.pruned = PruneReason::Sparsity;
+            decision.reason = PruneReason::Sparsity;
+            addPerPointIo(space, conn.tensor);
+        }
+        decisions.push_back(std::move(decision));
+    }
+    return decisions;
+}
+
+std::vector<PruneDecision>
+applyBalancing(IterationSpace &space, const balance::BalanceSpec &spec,
+               const dataflow::SpaceTimeTransform &transform)
+{
+    std::vector<PruneDecision> decisions;
+    if (spec.empty())
+        return decisions;
+    auto per_pe_axes = spec.perPeAxes(transform);
+    if (per_pe_axes.empty())
+        return decisions;
+
+    for (auto &conn : space.conns()) {
+        if (!conn.alive())
+            continue;
+        auto delta = transform.deltaOf(conn.diff);
+        bool crosses = false;
+        for (int axis : per_pe_axes)
+            if (delta.space[std::size_t(axis)] != 0)
+                crosses = true;
+        if (!crosses)
+            continue;
+        conn.pruned = PruneReason::LoadBalancing;
+        addPerPointIo(space, conn.tensor);
+        PruneDecision decision;
+        decision.tensor = conn.tensor;
+        decision.diff = conn.diff;
+        decision.reason = PruneReason::LoadBalancing;
+        decision.explanation =
+                "conn crosses a per-PE load-balanced spatial axis";
+        decisions.push_back(std::move(decision));
+    }
+    return decisions;
+}
+
+} // namespace stellar::core

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Connection pruning (Section IV-B).
+ *
+ * Sparsity: skipping an iterator s makes its expanded coordinate a
+ * symbolic function f of the compressed coordinate and the iterators in
+ * deps(s). A Point2PointConn carrying variable v along direction d is
+ * only valid when, for every *identity* index m of v (the iterators that
+ * determine which logical value v carries), the expanded coordinate
+ * difference along d is the constant the dense analysis assumed. When
+ * that difference becomes symbolic, the conn is removed and replaced by
+ * per-point IOConns to outer register files (Fig 4) — unless the skip is
+ * optimistic, in which case the conn is widened into a bundle (Fig 5).
+ *
+ * Load balancing: per-PE balancing re-targets individual PEs at runtime,
+ * so conns moving along a per-PE-balanced spatial axis can no longer be
+ * trusted and are likewise replaced by IOConns (Fig 10b).
+ */
+
+#ifndef STELLAR_CORE_PRUNE_HPP
+#define STELLAR_CORE_PRUNE_HPP
+
+#include <string>
+#include <vector>
+
+#include "balance/shift.hpp"
+#include "core/iteration_space.hpp"
+#include "dataflow/transform.hpp"
+#include "sparsity/skip.hpp"
+
+namespace stellar::core
+{
+
+/** One pruning decision, for reports and tests. */
+struct PruneDecision
+{
+    int tensor = -1;
+    IntVec diff;
+    PruneReason reason = PruneReason::NotPruned;
+    bool bundled = false;
+    std::string explanation;
+};
+
+/**
+ * Apply the sparsity specification to an IterationSpace: prune (or
+ * bundle) conn classes whose expanded-coordinate differences become
+ * symbolic, and add per-point IOConns for the pruned variables.
+ * Returns the decisions made.
+ */
+std::vector<PruneDecision> applySparsity(IterationSpace &space,
+                                         const sparsity::SparsitySpec &spec);
+
+/**
+ * Apply the load-balancing specification: prune conn classes that move
+ * along per-PE-balanced spatial axes of the given dataflow.
+ */
+std::vector<PruneDecision> applyBalancing(
+        IterationSpace &space, const balance::BalanceSpec &spec,
+        const dataflow::SpaceTimeTransform &transform);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_PRUNE_HPP

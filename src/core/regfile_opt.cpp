@@ -1,0 +1,144 @@
+#include "core/regfile_opt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+std::string
+regfileKindName(RegfileKind kind)
+{
+    switch (kind) {
+      case RegfileKind::FeedForward: return "feed-forward";
+      case RegfileKind::Transposing: return "transposing";
+      case RegfileKind::EdgeIO: return "edge-io";
+      case RegfileKind::FullyAssociative: return "fully-associative";
+    }
+    return "unknown";
+}
+
+RegfileConfig
+configForKind(RegfileKind kind, std::int64_t entries, std::int64_t in_ports,
+              std::int64_t out_ports)
+{
+    RegfileConfig config;
+    config.kind = kind;
+    config.entries = entries;
+    config.inPorts = in_ports;
+    config.outPorts = out_ports;
+    switch (kind) {
+      case RegfileKind::FeedForward:
+        // Pure shift registers: each output port observes exactly one
+        // entry; no searching at all (Fig 14c).
+        config.comparators = 0;
+        config.muxes = 0;
+        break;
+      case RegfileKind::Transposing:
+        // Shift registers with selectable entry/exit edges (Fig 14d):
+        // one 2-way mux per entry, still no comparators.
+        config.comparators = 0;
+        config.muxes = entries;
+        break;
+      case RegfileKind::EdgeIO: {
+        // Ports only at the edges: each port searches one edge's worth of
+        // entries (~sqrt for a square layout) instead of all of them.
+        auto edge = std::int64_t(std::ceil(std::sqrt(double(entries))));
+        config.comparators = edge * (in_ports + out_ports);
+        config.muxes = edge * out_ports;
+        break;
+      }
+      case RegfileKind::FullyAssociative:
+        // Every port searches every entry (Fig 14a).
+        config.comparators = entries * (in_ports + out_ports);
+        config.muxes = entries * out_ports;
+        break;
+    }
+    return config;
+}
+
+namespace
+{
+
+/** True when the consumer's per-step groups are monotone along an axis,
+ *  which lets IO be restricted to the regfile edge on that axis. */
+bool
+monotoneAlongSomeAxis(const mem::AccessOrder &consumer)
+{
+    if (consumer.steps() == 0)
+        return true;
+    std::size_t dims = 0;
+    for (std::size_t t = 0; t < consumer.steps(); t++)
+        if (!consumer.step(t).empty())
+            dims = consumer.step(t)[0].size();
+    for (std::size_t axis = 0; axis < dims; axis++) {
+        bool monotone = true;
+        std::int64_t last_min = std::numeric_limits<std::int64_t>::min();
+        for (std::size_t t = 0; t < consumer.steps() && monotone; t++) {
+            const auto &group = consumer.step(t);
+            if (group.empty())
+                continue;
+            std::int64_t group_min = group[0][axis];
+            std::int64_t group_max = group[0][axis];
+            for (const auto &coord : group) {
+                group_min = std::min(group_min, coord[axis]);
+                group_max = std::max(group_max, coord[axis]);
+            }
+            if (group_min < last_min)
+                monotone = false;
+            last_min = std::max(last_min, group_min);
+        }
+        if (monotone)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+RegfileConfig
+optimizeRegfile(const mem::AccessOrder &producer,
+                const mem::AccessOrder &consumer, std::int64_t entries)
+{
+    auto in_ports = std::int64_t(producer.maxPerStep());
+    auto out_ports = std::int64_t(consumer.maxPerStep());
+    in_ports = std::max<std::int64_t>(in_ports, 1);
+    out_ports = std::max<std::int64_t>(out_ports, 1);
+
+    // Pass 1: inputs always leave in exactly the order they entered.
+    if (producer == consumer) {
+        return configForKind(RegfileKind::FeedForward, entries, in_ports,
+                             out_ports);
+    }
+
+    // Pass 2: the orders match after a coordinate transposition.
+    std::size_t dims = 0;
+    for (std::size_t t = 0; t < producer.steps() && dims == 0; t++)
+        if (!producer.step(t).empty())
+            dims = producer.step(t)[0].size();
+    for (std::size_t a = 0; a < dims; a++) {
+        for (std::size_t b = a + 1; b < dims; b++) {
+            if (consumer.isTransposeOf(producer, int(a), int(b))) {
+                return configForKind(RegfileKind::Transposing, entries,
+                                     in_ports, out_ports);
+            }
+        }
+    }
+
+    // Pass 3: same elements, and consumption is monotone along an axis,
+    // so IO can be confined to the regfile edges.
+    if (producer.samePopulation(consumer) &&
+            monotoneAlongSomeAxis(consumer)) {
+        return configForKind(RegfileKind::EdgeIO, entries, in_ports,
+                             out_ports);
+    }
+
+    // Fallback: the baseline fully-associative design.
+    return configForKind(RegfileKind::FullyAssociative, entries, in_ports,
+                         out_ports);
+}
+
+} // namespace stellar::core

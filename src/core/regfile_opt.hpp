@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Register-file optimization passes (Section IV-D, Fig 14).
+ *
+ * The baseline regfile is fully associative: every port sees every entry
+ * and outputs search all coordinates. The optimizer compares the order in
+ * which a producer (memory buffer) fills the regfile with the order in
+ * which the consumer (spatial array) drains it, and selects progressively
+ * cheaper structures:
+ *
+ *   FeedForward      — producer and consumer orders match exactly: a pure
+ *                      shift-register chain, no comparators (Fig 14c).
+ *   Transposing      — orders match after swapping two coordinate axes:
+ *                      entry/exit edges are chosen to transpose (Fig 14d).
+ *   EdgeIO           — same population, different order, but IO can be
+ *                      restricted to regfile edges (Fig 14b).
+ *   FullyAssociative — the worst-case fallback (Fig 14a).
+ *
+ * Passes run in order of decreasing efficiency, exactly as described in
+ * the paper, falling back when a pass's precondition fails.
+ */
+
+#ifndef STELLAR_CORE_REGFILE_OPT_HPP
+#define STELLAR_CORE_REGFILE_OPT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mem/access_order.hpp"
+
+namespace stellar::core
+{
+
+/** The regfile structures of Fig 14, most efficient first. */
+enum class RegfileKind
+{
+    FeedForward,
+    Transposing,
+    EdgeIO,
+    FullyAssociative,
+};
+
+std::string regfileKindName(RegfileKind kind);
+
+/** The chosen regfile micro-architecture and its resource counts. */
+struct RegfileConfig
+{
+    RegfileKind kind = RegfileKind::FullyAssociative;
+    std::int64_t entries = 0;
+    std::int64_t inPorts = 0;
+    std::int64_t outPorts = 0;
+
+    /** Coordinate comparators (the dominant area cost; Section VI-D). */
+    std::int64_t comparators = 0;
+
+    /** Entry-to-port muxes. */
+    std::int64_t muxes = 0;
+};
+
+/**
+ * Run the optimization passes for the regfile buffering one tensor
+ * between a producer and a consumer. `entries` is the number of live
+ * elements the regfile must hold (typically the tile size).
+ */
+RegfileConfig optimizeRegfile(const mem::AccessOrder &producer,
+                              const mem::AccessOrder &consumer,
+                              std::int64_t entries);
+
+/** Resource counts for a given kind (used by the area model and tests). */
+RegfileConfig configForKind(RegfileKind kind, std::int64_t entries,
+                            std::int64_t in_ports, std::int64_t out_ports);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_REGFILE_OPT_HPP

@@ -1,0 +1,156 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+double
+ScheduleResult::utilization() const
+{
+    if (activePerCycle.empty() || numPes == 0)
+        return 0.0;
+    std::int64_t total = 0;
+    for (auto active : activePerCycle)
+        total += active;
+    return double(total) /
+           (double(activePerCycle.size()) * double(numPes));
+}
+
+std::int64_t
+ScheduleResult::peakActive() const
+{
+    std::int64_t peak = 0;
+    for (auto active : activePerCycle)
+        peak = std::max(peak, active);
+    return peak;
+}
+
+ScheduleResult
+executeSchedule(const GeneratedAccelerator &accel, const TensorSet &inputs)
+{
+    const auto &spec = accel.spec.functional;
+    const auto &bounds = accel.iterSpace.bounds();
+    const auto &transform = accel.spec.transform;
+
+    // Enumerate points with their timesteps and sort by (time, lex).
+    // Recurrence difference vectors are lexicographically positive (the
+    // interpreter validates this), so lexicographic order within a
+    // timestep respects combinational (zero-delay) chains.
+    for (const auto &rec : spec.recurrences()) {
+        bool forward = true;
+        for (auto d : rec.diff) {
+            if (d > 0)
+                break;
+            if (d < 0) {
+                forward = false;
+                break;
+            }
+        }
+        require(forward, "schedule execution requires lexicographically "
+                         "forward recurrences");
+    }
+
+    struct ScheduledPoint
+    {
+        std::int64_t time;
+        IntVec point;
+    };
+    std::vector<ScheduledPoint> schedule;
+    schedule.reserve(std::size_t(accel.iterSpace.numPoints()));
+    accel.iterSpace.forEachPoint([&](const IntVec &point) {
+        schedule.push_back(ScheduledPoint{transform.timeOf(point), point});
+    });
+    std::sort(schedule.begin(), schedule.end(),
+              [](const ScheduledPoint &a, const ScheduledPoint &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  return a.point < b.point;
+              });
+
+    ScheduleResult result;
+    result.numPes = accel.array.numPes();
+    result.tensors = inputs;
+    auto &tensors = result.tensors;
+
+    // Halo pass: external inputs enter their register files before the
+    // array starts.
+    accel.iterSpace.forEachPoint([&](const IntVec &point) {
+        for (const auto &assign : spec.assignments()) {
+            if (!assignmentDefinesHalo(assign))
+                continue;
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            auto &data = tensors[assign.lhs.tensor];
+            if (!data.count(coords))
+                data[coords] = evalExprAt(assign.rhs.node(), point, bounds,
+                                          tensors);
+        }
+    });
+
+    // Execute points in schedule order, with a causality check: every
+    // read of an intermediate value must already be defined.
+    std::int64_t min_time = schedule.empty() ? 0 : schedule.front().time;
+    std::int64_t max_time = schedule.empty() ? -1 : schedule.back().time;
+    result.cycles = max_time - min_time + 1;
+    result.activePerCycle.assign(std::size_t(result.cycles), 0);
+
+    for (const auto &scheduled : schedule) {
+        const IntVec &point = scheduled.point;
+        result.activePerCycle[std::size_t(scheduled.time - min_time)]++;
+        for (const auto &assign : spec.assignments()) {
+            if (assignmentDefinesHalo(assign))
+                continue;
+            if (spec.tensorKind(assign.lhs.tensor) !=
+                    func::TensorKind::Intermediate) {
+                continue;
+            }
+            // Causality: intermediate reads must already exist.
+            std::vector<func::ExprPtr> accesses;
+            func::collectAccesses(assign.rhs.node(), accesses);
+            for (const auto &access : accesses) {
+                if (spec.tensorKind(access->tensor) !=
+                        func::TensorKind::Intermediate) {
+                    continue;
+                }
+                if (access->op == func::ExprOp::Indirect)
+                    continue; // runtime coordinate; checked by value
+                IntVec coords;
+                for (const auto &expr : access->coords)
+                    coords.push_back(expr.evaluate(point, bounds));
+                auto it = tensors.find(access->tensor);
+                bool defined = it != tensors.end() &&
+                               it->second.count(coords) > 0;
+                require(defined,
+                        "schedule causality violation: " +
+                        spec.tensorNames()[std::size_t(access->tensor)] +
+                        vecToString(coords) + " read at t=" +
+                        std::to_string(scheduled.time) +
+                        " before being produced");
+            }
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            double value = evalExprAt(assign.rhs.node(), point, bounds,
+                                      tensors);
+            tensors[assign.lhs.tensor].try_emplace(coords, value);
+        }
+    }
+
+    // Output pass: drain results into the output tensors.
+    accel.iterSpace.forEachPoint([&](const IntVec &point) {
+        for (const auto &assign : spec.assignments()) {
+            if (spec.tensorKind(assign.lhs.tensor) !=
+                    func::TensorKind::Output) {
+                continue;
+            }
+            IntVec coords = evalLhsCoordsAt(assign, point, bounds);
+            auto &data = tensors[assign.lhs.tensor];
+            if (!data.count(coords))
+                data[coords] = evalExprAt(assign.rhs.node(), point, bounds,
+                                          tensors);
+        }
+    });
+    return result;
+}
+
+} // namespace stellar::core

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Schedule execution: run a generated accelerator's space-time schedule
+ * cycle by cycle and check it against the functional golden model.
+ *
+ * Every iteration point executes at the time the space-time transform
+ * assigns it (Fig 9c). Points are processed in increasing timestep
+ * order; combinational (zero-time-displacement) chains within a cycle
+ * are ordered along their spatial direction, exactly as signals ripple
+ * through an unpipelined broadcast wire. Executing in schedule order —
+ * rather than the interpreter's lexicographic order — validates that
+ * the dataflow is causal in practice and yields per-cycle PE activity,
+ * the utilization statistic the evaluation reports.
+ */
+
+#ifndef STELLAR_CORE_SCHEDULE_HPP
+#define STELLAR_CORE_SCHEDULE_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/interpreter.hpp"
+
+namespace stellar::core
+{
+
+/** Result of executing a schedule. */
+struct ScheduleResult
+{
+    TensorSet tensors;
+
+    std::int64_t cycles = 0;
+    std::int64_t numPes = 0;
+
+    /** Active PEs per timestep (schedule-relative). */
+    std::vector<std::int64_t> activePerCycle;
+
+    /** Mean fraction of PEs active per cycle. */
+    double utilization() const;
+
+    /** Peak PEs active in any single cycle. */
+    std::int64_t peakActive() const;
+};
+
+/**
+ * Execute the accelerator's schedule over the given inputs. Throws
+ * FatalError if the schedule ever reads a value that has not been
+ * produced yet (a causality violation the generator should have
+ * rejected).
+ */
+ScheduleResult executeSchedule(const GeneratedAccelerator &accel,
+                               const TensorSet &inputs);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_SCHEDULE_HPP

@@ -1,0 +1,90 @@
+#include "core/selftest.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/schedule.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::core
+{
+
+TensorSet
+randomInputsFor(const GeneratedAccelerator &accel, std::uint64_t seed)
+{
+    const auto &spec = accel.spec.functional;
+    const auto &bounds = accel.iterSpace.bounds();
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x53ULL);
+
+    // Collect every coordinate each Input tensor is read at, across all
+    // assignments and all interior points.
+    TensorSet inputs;
+    std::vector<func::ExprPtr> accesses;
+    for (const auto &assign : spec.assignments())
+        func::collectAccesses(assign.rhs.node(), accesses);
+    for (const auto &access : accesses) {
+        if (spec.tensorKind(access->tensor) != func::TensorKind::Input)
+            continue;
+        require(access->op != func::ExprOp::Indirect,
+                "self-test cannot synthesize inputs for data-dependent "
+                "accesses; provide inputs manually");
+    }
+    accel.iterSpace.forEachPoint([&](const IntVec &point) {
+        for (const auto &access : accesses) {
+            if (spec.tensorKind(access->tensor) !=
+                    func::TensorKind::Input) {
+                continue;
+            }
+            IntVec coords;
+            for (const auto &expr : access->coords)
+                coords.push_back(expr.evaluate(point, bounds));
+            auto &data = inputs[access->tensor];
+            if (!data.count(coords))
+                data[coords] = double(rng.nextRange(-4, 4));
+        }
+    });
+    return inputs;
+}
+
+SelfTestResult
+selfTest(const GeneratedAccelerator &accel, std::uint64_t seed)
+{
+    const auto &spec = accel.spec.functional;
+    SelfTestResult result;
+    auto inputs = randomInputsFor(accel, seed);
+
+    auto golden = evaluateSpec(spec, accel.iterSpace.bounds(), inputs);
+    auto schedule = executeSchedule(accel, inputs);
+    result.utilization = schedule.utilization();
+
+    for (int t = 0; t < spec.numTensors(); t++) {
+        if (spec.tensorKind(t) != func::TensorKind::Output)
+            continue;
+        auto golden_it = golden.find(t);
+        auto sched_it = schedule.tensors.find(t);
+        const TensorData empty;
+        const TensorData &expect =
+                golden_it == golden.end() ? empty : golden_it->second;
+        const TensorData &actual =
+                sched_it == schedule.tensors.end() ? empty
+                                                   : sched_it->second;
+        for (const auto &[coords, value] : expect) {
+            result.outputsChecked++;
+            double got = tensorAt(actual, coords);
+            if (std::abs(got - value) > 1e-9) {
+                std::ostringstream os;
+                os << spec.tensorNames()[std::size_t(t)]
+                   << vecToString(coords) << " = " << got << ", expected "
+                   << value;
+                result.failure = os.str();
+                result.passed = false;
+                return result;
+            }
+        }
+    }
+    result.passed = true;
+    return result;
+}
+
+} // namespace stellar::core

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Generated-design self-test.
+ *
+ * For any generated accelerator, build random inputs covering exactly
+ * the input-tensor coordinates the design reads, execute the space-time
+ * schedule, and compare every output tensor against the functional
+ * golden model. This is the check a user runs after composing their own
+ * five-axis specification: if the dataflow, sparsity, or balancing
+ * choices had broken the functionality, the outputs would differ.
+ */
+
+#ifndef STELLAR_CORE_SELFTEST_HPP
+#define STELLAR_CORE_SELFTEST_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/accelerator.hpp"
+#include "core/interpreter.hpp"
+
+namespace stellar::core
+{
+
+/** Outcome of one self-test run. */
+struct SelfTestResult
+{
+    bool passed = false;
+    std::int64_t outputsChecked = 0;
+    std::string failure; //!< empty when passed
+
+    /** PE utilization observed while executing the schedule. */
+    double utilization = 0.0;
+};
+
+/**
+ * Run the self-test with deterministic random inputs. Specs that use
+ * data-dependent (Indirect) accesses need hand-built inputs and are
+ * rejected with a FatalError.
+ */
+SelfTestResult selfTest(const GeneratedAccelerator &accel,
+                        std::uint64_t seed);
+
+/**
+ * Random inputs covering every coordinate the design's assignments
+ * read from each Input tensor (exposed for tests and custom drivers).
+ */
+TensorSet randomInputsFor(const GeneratedAccelerator &accel,
+                          std::uint64_t seed);
+
+} // namespace stellar::core
+
+#endif // STELLAR_CORE_SELFTEST_HPP

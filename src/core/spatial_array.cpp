@@ -1,0 +1,222 @@
+#include "core/spatial_array.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+
+IntVec
+SpatialArray::extents() const
+{
+    if (pes_.empty())
+        return {};
+    std::size_t dims = pes_[0].position.size();
+    IntVec lo(dims, std::numeric_limits<std::int64_t>::max());
+    IntVec hi(dims, std::numeric_limits<std::int64_t>::min());
+    for (const auto &pe : pes_) {
+        for (std::size_t d = 0; d < dims; d++) {
+            lo[d] = std::min(lo[d], pe.position[d]);
+            hi[d] = std::max(hi[d], pe.position[d]);
+        }
+    }
+    IntVec extent(dims);
+    for (std::size_t d = 0; d < dims; d++)
+        extent[d] = hi[d] - lo[d] + 1;
+    return extent;
+}
+
+std::int64_t
+SpatialArray::totalWires() const
+{
+    std::int64_t total = 0;
+    for (const auto &wire : wires_)
+        total += wire.instances;
+    return total;
+}
+
+std::int64_t
+SpatialArray::totalWireLength() const
+{
+    std::int64_t total = 0;
+    for (const auto &wire : wires_)
+        total += wire.instances * wire.wireLength;
+    return total;
+}
+
+std::int64_t
+SpatialArray::totalPorts() const
+{
+    std::int64_t total = 0;
+    for (const auto &port : ports_)
+        total += port.portCount;
+    return total;
+}
+
+std::int64_t
+SpatialArray::maxFolding() const
+{
+    std::int64_t max = 0;
+    for (const auto &pe : pes_)
+        max = std::max(max, pe.foldedPoints);
+    return max;
+}
+
+std::string
+SpatialArray::toString(const func::FunctionalSpec &spec) const
+{
+    std::ostringstream os;
+    os << "SpatialArray (" << transform_.name() << "): " << numPes()
+       << " PEs, extents " << vecToString(extents()) << ", schedule "
+       << scheduleLength_ << " steps\n";
+    for (const auto &wire : wires_) {
+        os << "  wire " << spec.tensorNames()[std::size_t(wire.tensor)]
+           << " delta " << vecToString(wire.spaceDelta) << " regs "
+           << wire.registers << " x" << wire.instances;
+        if (wire.bundleSize > 1)
+            os << " bundle=" << wire.bundleSize;
+        os << "\n";
+    }
+    for (const auto &port : ports_) {
+        os << "  port " << spec.tensorNames()[std::size_t(port.tensor)]
+           << (port.isInput ? " in" : " out") << " x" << port.portCount
+           << (port.perPoint ? " (per-point)" : " (boundary)")
+           << " peak/cycle " << port.maxPerCycle << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Enumerate the points at which an IOConn class fires. */
+void
+forEachIoPoint(const IterationSpace &space, const IOConn &io,
+               const std::function<void(const IntVec &)> &fn)
+{
+    const auto &bounds = space.bounds();
+    space.forEachPoint([&](const IntVec &p) {
+        if (io.perPoint || io.boundaryIndex < 0) {
+            fn(p);
+            return;
+        }
+        auto b = std::size_t(io.boundaryIndex);
+        std::int64_t edge = io.isInput ? 0 : bounds[b] - 1;
+        if (p[b] == edge)
+            fn(p);
+    });
+}
+
+} // namespace
+
+SpatialArray
+applyTransform(const IterationSpace &space,
+               const dataflow::SpaceTimeTransform &transform)
+{
+    require(transform.dims() == space.numIndices(),
+            "transform dimensionality must match the iteration space");
+    SpatialArray array;
+    array.transform_ = transform;
+
+    // Fold points onto PEs.
+    std::map<IntVec, std::size_t> pe_index;
+    std::int64_t min_time = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_time = std::numeric_limits<std::int64_t>::min();
+    space.forEachPoint([&](const IntVec &p) {
+        IntVec st = transform.apply(p);
+        std::int64_t t = st.back();
+        st.pop_back();
+        auto [it, inserted] = pe_index.try_emplace(st, array.pes_.size());
+        if (inserted) {
+            ProcessingElement pe;
+            pe.position = st;
+            pe.firstTime = t;
+            pe.lastTime = t;
+            array.pes_.push_back(std::move(pe));
+        }
+        auto &pe = array.pes_[it->second];
+        pe.foldedPoints++;
+        pe.firstTime = std::min(pe.firstTime, t);
+        pe.lastTime = std::max(pe.lastTime, t);
+        min_time = std::min(min_time, t);
+        max_time = std::max(max_time, t);
+    });
+    array.scheduleLength_ = max_time - min_time + 1;
+
+    // Surviving conn classes become wires.
+    for (const auto &conn : space.aliveConns()) {
+        auto delta = transform.deltaOf(conn.diff);
+        if (vecIsZero(delta.space))
+            continue; // stationary: internal PE register, not a wire
+        PeWire wire;
+        wire.tensor = conn.tensor;
+        wire.spaceDelta = delta.space;
+        wire.registers = delta.time;
+        wire.bundleSize = conn.bundled ? conn.bundleSize : 1;
+        wire.wireLength = vecL1(delta.space);
+        // Physical instances: distinct (source PE -> dest PE) pairs.
+        std::set<IntVec> sources;
+        space.forEachPoint([&](const IntVec &p) {
+            IntVec src = vecSub(p, conn.diff);
+            if (space.isInterior(src))
+                sources.insert(transform.spaceOf(src));
+        });
+        wire.instances = std::int64_t(sources.size());
+        array.wires_.push_back(std::move(wire));
+    }
+
+    // IOConn classes become regfile ports.
+    for (const auto &io : space.ioConns()) {
+        PePortClass port;
+        port.tensor = io.tensor;
+        port.externalTensor = io.externalTensor;
+        port.isInput = io.isInput;
+        port.perPoint = io.perPoint;
+        std::set<IntVec> port_pes;
+        std::map<std::int64_t, std::int64_t> per_cycle;
+        forEachIoPoint(space, io, [&](const IntVec &p) {
+            port_pes.insert(transform.spaceOf(p));
+            per_cycle[transform.timeOf(p)]++;
+        });
+        port.portCount = std::int64_t(port_pes.size());
+        for (const auto &[t, n] : per_cycle)
+            port.maxPerCycle = std::max(port.maxPerCycle, n);
+        array.ports_.push_back(std::move(port));
+    }
+    return array;
+}
+
+mem::AccessOrder
+arrayAccessOrder(const IterationSpace &space,
+                 const dataflow::SpaceTimeTransform &t, int external_tensor)
+{
+    std::map<std::int64_t, std::vector<IntVec>> by_time;
+    const auto &bounds = space.bounds();
+    for (const auto &io : space.ioConns()) {
+        if (io.externalTensor != external_tensor)
+            continue;
+        forEachIoPoint(space, io, [&](const IntVec &p) {
+            IntVec coords;
+            for (const auto &expr : io.externalCoords)
+                coords.push_back(expr.evaluate(p, bounds));
+            by_time[t.timeOf(p)].push_back(std::move(coords));
+        });
+    }
+    mem::AccessOrder order;
+    if (by_time.empty())
+        return order;
+    std::int64_t lo = by_time.begin()->first;
+    std::int64_t hi = by_time.rbegin()->first;
+    for (std::int64_t step = lo; step <= hi; step++) {
+        auto it = by_time.find(step);
+        order.addStep(it == by_time.end() ? std::vector<IntVec>{}
+                                          : it->second);
+    }
+    return order;
+}
+
+} // namespace stellar::core

@@ -1,0 +1,103 @@
+#include "dataflow/enumerate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace stellar::dataflow
+{
+
+std::vector<SpaceTimeTransform>
+enumerateTransforms(const func::FunctionalSpec &spec,
+                    const EnumerateOptions &options)
+{
+    int n = spec.numIndices();
+    require(n >= 1 && n <= 4,
+            "transform enumeration supports 1 to 4 iterators");
+    std::int64_t range = options.maxCoeff - options.minCoeff + 1;
+    require(range >= 2, "coefficient range must span at least two values");
+
+    auto recurrences = spec.recurrences();
+
+    std::vector<SpaceTimeTransform> found;
+    std::set<std::vector<std::int64_t>> signatures;
+
+    std::int64_t cells = std::int64_t(n) * n;
+    std::int64_t total = 1;
+    for (std::int64_t c = 0; c < cells; c++) {
+        total *= range;
+        if (total > 100000000) {
+            fatal("transform enumeration space too large; narrow the "
+                  "coefficient range");
+        }
+    }
+
+    for (std::int64_t code = 0; code < total; code++) {
+        IntMatrix m(n, n);
+        std::int64_t rest = code;
+        for (int r = 0; r < n; r++) {
+            for (int c = 0; c < n; c++) {
+                m.at(r, c) = options.minCoeff + rest % range;
+                rest /= range;
+            }
+        }
+        if (!m.isInvertible())
+            continue;
+
+        // Causality + wiring constraints over the recurrences.
+        bool ok = true;
+        std::vector<IntVec> displacements;
+        for (const auto &rec : recurrences) {
+            IntVec st = m * rec.diff;
+            std::int64_t dt = st.back();
+            if (dt < 0 || (dt == 0 && !options.allowBroadcast)) {
+                ok = false;
+                break;
+            }
+            std::int64_t hops = 0;
+            for (std::size_t axis = 0; axis + 1 < st.size(); axis++)
+                hops += st[axis] < 0 ? -st[axis] : st[axis];
+            if (hops > options.maxHopLength) {
+                ok = false;
+                break;
+            }
+            displacements.push_back(std::move(st));
+        }
+        if (!ok)
+            continue;
+
+        // Canonical signature modulo spatial-axis permutation and
+        // reflection: per-axis columns of |displacement|, sorted, plus
+        // the time displacements.
+        std::vector<std::int64_t> signature;
+        if (!displacements.empty()) {
+            std::size_t dims = displacements[0].size();
+            std::vector<IntVec> columns;
+            for (std::size_t axis = 0; axis + 1 < dims; axis++) {
+                IntVec column;
+                for (const auto &st : displacements) {
+                    std::int64_t v = st[axis];
+                    column.push_back(v < 0 ? -v : v);
+                }
+                columns.push_back(std::move(column));
+            }
+            std::sort(columns.begin(), columns.end());
+            for (const auto &column : columns)
+                signature.insert(signature.end(), column.begin(),
+                                 column.end());
+            for (const auto &st : displacements)
+                signature.push_back(st.back());
+        }
+        if (!signatures.insert(signature).second)
+            continue; // same displacement structure as a previous find
+
+        found.emplace_back(std::move(m),
+                           "enumerated-" + std::to_string(found.size()));
+        if (found.size() >= options.limit)
+            break;
+    }
+    return found;
+}
+
+} // namespace stellar::dataflow

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Automated dataflow enumeration — the design-space-exploration side of
+ * "an automated design framework".
+ *
+ * Because a dataflow is just an invertible integer matrix (Section
+ * III-B), the space of dataflows for a given functional spec can be
+ * enumerated mechanically: all matrices with entries in a small range,
+ * filtered to invertible and causal ones, deduplicated by the
+ * space-time displacements they induce on the spec's recurrences (two
+ * transforms that move every operand identically generate the same
+ * array up to relabeling).
+ */
+
+#ifndef STELLAR_DATAFLOW_ENUMERATE_HPP
+#define STELLAR_DATAFLOW_ENUMERATE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dataflow/transform.hpp"
+#include "func/spec.hpp"
+
+namespace stellar::dataflow
+{
+
+/** Constraints on the enumeration. */
+struct EnumerateOptions
+{
+    std::int64_t minCoeff = -1;
+    std::int64_t maxCoeff = 1;
+
+    /** Reject dataflows where any operand moves more than this many PEs
+     *  per hop (long wires; congestion). */
+    std::int64_t maxHopLength = 2;
+
+    /** Reject dataflows with combinational chains when false. */
+    bool allowBroadcast = true;
+
+    /** Cap on results (the space grows as (range)^(n^2)). */
+    std::size_t limit = 4096;
+};
+
+/**
+ * Enumerate causal, invertible space-time transforms for a functional
+ * spec, deduplicated by their recurrence displacement signatures.
+ */
+std::vector<SpaceTimeTransform> enumerateTransforms(
+        const func::FunctionalSpec &spec, const EnumerateOptions &options);
+
+} // namespace stellar::dataflow
+
+#endif // STELLAR_DATAFLOW_ENUMERATE_HPP

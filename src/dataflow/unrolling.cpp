@@ -1,0 +1,91 @@
+#include "dataflow/unrolling.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace stellar::dataflow
+{
+
+SpaceTimeTransform
+fromUnrolling(const UnrollingChoice &choice, int num_indices)
+{
+    require(int(choice.spatialIterators.size()) == num_indices - 1,
+            "an unrolling choice must spatially unroll all but one "
+            "iterator (lower-dimensional arrays use bound-1 axes)");
+    require(choice.temporalIterators.size() == 1,
+            "exactly one temporal iterator is supported");
+
+    std::set<int> seen;
+    IntMatrix m(num_indices, num_indices);
+    for (std::size_t axis = 0; axis < choice.spatialIterators.size();
+            axis++) {
+        int iterator = choice.spatialIterators[axis];
+        require(iterator >= 0 && iterator < num_indices,
+                "unknown iterator in unrolling choice");
+        require(seen.insert(iterator).second,
+                "iterator unrolled twice");
+        m.at(int(axis), iterator) = 1;
+    }
+    int temporal = choice.temporalIterators[0];
+    require(temporal >= 0 && temporal < num_indices,
+            "unknown temporal iterator");
+    require(seen.insert(temporal).second,
+            "temporal iterator is also spatial");
+    m.at(num_indices - 1, temporal) = 1;
+    return SpaceTimeTransform(std::move(m), "unrolled");
+}
+
+bool
+isExpressibleAsUnrolling(const SpaceTimeTransform &transform)
+{
+    // Every spatial axis must select exactly one iterator (up to sign),
+    // and no iterator may appear on two axes.
+    std::set<int> used;
+    const auto &m = transform.matrix();
+    for (int axis = 0; axis + 1 < m.rows(); axis++) {
+        int selected = -1;
+        for (int col = 0; col < m.cols(); col++) {
+            std::int64_t v = m.at(axis, col);
+            if (v == 0)
+                continue;
+            if (v != 1 && v != -1)
+                return false; // scaled axes are not unrolling choices
+            if (selected != -1)
+                return false; // axis mixes two iterators
+            selected = col;
+        }
+        if (selected == -1)
+            return false; // degenerate axis
+        if (!used.insert(selected).second)
+            return false;
+    }
+    return true;
+}
+
+std::vector<UnrollingChoice>
+allUnrollingChoices(int num_indices, int max_spatial)
+{
+    require(num_indices >= 2, "need at least two iterators");
+    std::vector<UnrollingChoice> choices;
+    // Pick the single temporal iterator, then order the rest spatially.
+    for (int temporal = 0; temporal < num_indices; temporal++) {
+        std::vector<int> spatial;
+        for (int it = 0; it < num_indices; it++)
+            if (it != temporal)
+                spatial.push_back(it);
+        if (int(spatial.size()) > max_spatial)
+            continue;
+        std::sort(spatial.begin(), spatial.end());
+        do {
+            UnrollingChoice choice;
+            choice.spatialIterators = spatial;
+            choice.temporalIterators = {temporal};
+            choices.push_back(choice);
+        } while (std::next_permutation(spatial.begin(), spatial.end()));
+    }
+    return choices;
+}
+
+} // namespace stellar::dataflow

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unrolling-style dataflow classification (Section III-B's superset
+ * claim).
+ *
+ * Prior dense frameworks describe dataflows by choosing which tensor
+ * iterators are *spatially unrolled* and which are *temporally unrolled*
+ * (Interstellar-style). Every such choice corresponds to a permutation-
+ * structured space-time transform, so Stellar's transform language
+ * covers all of them; the converse fails — e.g. the hexagonal dataflow
+ * of Fig 2c maps all three iterators onto a 2-D plane, which no
+ * unrolling assignment can express. Both directions are implemented
+ * here and checked in tests.
+ */
+
+#ifndef STELLAR_DATAFLOW_UNROLLING_HPP
+#define STELLAR_DATAFLOW_UNROLLING_HPP
+
+#include <vector>
+
+#include "dataflow/transform.hpp"
+
+namespace stellar::dataflow
+{
+
+/** An Interstellar-style dataflow: which iterators unroll spatially (in
+ *  order of spatial axes) and which run temporally. */
+struct UnrollingChoice
+{
+    std::vector<int> spatialIterators;
+    std::vector<int> temporalIterators;
+};
+
+/**
+ * Build the space-time transform equivalent to an unrolling choice:
+ * spatial iterator s_a becomes spatial axis a; the time row runs the
+ * temporal iterators sequentially, skewed by the spatial ones so data
+ * still arrives in causal order.
+ */
+SpaceTimeTransform fromUnrolling(const UnrollingChoice &choice,
+                                 int num_indices);
+
+/**
+ * True when the transform is expressible as an unrolling choice: each
+ * spatial axis must be (up to sign) a single-iterator selector. The
+ * hexagonal dataflow returns false — the superset is strict.
+ */
+bool isExpressibleAsUnrolling(const SpaceTimeTransform &transform);
+
+/** Every unrolling choice of the given iteration space (each iterator
+ *  assigned spatial or temporal, at least one temporal). */
+std::vector<UnrollingChoice> allUnrollingChoices(int num_indices,
+                                                 int max_spatial);
+
+} // namespace stellar::dataflow
+
+#endif // STELLAR_DATAFLOW_UNROLLING_HPP

@@ -1,0 +1,121 @@
+#include "func/diagnose.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace stellar::func
+{
+
+std::vector<Diagnostic>
+diagnose(const FunctionalSpec &spec)
+{
+    std::vector<Diagnostic> findings;
+    auto warn = [&](const std::string &message) {
+        findings.push_back({Diagnostic::Severity::Warning, message});
+    };
+    auto note = [&](const std::string &message) {
+        findings.push_back({Diagnostic::Severity::Note, message});
+    };
+
+    // Usage scans.
+    std::set<int> tensors_read, tensors_written, indices_used;
+    for (const auto &assign : spec.assignments()) {
+        tensors_written.insert(assign.lhs.tensor);
+        for (const auto &coord : assign.lhs.coords) {
+            for (const auto &[id, coeff] : coord.coeffs)
+                if (coeff != 0)
+                    indices_used.insert(id);
+            if (coord.boundIndex >= 0)
+                indices_used.insert(coord.boundIndex);
+        }
+        std::vector<ExprPtr> accesses;
+        collectAccesses(assign.rhs.node(), accesses);
+        for (const auto &access : accesses) {
+            tensors_read.insert(access->tensor);
+            for (const auto &coord : access->coords) {
+                for (const auto &[id, coeff] : coord.coeffs)
+                    if (coeff != 0)
+                        indices_used.insert(id);
+                if (coord.boundIndex >= 0)
+                    indices_used.insert(coord.boundIndex);
+            }
+        }
+    }
+
+    for (int t = 0; t < spec.numTensors(); t++) {
+        const auto &name = spec.tensorNames()[std::size_t(t)];
+        switch (spec.tensorKind(t)) {
+          case TensorKind::Input:
+            if (!tensors_read.count(t))
+                warn("input tensor " + name + " is never read");
+            break;
+          case TensorKind::Output:
+            // validate() already requires at least one output write; an
+            // individual silent output is still worth flagging.
+            if (!tensors_written.count(t))
+                warn("output tensor " + name + " is never written");
+            break;
+          case TensorKind::Intermediate:
+            if (!tensors_written.count(t))
+                warn("intermediate " + name + " is never defined");
+            else if (!tensors_read.count(t))
+                warn("intermediate " + name +
+                     " never reaches an output (dead computation)");
+            break;
+        }
+    }
+
+    for (int idx = 0; idx < spec.numIndices(); idx++) {
+        if (!indices_used.count(idx)) {
+            warn("iterator " + spec.indexNames()[std::size_t(idx)] +
+                 " is never used");
+        }
+    }
+
+    // Recurrence health.
+    std::set<int> tensors_with_recurrence;
+    for (const auto &rec : spec.recurrences()) {
+        tensors_with_recurrence.insert(rec.tensor);
+        bool forward = true;
+        for (auto d : rec.diff) {
+            if (d > 0)
+                break;
+            if (d < 0) {
+                forward = false;
+                break;
+            }
+        }
+        if (!forward) {
+            warn("recurrence of " +
+                 spec.tensorNames()[std::size_t(rec.tensor)] +
+                 " moves lexicographically backward; the reference "
+                 "interpreter and schedule executor cannot order it");
+        }
+    }
+    for (int t = 0; t < spec.numTensors(); t++) {
+        if (spec.tensorKind(t) != TensorKind::Intermediate)
+            continue;
+        if (tensors_written.count(t) && tensors_read.count(t) &&
+                !tensors_with_recurrence.count(t)) {
+            note("intermediate " + spec.tensorNames()[std::size_t(t)] +
+                 " has no uniform recurrence: it will not form PE-to-PE "
+                 "connections and falls back to per-point IO");
+        }
+    }
+    return findings;
+}
+
+std::string
+diagnosticsToString(const std::vector<Diagnostic> &findings)
+{
+    std::ostringstream os;
+    for (const auto &finding : findings) {
+        os << (finding.severity == Diagnostic::Severity::Warning
+                       ? "warning: "
+                       : "note: ")
+           << finding.message << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stellar::func

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Specification diagnostics.
+ *
+ * validate() rejects ill-formed specs; diagnose() goes further and
+ * surfaces the *suspicious but legal* patterns that usually indicate a
+ * mis-specified accelerator: declared-but-unused tensors or iterators,
+ * intermediates that never reach an output, non-uniform recurrences
+ * (which fall back to worst-case regfile hardware), and recurrences the
+ * reference interpreter cannot order.
+ */
+
+#ifndef STELLAR_FUNC_DIAGNOSE_HPP
+#define STELLAR_FUNC_DIAGNOSE_HPP
+
+#include <string>
+#include <vector>
+
+#include "func/spec.hpp"
+
+namespace stellar::func
+{
+
+/** One advisory finding. */
+struct Diagnostic
+{
+    enum class Severity { Warning, Note };
+
+    Severity severity = Severity::Warning;
+    std::string message;
+};
+
+/** Analyze a spec; empty result means nothing suspicious. */
+std::vector<Diagnostic> diagnose(const FunctionalSpec &spec);
+
+/** Render findings one per line. */
+std::string diagnosticsToString(const std::vector<Diagnostic> &findings);
+
+} // namespace stellar::func
+
+#endif // STELLAR_FUNC_DIAGNOSE_HPP

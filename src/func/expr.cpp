@@ -1,0 +1,238 @@
+#include "func/expr.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::func
+{
+
+bool
+IndexExpr::isPlainIndex() const
+{
+    return kind == Kind::Affine && constant == 0 && coeffs.size() == 1 &&
+           coeffs.begin()->second == 1;
+}
+
+int
+IndexExpr::plainIndex() const
+{
+    return isPlainIndex() ? coeffs.begin()->first : -1;
+}
+
+std::int64_t
+IndexExpr::evaluate(const std::vector<std::int64_t> &index_values,
+                    const std::vector<std::int64_t> &bounds) const
+{
+    switch (kind) {
+      case Kind::LowerHalo:
+        return -1;
+      case Kind::UpperEdge:
+        invariant(boundIndex >= 0 && boundIndex < int(bounds.size()),
+                  "UpperEdge marker references unknown index");
+        return bounds[std::size_t(boundIndex)] - 1;
+      case Kind::Affine:
+        break;
+    }
+    std::int64_t v = constant;
+    for (const auto &[id, coeff] : coeffs) {
+        invariant(id >= 0 && id < int(index_values.size()),
+                  "IndexExpr references unknown index");
+        v += coeff * index_values[std::size_t(id)];
+    }
+    return v;
+}
+
+std::string
+IndexExpr::toString(const std::vector<std::string> &index_names) const
+{
+    auto name = [&](int id) {
+        if (id >= 0 && id < int(index_names.size()))
+            return index_names[std::size_t(id)];
+        return std::string("idx") + std::to_string(id);
+    };
+    if (kind == Kind::LowerHalo)
+        return name(boundIndex) + ".lowerBound";
+    if (kind == Kind::UpperEdge)
+        return name(boundIndex) + ".upperBound";
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[id, coeff] : coeffs) {
+        if (coeff == 0)
+            continue;
+        if (!first)
+            os << (coeff > 0 ? " + " : " - ");
+        else if (coeff < 0)
+            os << "-";
+        std::int64_t mag = coeff < 0 ? -coeff : coeff;
+        if (mag != 1)
+            os << mag << "*";
+        os << name(id);
+        first = false;
+    }
+    if (constant != 0 || first) {
+        if (!first)
+            os << (constant >= 0 ? " + " : " - ");
+        os << (constant < 0 && !first ? -constant : constant);
+    }
+    return os.str();
+}
+
+IndexExpr
+makeIndexExpr(int index_id)
+{
+    IndexExpr e;
+    e.coeffs[index_id] = 1;
+    return e;
+}
+
+IndexExpr
+makeConstExpr(std::int64_t value)
+{
+    IndexExpr e;
+    e.constant = value;
+    return e;
+}
+
+Expr::Expr(double constant)
+{
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Constant;
+    node->value = constant;
+    node_ = std::move(node);
+}
+
+Expr::Expr(int constant) : Expr(double(constant)) {}
+
+Expr
+makeBinary(ExprOp op, const Expr &a, const Expr &b)
+{
+    invariant(a.valid() && b.valid(), "binary expr on invalid operand");
+    auto node = std::make_shared<ExprNode>();
+    node->op = op;
+    node->operands = {a.node(), b.node()};
+    return Expr(std::move(node));
+}
+
+Expr Expr::operator+(const Expr &o) const { return makeBinary(ExprOp::Add, *this, o); }
+Expr Expr::operator-(const Expr &o) const { return makeBinary(ExprOp::Sub, *this, o); }
+Expr Expr::operator*(const Expr &o) const { return makeBinary(ExprOp::Mul, *this, o); }
+Expr Expr::operator/(const Expr &o) const { return makeBinary(ExprOp::Div, *this, o); }
+Expr Expr::operator==(const Expr &o) const { return makeBinary(ExprOp::Eq, *this, o); }
+Expr Expr::operator!=(const Expr &o) const { return makeBinary(ExprOp::Ne, *this, o); }
+Expr Expr::operator<(const Expr &o) const { return makeBinary(ExprOp::Lt, *this, o); }
+Expr Expr::operator<=(const Expr &o) const { return makeBinary(ExprOp::Le, *this, o); }
+Expr Expr::operator&&(const Expr &o) const { return makeBinary(ExprOp::And, *this, o); }
+Expr Expr::operator||(const Expr &o) const { return makeBinary(ExprOp::Or, *this, o); }
+
+Expr
+Expr::operator!() const
+{
+    invariant(valid(), "not-expr on invalid operand");
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Not;
+    node->operands = {node_};
+    return Expr(std::move(node));
+}
+
+Expr
+exprMin(const Expr &a, const Expr &b)
+{
+    return makeBinary(ExprOp::Min, a, b);
+}
+
+Expr
+exprMax(const Expr &a, const Expr &b)
+{
+    return makeBinary(ExprOp::Max, a, b);
+}
+
+Expr
+exprSelect(const Expr &cond, const Expr &then_val, const Expr &else_val)
+{
+    invariant(cond.valid() && then_val.valid() && else_val.valid(),
+              "select expr on invalid operand");
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Select;
+    node->operands = {cond.node(), then_val.node(), else_val.node()};
+    return Expr(std::move(node));
+}
+
+void
+collectAccesses(const ExprPtr &node, std::vector<ExprPtr> &out)
+{
+    if (!node)
+        return;
+    if (node->op == ExprOp::Access || node->op == ExprOp::Indirect)
+        out.push_back(node);
+    for (const auto &child : node->operands)
+        collectAccesses(child, out);
+}
+
+std::string
+exprToString(const ExprPtr &node,
+             const std::vector<std::string> &tensor_names,
+             const std::vector<std::string> &index_names)
+{
+    if (!node)
+        return "<null>";
+    auto tensor_name = [&](int id) {
+        if (id >= 0 && id < int(tensor_names.size()))
+            return tensor_names[std::size_t(id)];
+        return std::string("t") + std::to_string(id);
+    };
+    auto bin = [&](const char *sym) {
+        return "(" + exprToString(node->operands[0], tensor_names, index_names)
+             + " " + sym + " "
+             + exprToString(node->operands[1], tensor_names, index_names)
+             + ")";
+    };
+    switch (node->op) {
+      case ExprOp::Constant: {
+        std::ostringstream os;
+        os << node->value;
+        return os.str();
+      }
+      case ExprOp::Access:
+      case ExprOp::Indirect: {
+        std::string s = tensor_name(node->tensor) + "(";
+        for (std::size_t i = 0; i < node->coords.size(); i++) {
+            if (i > 0)
+                s += ", ";
+            if (node->op == ExprOp::Indirect &&
+                    int(i) == node->indirectPos) {
+                s += "[" + exprToString(node->operands[0], tensor_names,
+                                        index_names) + "]";
+            } else {
+                s += node->coords[i].toString(index_names);
+            }
+        }
+        return s + ")";
+      }
+      case ExprOp::Add: return bin("+");
+      case ExprOp::Sub: return bin("-");
+      case ExprOp::Mul: return bin("*");
+      case ExprOp::Div: return bin("/");
+      case ExprOp::Min: return "min" + bin(",");
+      case ExprOp::Max: return "max" + bin(",");
+      case ExprOp::Eq: return bin("==");
+      case ExprOp::Ne: return bin("!=");
+      case ExprOp::Lt: return bin("<");
+      case ExprOp::Le: return bin("<=");
+      case ExprOp::And: return bin("&&");
+      case ExprOp::Or: return bin("||");
+      case ExprOp::Not:
+        return "!" + exprToString(node->operands[0], tensor_names,
+                                  index_names);
+      case ExprOp::Select:
+        return "select(" +
+            exprToString(node->operands[0], tensor_names, index_names) +
+            ", " +
+            exprToString(node->operands[1], tensor_names, index_names) +
+            ", " +
+            exprToString(node->operands[2], tensor_names, index_names) + ")";
+    }
+    return "<unknown>";
+}
+
+} // namespace stellar::func

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Expression trees for Stellar's functional specification language
+ * (Section III-A of the paper).
+ *
+ * A FunctionalSpec (see func/spec.hpp) is a set of assignments in a pure,
+ * mutation-free "tensor iteration space". The right-hand sides of those
+ * assignments are the Expr trees defined here: constants, tensor accesses,
+ * arithmetic, comparisons, selects, and data-dependent (indirect) accesses
+ * used by merging/sorting accelerators.
+ */
+
+#ifndef STELLAR_FUNC_EXPR_HPP
+#define STELLAR_FUNC_EXPR_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stellar::func
+{
+
+/**
+ * A coordinate expression inside a tensor access.
+ *
+ * Coordinates are normally affine in the tensor iterators (e.g. "j - 1").
+ * Two special marker kinds implement the paper's boundary notation:
+ *
+ *  - LowerHalo ("x.lowerBound" on an LHS) denotes the halo position just
+ *    *before* the iteration domain (coordinate -1), where external inputs
+ *    enter the array.
+ *  - UpperEdge ("x.upperBound" on an RHS) denotes the *last interior*
+ *    position (coordinate bound-1), where outputs leave the array.
+ *
+ * With the iteration domain fixed to [0, bound) per index, this convention
+ * makes Listing 1 of the paper compute an M*N*K matmul with exactly M*N*K
+ * multiply-accumulates.
+ */
+struct IndexExpr
+{
+    enum class Kind { Affine, LowerHalo, UpperEdge };
+
+    Kind kind = Kind::Affine;
+
+    /** Index the marker applies to (halo kinds only). */
+    int boundIndex = -1;
+
+    /** Affine form: sum of coeffs[indexId] * index + constant. */
+    std::map<int, std::int64_t> coeffs;
+    std::int64_t constant = 0;
+
+    bool isAffine() const { return kind == Kind::Affine; }
+
+    /** True when this is exactly one iterator with coefficient 1. */
+    bool isPlainIndex() const;
+
+    /** The iterator id for a plain index; -1 otherwise. */
+    int plainIndex() const;
+
+    /** Evaluate given concrete iterator values and per-index bounds. */
+    std::int64_t evaluate(const std::vector<std::int64_t> &index_values,
+                          const std::vector<std::int64_t> &bounds) const;
+
+    std::string toString(const std::vector<std::string> &index_names) const;
+
+    bool operator==(const IndexExpr &other) const = default;
+};
+
+/** Make an affine IndexExpr that is just one iterator. */
+IndexExpr makeIndexExpr(int index_id);
+
+/** Make a constant IndexExpr. */
+IndexExpr makeConstExpr(std::int64_t value);
+
+class ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/** Operation kinds for expression-tree nodes. */
+enum class ExprOp
+{
+    Constant,   //!< literal value
+    Access,     //!< tensor access with affine coordinates
+    Indirect,   //!< tensor access with a data-dependent coordinate
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    And,
+    Or,
+    Not,
+    Select,     //!< operands: {cond, then, else}
+};
+
+/** A single node of an expression tree. Nodes are immutable once built. */
+class ExprNode
+{
+  public:
+    ExprOp op = ExprOp::Constant;
+
+    /** Literal value (Constant nodes). */
+    double value = 0.0;
+
+    /** Tensor id (Access/Indirect nodes). */
+    int tensor = -1;
+
+    /** Coordinates (Access nodes; Indirect nodes use these where affine). */
+    std::vector<IndexExpr> coords;
+
+    /**
+     * For Indirect nodes: which coordinate position is data-dependent; the
+     * dependent coordinate value is operands[0].
+     */
+    int indirectPos = -1;
+
+    std::vector<ExprPtr> operands;
+};
+
+/**
+ * A lightweight value wrapper over ExprPtr so users can write natural
+ * arithmetic: a(i, j - 1, k) * b(i - 1, j, k) + c(i, j, k - 1).
+ */
+class Expr
+{
+  public:
+    Expr() = default;
+    Expr(double constant);
+    Expr(int constant);
+    explicit Expr(ExprPtr node) : node_(std::move(node)) {}
+
+    const ExprPtr &node() const { return node_; }
+    bool valid() const { return node_ != nullptr; }
+
+    Expr operator+(const Expr &other) const;
+    Expr operator-(const Expr &other) const;
+    Expr operator*(const Expr &other) const;
+    Expr operator/(const Expr &other) const;
+    Expr operator==(const Expr &other) const;
+    Expr operator!=(const Expr &other) const;
+    Expr operator<(const Expr &other) const;
+    Expr operator<=(const Expr &other) const;
+    Expr operator&&(const Expr &other) const;
+    Expr operator||(const Expr &other) const;
+    Expr operator!() const;
+
+  private:
+    ExprPtr node_;
+};
+
+Expr exprMin(const Expr &a, const Expr &b);
+Expr exprMax(const Expr &a, const Expr &b);
+Expr exprSelect(const Expr &cond, const Expr &then_val, const Expr &else_val);
+
+/** Build a binary node. */
+Expr makeBinary(ExprOp op, const Expr &a, const Expr &b);
+
+/** Collect all Access/Indirect nodes reachable from an expression. */
+void collectAccesses(const ExprPtr &node, std::vector<ExprPtr> &out);
+
+/** Render to a debug string. */
+std::string exprToString(const ExprPtr &node,
+                         const std::vector<std::string> &tensor_names,
+                         const std::vector<std::string> &index_names);
+
+} // namespace stellar::func
+
+#endif // STELLAR_FUNC_EXPR_HPP

@@ -1,0 +1,138 @@
+#include "func/library.hpp"
+
+namespace stellar::func
+{
+
+FunctionalSpec
+matmulSpec()
+{
+    FunctionalSpec spec("matmul");
+    Index i = spec.index("i");
+    Index j = spec.index("j");
+    Index k = spec.index("k");
+
+    TensorHandle A = spec.input("A", 2);
+    TensorHandle B = spec.input("B", 2);
+    TensorHandle C = spec.output("C", 2);
+
+    TensorHandle a = spec.intermediate("a");
+    TensorHandle b = spec.intermediate("b");
+    TensorHandle c = spec.intermediate("c");
+
+    // Inputs.
+    spec.define(a(i, j.lowerBound(), k), A(i, k));
+    spec.define(b(i.lowerBound(), j, k), B(k, j));
+    spec.define(c(i, j, k.lowerBound()), Expr(0));
+    // Intermediate calculations.
+    spec.define(a(i, j, k), a(i, j - 1, k));
+    spec.define(b(i, j, k), b(i - 1, j, k));
+    spec.define(c(i, j, k),
+                Expr(c(i, j, k - 1)) +
+                Expr(a(i, j - 1, k)) * Expr(b(i - 1, j, k)));
+    // Outputs.
+    spec.define(C(i, j), c(i, j, k.upperBound()));
+    return spec;
+}
+
+FunctionalSpec
+mergeSpec()
+{
+    // Two sorted input fibers (coordinate and value streams) are merged
+    // into a single sorted output. Iterator n walks output positions;
+    // intermediate cursors la/lb track how far each input has been
+    // consumed. The min/select structure is the data-dependent part that
+    // Section III-A calls out as necessary for sparse pre/post-processing.
+    FunctionalSpec spec("merge");
+    Index n = spec.index("n");
+
+    TensorHandle ACoord = spec.input("ACoord", 1);
+    TensorHandle AVal = spec.input("AVal", 1);
+    TensorHandle BCoord = spec.input("BCoord", 1);
+    TensorHandle BVal = spec.input("BVal", 1);
+    TensorHandle OutCoord = spec.output("OutCoord", 1);
+    TensorHandle OutVal = spec.output("OutVal", 1);
+
+    TensorHandle la = spec.intermediate("la");
+    TensorHandle lb = spec.intermediate("lb");
+    TensorHandle oc = spec.intermediate("oc");
+    TensorHandle ov = spec.intermediate("ov");
+
+    // Cursors start at zero and advance by how many heads were consumed.
+    spec.define(la(n.lowerBound()), Expr(0));
+    spec.define(lb(n.lowerBound()), Expr(0));
+
+    // Heads of each stream, looked up with data-dependent coordinates.
+    Expr head_a_coord = ACoord.indirect({makeIndexExpr(n.id())}, 0,
+                                        Expr(la(n - 1)));
+    Expr head_b_coord = BCoord.indirect({makeIndexExpr(n.id())}, 0,
+                                        Expr(lb(n - 1)));
+    Expr head_a_val = AVal.indirect({makeIndexExpr(n.id())}, 0,
+                                    Expr(la(n - 1)));
+    Expr head_b_val = BVal.indirect({makeIndexExpr(n.id())}, 0,
+                                    Expr(lb(n - 1)));
+
+    Expr take_a = head_a_coord <= head_b_coord;
+    Expr take_b = head_b_coord <= head_a_coord;
+
+    spec.define(oc(n), exprMin(head_a_coord, head_b_coord));
+    spec.define(ov(n),
+                exprSelect(take_a && take_b, head_a_val + head_b_val,
+                           exprSelect(take_a, head_a_val, head_b_val)));
+    spec.define(la(n), Expr(la(n - 1)) + exprSelect(take_a, Expr(1), Expr(0)));
+    spec.define(lb(n), Expr(lb(n - 1)) + exprSelect(take_b, Expr(1), Expr(0)));
+
+    spec.define(OutCoord(n), oc(n));
+    spec.define(OutVal(n), ov(n));
+    return spec;
+}
+
+FunctionalSpec
+convSpec(std::int64_t kernel_h, std::int64_t kernel_w)
+{
+    FunctionalSpec spec("conv" + std::to_string(kernel_h) + "x" +
+                        std::to_string(kernel_w));
+    Index oh = spec.index("oh");
+    Index ow = spec.index("ow");
+    Index oc = spec.index("oc");
+    Index ic = spec.index("ic");
+
+    TensorHandle I = spec.input("I", 3);
+    TensorHandle W = spec.input("W", 4);
+    TensorHandle O = spec.output("O", 3);
+    TensorHandle o = spec.intermediate("o");
+
+    spec.define(o(oh, ow, oc, ic.lowerBound()), Expr(0));
+
+    // Accumulate over input channels; the kernel window is unrolled into
+    // the right-hand side so the recurrence stays uniform along ic.
+    Expr window;
+    for (std::int64_t kh = 0; kh < kernel_h; kh++) {
+        for (std::int64_t kw = 0; kw < kernel_w; kw++) {
+            Expr tap = Expr(W(oc, ic, kh, kw)) *
+                       Expr(I(oh + kh, ow + kw, ic));
+            window = window.valid() ? window + tap : tap;
+        }
+    }
+    spec.define(o(oh, ow, oc, ic), Expr(o(oh, ow, oc, ic - 1)) + window);
+    spec.define(O(oh, ow, oc), o(oh, ow, oc, ic.upperBound()));
+    return spec;
+}
+
+FunctionalSpec
+matAddSpec()
+{
+    FunctionalSpec spec("matadd");
+    Index i = spec.index("i");
+    Index j = spec.index("j");
+
+    TensorHandle A = spec.input("A", 2);
+    TensorHandle B = spec.input("B", 2);
+    TensorHandle C = spec.output("C", 2);
+    TensorHandle c = spec.intermediate("c");
+
+    spec.define(c(i, j), Expr(A(i, j)) + Expr(B(i, j)));
+    spec.define(C(i, j), c(i, j));
+    return spec;
+}
+
+} // namespace stellar::func

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Canonical functional specifications used throughout the paper.
+ */
+
+#ifndef STELLAR_FUNC_LIBRARY_HPP
+#define STELLAR_FUNC_LIBRARY_HPP
+
+#include "func/spec.hpp"
+
+namespace stellar::func
+{
+
+/**
+ * Listing 1: the matrix-multiplication specification
+ *
+ *   a(i, j.lowerBound, k) := A(i, k)
+ *   b(i.lowerBound, j, k) := B(k, j)
+ *   c(i, j, k.lowerBound) := 0
+ *   a(i, j, k) := a(i, j-1, k)
+ *   b(i, j, k) := b(i-1, j, k)
+ *   c(i, j, k) := c(i, j, k-1) + a(i, j-1, k) * b(i-1, j, k)
+ *   C(i, j)   := c(i, j, k.upperBound)
+ */
+FunctionalSpec matmulSpec();
+
+/**
+ * A two-way sorted-fiber merge used by the sparse-merger accelerators of
+ * Section VI-D: two sorted coordinate/value streams are combined into one
+ * sorted stream, summing values with equal coordinates. Expressed with
+ * min/select data-dependent operations over stream heads.
+ */
+FunctionalSpec mergeSpec();
+
+/** Element-wise matrix addition (simple two-operand reference spec). */
+FunctionalSpec matAddSpec();
+
+/**
+ * A 2-D convolution over iterators (oh, ow, oc, ic) with the kernel
+ * window unrolled into the reduction expression:
+ *
+ *   o(oh, ow, oc, ic) := o(oh, ow, oc, ic-1)
+ *                      + sum_{kh, kw} W(oc, ic, kh, kw) * I(oh+kh, ow+kw, ic)
+ *   O(oh, ow, oc)     := o(oh, ow, oc, ic.upperBound)
+ *
+ * This exercises iteration spaces beyond three indices (the SCNN- and
+ * Gemmini-class convolution workloads of Section VI-A) while keeping
+ * the reduction a single uniform recurrence along ic.
+ */
+FunctionalSpec convSpec(std::int64_t kernel_h, std::int64_t kernel_w);
+
+} // namespace stellar::func
+
+#endif // STELLAR_FUNC_LIBRARY_HPP

@@ -1,0 +1,155 @@
+#include "func/simplify.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace stellar::func
+{
+
+namespace
+{
+
+bool
+isConst(const ExprPtr &node, double value)
+{
+    return node && node->op == ExprOp::Constant && node->value == value;
+}
+
+bool
+isAnyConst(const ExprPtr &node)
+{
+    return node && node->op == ExprOp::Constant;
+}
+
+ExprPtr
+makeConst(double value)
+{
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Constant;
+    node->value = value;
+    return node;
+}
+
+} // namespace
+
+ExprPtr
+simplify(const ExprPtr &node)
+{
+    if (!node)
+        return node;
+    // Simplify children first.
+    auto copy = std::make_shared<ExprNode>(*node);
+    bool changed = false;
+    for (auto &child : copy->operands) {
+        ExprPtr simplified = simplify(child);
+        if (simplified != child) {
+            child = simplified;
+            changed = true;
+        }
+    }
+    const ExprPtr current = changed ? ExprPtr(copy) : node;
+    const auto &ops = current->operands;
+
+    auto lhs = ops.size() > 0 ? ops[0] : nullptr;
+    auto rhs = ops.size() > 1 ? ops[1] : nullptr;
+
+    switch (current->op) {
+      case ExprOp::Add:
+        if (isConst(lhs, 0.0))
+            return rhs;
+        if (isConst(rhs, 0.0))
+            return lhs;
+        if (isAnyConst(lhs) && isAnyConst(rhs))
+            return makeConst(lhs->value + rhs->value);
+        break;
+      case ExprOp::Sub:
+        if (isConst(rhs, 0.0))
+            return lhs;
+        if (isAnyConst(lhs) && isAnyConst(rhs))
+            return makeConst(lhs->value - rhs->value);
+        break;
+      case ExprOp::Mul:
+        if (isConst(lhs, 1.0))
+            return rhs;
+        if (isConst(rhs, 1.0))
+            return lhs;
+        if (isConst(lhs, 0.0) || isConst(rhs, 0.0))
+            return makeConst(0.0);
+        if (isAnyConst(lhs) && isAnyConst(rhs))
+            return makeConst(lhs->value * rhs->value);
+        break;
+      case ExprOp::Div:
+        if (isConst(rhs, 1.0))
+            return lhs;
+        break;
+      case ExprOp::And:
+        if (isConst(lhs, 0.0) || isConst(rhs, 0.0))
+            return makeConst(0.0);
+        if (isAnyConst(lhs) && lhs->value != 0.0)
+            return rhs;
+        if (isAnyConst(rhs) && rhs->value != 0.0)
+            return lhs;
+        break;
+      case ExprOp::Or:
+        if (isConst(lhs, 0.0))
+            return rhs;
+        if (isConst(rhs, 0.0))
+            return lhs;
+        break;
+      case ExprOp::Not:
+        if (isAnyConst(lhs))
+            return makeConst(lhs->value == 0.0 ? 1.0 : 0.0);
+        break;
+      case ExprOp::Select:
+        if (isAnyConst(lhs))
+            return lhs->value != 0.0 ? ops[1] : ops[2];
+        break;
+      case ExprOp::Min:
+      case ExprOp::Max:
+        if (isAnyConst(lhs) && isAnyConst(rhs)) {
+            double lo = std::min(lhs->value, rhs->value);
+            double hi = std::max(lhs->value, rhs->value);
+            return makeConst(current->op == ExprOp::Min ? lo : hi);
+        }
+        break;
+      case ExprOp::Eq:
+      case ExprOp::Ne:
+      case ExprOp::Lt:
+      case ExprOp::Le:
+        if (isAnyConst(lhs) && isAnyConst(rhs)) {
+            bool truth = false;
+            switch (current->op) {
+              case ExprOp::Eq: truth = lhs->value == rhs->value; break;
+              case ExprOp::Ne: truth = lhs->value != rhs->value; break;
+              case ExprOp::Lt: truth = lhs->value < rhs->value; break;
+              case ExprOp::Le: truth = lhs->value <= rhs->value; break;
+              default: break;
+            }
+            return makeConst(truth ? 1.0 : 0.0);
+        }
+        break;
+      default:
+        break;
+    }
+    return current;
+}
+
+Expr
+simplify(const Expr &expr)
+{
+    return Expr(simplify(expr.node()));
+}
+
+int
+exprOpCount(const ExprPtr &node)
+{
+    if (!node)
+        return 0;
+    int count = 1;
+    for (const auto &child : node->operands)
+        count += exprOpCount(child);
+    return count;
+}
+
+} // namespace stellar::func

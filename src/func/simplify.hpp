@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Algebraic simplification of expression trees.
+ *
+ * The compiler runs these peephole rules before lowering user-defined
+ * logic to hardware (Fig 11's "User-Defined Logic" block): constant
+ * folding, additive/multiplicative identities, and select-on-constant
+ * collapsing. Rules preserve exact semantics for the integer-valued
+ * constants specs use.
+ */
+
+#ifndef STELLAR_FUNC_SIMPLIFY_HPP
+#define STELLAR_FUNC_SIMPLIFY_HPP
+
+#include "func/expr.hpp"
+
+namespace stellar::func
+{
+
+/** Recursively simplify an expression tree. Returns a new tree (shares
+ *  unchanged subtrees with the input). */
+ExprPtr simplify(const ExprPtr &node);
+
+/** Convenience wrapper for the Expr value type. */
+Expr simplify(const Expr &expr);
+
+/** Count the operation nodes of a tree (for cost metrics and tests). */
+int exprOpCount(const ExprPtr &node);
+
+} // namespace stellar::func
+
+#endif // STELLAR_FUNC_SIMPLIFY_HPP

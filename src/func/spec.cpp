@@ -1,0 +1,327 @@
+#include "func/spec.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::func
+{
+
+IndexExpr
+Index::lowerBound() const
+{
+    IndexExpr e;
+    e.kind = IndexExpr::Kind::LowerHalo;
+    e.boundIndex = id_;
+    return e;
+}
+
+IndexExpr
+Index::upperBound() const
+{
+    IndexExpr e;
+    e.kind = IndexExpr::Kind::UpperEdge;
+    e.boundIndex = id_;
+    return e;
+}
+
+IndexExpr
+operator+(const Index &idx, std::int64_t c)
+{
+    IndexExpr e = makeIndexExpr(idx.id());
+    e.constant = c;
+    return e;
+}
+
+IndexExpr
+operator-(const Index &idx, std::int64_t c)
+{
+    return idx + (-c);
+}
+
+IndexExpr
+operator*(std::int64_t c, const Index &idx)
+{
+    IndexExpr e;
+    e.coeffs[idx.id()] = c;
+    return e;
+}
+
+Expr
+Access::toExpr() const
+{
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Access;
+    node->tensor = tensor;
+    node->coords = coords;
+    return Expr(std::move(node));
+}
+
+Expr
+TensorHandle::indirect(const std::vector<IndexExpr> &coords, int pos,
+                       const Expr &dynamic_coord) const
+{
+    require(pos >= 0 && pos < int(coords.size()),
+            "indirect coordinate position out of range");
+    auto node = std::make_shared<ExprNode>();
+    node->op = ExprOp::Indirect;
+    node->tensor = id_;
+    node->coords = coords;
+    node->indirectPos = pos;
+    node->operands = {dynamic_coord.node()};
+    return Expr(std::move(node));
+}
+
+Index
+FunctionalSpec::index(const std::string &name)
+{
+    int id = int(indexNames_.size());
+    indexNames_.push_back(name);
+    return Index(id, this);
+}
+
+TensorHandle
+FunctionalSpec::input(const std::string &name, int rank)
+{
+    int id = int(tensorNames_.size());
+    tensorNames_.push_back(name);
+    tensorKinds_.push_back(TensorKind::Input);
+    tensorRanks_.push_back(rank);
+    return TensorHandle(id, this);
+}
+
+TensorHandle
+FunctionalSpec::output(const std::string &name, int rank)
+{
+    int id = int(tensorNames_.size());
+    tensorNames_.push_back(name);
+    tensorKinds_.push_back(TensorKind::Output);
+    tensorRanks_.push_back(rank);
+    return TensorHandle(id, this);
+}
+
+TensorHandle
+FunctionalSpec::intermediate(const std::string &name)
+{
+    int id = int(tensorNames_.size());
+    tensorNames_.push_back(name);
+    tensorKinds_.push_back(TensorKind::Intermediate);
+    tensorRanks_.push_back(-1); // rank == numIndices, resolved lazily
+    return TensorHandle(id, this);
+}
+
+void
+FunctionalSpec::define(const Access &lhs, const Expr &rhs)
+{
+    require(lhs.tensor >= 0 && lhs.tensor < numTensors(),
+            "assignment LHS references unknown tensor");
+    require(rhs.valid(), "assignment RHS is empty");
+    assignments_.push_back(Assignment{lhs, rhs});
+}
+
+TensorKind
+FunctionalSpec::tensorKind(int id) const
+{
+    require(id >= 0 && id < numTensors(), "unknown tensor id");
+    return tensorKinds_[std::size_t(id)];
+}
+
+int
+FunctionalSpec::tensorRank(int id) const
+{
+    require(id >= 0 && id < numTensors(), "unknown tensor id");
+    int rank = tensorRanks_[std::size_t(id)];
+    return rank < 0 ? numIndices() : rank;
+}
+
+int
+FunctionalSpec::tensorIdByName(const std::string &name) const
+{
+    for (int id = 0; id < numTensors(); id++)
+        if (tensorNames_[std::size_t(id)] == name)
+            return id;
+    fatal("no tensor named " + name + " in spec " + name_);
+}
+
+void
+FunctionalSpec::validate() const
+{
+    require(numIndices() > 0, "spec has no iterators");
+    require(!assignments_.empty(), "spec has no assignments");
+    bool has_output = false;
+    for (const auto &assign : assignments_) {
+        int rank = tensorRank(assign.lhs.tensor);
+        require(int(assign.lhs.coords.size()) == rank,
+                "LHS access rank mismatch for tensor " +
+                tensorNames_[std::size_t(assign.lhs.tensor)]);
+        if (tensorKind(assign.lhs.tensor) == TensorKind::Output)
+            has_output = true;
+        std::vector<ExprPtr> accesses;
+        collectAccesses(assign.rhs.node(), accesses);
+        for (const auto &acc : accesses) {
+            require(acc->tensor >= 0 && acc->tensor < numTensors(),
+                    "RHS access references unknown tensor");
+            require(int(acc->coords.size()) == tensorRank(acc->tensor),
+                    "RHS access rank mismatch for tensor " +
+                    tensorNames_[std::size_t(acc->tensor)]);
+            require(tensorKind(acc->tensor) != TensorKind::Output,
+                    "RHS must not read output tensors");
+        }
+    }
+    require(has_output, "spec never writes an output tensor");
+}
+
+std::vector<Recurrence>
+FunctionalSpec::recurrences() const
+{
+    std::vector<Recurrence> out;
+    for (const auto &assign : assignments_) {
+        if (tensorKind(assign.lhs.tensor) != TensorKind::Intermediate)
+            continue;
+        // The LHS must be the full, plain iterator tuple (v(i, j, k)).
+        bool plain_lhs = int(assign.lhs.coords.size()) == numIndices();
+        for (int p = 0; plain_lhs && p < numIndices(); p++)
+            plain_lhs = assign.lhs.coords[std::size_t(p)].plainIndex() == p;
+        if (!plain_lhs)
+            continue;
+        // Find a self-reference on the RHS.
+        std::vector<ExprPtr> accesses;
+        collectAccesses(assign.rhs.node(), accesses);
+        for (const auto &acc : accesses) {
+            if (acc->tensor != assign.lhs.tensor ||
+                    acc->op != ExprOp::Access) {
+                continue;
+            }
+            IntVec diff(std::size_t(numIndices()), 0);
+            bool uniform = true;
+            for (int p = 0; p < numIndices(); p++) {
+                const auto &coord = acc->coords[std::size_t(p)];
+                if (!coord.isAffine()) {
+                    uniform = false;
+                    break;
+                }
+                // Expect coord == index_p + c; diff_p = -c.
+                auto coeffs = coord.coeffs;
+                auto it = coeffs.find(p);
+                if (it == coeffs.end() || it->second != 1 ||
+                        coeffs.size() != 1) {
+                    uniform = false;
+                    break;
+                }
+                diff[std::size_t(p)] = -coord.constant;
+            }
+            if (uniform)
+                out.push_back(Recurrence{assign.lhs.tensor, diff});
+        }
+    }
+    return out;
+}
+
+std::optional<IntVec>
+FunctionalSpec::recurrenceDiff(int tensor) const
+{
+    for (const auto &rec : recurrences())
+        if (rec.tensor == tensor && !vecIsZero(rec.diff))
+            return rec.diff;
+    return std::nullopt;
+}
+
+std::set<int>
+FunctionalSpec::identityIndices(int tensor) const
+{
+    std::set<int> identity;
+    auto add_plain_indices = [&](const std::vector<IndexExpr> &coords) {
+        for (const auto &coord : coords)
+            if (coord.isAffine())
+                for (const auto &[id, coeff] : coord.coeffs)
+                    if (coeff != 0)
+                        identity.insert(id);
+    };
+    for (const auto &binding : inputBindings())
+        if (binding.intermediate == tensor)
+            add_plain_indices(binding.externalCoords);
+    for (const auto &binding : outputBindings())
+        if (binding.intermediate == tensor)
+            add_plain_indices(binding.externalCoords);
+    return identity;
+}
+
+std::vector<IoBinding>
+FunctionalSpec::inputBindings() const
+{
+    std::vector<IoBinding> out;
+    for (const auto &assign : assignments_) {
+        if (tensorKind(assign.lhs.tensor) != TensorKind::Intermediate)
+            continue;
+        // Init assignments have a LowerHalo marker on the LHS...
+        int boundary = -1;
+        for (const auto &coord : assign.lhs.coords)
+            if (coord.kind == IndexExpr::Kind::LowerHalo)
+                boundary = coord.boundIndex;
+        if (boundary < 0)
+            continue;
+        // ...and an Input-tensor access (possibly the whole RHS) feeding it.
+        std::vector<ExprPtr> accesses;
+        collectAccesses(assign.rhs.node(), accesses);
+        for (const auto &acc : accesses) {
+            if (tensorKind(acc->tensor) != TensorKind::Input)
+                continue;
+            IoBinding binding;
+            binding.intermediate = assign.lhs.tensor;
+            binding.external = acc->tensor;
+            binding.externalCoords = acc->coords;
+            binding.boundaryIndex = boundary;
+            out.push_back(binding);
+        }
+    }
+    return out;
+}
+
+std::vector<IoBinding>
+FunctionalSpec::outputBindings() const
+{
+    std::vector<IoBinding> out;
+    for (const auto &assign : assignments_) {
+        if (tensorKind(assign.lhs.tensor) != TensorKind::Output)
+            continue;
+        std::vector<ExprPtr> accesses;
+        collectAccesses(assign.rhs.node(), accesses);
+        for (const auto &acc : accesses) {
+            if (tensorKind(acc->tensor) != TensorKind::Intermediate)
+                continue;
+            IoBinding binding;
+            binding.intermediate = acc->tensor;
+            binding.external = assign.lhs.tensor;
+            binding.externalCoords = assign.lhs.coords;
+            for (const auto &coord : acc->coords)
+                if (coord.kind == IndexExpr::Kind::UpperEdge)
+                    binding.boundaryIndex = coord.boundIndex;
+            out.push_back(binding);
+        }
+    }
+    return out;
+}
+
+std::string
+FunctionalSpec::toString() const
+{
+    std::ostringstream os;
+    os << "spec " << name_ << " over (";
+    for (int i = 0; i < numIndices(); i++)
+        os << indexNames_[std::size_t(i)] << (i + 1 < numIndices() ? ", " : "");
+    os << ")\n";
+    for (const auto &assign : assignments_) {
+        os << "  " << tensorNames_[std::size_t(assign.lhs.tensor)] << "(";
+        for (std::size_t i = 0; i < assign.lhs.coords.size(); i++) {
+            if (i > 0)
+                os << ", ";
+            os << assign.lhs.coords[i].toString(indexNames_);
+        }
+        os << ") := "
+           << exprToString(assign.rhs.node(), tensorNames_, indexNames_)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stellar::func

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Functional specifications (Section III-A).
+ *
+ * A FunctionalSpec declares tensor iterators, input/output tensors,
+ * intermediate variables, and a set of pure assignments that define how
+ * outputs are computed from inputs. It deliberately says nothing about
+ * time, space, sparsity, or memory layout; those concerns are specified
+ * separately (Sections III-B through III-E) and combined by the compiler
+ * in src/core.
+ */
+
+#ifndef STELLAR_FUNC_SPEC_HPP
+#define STELLAR_FUNC_SPEC_HPP
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "func/expr.hpp"
+#include "util/int_matrix.hpp"
+
+namespace stellar::func
+{
+
+class FunctionalSpec;
+
+/** A tensor iterator handle (e.g. i, j, k in Listing 1). */
+class Index
+{
+  public:
+    Index() = default;
+    Index(int id, FunctionalSpec *spec) : id_(id), spec_(spec) {}
+
+    int id() const { return id_; }
+
+    /** LHS marker: the halo position before the domain (coordinate -1). */
+    IndexExpr lowerBound() const;
+
+    /** RHS marker: the last interior position (coordinate bound-1). */
+    IndexExpr upperBound() const;
+
+    operator IndexExpr() const { return makeIndexExpr(id_); }
+
+  private:
+    int id_ = -1;
+    FunctionalSpec *spec_ = nullptr;
+};
+
+IndexExpr operator+(const Index &idx, std::int64_t c);
+IndexExpr operator-(const Index &idx, std::int64_t c);
+IndexExpr operator*(std::int64_t c, const Index &idx);
+
+/** What role a tensor plays in the specification. */
+enum class TensorKind { Input, Output, Intermediate };
+
+/** A single tensor access: tensor id plus one coordinate per dimension. */
+struct Access
+{
+    int tensor = -1;
+    std::vector<IndexExpr> coords;
+
+    /** Convert to an expression-tree node for use on an RHS. */
+    Expr toExpr() const;
+    operator Expr() const { return toExpr(); }
+};
+
+/** A tensor handle; calling it builds an Access. */
+class TensorHandle
+{
+  public:
+    TensorHandle() = default;
+    TensorHandle(int id, FunctionalSpec *spec) : id_(id), spec_(spec) {}
+
+    int id() const { return id_; }
+
+    template <typename... Args>
+    Access
+    operator()(Args &&...args) const
+    {
+        Access a;
+        a.tensor = id_;
+        (a.coords.push_back(toIndexExpr(std::forward<Args>(args))), ...);
+        return a;
+    }
+
+    /**
+     * Build a data-dependent access: the coordinate at position pos is the
+     * runtime value of dynamic_coord rather than an affine function of the
+     * iterators. Used by merging/sorting specifications.
+     */
+    Expr indirect(const std::vector<IndexExpr> &coords, int pos,
+                  const Expr &dynamic_coord) const;
+
+  private:
+    static IndexExpr toIndexExpr(const IndexExpr &e) { return e; }
+    static IndexExpr toIndexExpr(const Index &i) { return IndexExpr(i); }
+    static IndexExpr toIndexExpr(std::int64_t c) { return makeConstExpr(c); }
+    static IndexExpr toIndexExpr(int c) { return makeConstExpr(c); }
+
+    int id_ = -1;
+    FunctionalSpec *spec_ = nullptr;
+};
+
+/** One pure assignment: lhs := rhs. */
+struct Assignment
+{
+    Access lhs;
+    Expr rhs;
+};
+
+/**
+ * A uniform recurrence extracted from an assignment: intermediate tensor
+ * `tensor`'s value at point p is derived from its value at point p - diff.
+ */
+struct Recurrence
+{
+    int tensor = -1;
+    IntVec diff;  //!< one entry per iterator, lhs minus rhs coordinates
+};
+
+/** The input or output tensor bound to an intermediate variable. */
+struct IoBinding
+{
+    int intermediate = -1;   //!< intermediate tensor id
+    int external = -1;       //!< Input/Output tensor id
+    std::vector<IndexExpr> externalCoords; //!< coords of the external access
+    int boundaryIndex = -1;  //!< iterator carrying the halo/edge marker
+};
+
+/**
+ * A full functional specification. Create iterators and tensors through the
+ * factory methods, then add assignments with define().
+ */
+class FunctionalSpec
+{
+  public:
+    explicit FunctionalSpec(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Declare a new iterator. Iterators are ordered by creation. */
+    Index index(const std::string &name);
+
+    /** Declare an external input tensor of the given rank. */
+    TensorHandle input(const std::string &name, int rank);
+
+    /** Declare an external output tensor of the given rank. */
+    TensorHandle output(const std::string &name, int rank);
+
+    /**
+     * Declare an intermediate variable. Its rank is always the number of
+     * iterators that end up declared on the spec.
+     */
+    TensorHandle intermediate(const std::string &name);
+
+    /** Add an assignment lhs := rhs. Assignment order matters: at any
+     *  point of the iteration space, the first assignment whose boundary
+     *  markers match provides the definition. */
+    void define(const Access &lhs, const Expr &rhs);
+
+    int numIndices() const { return int(indexNames_.size()); }
+    int numTensors() const { return int(tensorNames_.size()); }
+
+    const std::vector<std::string> &indexNames() const { return indexNames_; }
+    const std::vector<std::string> &tensorNames() const { return tensorNames_; }
+    TensorKind tensorKind(int id) const;
+    int tensorRank(int id) const;
+    int tensorIdByName(const std::string &name) const;
+
+    const std::vector<Assignment> &assignments() const { return assignments_; }
+
+    /** Check internal consistency; throws FatalError on bad specs. */
+    void validate() const;
+
+    /**
+     * Extract uniform recurrences: assignments of the form
+     * v(i, j, k) := f(..., v(i, j, k - 1), ...). These define the
+     * data-movement directions of each variable (Section IV-B).
+     */
+    std::vector<Recurrence> recurrences() const;
+
+    /** The recurrence difference vector for one intermediate, if any. */
+    std::optional<IntVec> recurrenceDiff(int tensor) const;
+
+    /**
+     * The identity indices of an intermediate: the iterators that determine
+     * *which logical value* the variable carries. For a fed from A(i, k)
+     * these are {i, k}; for c drained into C(i, j) they are {i, j}. Used by
+     * the sparsity-driven connection pruning of Section IV-B.
+     */
+    std::set<int> identityIndices(int tensor) const;
+
+    /** Bindings from input tensors into intermediates. */
+    std::vector<IoBinding> inputBindings() const;
+
+    /** Bindings from intermediates out to output tensors. */
+    std::vector<IoBinding> outputBindings() const;
+
+    std::string toString() const;
+
+  private:
+    friend class Index;
+
+    std::string name_;
+    std::vector<std::string> indexNames_;
+    std::vector<std::string> tensorNames_;
+    std::vector<TensorKind> tensorKinds_;
+    std::vector<int> tensorRanks_;
+    std::vector<Assignment> assignments_;
+};
+
+} // namespace stellar::func
+
+#endif // STELLAR_FUNC_SPEC_HPP

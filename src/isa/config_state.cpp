@@ -1,0 +1,103 @@
+#include "isa/config_state.hpp"
+
+#include <functional>
+
+#include "util/logging.hpp"
+
+namespace stellar::isa
+{
+
+void
+ConfigState::forTargets(Target target,
+                        const std::function<void(SideConfig &)> &fn)
+{
+    if (target == Target::Src || target == Target::Both)
+        fn(src_);
+    if (target == Target::Dst || target == Target::Both)
+        fn(dst_);
+}
+
+std::vector<TransferDescriptor>
+ConfigState::apply(const Instruction &inst)
+{
+    std::vector<TransferDescriptor> issued;
+    int axis = int(rs1Axis(inst.rs1));
+    switch (inst.op) {
+      case Opcode::SetAddress:
+        require(axis < kMaxAxes, "axis out of range");
+        maxAxisTouched_ = std::max(maxAxisTouched_, axis);
+        if (rs1HasMetadata(inst.rs1)) {
+            auto meta = rs1Metadata(inst.rs1);
+            forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+                side.metadataAddress[{axis, meta}] = inst.rs2;
+            });
+        } else {
+            forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+                side.dataAddress[std::size_t(axis)] = inst.rs2;
+            });
+        }
+        break;
+      case Opcode::SetSpan:
+        require(axis < kMaxAxes, "axis out of range");
+        maxAxisTouched_ = std::max(maxAxisTouched_, axis);
+        forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+            side.span[std::size_t(axis)] = inst.rs2;
+        });
+        break;
+      case Opcode::SetDataStride:
+        require(axis < kMaxAxes, "axis out of range");
+        maxAxisTouched_ = std::max(maxAxisTouched_, axis);
+        forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+            side.dataStride[std::size_t(axis)] = inst.rs2;
+        });
+        break;
+      case Opcode::SetMetadataStride: {
+        require(axis < kMaxAxes, "axis out of range");
+        auto meta = rs1Metadata(inst.rs1);
+        forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+            side.metadataStride[{axis, meta}] = inst.rs2;
+        });
+        break;
+      }
+      case Opcode::SetAxisType:
+        require(axis < kMaxAxes, "axis out of range");
+        require(inst.rs2 <= std::uint64_t(AxisType::LinkedList),
+                "invalid axis type");
+        maxAxisTouched_ = std::max(maxAxisTouched_, axis);
+        forTargets(rs1Target(inst.rs1), [&](SideConfig &side) {
+            side.axisType[std::size_t(axis)] = AxisType(inst.rs2);
+        });
+        break;
+      case Opcode::SetConstant: {
+        auto id = ConstantId(rs1Low16(inst.rs1));
+        constants_[id] = inst.rs2;
+        if (id == ConstantId::SrcUnit)
+            src_.unit = MemUnit(inst.rs2);
+        if (id == ConstantId::DstUnit)
+            dst_.unit = MemUnit(inst.rs2);
+        break;
+      }
+      case Opcode::Issue: {
+        TransferDescriptor desc;
+        desc.src = src_;
+        desc.dst = dst_;
+        desc.constants = constants_;
+        desc.numAxes = maxAxisTouched_ + 1;
+        issued.push_back(std::move(desc));
+        break;
+      }
+    }
+    return issued;
+}
+
+std::vector<TransferDescriptor>
+ConfigState::applyProgram(const std::vector<Instruction> &program)
+{
+    std::vector<TransferDescriptor> issued;
+    for (const auto &inst : program)
+        for (auto &desc : apply(inst))
+            issued.push_back(std::move(desc));
+    return issued;
+}
+
+} // namespace stellar::isa

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The accelerator-side configuration state machine (Section V).
+ *
+ * Instructions accumulate settings into per-side (src/dst) state; a
+ * stellar_issue snapshots that state into a TransferDescriptor that the
+ * DMA consumes. This mirrors the decoupled configure-then-issue flow of
+ * the paper's programming interface.
+ */
+
+#ifndef STELLAR_ISA_CONFIG_STATE_HPP
+#define STELLAR_ISA_CONFIG_STATE_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "isa/instructions.hpp"
+
+namespace stellar::isa
+{
+
+constexpr int kMaxAxes = 4;
+
+/** Per-side (src or dst) transfer settings. */
+struct SideConfig
+{
+    MemUnit unit = MemUnit::Dram;
+    std::array<std::uint64_t, kMaxAxes> dataAddress{};
+    std::array<std::uint64_t, kMaxAxes> span{};
+    std::array<std::uint64_t, kMaxAxes> dataStride{};
+    std::array<AxisType, kMaxAxes> axisType{};
+
+    /** Metadata addresses/strides keyed by (axis, metadata type). */
+    std::map<std::pair<int, MetadataType>, std::uint64_t> metadataAddress;
+    std::map<std::pair<int, MetadataType>, std::uint64_t> metadataStride;
+};
+
+/** A snapshot of the configuration at stellar_issue time. */
+struct TransferDescriptor
+{
+    SideConfig src;
+    SideConfig dst;
+    std::map<ConstantId, std::uint64_t> constants;
+    int numAxes = 0;
+};
+
+/** The decoder-side state machine. */
+class ConfigState
+{
+  public:
+    /** Apply one instruction; returns a descriptor on Issue. */
+    std::vector<TransferDescriptor> apply(const Instruction &inst);
+
+    /** Apply a whole program, collecting every issued descriptor. */
+    std::vector<TransferDescriptor>
+    applyProgram(const std::vector<Instruction> &program);
+
+    const SideConfig &src() const { return src_; }
+    const SideConfig &dst() const { return dst_; }
+
+  private:
+    void forTargets(Target target,
+                    const std::function<void(SideConfig &)> &fn);
+
+    SideConfig src_;
+    SideConfig dst_;
+    std::map<ConstantId, std::uint64_t> constants_;
+    int maxAxisTouched_ = 0;
+};
+
+} // namespace stellar::isa
+
+#endif // STELLAR_ISA_CONFIG_STATE_HPP

@@ -1,0 +1,80 @@
+#include "isa/dma_bridge.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellar::isa
+{
+
+std::vector<sim::TransferChunk>
+chunksForDescriptor(const TransferDescriptor &descriptor, int elem_bytes,
+                    const FiberShape &fibers)
+{
+    require(elem_bytes > 0, "element size must be positive");
+    const SideConfig &side = descriptor.src.unit == MemUnit::Dram
+                                     ? descriptor.src
+                                     : descriptor.dst;
+    std::vector<sim::TransferChunk> chunks;
+
+    // Find the innermost axis and whether any axis is pointer-indirected.
+    bool indirect = false;
+    for (int axis = 0; axis < descriptor.numAxes; axis++) {
+        AxisType type = side.axisType[std::size_t(axis)];
+        if (type == AxisType::Compressed || type == AxisType::LinkedList)
+            indirect = true;
+    }
+
+    if (indirect) {
+        // One pointer-chased chunk per fiber.
+        require(!fibers.fiberLengths.empty(),
+                "compressed transfers need fiber statistics");
+        for (auto length : fibers.fiberLengths) {
+            if (length <= 0)
+                continue;
+            sim::TransferChunk chunk;
+            chunk.bytes = length * elem_bytes;
+            chunk.pointerChased = true;
+            chunks.push_back(chunk);
+        }
+        return chunks;
+    }
+
+    // Dense: rows of span[0] elements; contiguous when stride is 1.
+    std::uint64_t inner_span = side.span[0] == kEntireAxis
+                                       ? 1
+                                       : std::max<std::uint64_t>(
+                                                 side.span[0], 1);
+    std::uint64_t outer = 1;
+    for (int axis = 1; axis < descriptor.numAxes; axis++) {
+        if (side.span[std::size_t(axis)] != kEntireAxis &&
+                side.span[std::size_t(axis)] > 0) {
+            outer *= side.span[std::size_t(axis)];
+        }
+    }
+    bool contiguous = side.dataStride[0] <= 1;
+    for (std::uint64_t row = 0; row < outer; row++) {
+        if (contiguous) {
+            sim::TransferChunk chunk;
+            chunk.bytes = std::int64_t(inner_span) * elem_bytes;
+            chunks.push_back(chunk);
+        } else {
+            for (std::uint64_t e = 0; e < inner_span; e++) {
+                sim::TransferChunk chunk;
+                chunk.bytes = elem_bytes;
+                chunks.push_back(chunk);
+            }
+        }
+    }
+    return chunks;
+}
+
+sim::TransferResult
+simulateDescriptor(const TransferDescriptor &descriptor, int elem_bytes,
+                   const FiberShape &fibers, const sim::DmaConfig &dma,
+                   const sim::DramConfig &dram)
+{
+    sim::DramModel model(dram);
+    auto chunks = chunksForDescriptor(descriptor, elem_bytes, fibers);
+    return sim::simulateTransfer(dma, model, chunks);
+}
+
+} // namespace stellar::isa

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Bridge from ISA transfer descriptors to the cycle-level DMA model.
+ *
+ * A TransferDescriptor (the snapshot a stellar_issue produces) describes
+ * the fibertree layout of the tensor being moved; this bridge turns it
+ * into the TransferChunk stream the DMA/DRAM simulator consumes, so the
+ * performance cost of a software-issued transfer can be measured with
+ * the same machinery the Section VI-C experiments use:
+ *
+ *  - Dense axes with unit inner stride stream as contiguous chunks;
+ *  - strided dense axes degrade to per-element chunks;
+ *  - Compressed and LinkedList axes gather per-fiber chunks behind
+ *    pointer (row-id / next-pointer) lookups — the pointer-chasing
+ *    pattern that bottlenecked the initial OuterSPACE port.
+ */
+
+#ifndef STELLAR_ISA_DMA_BRIDGE_HPP
+#define STELLAR_ISA_DMA_BRIDGE_HPP
+
+#include <vector>
+
+#include "isa/config_state.hpp"
+#include "sim/dram.hpp"
+
+namespace stellar::isa
+{
+
+/** Fiber statistics for compressed transfers (from metadata). */
+struct FiberShape
+{
+    std::vector<std::int64_t> fiberLengths; //!< elements per fiber
+};
+
+/**
+ * Lower a descriptor to DMA chunks. `elem_bytes` is the element size;
+ * `fibers` supplies per-fiber lengths for compressed axes (ignored for
+ * all-dense transfers).
+ */
+std::vector<sim::TransferChunk> chunksForDescriptor(
+        const TransferDescriptor &descriptor, int elem_bytes,
+        const FiberShape &fibers = {});
+
+/**
+ * Convenience: measure the cycle cost of a descriptor on a DMA/DRAM
+ * configuration.
+ */
+sim::TransferResult simulateDescriptor(const TransferDescriptor &descriptor,
+                                       int elem_bytes,
+                                       const FiberShape &fibers,
+                                       const sim::DmaConfig &dma,
+                                       const sim::DramConfig &dram);
+
+} // namespace stellar::isa
+
+#endif // STELLAR_ISA_DMA_BRIDGE_HPP

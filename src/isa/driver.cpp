@@ -1,0 +1,265 @@
+#include "isa/driver.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace stellar::isa
+{
+
+void
+HostMemory::write32(std::uint64_t addr, std::uint32_t value)
+{
+    require(addr + 4 <= bytes_.size(), "DRAM write out of range");
+    std::memcpy(&bytes_[addr], &value, 4);
+}
+
+std::uint32_t
+HostMemory::read32(std::uint64_t addr) const
+{
+    require(addr + 4 <= bytes_.size(), "DRAM read out of range");
+    std::uint32_t value;
+    std::memcpy(&value, &bytes_[addr], 4);
+    return value;
+}
+
+void
+HostMemory::writeFloat(std::uint64_t addr, float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    write32(addr, bits);
+}
+
+float
+HostMemory::readFloat(std::uint64_t addr) const
+{
+    std::uint32_t bits = read32(addr);
+    float value;
+    std::memcpy(&value, &bits, 4);
+    return value;
+}
+
+void
+HostMemory::writeFloatArray(std::uint64_t addr,
+                            const std::vector<float> &vs)
+{
+    for (std::size_t i = 0; i < vs.size(); i++)
+        writeFloat(addr + i * 4, vs[i]);
+}
+
+void
+HostMemory::writeIntArray(std::uint64_t addr,
+                          const std::vector<std::int32_t> &vs)
+{
+    for (std::size_t i = 0; i < vs.size(); i++)
+        write32(addr + i * 4, std::uint32_t(vs[i]));
+}
+
+void
+Driver::setSrcAndDst(MemUnit src, MemUnit dst)
+{
+    program_.push_back(makeSetConstant(ConstantId::SrcUnit,
+                                       std::uint64_t(src)));
+    program_.push_back(makeSetConstant(ConstantId::DstUnit,
+                                       std::uint64_t(dst)));
+}
+
+void
+Driver::setDataAddr(Target target, std::uint64_t addr)
+{
+    program_.push_back(makeSetAddress(target, 0, addr));
+}
+
+void
+Driver::setMetadataAddr(Target target, int axis, MetadataType metadata,
+                        std::uint64_t addr)
+{
+    program_.push_back(makeSetMetadataAddress(target, std::uint8_t(axis),
+                                              metadata, addr));
+}
+
+void
+Driver::setSpan(Target target, int axis, std::uint64_t span)
+{
+    program_.push_back(makeSetSpan(target, std::uint8_t(axis), span));
+}
+
+void
+Driver::setStride(Target target, int axis, std::uint64_t stride)
+{
+    program_.push_back(makeSetDataStride(target, std::uint8_t(axis),
+                                         stride));
+}
+
+void
+Driver::setMetadataStride(Target target, int addr_gen_axis, int axis,
+                          MetadataType metadata, std::uint64_t stride)
+{
+    // The addr-gen axis is folded into the stride payload's upper bits in
+    // hardware; functionally the (axis, metadata) pair identifies the
+    // stride register.
+    (void)addr_gen_axis;
+    program_.push_back(makeSetMetadataStride(target, std::uint8_t(axis),
+                                             metadata, stride));
+}
+
+void
+Driver::setAxis(Target target, int axis, AxisType type)
+{
+    program_.push_back(makeSetAxisType(target, std::uint8_t(axis), type));
+}
+
+void
+Driver::setConstant(ConstantId id, std::uint64_t value)
+{
+    program_.push_back(makeSetConstant(id, value));
+}
+
+void
+Driver::issue()
+{
+    program_.push_back(makeIssue());
+}
+
+namespace
+{
+
+/** Move a dense rank<=2 tensor from DRAM into an SRAM unit. */
+void
+moveDenseIn(const TransferDescriptor &desc, HostMemory &dram,
+            SramUnit &sram, ExecStats &stats)
+{
+    std::uint64_t base = desc.src.dataAddress[0];
+    std::uint64_t span0 = desc.src.span[0];
+    std::uint64_t span1 = desc.numAxes > 1 ? desc.src.span[1] : 1;
+    std::uint64_t stride0 = desc.src.dataStride[0];
+    std::uint64_t stride1 = desc.numAxes > 1 ? desc.src.dataStride[1] : 0;
+    for (std::uint64_t i1 = 0; i1 < span1; i1++) {
+        for (std::uint64_t i0 = 0; i0 < span0; i0++) {
+            std::uint64_t elem = i1 * stride1 + i0 * stride0;
+            sram.data.push_back(dram.readFloat(base + elem * 4));
+            stats.elementsMoved++;
+        }
+    }
+}
+
+/** Move a CSR tensor (Dense outer, Compressed inner) into an SRAM. */
+void
+moveCsrIn(const TransferDescriptor &desc, HostMemory &dram, SramUnit &sram,
+          ExecStats &stats)
+{
+    std::uint64_t data_base = desc.src.dataAddress[0];
+    auto row_it = desc.src.metadataAddress.find({0, MetadataType::RowId});
+    auto coord_it = desc.src.metadataAddress.find({0, MetadataType::Coord});
+    require(row_it != desc.src.metadataAddress.end() &&
+                    coord_it != desc.src.metadataAddress.end(),
+            "compressed transfer needs ROW_ID and COORD addresses");
+    std::uint64_t rows = desc.src.span[1];
+
+    std::int32_t running = 0;
+    sram.rowIds.push_back(running);
+    for (std::uint64_t r = 0; r < rows; r++) {
+        auto start = std::int32_t(dram.read32(row_it->second + r * 4));
+        auto end = std::int32_t(dram.read32(row_it->second + (r + 1) * 4));
+        require(end >= start, "malformed row pointers");
+        for (std::int32_t idx = start; idx < end; idx++) {
+            sram.data.push_back(
+                    dram.readFloat(data_base + std::uint64_t(idx) * 4));
+            sram.coords.push_back(std::int32_t(
+                    dram.read32(coord_it->second + std::uint64_t(idx) * 4)));
+            stats.elementsMoved++;
+            stats.metadataMoved++;
+        }
+        running += end - start;
+        sram.rowIds.push_back(running);
+        stats.metadataMoved += 2;
+    }
+}
+
+/** Write a CSR SRAM tensor back to DRAM (data, coords, row ids). */
+void
+moveCsrOut(const TransferDescriptor &desc, HostMemory &dram,
+           SramUnit &sram, ExecStats &stats)
+{
+    std::uint64_t data_base = desc.dst.dataAddress[0];
+    auto row_it = desc.dst.metadataAddress.find({0, MetadataType::RowId});
+    auto coord_it = desc.dst.metadataAddress.find({0, MetadataType::Coord});
+    require(row_it != desc.dst.metadataAddress.end() &&
+                    coord_it != desc.dst.metadataAddress.end(),
+            "compressed writeback needs ROW_ID and COORD addresses");
+    for (std::size_t idx = 0; idx < sram.data.size(); idx++) {
+        dram.writeFloat(data_base + idx * 4, sram.data[idx]);
+        dram.write32(coord_it->second + idx * 4,
+                     std::uint32_t(sram.coords[idx]));
+        stats.elementsMoved++;
+        stats.metadataMoved++;
+    }
+    for (std::size_t r = 0; r < sram.rowIds.size(); r++) {
+        dram.write32(row_it->second + r * 4,
+                     std::uint32_t(sram.rowIds[r]));
+        stats.metadataMoved++;
+    }
+}
+
+/** Write a dense SRAM tensor back to DRAM. */
+void
+moveDenseOut(const TransferDescriptor &desc, HostMemory &dram,
+             SramUnit &sram, ExecStats &stats)
+{
+    std::uint64_t base = desc.dst.dataAddress[0];
+    std::uint64_t span0 = desc.dst.span[0];
+    std::uint64_t span1 = desc.numAxes > 1 ? desc.dst.span[1] : 1;
+    std::uint64_t stride0 = desc.dst.dataStride[0];
+    std::uint64_t stride1 = desc.numAxes > 1 ? desc.dst.dataStride[1] : 0;
+    std::size_t cursor = 0;
+    for (std::uint64_t i1 = 0; i1 < span1; i1++) {
+        for (std::uint64_t i0 = 0; i0 < span0; i0++) {
+            require(cursor < sram.data.size(),
+                    "SRAM underflow during writeback");
+            std::uint64_t elem = i1 * stride1 + i0 * stride0;
+            dram.writeFloat(base + elem * 4, sram.data[cursor++]);
+            stats.elementsMoved++;
+        }
+    }
+}
+
+} // namespace
+
+ExecStats
+executeProgram(const std::vector<Instruction> &program, HostMemory &dram,
+               std::map<MemUnit, SramUnit> &srams)
+{
+    ExecStats stats;
+    ConfigState state;
+    for (const auto &desc : state.applyProgram(program)) {
+        stats.descriptors++;
+        bool compressed = false;
+        for (int axis = 0; axis < desc.numAxes; axis++) {
+            if (desc.src.axisType[std::size_t(axis)] ==
+                        AxisType::Compressed ||
+                    desc.dst.axisType[std::size_t(axis)] ==
+                            AxisType::Compressed) {
+                compressed = true;
+            }
+        }
+        if (desc.src.unit == MemUnit::Dram) {
+            auto it = srams.find(desc.dst.unit);
+            require(it != srams.end(), "unknown destination SRAM unit");
+            if (compressed)
+                moveCsrIn(desc, dram, it->second, stats);
+            else
+                moveDenseIn(desc, dram, it->second, stats);
+        } else {
+            auto it = srams.find(desc.src.unit);
+            require(it != srams.end(), "unknown source SRAM unit");
+            if (compressed)
+                moveCsrOut(desc, dram, it->second, stats);
+            else
+                moveDenseOut(desc, dram, it->second, stats);
+        }
+    }
+    return stats;
+}
+
+} // namespace stellar::isa

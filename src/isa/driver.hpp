@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The C-style software driver of Listing 7, plus a functional transfer
+ * executor.
+ *
+ * The driver records the set_* calls as Table II instructions; the
+ * executor decodes an issued program against modeled DRAM and SRAM units
+ * and actually moves the bytes, so software-visible behaviour (e.g.
+ * "move this CSR matrix into SRAM_B") can be tested end-to-end exactly
+ * as a user program would run it.
+ */
+
+#ifndef STELLAR_ISA_DRIVER_HPP
+#define STELLAR_ISA_DRIVER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "isa/config_state.hpp"
+#include "isa/instructions.hpp"
+
+namespace stellar::isa
+{
+
+/** Byte-addressable modeled DRAM. */
+class HostMemory
+{
+  public:
+    explicit HostMemory(std::size_t bytes) : bytes_(bytes, 0) {}
+
+    std::size_t size() const { return bytes_.size(); }
+
+    void write32(std::uint64_t addr, std::uint32_t value);
+    std::uint32_t read32(std::uint64_t addr) const;
+    void writeFloat(std::uint64_t addr, float value);
+    float readFloat(std::uint64_t addr) const;
+
+    /** Bulk helpers for setting up test arrays. */
+    void writeFloatArray(std::uint64_t addr, const std::vector<float> &vs);
+    void writeIntArray(std::uint64_t addr,
+                       const std::vector<std::int32_t> &vs);
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** One modeled private memory buffer (data + per-axis metadata). */
+struct SramUnit
+{
+    std::vector<float> data;
+    std::vector<std::int32_t> coords;  //!< compressed-axis coordinates
+    std::vector<std::int32_t> rowIds;  //!< compressed-axis row pointers
+};
+
+/** The Listing 7 programming API. Calls append instructions. */
+class Driver
+{
+  public:
+    void setSrcAndDst(MemUnit src, MemUnit dst);
+    void setDataAddr(Target target, std::uint64_t addr);
+    void setMetadataAddr(Target target, int axis, MetadataType metadata,
+                         std::uint64_t addr);
+    void setSpan(Target target, int axis, std::uint64_t span);
+    void setStride(Target target, int axis, std::uint64_t stride);
+    void setMetadataStride(Target target, int addr_gen_axis, int axis,
+                           MetadataType metadata, std::uint64_t stride);
+    void setAxis(Target target, int axis, AxisType type);
+    void setConstant(ConstantId id, std::uint64_t value);
+    void issue();
+
+    const std::vector<Instruction> &program() const { return program_; }
+    void clear() { program_.clear(); }
+
+  private:
+    std::vector<Instruction> program_;
+};
+
+/** Execution statistics of a functional transfer. */
+struct ExecStats
+{
+    std::int64_t elementsMoved = 0;
+    std::int64_t metadataMoved = 0;
+    std::int64_t descriptors = 0;
+};
+
+/**
+ * Decode and execute a driver program: every issued descriptor moves
+ * data between `dram` and the SRAM units (keyed by MemUnit). Supports
+ * rank-1/rank-2 tensors with Dense and Compressed axes — the Listing 7
+ * use cases.
+ */
+ExecStats executeProgram(const std::vector<Instruction> &program,
+                         HostMemory &dram,
+                         std::map<MemUnit, SramUnit> &srams);
+
+} // namespace stellar::isa
+
+#endif // STELLAR_ISA_DRIVER_HPP

@@ -1,0 +1,212 @@
+#include "isa/instructions.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::isa
+{
+
+std::uint32_t
+packRs1(Target target, std::uint16_t low16)
+{
+    return (std::uint32_t(target) << 16) | low16;
+}
+
+std::uint32_t
+packRs1Metadata(Target target, std::uint8_t axis, MetadataType metadata)
+{
+    std::uint16_t low16 =
+            std::uint16_t((std::uint16_t(metadata) + 1) << 8) | axis;
+    return packRs1(target, low16);
+}
+
+Target
+rs1Target(std::uint32_t rs1)
+{
+    return Target((rs1 >> 16) & 0xF);
+}
+
+std::uint16_t
+rs1Low16(std::uint32_t rs1)
+{
+    return std::uint16_t(rs1 & 0xFFFF);
+}
+
+std::uint8_t
+rs1Axis(std::uint32_t rs1)
+{
+    return std::uint8_t(rs1 & 0xFF);
+}
+
+bool
+rs1HasMetadata(std::uint32_t rs1)
+{
+    return ((rs1 >> 8) & 0xFF) != 0;
+}
+
+MetadataType
+rs1Metadata(std::uint32_t rs1)
+{
+    invariant(rs1HasMetadata(rs1), "rs1 carries no metadata selector");
+    return MetadataType(((rs1 >> 8) & 0xFF) - 1);
+}
+
+Instruction
+makeSetAddress(Target target, std::uint8_t axis, std::uint64_t address)
+{
+    return Instruction{Opcode::SetAddress, packRs1(target, axis), address};
+}
+
+Instruction
+makeSetMetadataAddress(Target target, std::uint8_t axis,
+                       MetadataType metadata, std::uint64_t address)
+{
+    return Instruction{Opcode::SetAddress,
+                       packRs1Metadata(target, axis, metadata), address};
+}
+
+Instruction
+makeSetSpan(Target target, std::uint8_t axis, std::uint64_t span)
+{
+    return Instruction{Opcode::SetSpan, packRs1(target, axis), span};
+}
+
+Instruction
+makeSetDataStride(Target target, std::uint8_t axis, std::uint64_t stride)
+{
+    return Instruction{Opcode::SetDataStride, packRs1(target, axis),
+                       stride};
+}
+
+Instruction
+makeSetMetadataStride(Target target, std::uint8_t axis,
+                      MetadataType metadata, std::uint64_t stride)
+{
+    return Instruction{Opcode::SetMetadataStride,
+                       packRs1Metadata(target, axis, metadata), stride};
+}
+
+Instruction
+makeSetAxisType(Target target, std::uint8_t axis, AxisType type)
+{
+    return Instruction{Opcode::SetAxisType, packRs1(target, axis),
+                       std::uint64_t(type)};
+}
+
+Instruction
+makeSetConstant(ConstantId id, std::uint64_t value)
+{
+    return Instruction{Opcode::SetConstant,
+                       packRs1(Target::Both, std::uint16_t(id)), value};
+}
+
+Instruction
+makeIssue()
+{
+    return Instruction{Opcode::Issue, 0, 0};
+}
+
+std::vector<std::uint8_t>
+encode(const std::vector<Instruction> &program)
+{
+    std::vector<std::uint8_t> bytes;
+    bytes.reserve(program.size() * 16);
+    auto put32 = [&](std::uint32_t v) {
+        for (int b = 0; b < 4; b++)
+            bytes.push_back(std::uint8_t(v >> (8 * b)));
+    };
+    auto put64 = [&](std::uint64_t v) {
+        for (int b = 0; b < 8; b++)
+            bytes.push_back(std::uint8_t(v >> (8 * b)));
+    };
+    for (const auto &inst : program) {
+        bytes.push_back(std::uint8_t(inst.op));
+        bytes.push_back(0);
+        bytes.push_back(0);
+        bytes.push_back(0);
+        put32(inst.rs1);
+        put64(inst.rs2);
+    }
+    return bytes;
+}
+
+std::vector<Instruction>
+decode(const std::vector<std::uint8_t> &bytes)
+{
+    require(bytes.size() % 16 == 0,
+            "instruction stream must be a multiple of 16 bytes");
+    std::vector<Instruction> program;
+    for (std::size_t off = 0; off < bytes.size(); off += 16) {
+        Instruction inst;
+        require(bytes[off] <= std::uint8_t(Opcode::Issue),
+                "invalid opcode in instruction stream");
+        inst.op = Opcode(bytes[off]);
+        std::uint32_t rs1 = 0;
+        for (int b = 0; b < 4; b++)
+            rs1 |= std::uint32_t(bytes[off + 4 + std::size_t(b)]) << (8 * b);
+        std::uint64_t rs2 = 0;
+        for (int b = 0; b < 8; b++)
+            rs2 |= std::uint64_t(bytes[off + 8 + std::size_t(b)]) << (8 * b);
+        inst.rs1 = rs1;
+        inst.rs2 = rs2;
+        program.push_back(inst);
+    }
+    return program;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    auto target_name = [](Target t) {
+        switch (t) {
+          case Target::Src: return "src";
+          case Target::Dst: return "dst";
+          case Target::Both: return "both";
+        }
+        return "?";
+    };
+    switch (inst.op) {
+      case Opcode::SetAddress:
+        os << (rs1HasMetadata(inst.rs1) ? "set_metadata_address "
+                                        : "set_address ")
+           << target_name(rs1Target(inst.rs1)) << " axis="
+           << int(rs1Axis(inst.rs1)) << " 0x" << std::hex << inst.rs2;
+        break;
+      case Opcode::SetSpan:
+        os << "set_span " << target_name(rs1Target(inst.rs1)) << " axis="
+           << int(rs1Axis(inst.rs1)) << " "
+           << (inst.rs2 == kEntireAxis ? std::string("ENTIRE_AXIS")
+                                       : std::to_string(inst.rs2));
+        break;
+      case Opcode::SetDataStride:
+        os << "set_data_stride " << target_name(rs1Target(inst.rs1))
+           << " axis=" << int(rs1Axis(inst.rs1)) << " " << inst.rs2;
+        break;
+      case Opcode::SetMetadataStride:
+        os << "set_metadata_stride " << target_name(rs1Target(inst.rs1))
+           << " axis=" << int(rs1Axis(inst.rs1)) << " meta="
+           << (rs1Metadata(inst.rs1) == MetadataType::RowId ? "ROW_ID"
+                                                            : "COORD")
+           << " " << inst.rs2;
+        break;
+      case Opcode::SetAxisType: {
+        const char *types[] = {"DENSE", "COMPRESSED", "BITVECTOR",
+                               "LINKED_LIST"};
+        os << "set_axis_type " << target_name(rs1Target(inst.rs1))
+           << " axis=" << int(rs1Axis(inst.rs1)) << " "
+           << types[inst.rs2 & 3];
+        break;
+      }
+      case Opcode::SetConstant:
+        os << "set_constant id=" << rs1Low16(inst.rs1) << " " << inst.rs2;
+        break;
+      case Opcode::Issue:
+        os << "stellar_issue";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace stellar::isa

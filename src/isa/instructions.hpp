@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Stellar's 64-bit RISC-V custom-instruction set (Table II).
+ *
+ * Every instruction configures part of a data transfer between two
+ * memory units (DRAM, private memory buffers, or register files) and is
+ * encoded as an opcode plus two source registers: rs1 carries the
+ * src/dst selector in bits [19:16] and an axis / metadata-type / constant
+ * id in bits [15:0]; rs2 carries the 64-bit payload (address, span,
+ * stride, or constant value). stellar_issue launches the transfer; the
+ * spatial array starts as soon as its input register files fill.
+ */
+
+#ifndef STELLAR_ISA_INSTRUCTIONS_HPP
+#define STELLAR_ISA_INSTRUCTIONS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stellar::isa
+{
+
+/** Table II opcodes. */
+enum class Opcode : std::uint8_t
+{
+    SetAddress = 0,
+    SetSpan = 1,
+    SetDataStride = 2,
+    SetMetadataStride = 3,
+    SetAxisType = 4,
+    SetConstant = 5,
+    Issue = 6,
+};
+
+/** rs1[19:16]: which side(s) of the transfer a setting applies to. */
+enum class Target : std::uint8_t
+{
+    Src = 1,
+    Dst = 2,
+    Both = 3,
+};
+
+/** Fibertree axis types carried by set_axis_type. */
+enum class AxisType : std::uint8_t
+{
+    Dense = 0,
+    Compressed = 1,
+    Bitvector = 2,
+    LinkedList = 3,
+};
+
+/** Metadata kinds carried by set_metadata_stride / set_address. */
+enum class MetadataType : std::uint8_t
+{
+    RowId = 0,
+    Coord = 1,
+};
+
+/** Scalar/boolean constants carried by set_constant. */
+enum class ConstantId : std::uint16_t
+{
+    SrcUnit = 0,
+    DstUnit = 1,
+    ShouldTrailReads = 2,
+    ShouldInterleave = 3,
+    LastAxis = 4,
+};
+
+/** Memory units addressed by SrcUnit/DstUnit constants. */
+enum class MemUnit : std::uint16_t
+{
+    Dram = 0,
+    Sram0 = 1,
+    Sram1 = 2,
+    Sram2 = 3,
+    Regfile0 = 8,
+    Regfile1 = 9,
+};
+
+/** A span value meaning "walk the whole fiber" (Listing 7). */
+constexpr std::uint64_t kEntireAxis = ~std::uint64_t(0);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Issue;
+    std::uint32_t rs1 = 0;
+    std::uint64_t rs2 = 0;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/**
+ * rs1 field packing: [19:16] target; [15:8] metadata selector (0 = data,
+ * 1 = RowId, 2 = Coord); [7:0] axis (or constant id for set_constant).
+ */
+std::uint32_t packRs1(Target target, std::uint16_t low16);
+std::uint32_t packRs1Metadata(Target target, std::uint8_t axis,
+                              MetadataType metadata);
+Target rs1Target(std::uint32_t rs1);
+std::uint16_t rs1Low16(std::uint32_t rs1);
+std::uint8_t rs1Axis(std::uint32_t rs1);
+bool rs1HasMetadata(std::uint32_t rs1);
+MetadataType rs1Metadata(std::uint32_t rs1);
+
+/** Instruction builders (the assembler). */
+Instruction makeSetAddress(Target target, std::uint8_t axis,
+                           std::uint64_t address);
+Instruction makeSetMetadataAddress(Target target, std::uint8_t axis,
+                                   MetadataType metadata,
+                                   std::uint64_t address);
+Instruction makeSetSpan(Target target, std::uint8_t axis,
+                        std::uint64_t span);
+Instruction makeSetDataStride(Target target, std::uint8_t axis,
+                              std::uint64_t stride);
+Instruction makeSetMetadataStride(Target target, std::uint8_t axis,
+                                  MetadataType metadata,
+                                  std::uint64_t stride);
+Instruction makeSetAxisType(Target target, std::uint8_t axis,
+                            AxisType type);
+Instruction makeSetConstant(ConstantId id, std::uint64_t value);
+Instruction makeIssue();
+
+/**
+ * Binary encoding: 16 bytes per instruction, little-endian
+ * [op:u8][pad:u8 x3][rs1:u32][rs2:u64].
+ */
+std::vector<std::uint8_t> encode(const std::vector<Instruction> &program);
+std::vector<Instruction> decode(const std::vector<std::uint8_t> &bytes);
+
+/** Disassemble for debugging and documentation. */
+std::string disassemble(const Instruction &inst);
+
+} // namespace stellar::isa
+
+#endif // STELLAR_ISA_INSTRUCTIONS_HPP

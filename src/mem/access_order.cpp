@@ -1,0 +1,152 @@
+#include "mem/access_order.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::mem
+{
+
+void
+AccessOrder::addStep(std::vector<IntVec> coords)
+{
+    std::sort(coords.begin(), coords.end());
+    steps_.push_back(std::move(coords));
+}
+
+std::size_t
+AccessOrder::maxPerStep() const
+{
+    std::size_t max = 0;
+    for (const auto &step : steps_)
+        max = std::max(max, step.size());
+    return max;
+}
+
+std::size_t
+AccessOrder::totalElements() const
+{
+    std::size_t total = 0;
+    for (const auto &step : steps_)
+        total += step.size();
+    return total;
+}
+
+bool
+AccessOrder::isTransposeOf(const AccessOrder &other, int axis_a,
+                           int axis_b) const
+{
+    if (steps_.size() != other.steps_.size())
+        return false;
+    for (std::size_t t = 0; t < steps_.size(); t++) {
+        std::vector<IntVec> swapped = other.steps_[t];
+        for (auto &coord : swapped) {
+            if (axis_a >= int(coord.size()) || axis_b >= int(coord.size()))
+                return false;
+            std::swap(coord[std::size_t(axis_a)], coord[std::size_t(axis_b)]);
+        }
+        std::sort(swapped.begin(), swapped.end());
+        if (swapped != steps_[t])
+            return false;
+    }
+    return true;
+}
+
+bool
+AccessOrder::samePopulation(const AccessOrder &other) const
+{
+    std::map<IntVec, std::int64_t> counts;
+    for (const auto &step : steps_)
+        for (const auto &coord : step)
+            counts[coord]++;
+    for (const auto &step : other.steps_)
+        for (const auto &coord : step)
+            if (--counts[coord] < 0)
+                return false;
+    for (const auto &[coord, count] : counts)
+        if (count != 0)
+            return false;
+    return true;
+}
+
+std::string
+AccessOrder::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t t = 0; t < steps_.size(); t++) {
+        os << "t=" << t << ":";
+        for (const auto &coord : steps_[t])
+            os << " " << vecToString(coord);
+        os << "\n";
+    }
+    return os.str();
+}
+
+AccessOrder
+bufferEmitOrder(const MemBufferSpec &spec)
+{
+    const auto &hard = spec.hardcodedRead;
+    require(hard.fullySpecified(spec.format.rank()),
+            "bufferEmitOrder requires fully hardcoded read spans");
+    IntVec spans;
+    for (const auto &span : hard.spans)
+        spans.push_back(span.value());
+    if (spec.emitOrder == EmitOrder::Skewed) {
+        require(spans.size() == 2, "skewed emit order is 2-D only");
+        return skewedOrder(spans[0], spans[1]);
+    }
+    return rowMajorOrder(spans, spec.readPorts);
+}
+
+AccessOrder
+rowMajorOrder(const IntVec &spans, int per_cycle)
+{
+    require(per_cycle > 0, "rowMajorOrder needs a positive rate");
+    AccessOrder order;
+    IntVec coord(spans.size(), 0);
+    bool done = spans.empty();
+    for (auto span : spans)
+        if (span <= 0)
+            done = true;
+    std::vector<IntVec> step;
+    while (!done) {
+        step.push_back(coord);
+        if (int(step.size()) == per_cycle) {
+            order.addStep(std::move(step));
+            step.clear();
+        }
+        // Row-major increment: innermost axis fastest.
+        int axis = int(spans.size()) - 1;
+        while (axis >= 0) {
+            if (++coord[std::size_t(axis)] < spans[std::size_t(axis)])
+                break;
+            coord[std::size_t(axis)] = 0;
+            axis--;
+        }
+        if (axis < 0)
+            done = true;
+    }
+    if (!step.empty())
+        order.addStep(std::move(step));
+    return order;
+}
+
+AccessOrder
+skewedOrder(std::int64_t rows, std::int64_t cols)
+{
+    AccessOrder order;
+    for (std::int64_t diag = 0; diag < rows + cols - 1; diag++) {
+        std::vector<IntVec> step;
+        for (std::int64_t r = 0; r < rows; r++) {
+            std::int64_t c = diag - r;
+            if (c >= 0 && c < cols)
+                step.push_back({r, c});
+        }
+        order.addStep(std::move(step));
+    }
+    return order;
+}
+
+} // namespace stellar::mem

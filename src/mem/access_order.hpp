@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Access orders (Fig 13).
+ *
+ * An AccessOrder records, per timestep, the multiset of tensor coordinates
+ * produced by a memory buffer or consumed by a spatial array. The regfile
+ * optimizer (Section IV-D) compares producer and consumer orders to decide
+ * how aggressively a register file can be simplified.
+ */
+
+#ifndef STELLAR_MEM_ACCESS_ORDER_HPP
+#define STELLAR_MEM_ACCESS_ORDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/buffer_spec.hpp"
+#include "util/int_matrix.hpp"
+
+namespace stellar::mem
+{
+
+/**
+ * Per-timestep coordinate groups. Coordinates within one timestep are kept
+ * sorted so two orders compare equal regardless of intra-cycle port
+ * numbering.
+ */
+class AccessOrder
+{
+  public:
+    /** Append the coordinate group of the next timestep. */
+    void addStep(std::vector<IntVec> coords);
+
+    std::size_t steps() const { return steps_.size(); }
+    const std::vector<IntVec> &step(std::size_t t) const { return steps_[t]; }
+
+    /** Largest number of coordinates in any single timestep. */
+    std::size_t maxPerStep() const;
+
+    /** Total coordinates across all steps. */
+    std::size_t totalElements() const;
+
+    bool operator==(const AccessOrder &other) const = default;
+
+    /**
+     * True when `other` contains the same per-step coordinate groups with
+     * the two given coordinate axes swapped (a transposition, Fig 14d).
+     */
+    bool isTransposeOf(const AccessOrder &other, int axis_a,
+                       int axis_b) const;
+
+    /**
+     * True when both orders enumerate the same coordinate multiset
+     * (ignoring time), i.e. they are reorderings of the same tensor tile.
+     */
+    bool samePopulation(const AccessOrder &other) const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<std::vector<IntVec>> steps_;
+};
+
+/**
+ * The order a buffer with fully-hardcoded 2-D read parameters emits
+ * elements: row-major streams `per_cycle` elements per step; skewed emits
+ * the anti-diagonal wavefront of Fig 13a.
+ */
+AccessOrder bufferEmitOrder(const MemBufferSpec &spec);
+
+/** Row-major order over an arbitrary dense span set. */
+AccessOrder rowMajorOrder(const IntVec &spans, int per_cycle);
+
+/** Anti-diagonal wavefront order over a 2-D span (Fig 13a). */
+AccessOrder skewedOrder(std::int64_t rows, std::int64_t cols);
+
+} // namespace stellar::mem
+
+#endif // STELLAR_MEM_ACCESS_ORDER_HPP

@@ -1,0 +1,63 @@
+#include "mem/buffer_spec.hpp"
+
+namespace stellar::mem
+{
+
+std::vector<PipelineStage>
+planPipeline(const MemBufferSpec &spec, bool for_reads)
+{
+    const HardcodedRequest &hard =
+            for_reads ? spec.hardcodedRead : spec.hardcodedWrite;
+    std::vector<PipelineStage> stages;
+    for (int axis = 0; axis < spec.format.rank(); axis++) {
+        PipelineStage stage;
+        stage.axis = axis;
+        stage.format = spec.format.axes[std::size_t(axis)];
+        bool hardcoded = int(hard.spans.size()) > axis &&
+                         hard.spans[std::size_t(axis)].has_value();
+        switch (stage.format) {
+          case AxisFormat::Dense:
+            stage.latency = 1;
+            stage.simplifiedAddressGen = hardcoded;
+            break;
+          case AxisFormat::Compressed:
+            // One cycle for the pointer (row-id) lookup plus one for the
+            // coordinate lookup.
+            stage.latency = 2;
+            stage.metadataLookup = true;
+            stage.metadataSrams = {spec.name + "_axis" +
+                                           std::to_string(axis) + "_rowids",
+                                   spec.name + "_axis" +
+                                           std::to_string(axis) + "_coords"};
+            break;
+          case AxisFormat::Bitvector:
+            // Bitmask fetch plus popcount-prefix offset computation.
+            stage.latency = 2;
+            stage.metadataLookup = true;
+            stage.metadataSrams = {spec.name + "_axis" +
+                                   std::to_string(axis) + "_bitmask"};
+            break;
+          case AxisFormat::LinkedList:
+            // Head-pointer fetch plus per-node chase; the steady-state
+            // pipeline cost per request is the node fetch.
+            stage.latency = 2;
+            stage.metadataLookup = true;
+            stage.metadataSrams = {spec.name + "_axis" +
+                                   std::to_string(axis) + "_next_ptrs"};
+            break;
+        }
+        stages.push_back(std::move(stage));
+    }
+    return stages;
+}
+
+int
+pipelineLatency(const std::vector<PipelineStage> &stages)
+{
+    int total = 0;
+    for (const auto &stage : stages)
+        total += stage.latency;
+    return total;
+}
+
+} // namespace stellar::mem

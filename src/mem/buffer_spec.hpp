@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Private-memory-buffer specifications and pipeline planning
+ * (Sections III-E and IV-C).
+ *
+ * Users declare the format, capacity, and bandwidth of each buffer, and
+ * may *hardcode* read/write request parameters (Listing 6). Hardcoding
+ * lets the compiler simplify address generators and — more importantly —
+ * lets the regfile optimizer (src/core/regfile_opt) know the exact order
+ * in which elements leave the buffer (Fig 13a).
+ */
+
+#ifndef STELLAR_MEM_BUFFER_SPEC_HPP
+#define STELLAR_MEM_BUFFER_SPEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/format.hpp"
+
+namespace stellar::mem
+{
+
+/**
+ * Hardcoded request parameters for one request direction (read or write).
+ * Unset entries remain runtime-programmable via the ISA.
+ */
+struct HardcodedRequest
+{
+    std::vector<std::optional<std::int64_t>> spans;
+    std::vector<std::optional<std::int64_t>> dataStrides;
+
+    bool
+    fullySpecified(int rank) const
+    {
+        if (int(spans.size()) < rank)
+            return false;
+        for (int axis = 0; axis < rank; axis++)
+            if (!spans[std::size_t(axis)].has_value())
+                return false;
+        return true;
+    }
+};
+
+/** The order in which a buffer emits elements of a hardcoded request. */
+enum class EmitOrder
+{
+    RowMajor,  //!< innermost axis fastest
+    Skewed,    //!< wavefront order (Fig 13a), for skewed systolic feeds
+};
+
+/** A private memory buffer (scratchpad) specification. */
+struct MemBufferSpec
+{
+    std::string name;
+
+    /** Name of the functional-spec tensor this buffer feeds/drains. */
+    std::string boundTensor;
+
+    FiberTreeFormat format;
+    std::int64_t capacityBytes = 0;
+    int elemBits = 32;
+    int readPorts = 1;
+    int writePorts = 1;
+    int banks = 1;
+    EmitOrder emitOrder = EmitOrder::RowMajor;
+    HardcodedRequest hardcodedRead;
+    HardcodedRequest hardcodedWrite;
+};
+
+/** One read/write pipeline stage of a generated buffer (Fig 12). */
+struct PipelineStage
+{
+    int axis = 0;
+    AxisFormat format = AxisFormat::Dense;
+
+    /** Cycles a request spends in this stage. */
+    int latency = 1;
+
+    /** Whether this stage performs indirect metadata SRAM lookups. */
+    bool metadataLookup = false;
+
+    /** Names of the metadata SRAMs this stage reads (e.g. row ids). */
+    std::vector<std::string> metadataSrams;
+
+    /** Whether hardcoding removed the runtime span/stride registers. */
+    bool simplifiedAddressGen = false;
+};
+
+/**
+ * Plan the per-axis read/write pipeline of a buffer: one stage per axis,
+ * outermost first, with metadata lookups for non-dense axes (Fig 12).
+ */
+std::vector<PipelineStage> planPipeline(const MemBufferSpec &spec,
+                                        bool for_reads);
+
+/** Total request latency through the planned pipeline. */
+int pipelineLatency(const std::vector<PipelineStage> &stages);
+
+} // namespace stellar::mem
+
+#endif // STELLAR_MEM_BUFFER_SPEC_HPP

@@ -1,0 +1,88 @@
+#include "mem/format.hpp"
+
+namespace stellar::mem
+{
+
+std::string
+axisFormatName(AxisFormat format)
+{
+    switch (format) {
+      case AxisFormat::Dense: return "Dense";
+      case AxisFormat::Compressed: return "Compressed";
+      case AxisFormat::Bitvector: return "Bitvector";
+      case AxisFormat::LinkedList: return "LinkedList";
+    }
+    return "Unknown";
+}
+
+bool
+FiberTreeFormat::isAllDense() const
+{
+    for (auto axis : axes)
+        if (axis != AxisFormat::Dense)
+            return false;
+    return true;
+}
+
+int
+FiberTreeFormat::compressedAxes() const
+{
+    int n = 0;
+    for (auto axis : axes)
+        if (axis != AxisFormat::Dense)
+            n++;
+    return n;
+}
+
+std::string
+FiberTreeFormat::toString() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < axes.size(); i++) {
+        if (i > 0)
+            out += ", ";
+        out += axisFormatName(axes[i]);
+    }
+    return out + "}";
+}
+
+FiberTreeFormat
+denseFormat(int rank)
+{
+    FiberTreeFormat f;
+    f.axes.assign(std::size_t(rank), AxisFormat::Dense);
+    return f;
+}
+
+FiberTreeFormat
+csrFormat()
+{
+    return FiberTreeFormat{{AxisFormat::Dense, AxisFormat::Compressed}};
+}
+
+FiberTreeFormat
+cscFormat()
+{
+    return FiberTreeFormat{{AxisFormat::Dense, AxisFormat::Compressed}};
+}
+
+FiberTreeFormat
+bitvectorFormat()
+{
+    return FiberTreeFormat{{AxisFormat::Dense, AxisFormat::Bitvector}};
+}
+
+FiberTreeFormat
+linkedListFormat()
+{
+    return FiberTreeFormat{{AxisFormat::Dense, AxisFormat::LinkedList}};
+}
+
+FiberTreeFormat
+blockCrsFormat()
+{
+    return FiberTreeFormat{{AxisFormat::Dense, AxisFormat::Compressed,
+                            AxisFormat::Dense, AxisFormat::Dense}};
+}
+
+} // namespace stellar::mem

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fibertree tensor formats (Section III-E).
+ *
+ * Private memory buffers declare a dense/sparse format *per axis* of the
+ * tensors they hold, following the fibertree notation: CSR is
+ * {Dense, Compressed}, a bitmask matrix is {Dense, Bitvector}, block-CRS
+ * is {Dense, Compressed, Dense, Dense}, and so on.
+ */
+
+#ifndef STELLAR_MEM_FORMAT_HPP
+#define STELLAR_MEM_FORMAT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stellar::mem
+{
+
+/** Per-axis storage formats supported by Stellar memory buffers. */
+enum class AxisFormat
+{
+    Dense,       //!< uncompressed; a simple address generator
+    Compressed,  //!< coordinate + pointer arrays (CSR/CSC-style)
+    Bitvector,   //!< presence bitmask + popcount-prefix offsets
+    LinkedList,  //!< pointer-chased nodes (dynamic append)
+};
+
+std::string axisFormatName(AxisFormat format);
+
+/** A fibertree format: one AxisFormat per tensor axis, outermost first. */
+struct FiberTreeFormat
+{
+    std::vector<AxisFormat> axes;
+
+    int rank() const { return int(axes.size()); }
+
+    bool isAllDense() const;
+
+    /** Number of axes that need metadata SRAM lookups. */
+    int compressedAxes() const;
+
+    std::string toString() const;
+
+    bool operator==(const FiberTreeFormat &other) const = default;
+};
+
+/** Common formats, for convenience. */
+FiberTreeFormat denseFormat(int rank);
+FiberTreeFormat csrFormat();         //!< {Dense, Compressed}
+FiberTreeFormat cscFormat();         //!< {Dense, Compressed} over columns
+FiberTreeFormat bitvectorFormat();   //!< {Dense, Bitvector}
+FiberTreeFormat linkedListFormat();  //!< {Dense, LinkedList}
+FiberTreeFormat blockCrsFormat();    //!< {Dense, Compressed, Dense, Dense}
+
+} // namespace stellar::mem
+
+#endif // STELLAR_MEM_FORMAT_HPP

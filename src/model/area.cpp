@@ -1,0 +1,169 @@
+#include "model/area.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::model
+{
+
+void
+AreaBreakdown::add(const std::string &name, double area)
+{
+    components.push_back(AreaComponent{name, area});
+}
+
+double
+AreaBreakdown::total() const
+{
+    double sum = 0.0;
+    for (const auto &component : components)
+        sum += component.area;
+    return sum;
+}
+
+double
+AreaBreakdown::of(const std::string &name) const
+{
+    for (const auto &component : components)
+        if (component.name == name)
+            return component.area;
+    return 0.0;
+}
+
+std::string
+AreaBreakdown::toString() const
+{
+    std::ostringstream os;
+    double sum = total();
+    for (const auto &component : components) {
+        os << padRight(component.name, 16) << " "
+           << padLeft(formatDouble(component.area / 1000.0, 0), 8) << "K  ("
+           << formatDouble(100.0 * component.area / sum, 1) << "%)\n";
+    }
+    os << padRight("Total", 16) << " "
+       << padLeft(formatDouble(sum / 1000.0, 0), 8) << "K\n";
+    return os.str();
+}
+
+double
+peArea(const AreaParams &params, int mac_bits, int pipeline_bits,
+       bool stellar_generated)
+{
+    double mac = mac_bits <= 8 ? params.mac8 : params.mac32;
+    double area = mac + double(pipeline_bits) * params.regBit;
+    if (stellar_generated) {
+        area += double(params.timeCounterBits) * params.regBit;
+        area += params.recoveryLogic;
+        area += params.stallWiring;
+    }
+    return area;
+}
+
+double
+arrayArea(const AreaParams &params, const core::GeneratedAccelerator &accel,
+          int mac_bits, int data_width, bool stellar_generated)
+{
+    // Per-PE pipeline bits: one register set per flowing variable hop.
+    int pipeline_bits = 0;
+    for (const auto &conn : accel.iterSpace.aliveConns()) {
+        auto delta = accel.spec.transform.deltaOf(conn.diff);
+        int width = data_width * (conn.bundled ? conn.bundleSize : 1);
+        pipeline_bits += int(delta.time) * width;
+    }
+    double total = double(accel.array.numPes()) *
+                   peArea(params, mac_bits, pipeline_bits,
+                          stellar_generated);
+    // Wiring tracks: every wire instance contributes length x width.
+    for (const auto &wire : accel.array.wires()) {
+        int width = data_width * wire.bundleSize;
+        total += double(wire.instances * wire.wireLength) * double(width) *
+                 params.wireTrackBit;
+    }
+    return total;
+}
+
+double
+regfileArea(const AreaParams &params, const core::RegfileConfig &config,
+            int data_width, int coord_width)
+{
+    double area = double(config.entries * data_width) * params.regBit;
+    area += double(config.comparators) * params.cmpCoord *
+            (double(coord_width) / 16.0);
+    area += double(config.muxes) * params.muxLeg;
+    // Coordinate storage is only needed when entries are searched.
+    if (config.comparators > 0)
+        area += double(config.entries * coord_width) * params.regBit;
+    return area;
+}
+
+double
+bufferArea(const AreaParams &params, const mem::MemBufferSpec &spec)
+{
+    double bits = double(spec.capacityBytes) * 8.0;
+    double area = bits * params.sramBit;
+    // Metadata SRAMs for compressed/bitvector/linked-list axes: sized at
+    // a quarter of the data capacity per sparse axis.
+    auto stages = mem::planPipeline(spec, /*for_reads=*/true);
+    for (const auto &stage : stages)
+        if (stage.metadataLookup)
+            area += bits * 0.25 * params.sramBit;
+    area += double(spec.banks) * params.bankControl;
+    return area;
+}
+
+double
+bufferAddrGenArea(const AreaParams &params, const mem::MemBufferSpec &spec,
+                  int lanes)
+{
+    auto stages = mem::planPipeline(spec, /*for_reads=*/true);
+    double per_lane = double(stages.size()) * params.addrGenLane;
+    // Hardcoded request parameters simplify the generators (Listing 6).
+    int rank = spec.format.rank();
+    if (spec.hardcodedRead.fullySpecified(rank))
+        per_lane *= 0.6;
+    return per_lane * double(lanes);
+}
+
+double
+dmaArea(const AreaParams &params, int max_inflight, bool stellar_generated)
+{
+    double base = stellar_generated ? params.dmaStellarBase : params.dmaBase;
+    return base + double(max_inflight - 1) * params.dmaPerInflight;
+}
+
+double
+flattenedMergerArea(const AreaParams &params, int throughput)
+{
+    // SpArch-style: 8 comparators per element of throughput (128 for 16)
+    // plus a quadratic prefix-merge network.
+    double comparators = 8.0 * double(throughput) * params.cmp64;
+    double network = double(throughput) * double(throughput) *
+                     params.mergeNetUnit;
+    return comparators + network;
+}
+
+double
+rowPartitionedMergerArea(const AreaParams &params, int lanes)
+{
+    return double(lanes) * (params.cmp64 + params.mergerLaneFifo);
+}
+
+double
+hierarchicalMergerArea(const AreaParams &params, int throughput, int ways)
+{
+    require(ways >= 2, "hierarchical merger needs at least 2 ways");
+    // A tree of flattened mergers: each level halves the stream count.
+    double total = 0.0;
+    int streams = ways;
+    while (streams > 1) {
+        int mergers = streams / 2;
+        total += double(mergers) * flattenedMergerArea(params, throughput) /
+                 double(ways / 2);
+        streams = (streams + 1) / 2;
+    }
+    return total;
+}
+
+} // namespace stellar::model

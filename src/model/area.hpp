@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Component-level area model (Table III, Section IV-F, Section VI-D).
+ *
+ * Areas are computed from generated structures — PE counts and wire
+ * classes from the SpatialArray, comparator/mux counts from the
+ * RegfileConfig, SRAM bits and pipeline stages from MemBufferSpecs — so
+ * that design choices (pruned conns, regfile kinds, bundle widths, DMA
+ * in-flight depth) show up in area exactly the way the paper describes.
+ */
+
+#ifndef STELLAR_MODEL_AREA_HPP
+#define STELLAR_MODEL_AREA_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "model/params.hpp"
+
+namespace stellar::model
+{
+
+/** One named area component (for Table III style breakdowns). */
+struct AreaComponent
+{
+    std::string name;
+    double area = 0.0;
+};
+
+/** A named breakdown with a total. */
+struct AreaBreakdown
+{
+    std::vector<AreaComponent> components;
+
+    void add(const std::string &name, double area);
+    double total() const;
+    double of(const std::string &name) const;
+    std::string toString() const;
+};
+
+/** Area of one PE. `stellar_generated` adds the Fig 11 overheads
+ *  (time counter, recovery logic, stall wiring). */
+double peArea(const AreaParams &params, int mac_bits, int pipeline_bits,
+              bool stellar_generated);
+
+/** Area of a spatial array, including inter-PE wiring tracks. */
+double arrayArea(const AreaParams &params,
+                 const core::GeneratedAccelerator &accel, int mac_bits,
+                 int data_width, bool stellar_generated);
+
+/** Area of one regfile from its optimized configuration (Fig 14). */
+double regfileArea(const AreaParams &params,
+                   const core::RegfileConfig &config, int data_width,
+                   int coord_width);
+
+/** Area of one private memory buffer (SRAM bits + metadata + stages). */
+double bufferArea(const AreaParams &params, const mem::MemBufferSpec &spec);
+
+/** Address-generation area of a buffer's distributed pipelines. */
+double bufferAddrGenArea(const AreaParams &params,
+                         const mem::MemBufferSpec &spec, int lanes);
+
+/** DMA area as a function of the in-flight request depth. */
+double dmaArea(const AreaParams &params, int max_inflight,
+               bool stellar_generated);
+
+/** Flattened (SpArch-style) merger: tput elements/cycle via a comparator
+ *  array and a prefix-merge network (Fig 19b). */
+double flattenedMergerArea(const AreaParams &params, int throughput);
+
+/** Row-partitioned (GAMMA-style) merger: one comparator lane per row
+ *  (Fig 19a). */
+double rowPartitionedMergerArea(const AreaParams &params, int lanes);
+
+/** Hierarchical (SpArch-style tree) merger: levels of flattened mergers;
+ *  Section IV-F reports 13x the area of a simple non-hierarchical one. */
+double hierarchicalMergerArea(const AreaParams &params, int throughput,
+                              int ways);
+
+} // namespace stellar::model
+
+#endif // STELLAR_MODEL_AREA_HPP

@@ -1,0 +1,30 @@
+#include "model/energy.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellar::model
+{
+
+double
+totalEnergy(const EnergyParams &params, const EnergyEvents &events)
+{
+    double mac_energy = events.macBits <= 8 ? params.mac8 : params.mac32;
+    double total = double(events.macs) * mac_energy;
+    total += double(events.sramReadBytes) * params.sramReadByte;
+    total += double(events.sramWriteBytes) * params.sramWriteByte;
+    total += double(events.regfileBytes) * params.regfileAccessByte;
+    total += double(events.dramBytes) * params.dramAccessByte;
+    total += double(events.cycles) * events.areaMm2 *
+             params.leakagePerCyclePerMm2;
+    total += double(events.peToggleEvents) * params.peToggle;
+    return total;
+}
+
+double
+energyPerMac(const EnergyParams &params, const EnergyEvents &events)
+{
+    require(events.macs > 0, "energyPerMac needs at least one MAC");
+    return totalEnergy(params, events) / double(events.macs);
+}
+
+} // namespace stellar::model

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Event-based energy model (Fig 17).
+ *
+ * Energy is integrated from event counts — MACs, SRAM/regfile/DRAM
+ * traffic, and cycles (leakage folded in per cycle, scaled by area) — so
+ * that a lower-utilization design burns more energy per MAC exactly as
+ * the paper's Fig 17 shows for the Stellar-generated Gemmini.
+ */
+
+#ifndef STELLAR_MODEL_ENERGY_HPP
+#define STELLAR_MODEL_ENERGY_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "model/params.hpp"
+
+namespace stellar::model
+{
+
+/** Event counts accumulated by a simulation or an analytic estimate. */
+struct EnergyEvents
+{
+    std::int64_t macs = 0;
+    int macBits = 8;
+    std::int64_t sramReadBytes = 0;
+    std::int64_t sramWriteBytes = 0;
+    std::int64_t regfileBytes = 0;
+    std::int64_t dramBytes = 0;
+    std::int64_t cycles = 0;
+    double areaMm2 = 0.0;
+
+    /**
+     * PE-cycle toggle events of Stellar-specific machinery: the per-PE
+     * time counters and global start/stall wiring switch every cycle in
+     * every PE of a Stellar-generated array (Section VI-B); handwritten
+     * designs leave this at zero.
+     */
+    std::int64_t peToggleEvents = 0;
+};
+
+/** Total energy in picojoules. */
+double totalEnergy(const EnergyParams &params, const EnergyEvents &events);
+
+/** Energy per MAC in picojoules (the Fig 17 metric). */
+double energyPerMac(const EnergyParams &params, const EnergyEvents &events);
+
+} // namespace stellar::model
+
+#endif // STELLAR_MODEL_ENERGY_HPP

@@ -1,0 +1,94 @@
+#include "model/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace stellar::model
+{
+
+double
+TimingReport::criticalPathNs() const
+{
+    double worst = 0.0;
+    for (const auto &component : components)
+        worst = std::max(worst, component.delayNs);
+    return worst;
+}
+
+double
+TimingReport::fmaxMhz() const
+{
+    double path = criticalPathNs();
+    require(path > 0.0, "empty timing report");
+    return 1000.0 / path;
+}
+
+const PathComponent *
+TimingReport::slowest() const
+{
+    const PathComponent *worst = nullptr;
+    for (const auto &component : components)
+        if (worst == nullptr || component.delayNs > worst->delayNs)
+            worst = &component;
+    return worst;
+}
+
+TimingReport
+timingOf(const TimingParams &params,
+         const core::GeneratedAccelerator &accel,
+         bool centralized_unroller)
+{
+    TimingReport report;
+
+    // PE array: logic depth plus the longest unpipelined (zero-register)
+    // wire chain — a combinational broadcast traverses the full extent of
+    // its axis in one cycle (Fig 3's un-pipelined variant).
+    double array_delay = params.peArrayLogic;
+    IntVec extents = accel.array.extents();
+    for (const auto &wire : accel.array.wires()) {
+        if (wire.registers > 0)
+            continue;
+        // Chain length: how many hops the broadcast makes along its axis.
+        std::int64_t chain = 0;
+        for (std::size_t axis = 0; axis < wire.spaceDelta.size(); axis++) {
+            if (wire.spaceDelta[axis] != 0 && axis < extents.size()) {
+                chain = std::max(chain,
+                                 extents[axis] /
+                                         std::abs(wire.spaceDelta[axis]));
+            }
+        }
+        array_delay = std::max(array_delay,
+                               params.peArrayLogic +
+                                       double(chain) *
+                                               params.wirePerUnitLength);
+    }
+    report.components.push_back({"pe-array", array_delay});
+
+    report.components.push_back({"sram", params.sramAccess});
+
+    if (centralized_unroller) {
+        report.components.push_back(
+                {"centralized-loop-unroller", params.centralizedUnroller});
+    } else {
+        report.components.push_back(
+                {"distributed-addr-gen", params.distributedAddrGen});
+    }
+
+    // Regfile search depth grows with the searched entry count.
+    for (const auto &plan : accel.regfiles) {
+        if (plan.config.comparators == 0)
+            continue;
+        double searched = double(plan.config.comparators) /
+                          double(std::max<std::int64_t>(
+                                  plan.config.inPorts + plan.config.outPorts,
+                                  1));
+        double delay = 0.3 + params.regfileSearchPerLog2Entries *
+                                     std::log2(std::max(searched, 2.0));
+        report.components.push_back({"regfile-" + plan.tensorName, delay});
+    }
+    return report;
+}
+
+} // namespace stellar::model

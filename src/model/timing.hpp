@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Critical-path timing model (Section VI-B).
+ *
+ * The achievable frequency of a design is set by its slowest component.
+ * The handwritten Gemmini's centralized loop unroller fails timing above
+ * ~700 MHz, while Stellar's distributed memory-buffer address generators
+ * scale to ~1 GHz — this model reproduces that asymmetry, plus the
+ * wire-delay cost of unpipelined broadcast wires (Fig 3 tradeoff).
+ */
+
+#ifndef STELLAR_MODEL_TIMING_HPP
+#define STELLAR_MODEL_TIMING_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "model/params.hpp"
+
+namespace stellar::model
+{
+
+/** One named critical-path contributor. */
+struct PathComponent
+{
+    std::string name;
+    double delayNs = 0.0;
+};
+
+/** A timing report: every component and the binding constraint. */
+struct TimingReport
+{
+    std::vector<PathComponent> components;
+
+    double criticalPathNs() const;
+    double fmaxMhz() const;
+    const PathComponent *slowest() const;
+};
+
+/**
+ * Timing of a generated accelerator. `centralized_unroller` models the
+ * handwritten baseline's monolithic address generator instead of
+ * Stellar's distributed ones.
+ */
+TimingReport timingOf(const TimingParams &params,
+                      const core::GeneratedAccelerator &accel,
+                      bool centralized_unroller);
+
+} // namespace stellar::model
+
+#endif // STELLAR_MODEL_TIMING_HPP

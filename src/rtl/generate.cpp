@@ -1,0 +1,931 @@
+#include "rtl/generate.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "func/simplify.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::rtl
+{
+
+namespace
+{
+
+using core::GeneratedAccelerator;
+using core::PruneReason;
+using func::ExprOp;
+using func::ExprPtr;
+using func::TensorKind;
+
+/** How a variable is realized inside a PE. */
+enum class VarRole
+{
+    Flowing,     //!< arrives on in_<v>, leaves on out_<v>
+    Stationary,  //!< lives in an internal accumulator register
+    PerPointIo,  //!< read/written through per-point regfile ports
+    Combinational, //!< a pure wire (no recurrence at all)
+};
+
+struct VarInfo
+{
+    VarRole role = VarRole::Combinational;
+    int bundleSize = 1;
+    IntVec spaceDelta;
+    std::int64_t registers = 0;
+};
+
+std::string
+sig(const std::string &tensor_name, VarRole role, bool as_output)
+{
+    std::string base = sanitizeIdentifier(tensor_name);
+    switch (role) {
+      case VarRole::Flowing:
+        return (as_output ? "out_" : "in_") + base;
+      case VarRole::Stationary:
+        return "acc_" + base;
+      case VarRole::PerPointIo:
+        return (as_output ? "io_" : "io_") + base +
+               (as_output ? "_wr" : "_rd");
+      case VarRole::Combinational:
+        return "val_" + base;
+    }
+    return base;
+}
+
+/** Classify every intermediate variable of the accelerator. */
+std::map<int, VarInfo>
+classifyVariables(const GeneratedAccelerator &accel)
+{
+    std::map<int, VarInfo> info;
+    const auto &spec = accel.spec.functional;
+    const auto &space = accel.iterSpace;
+    for (int t = 0; t < spec.numTensors(); t++) {
+        if (spec.tensorKind(t) != TensorKind::Intermediate)
+            continue;
+        VarInfo vi;
+        bool pruned = false;
+        for (const auto &conn : space.conns())
+            if (conn.tensor == t && !conn.alive())
+                pruned = true;
+        const auto *alive = space.aliveConnFor(t);
+        if (alive != nullptr) {
+            auto delta = accel.spec.transform.deltaOf(alive->diff);
+            vi.spaceDelta = delta.space;
+            vi.registers = delta.time;
+            vi.bundleSize = alive->bundled ? alive->bundleSize : 1;
+            vi.role = vecIsZero(delta.space) ? VarRole::Stationary
+                                             : VarRole::Flowing;
+        } else if (pruned) {
+            vi.role = VarRole::PerPointIo;
+        } else {
+            vi.role = VarRole::Combinational;
+        }
+        info[t] = vi;
+    }
+    return info;
+}
+
+/** Translate an RHS expression tree into a Verilog expression. */
+std::string
+exprToVerilog(const ExprPtr &node, const func::FunctionalSpec &spec,
+              const std::map<int, VarInfo> &vars)
+{
+    invariant(node != nullptr, "null expr in RTL lowering");
+    auto operand = [&](std::size_t i) {
+        return exprToVerilog(node->operands[i], spec, vars);
+    };
+    auto bin = [&](const char *op) {
+        return "(" + operand(0) + " " + op + " " + operand(1) + ")";
+    };
+    switch (node->op) {
+      case ExprOp::Constant: {
+        std::ostringstream os;
+        os << std::int64_t(node->value);
+        return os.str();
+      }
+      case ExprOp::Access: {
+        auto it = vars.find(node->tensor);
+        if (it != vars.end())
+            return sig(spec.tensorNames()[std::size_t(node->tensor)],
+                       it->second.role, /*as_output=*/false);
+        // External (input tensor) access: arrives on a head port.
+        return "in_" +
+               sanitizeIdentifier(
+                       spec.tensorNames()[std::size_t(node->tensor)]) +
+               "_head";
+      }
+      case ExprOp::Indirect:
+        // Data-dependent lookups are serviced by the regfile; the PE sees
+        // the response on a head port (Section III-A merging support).
+        return "in_" +
+               sanitizeIdentifier(
+                       spec.tensorNames()[std::size_t(node->tensor)]) +
+               "_head";
+      case ExprOp::Add: return bin("+");
+      case ExprOp::Sub: return bin("-");
+      case ExprOp::Mul: return bin("*");
+      case ExprOp::Div: return bin("/");
+      case ExprOp::Min:
+        return "((" + operand(0) + " < " + operand(1) + ") ? " +
+               operand(0) + " : " + operand(1) + ")";
+      case ExprOp::Max:
+        return "((" + operand(0) + " < " + operand(1) + ") ? " +
+               operand(1) + " : " + operand(0) + ")";
+      case ExprOp::Eq: return bin("==");
+      case ExprOp::Ne: return bin("!=");
+      case ExprOp::Lt: return bin("<");
+      case ExprOp::Le: return bin("<=");
+      case ExprOp::And: return bin("&&");
+      case ExprOp::Or: return bin("||");
+      case ExprOp::Not: return "(!" + operand(0) + ")";
+      case ExprOp::Select:
+        return "(" + operand(0) + " ? " + operand(1) + " : " + operand(2) +
+               ")";
+    }
+    panic("unhandled op in RTL lowering");
+}
+
+/** Collect the external tensors referenced by an expression. */
+void
+collectExternalHeads(const ExprPtr &node, const func::FunctionalSpec &spec,
+                     std::set<int> &out)
+{
+    if (!node)
+        return;
+    if ((node->op == ExprOp::Access || node->op == ExprOp::Indirect) &&
+            spec.tensorKind(node->tensor) == TensorKind::Input) {
+        out.insert(node->tensor);
+    }
+    for (const auto &child : node->operands)
+        collectExternalHeads(child, spec, out);
+}
+
+bool
+lhsHasHalo(const func::Assignment &assign)
+{
+    for (const auto &coord : assign.lhs.coords)
+        if (coord.kind == func::IndexExpr::Kind::LowerHalo)
+            return true;
+    return false;
+}
+
+/** Build the PE module (Fig 11). */
+void
+buildPeModule(Design &design, const GeneratedAccelerator &accel,
+              const std::map<int, VarInfo> &vars, const RtlOptions &opt,
+              const std::string &pe_name)
+{
+    const auto &spec = accel.spec.functional;
+    const auto &transform = accel.spec.transform;
+    Module &pe = design.addModule(pe_name);
+    pe.setComment("Stellar PE (Fig 11): time counter, iterator recovery "
+                  "via T^-1, IO request\ngeneration, and user-defined "
+                  "logic lowered from the functional spec.");
+
+    pe.addPort(PortDir::Input, "clock", 1);
+    pe.addPort(PortDir::Input, "reset", 1);
+    pe.addPort(PortDir::Input, "enable", 1);
+    for (int axis = 0; axis < transform.spaceDims(); axis++) {
+        pe.addPort(PortDir::Input, "pos_" + std::to_string(axis),
+                   opt.coordWidth, true);
+    }
+
+    // Variable data ports / registers.
+    std::set<int> heads;
+    for (const auto &assign : spec.assignments())
+        if (!lhsHasHalo(assign))
+            collectExternalHeads(assign.rhs.node(), spec, heads);
+    for (const auto &[t, vi] : vars) {
+        std::string name =
+                sanitizeIdentifier(spec.tensorNames()[std::size_t(t)]);
+        int width = opt.dataWidth * vi.bundleSize;
+        switch (vi.role) {
+          case VarRole::Flowing:
+            pe.addPort(PortDir::Input, "in_" + name, width, true);
+            pe.addPort(PortDir::Output, "out_" + name, width, true);
+            pe.addReg("out_" + name + "_r", width, true);
+            pe.addAssign("out_" + name, "out_" + name + "_r");
+            break;
+          case VarRole::Stationary:
+            pe.addReg("acc_" + name, width, true);
+            pe.addPort(PortDir::Output, "out_" + name, width, true);
+            pe.addAssign("out_" + name, "acc_" + name);
+            // The recurrence still needs the incoming halo value.
+            pe.addPort(PortDir::Input, "in_" + name, width, true);
+            break;
+          case VarRole::PerPointIo:
+            pe.addPort(PortDir::Input, "io_" + name + "_rd", width, true);
+            pe.addPort(PortDir::Output, "io_" + name + "_wr", width, true);
+            pe.addReg("io_" + name + "_wr_r", width, true);
+            pe.addAssign("io_" + name + "_wr", "io_" + name + "_wr_r");
+            break;
+          case VarRole::Combinational:
+            pe.addWire("val_" + name, width, true);
+            pe.addPort(PortDir::Output, "out_" + name, width, true);
+            pe.addAssign("out_" + name, "val_" + name);
+            break;
+        }
+    }
+    for (int t : heads) {
+        std::string name =
+                sanitizeIdentifier(spec.tensorNames()[std::size_t(t)]);
+        if (!pe.declares("in_" + name + "_head"))
+            pe.addPort(PortDir::Input, "in_" + name + "_head",
+                       opt.dataWidth, true);
+    }
+
+    // Time counter and iterator recovery (multiply by T^-1; the adjugate
+    // is divided by the determinant, which is exact on lattice points).
+    pe.addReg("time_counter", opt.coordWidth, true);
+    pe.addAlways("if (reset) begin\n"
+                 "  time_counter <= 0;\n"
+                 "end else if (enable) begin\n"
+                 "  time_counter <= time_counter + 1;\n"
+                 "end");
+    const auto &inv = transform.inverse();
+    std::int64_t det = transform.matrix().determinant();
+    for (int idx = 0; idx < spec.numIndices(); idx++) {
+        std::string it_name =
+                "it_" + sanitizeIdentifier(
+                                spec.indexNames()[std::size_t(idx)]);
+        pe.addWire(it_name, opt.coordWidth, true);
+        std::ostringstream rhs;
+        rhs << "(";
+        for (int d = 0; d < transform.dims(); d++) {
+            // inverse entry = adjugate / det; emit adjugate * signal.
+            Fraction entry = inv.at(idx, d) * Fraction(det);
+            std::int64_t coeff = entry.toInteger();
+            if (d > 0)
+                rhs << " + ";
+            std::string source = d + 1 < transform.dims()
+                                         ? "pos_" + std::to_string(d)
+                                         : std::string("time_counter");
+            rhs << coeff << " * " << source;
+        }
+        rhs << ") / " << det;
+        pe.addAssign(it_name, rhs.str());
+    }
+
+    // IO request generation: output-valid when the boundary iterator hits
+    // its last interior value.
+    for (const auto &binding : spec.outputBindings()) {
+        auto it = vars.find(binding.intermediate);
+        if (it == vars.end() || binding.boundaryIndex < 0)
+            continue;
+        std::string valid =
+                "out_" +
+                sanitizeIdentifier(spec.tensorNames()[std::size_t(
+                        binding.intermediate)]) +
+                "_valid";
+        if (pe.declares(valid))
+            continue;
+        pe.addPort(PortDir::Output, valid, 1);
+        std::string it_name =
+                "it_" + sanitizeIdentifier(spec.indexNames()[std::size_t(
+                                binding.boundaryIndex)]);
+        std::int64_t edge = accel.iterSpace.bounds()[std::size_t(
+                                    binding.boundaryIndex)] - 1;
+        pe.addAssign(valid, "(" + it_name + " == " + std::to_string(edge) +
+                            ")");
+    }
+
+    // User-defined logic: every non-halo intermediate assignment.
+    std::ostringstream body;
+    body << "if (reset) begin\n";
+    for (const auto &[t, vi] : vars) {
+        std::string name =
+                sanitizeIdentifier(spec.tensorNames()[std::size_t(t)]);
+        if (vi.role == VarRole::Stationary)
+            body << "  acc_" << name << " <= 0;\n";
+        if (vi.role == VarRole::Flowing)
+            body << "  out_" << name << "_r <= 0;\n";
+        if (vi.role == VarRole::PerPointIo)
+            body << "  io_" << name << "_wr_r <= 0;\n";
+    }
+    body << "end else if (enable) begin\n";
+    for (const auto &assign : spec.assignments()) {
+        if (lhsHasHalo(assign))
+            continue;
+        if (spec.tensorKind(assign.lhs.tensor) != TensorKind::Intermediate)
+            continue;
+        auto it = vars.find(assign.lhs.tensor);
+        if (it == vars.end())
+            continue;
+        const auto &vi = it->second;
+        std::string rhs = exprToVerilog(
+                func::simplify(assign.rhs.node()), spec, vars);
+        std::string name = sanitizeIdentifier(
+                spec.tensorNames()[std::size_t(assign.lhs.tensor)]);
+        switch (vi.role) {
+          case VarRole::Flowing:
+            body << "  out_" << name << "_r <= " << rhs << ";\n";
+            break;
+          case VarRole::Stationary:
+            body << "  acc_" << name << " <= " << rhs << ";\n";
+            break;
+          case VarRole::PerPointIo:
+            body << "  io_" << name << "_wr_r <= " << rhs << ";\n";
+            break;
+          case VarRole::Combinational:
+            // handled below with a continuous assignment
+            break;
+        }
+    }
+    body << "end";
+    pe.addAlways(body.str());
+
+    for (const auto &assign : spec.assignments()) {
+        if (lhsHasHalo(assign))
+            continue;
+        auto it = vars.find(assign.lhs.tensor);
+        if (it == vars.end() || it->second.role != VarRole::Combinational)
+            continue;
+        std::string name = sanitizeIdentifier(
+                spec.tensorNames()[std::size_t(assign.lhs.tensor)]);
+        pe.addAssign("val_" + name,
+                     exprToVerilog(func::simplify(assign.rhs.node()),
+                                   spec, vars));
+    }
+}
+
+/** Build a shift/pipeline register module of the given width and depth. */
+std::string
+pipeRegModule(Design &design, int width, std::int64_t depth)
+{
+    std::string name = "stellar_pipereg_w" + std::to_string(width) + "_d" +
+                       std::to_string(depth);
+    if (design.findModule(name) != nullptr)
+        return name;
+    Module &m = design.addModule(name);
+    m.addPort(PortDir::Input, "clock", 1);
+    m.addPort(PortDir::Input, "in_data", width, true);
+    m.addPort(PortDir::Output, "out_data", width, true);
+    std::ostringstream body;
+    for (std::int64_t s = 0; s < depth; s++)
+        m.addReg("stage" + std::to_string(s), width, true);
+    body << "stage0 <= in_data;\n";
+    for (std::int64_t s = 1; s < depth; s++)
+        body << "stage" << s << " <= stage" << (s - 1) << ";\n";
+    m.addAlways(body.str());
+    m.addAssign("out_data", "stage" + std::to_string(depth - 1));
+    return name;
+}
+
+std::string
+posKey(const IntVec &pos)
+{
+    std::string out;
+    for (auto p : pos) {
+        out += "_";
+        out += (p < 0 ? "m" + std::to_string(-p) : std::to_string(p));
+    }
+    return out;
+}
+
+/** Build the spatial-array module instantiating PEs and wiring conns. */
+void
+buildArrayModule(Design &design, const GeneratedAccelerator &accel,
+                 const std::map<int, VarInfo> &vars, const RtlOptions &opt,
+                 const std::string &pe_name, const std::string &array_name)
+{
+    const auto &spec = accel.spec.functional;
+    Module &array = design.addModule(array_name);
+    array.setComment("Spatial array (Fig 9c): one PE per physical "
+                     "position; surviving PE-to-PE\nconns wired through "
+                     "pipeline registers; pruned conns surface as "
+                     "regfile ports.");
+    array.addPort(PortDir::Input, "clock", 1);
+    array.addPort(PortDir::Input, "reset", 1);
+    array.addPort(PortDir::Input, "enable", 1);
+
+    const Module *pe_module = design.findModule(pe_name);
+    invariant(pe_module != nullptr, "PE module must exist before array");
+
+    std::set<IntVec> positions;
+    for (const auto &pe : accel.array.pes())
+        positions.insert(pe.position);
+
+    // Declare inter-PE wires: for each flowing variable and each PE with
+    // an in-array source, one wire (possibly through pipeline registers).
+    struct WirePlan
+    {
+        int tensor;
+        IntVec src, dst;
+        std::string wireName;
+        std::int64_t registers;
+        int width;
+    };
+    std::vector<WirePlan> wire_plans;
+    for (const auto &[t, vi] : vars) {
+        if (vi.role != VarRole::Flowing)
+            continue;
+        std::string name =
+                sanitizeIdentifier(spec.tensorNames()[std::size_t(t)]);
+        int width = opt.dataWidth * vi.bundleSize;
+        for (const auto &pos : positions) {
+            IntVec dst = vecAdd(pos, vi.spaceDelta);
+            if (!positions.count(dst))
+                continue;
+            WirePlan plan;
+            plan.tensor = t;
+            plan.src = pos;
+            plan.dst = dst;
+            plan.registers = vi.registers;
+            plan.width = width;
+            plan.wireName = "w_" + name + posKey(pos) + "_to" + posKey(dst);
+            array.addWire(plan.wireName, width, true);
+            if (plan.registers > 0) {
+                array.addWire(plan.wireName + "_q", width, true);
+            }
+            wire_plans.push_back(plan);
+        }
+    }
+
+    // Boundary/per-point ports on the array.
+    auto add_array_port = [&](PortDir dir, const std::string &name,
+                              int width) {
+        if (!array.declares(name))
+            array.addPort(dir, name, width, true);
+    };
+
+    // Instantiate every PE.
+    for (const auto &pe : accel.array.pes()) {
+        Instance inst;
+        inst.moduleName = pe_name;
+        inst.instanceName = "pe" + posKey(pe.position);
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"enable", "enable"});
+        for (int axis = 0; axis < accel.spec.transform.spaceDims(); axis++) {
+            inst.connections.push_back(
+                    {"pos_" + std::to_string(axis),
+                     std::to_string(pe.position[std::size_t(axis)])});
+        }
+        for (const auto &[t, vi] : vars) {
+            std::string name =
+                    sanitizeIdentifier(spec.tensorNames()[std::size_t(t)]);
+            int width = opt.dataWidth * vi.bundleSize;
+            switch (vi.role) {
+              case VarRole::Flowing: {
+                // Output side: wire toward the downstream PE, or an array
+                // output port at the far edge.
+                IntVec dst = vecAdd(pe.position, vi.spaceDelta);
+                std::string out_sig;
+                if (positions.count(dst)) {
+                    out_sig = "w_" + name + posKey(pe.position) + "_to" +
+                              posKey(dst);
+                } else {
+                    out_sig = "rf_" + name + "_out" + posKey(pe.position);
+                    add_array_port(PortDir::Output, out_sig, width);
+                }
+                inst.connections.push_back({"out_" + name, out_sig});
+                // Input side: wire from the upstream PE (past its pipe
+                // registers), or an array input port at the near edge.
+                IntVec src = vecSub(pe.position, vi.spaceDelta);
+                std::string in_sig;
+                if (positions.count(src)) {
+                    in_sig = "w_" + name + posKey(src) + "_to" +
+                             posKey(pe.position);
+                    if (vi.registers > 0)
+                        in_sig += "_q";
+                } else {
+                    in_sig = "rf_" + name + "_in" + posKey(pe.position);
+                    add_array_port(PortDir::Input, in_sig, width);
+                }
+                inst.connections.push_back({"in_" + name, in_sig});
+                break;
+              }
+              case VarRole::Stationary: {
+                std::string out_sig =
+                        "rf_" + name + "_out" + posKey(pe.position);
+                add_array_port(PortDir::Output, out_sig, width);
+                inst.connections.push_back({"out_" + name, out_sig});
+                std::string in_sig =
+                        "rf_" + name + "_in" + posKey(pe.position);
+                add_array_port(PortDir::Input, in_sig, width);
+                inst.connections.push_back({"in_" + name, in_sig});
+                break;
+              }
+              case VarRole::PerPointIo: {
+                std::string rd = "io_" + name + "_rd" + posKey(pe.position);
+                std::string wr = "io_" + name + "_wr" + posKey(pe.position);
+                add_array_port(PortDir::Input, rd, width);
+                add_array_port(PortDir::Output, wr, width);
+                inst.connections.push_back({"io_" + name + "_rd", rd});
+                inst.connections.push_back({"io_" + name + "_wr", wr});
+                break;
+              }
+              case VarRole::Combinational: {
+                std::string out_sig =
+                        "rf_" + name + "_out" + posKey(pe.position);
+                add_array_port(PortDir::Output, out_sig, width);
+                inst.connections.push_back({"out_" + name, out_sig});
+                break;
+              }
+            }
+        }
+        // Head ports for data-dependent accesses.
+        for (const auto &port : pe_module->ports()) {
+            if (port.name.size() > 5 &&
+                    port.name.substr(port.name.size() - 5) == "_head") {
+                std::string head =
+                        port.name + posKey(pe.position);
+                add_array_port(PortDir::Input, head, port.width);
+                inst.connections.push_back({port.name, head});
+            }
+            if (port.name.size() > 6 &&
+                    port.name.substr(port.name.size() - 6) == "_valid") {
+                std::string valid = port.name + posKey(pe.position);
+                add_array_port(PortDir::Output, valid, 1);
+                inst.connections.push_back({port.name, valid});
+            }
+        }
+        array.addInstance(std::move(inst));
+    }
+
+    // Pipeline registers on registered wires.
+    for (const auto &plan : wire_plans) {
+        if (plan.registers == 0)
+            continue;
+        std::string module =
+                pipeRegModule(design, plan.width, plan.registers);
+        Instance inst;
+        inst.moduleName = module;
+        inst.instanceName = "pipe_" + plan.wireName;
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"in_data", plan.wireName});
+        inst.connections.push_back({"out_data", plan.wireName + "_q"});
+        array.addInstance(std::move(inst));
+    }
+}
+
+/** Build a register-file module for one regfile plan (Fig 14). */
+void
+buildRegfileModule(Design &design, const core::RegfilePlan &plan,
+                   const RtlOptions &opt, const std::string &name)
+{
+    Module &rf = design.addModule(name);
+    rf.setComment("Register file (" +
+                  core::regfileKindName(plan.config.kind) +
+                  ", Fig 14) for tensor " + plan.tensorName + ".");
+    rf.addPort(PortDir::Input, "clock", 1);
+    rf.addPort(PortDir::Input, "reset", 1);
+    std::int64_t entries = std::max<std::int64_t>(plan.config.entries, 1);
+    for (std::int64_t e = 0; e < entries; e++)
+        rf.addReg("entry_data_" + std::to_string(e), opt.dataWidth, true);
+
+    std::int64_t in_ports = std::max<std::int64_t>(plan.config.inPorts, 1);
+    std::int64_t out_ports =
+            std::max<std::int64_t>(plan.config.outPorts, 1);
+    switch (plan.config.kind) {
+      case core::RegfileKind::FeedForward: {
+        // Parallel shift-register lanes: port p shifts every
+        // in_ports-th entry, so the file accepts/drains inPorts
+        // elements per cycle with no searching (Fig 14c).
+        for (std::int64_t p = 0; p < in_ports; p++)
+            rf.addPort(PortDir::Input, "wr_data_" + std::to_string(p),
+                       opt.dataWidth, true);
+        for (std::int64_t p = 0; p < out_ports; p++)
+            rf.addPort(PortDir::Output, "rd_data_" + std::to_string(p),
+                       opt.dataWidth, true);
+        std::ostringstream body;
+        for (std::int64_t e = 0; e < entries; e++) {
+            if (e < in_ports)
+                body << "entry_data_" << e << " <= wr_data_" << e
+                     << ";\n";
+            else
+                body << "entry_data_" << e << " <= entry_data_"
+                     << (e - in_ports) << ";\n";
+        }
+        rf.addAlways(body.str());
+        for (std::int64_t p = 0; p < out_ports; p++) {
+            std::int64_t tail = entries - 1 - (p % entries);
+            rf.addAssign("rd_data_" + std::to_string(p),
+                         "entry_data_" + std::to_string(tail));
+        }
+        break;
+      }
+      case core::RegfileKind::Transposing: {
+        // Shift chain with a selectable exit edge (one mux per entry).
+        rf.addPort(PortDir::Input, "wr_data", opt.dataWidth, true);
+        rf.addPort(PortDir::Input, "transpose", 1);
+        rf.addPort(PortDir::Output, "rd_data", opt.dataWidth, true);
+        std::ostringstream body;
+        body << "entry_data_0 <= wr_data;\n";
+        for (std::int64_t e = 1; e < entries; e++)
+            body << "entry_data_" << e << " <= entry_data_" << (e - 1)
+                 << ";\n";
+        rf.addAlways(body.str());
+        rf.addAssign("rd_data",
+                     "transpose ? entry_data_0 : entry_data_" +
+                     std::to_string(entries - 1));
+        break;
+      }
+      case core::RegfileKind::EdgeIO:
+      case core::RegfileKind::FullyAssociative: {
+        // Coordinate-searched entries; the searched set is the whole file
+        // (fully associative) or one edge (edge IO).
+        rf.addPort(PortDir::Input, "wr_data", opt.dataWidth, true);
+        rf.addPort(PortDir::Input, "wr_coord", opt.coordWidth, true);
+        rf.addPort(PortDir::Input, "rd_coord", opt.coordWidth, true);
+        rf.addPort(PortDir::Output, "rd_data", opt.dataWidth, true);
+        std::int64_t searched =
+                plan.config.kind == core::RegfileKind::FullyAssociative
+                        ? entries
+                        : std::max<std::int64_t>(
+                                  plan.config.comparators /
+                                          std::max<std::int64_t>(
+                                                  plan.config.inPorts +
+                                                          plan.config
+                                                                  .outPorts,
+                                                  1),
+                                  1);
+        searched = std::min(searched, entries);
+        for (std::int64_t e = 0; e < entries; e++)
+            rf.addReg("entry_coord_" + std::to_string(e), opt.coordWidth,
+                      true);
+        std::ostringstream body;
+        body << "entry_data_0 <= wr_data;\n"
+             << "entry_coord_0 <= wr_coord;\n";
+        rf.addAlways(body.str());
+        // Build a comparator chain: rd_data is the entry whose coord
+        // matches rd_coord.
+        std::string expr = "0";
+        for (std::int64_t e = searched; e > 0; e--) {
+            expr = "((entry_coord_" + std::to_string(e - 1) +
+                   " == rd_coord) ? entry_data_" + std::to_string(e - 1) +
+                   " : " + expr + ")";
+        }
+        rf.addAssign("rd_data", expr);
+        break;
+      }
+    }
+}
+
+/** Build a memory-buffer module with per-axis stages (Fig 12). */
+void
+buildBufferModule(Design &design, const mem::MemBufferSpec &buffer,
+                  const RtlOptions &opt, const std::string &name)
+{
+    auto stages = mem::planPipeline(buffer, /*for_reads=*/true);
+    Module &buf = design.addModule(name);
+    buf.setComment("Private memory buffer (Fig 12): one pipeline stage "
+                   "per fibertree axis of\nformat " +
+                   buffer.format.toString() + ".");
+    buf.addPort(PortDir::Input, "clock", 1);
+    buf.addPort(PortDir::Input, "reset", 1);
+    buf.addPort(PortDir::Input, "req_valid", 1);
+    buf.addPort(PortDir::Input, "req_addr", 32);
+    buf.addPort(PortDir::Output, "resp_valid", 1);
+    buf.addPort(PortDir::Output, "resp_data", opt.dataWidth, true);
+
+    std::int64_t words = std::max<std::int64_t>(
+            buffer.capacityBytes / (opt.dataWidth / 8), 1);
+    buf.addMemory("data_sram", opt.dataWidth, words);
+    for (const auto &stage : stages)
+        for (const auto &sram : stage.metadataSrams)
+            buf.addMemory(sanitizeIdentifier(sram), 32,
+                          std::max<std::int64_t>(words / 4, 1));
+
+    // Request pipeline: a valid/address pair per stage.
+    std::ostringstream body;
+    int total = 0;
+    for (const auto &stage : stages)
+        total += stage.latency;
+    for (int s = 0; s < total; s++) {
+        buf.addReg("stage" + std::to_string(s) + "_valid", 1);
+        buf.addReg("stage" + std::to_string(s) + "_addr", 32);
+    }
+    body << "stage0_valid <= req_valid;\n"
+         << "stage0_addr <= req_addr;\n";
+    for (int s = 1; s < total; s++) {
+        body << "stage" << s << "_valid <= stage" << (s - 1)
+             << "_valid;\n";
+        body << "stage" << s << "_addr <= stage" << (s - 1) << "_addr;\n";
+    }
+    buf.addReg("resp_data_r", opt.dataWidth, true);
+    body << "resp_data_r <= data_sram[stage" << (total - 1) << "_addr];\n";
+    buf.addAlways(body.str());
+    buf.addAssign("resp_valid", "stage" + std::to_string(total - 1) +
+                                "_valid");
+    buf.addAssign("resp_data", "resp_data_r");
+}
+
+/** Build a load-balancer module (Section IV-E): monitors regfile
+ *  occupancy and applies space-time biases (Eq. 2) to idle PEs. */
+void
+buildBalancerModule(Design &design, const GeneratedAccelerator &accel,
+                    const RtlOptions &opt, const std::string &name)
+{
+    const auto &balancing = accel.spec.balancing;
+    Module &lb = design.addModule(name);
+    lb.setComment("Load balancer (Section IV-E): monitors regfile inputs "
+                  "and, when target\niterations would idle, applies the "
+                  "space-time bias of Eq. 2 so re-targeted\nPEs behave "
+                  "as if located elsewhere in the array.");
+    lb.addPort(PortDir::Input, "clock", 1);
+    lb.addPort(PortDir::Input, "reset", 1);
+    lb.addPort(PortDir::Input, "target_idle", 1);
+    lb.addPort(PortDir::Output, "bias_valid", 1);
+
+    int num_indices = accel.spec.functional.numIndices();
+    for (int shift_id = 0; shift_id < int(balancing.shifts().size());
+            shift_id++) {
+        IntVec bias = balancing.shifts()[std::size_t(shift_id)]
+                              .biasVector(num_indices);
+        for (int idx = 0; idx < num_indices; idx++) {
+            std::string port = "bias" + std::to_string(shift_id) + "_" +
+                               sanitizeIdentifier(
+                                       accel.spec.functional.indexNames()
+                                               [std::size_t(idx)]);
+            lb.addPort(PortDir::Output, port, opt.coordWidth, true);
+            // The bias values are elaboration-time constants (Eq. 2's
+            // b vector); the balancer gates when they apply.
+            lb.addAssign(port, std::to_string(bias[std::size_t(idx)]));
+        }
+    }
+    lb.addReg("bias_valid_r", 1);
+    lb.addAssign("bias_valid", "bias_valid_r");
+    lb.addAlways("if (reset) begin\n"
+                 "  bias_valid_r <= 0;\n"
+                 "end else begin\n"
+                 "  bias_valid_r <= target_idle;\n"
+                 "end");
+}
+
+/** Build the DMA module (Section VI-C's bottleneck lives here). */
+void
+buildDmaModule(Design &design, const RtlOptions &opt,
+               const std::string &name)
+{
+    Module &dma = design.addModule(name);
+    dma.setComment("DMA: issues up to " +
+                   std::to_string(opt.dmaMaxInflight) +
+                   " independent DRAM requests per cycle\n(Section VI-C: "
+                   "1 for the default DMA, 16 for the scatter-tolerant "
+                   "variant).");
+    dma.addPort(PortDir::Input, "clock", 1);
+    dma.addPort(PortDir::Input, "reset", 1);
+    dma.addPort(PortDir::Input, "start", 1);
+    dma.addPort(PortDir::Output, "busy", 1);
+    for (int r = 0; r < opt.dmaMaxInflight; r++) {
+        dma.addPort(PortDir::Output, "mem_req_valid_" + std::to_string(r),
+                    1);
+        dma.addPort(PortDir::Output, "mem_req_addr_" + std::to_string(r),
+                    40);
+        dma.addPort(PortDir::Input, "mem_resp_valid_" + std::to_string(r),
+                    1);
+        dma.addPort(PortDir::Input, "mem_resp_data_" + std::to_string(r),
+                    opt.dataWidth, true);
+        dma.addReg("req_addr_r_" + std::to_string(r), 40);
+        dma.addReg("req_valid_r_" + std::to_string(r), 1);
+        dma.addAssign("mem_req_valid_" + std::to_string(r),
+                      "req_valid_r_" + std::to_string(r));
+        dma.addAssign("mem_req_addr_" + std::to_string(r),
+                      "req_addr_r_" + std::to_string(r));
+    }
+    dma.addReg("busy_r", 1);
+    dma.addAssign("busy", "busy_r");
+    std::ostringstream body;
+    body << "if (reset) begin\n  busy_r <= 0;\n";
+    for (int r = 0; r < opt.dmaMaxInflight; r++)
+        body << "  req_valid_r_" << r << " <= 0;\n"
+             << "  req_addr_r_" << r << " <= 0;\n";
+    body << "end else begin\n  busy_r <= start;\n";
+    for (int r = 0; r < opt.dmaMaxInflight; r++)
+        body << "  req_valid_r_" << r << " <= start;\n"
+             << "  req_addr_r_" << r << " <= req_addr_r_" << r << " + "
+             << opt.dmaMaxInflight * (opt.dataWidth / 8) << ";\n";
+    body << "end";
+    dma.addAlways(body.str());
+}
+
+} // namespace
+
+Design
+lowerToVerilog(const core::GeneratedAccelerator &accel,
+               const RtlOptions &options)
+{
+    Design design;
+    auto vars = classifyVariables(accel);
+    std::string base = sanitizeIdentifier(accel.spec.name.empty()
+                                                  ? accel.spec.functional.name()
+                                                  : accel.spec.name);
+    std::string pe_name = "stellar_pe_" + base;
+    std::string array_name = "stellar_array_" + base;
+
+    buildPeModule(design, accel, vars, options, pe_name);
+    buildArrayModule(design, accel, vars, options, pe_name, array_name);
+
+    std::vector<std::string> regfile_names;
+    for (const auto &plan : accel.regfiles) {
+        std::string name = "stellar_rf_" + base + "_" +
+                           sanitizeIdentifier(plan.tensorName);
+        buildRegfileModule(design, plan, options, name);
+        regfile_names.push_back(name);
+    }
+
+    std::vector<std::string> buffer_names;
+    for (const auto &buffer : accel.spec.buffers) {
+        std::string name = "stellar_mem_" + base + "_" +
+                           sanitizeIdentifier(buffer.name);
+        buildBufferModule(design, buffer, options, name);
+        buffer_names.push_back(name);
+    }
+
+    std::string dma_name = "stellar_dma_" + base;
+    buildDmaModule(design, options, dma_name);
+
+    std::string balancer_name;
+    if (!accel.spec.balancing.empty()) {
+        balancer_name = "stellar_balancer_" + base;
+        buildBalancerModule(design, accel, options, balancer_name);
+    }
+
+    // Top level: instantiate the array, regfiles, buffers, and DMA.
+    std::string top_name = "stellar_top_" + base;
+    Module &top = design.addModule(top_name);
+    top.setComment("Stellar-generated SoC tile for accelerator \"" +
+                   accel.spec.name + "\".");
+    top.addPort(PortDir::Input, "clock", 1);
+    top.addPort(PortDir::Input, "reset", 1);
+    top.addPort(PortDir::Input, "enable", 1);
+
+    {
+        Instance inst;
+        inst.moduleName = array_name;
+        inst.instanceName = "array";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"enable", "enable"});
+        top.addInstance(std::move(inst));
+    }
+    for (const auto &name : regfile_names) {
+        Instance inst;
+        inst.moduleName = name;
+        inst.instanceName = "rf_" + name.substr(name.rfind('_') + 1);
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        top.addInstance(std::move(inst));
+    }
+    for (const auto &name : buffer_names) {
+        Instance inst;
+        inst.moduleName = name;
+        inst.instanceName = "mem_" + name.substr(name.rfind('_') + 1);
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        top.addInstance(std::move(inst));
+    }
+    {
+        Instance inst;
+        inst.moduleName = dma_name;
+        inst.instanceName = "dma";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"start", "enable"});
+        top.addInstance(std::move(inst));
+    }
+    if (!balancer_name.empty()) {
+        Instance inst;
+        inst.moduleName = balancer_name;
+        inst.instanceName = "balancer";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        top.addInstance(std::move(inst));
+    }
+    design.setTop(top_name);
+    return design;
+}
+
+namespace
+{
+
+std::int64_t
+countRegistersIn(const Design &design, const Module &module)
+{
+    std::int64_t total = 0;
+    for (const auto &reg : module.regs())
+        total += reg.width;
+    for (const auto &inst : module.instances()) {
+        const Module *child = design.findModule(inst.moduleName);
+        if (child != nullptr)
+            total += countRegistersIn(design, *child);
+    }
+    return total;
+}
+
+} // namespace
+
+std::int64_t
+countRegisters(const Design &design)
+{
+    const Module *top = design.findModule(design.top());
+    if (top == nullptr)
+        return 0;
+    return countRegistersIn(design, *top);
+}
+
+} // namespace stellar::rtl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * RTL generation: lowering a GeneratedAccelerator onto Verilog templates
+ * (Fig 7 right half; Fig 11 PE template).
+ *
+ * The produced design contains:
+ *  - one PE module with the Fig 11 structure (time counter, iterator
+ *    recovery through T^-1, IO request generation, user-defined logic
+ *    translated from the functional assignments);
+ *  - a spatial-array module instantiating one PE per physical position
+ *    and wiring the surviving PE-to-PE connections through pipeline
+ *    registers;
+ *  - one register-file module per external tensor, matching the regfile
+ *    kind chosen by the optimizer (Fig 14);
+ *  - one memory-buffer module per private buffer, with the per-axis
+ *    pipeline stages of Fig 12;
+ *  - a DMA and a top-level module tying everything together.
+ */
+
+#ifndef STELLAR_RTL_GENERATE_HPP
+#define STELLAR_RTL_GENERATE_HPP
+
+#include "core/accelerator.hpp"
+#include "rtl/verilog.hpp"
+
+namespace stellar::rtl
+{
+
+/** Tunable parameters of the RTL backend. */
+struct RtlOptions
+{
+    int dataWidth = 32;
+    int coordWidth = 16;
+    int dmaMaxInflight = 1;
+};
+
+/** Lower a generated accelerator to a Verilog design. */
+Design lowerToVerilog(const core::GeneratedAccelerator &accel,
+                      const RtlOptions &options = {});
+
+/** Count always-block flip-flop assignments in a design (for models). */
+std::int64_t countRegisters(const Design &design);
+
+} // namespace stellar::rtl
+
+#endif // STELLAR_RTL_GENERATE_HPP

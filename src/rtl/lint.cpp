@@ -1,0 +1,175 @@
+#include "rtl/lint.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace stellar::rtl
+{
+
+namespace
+{
+
+/** Extract the base identifier from an lvalue/signal expression
+ *  (strips bit-selects and concatenation braces). */
+std::string
+baseIdentifier(const std::string &expr)
+{
+    std::string out;
+    for (char ch : expr) {
+        if (std::isalnum((unsigned char)ch) || ch == '_' || ch == '$')
+            out += ch;
+        else
+            break;
+    }
+    return out;
+}
+
+bool
+isLiteral(const std::string &expr)
+{
+    if (expr.empty())
+        return false;
+    if (std::isdigit((unsigned char)expr[0]))
+        return true;
+    if (expr[0] == '-' && expr.size() > 1 &&
+            std::isdigit((unsigned char)expr[1])) {
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<LintIssue>
+lintDesign(const Design &design)
+{
+    std::vector<LintIssue> issues;
+    if (design.top().empty() ||
+            design.findModule(design.top()) == nullptr) {
+        issues.push_back({"<design>", "top module \"" + design.top() +
+                                      "\" is not defined"});
+    }
+    for (const auto &module : design.modules()) {
+        // Assignment targets must be declared.
+        for (const auto &assign : module.assigns()) {
+            std::string base = baseIdentifier(assign.lhs);
+            if (!module.declares(base)) {
+                issues.push_back({module.name(),
+                                  "assign target " + base +
+                                  " is not declared"});
+            }
+        }
+        // Instances must reference defined modules and real ports, and
+        // connect declared local signals.
+        for (const auto &inst : module.instances()) {
+            const Module *target = design.findModule(inst.moduleName);
+            if (target == nullptr) {
+                issues.push_back({module.name(),
+                                  "instance " + inst.instanceName +
+                                  " references undefined module " +
+                                  inst.moduleName});
+                continue;
+            }
+            for (const auto &conn : inst.connections) {
+                bool port_exists = false;
+                for (const auto &port : target->ports())
+                    if (port.name == conn.port)
+                        port_exists = true;
+                if (!port_exists) {
+                    issues.push_back({module.name(),
+                                      "instance " + inst.instanceName +
+                                      " connects nonexistent port " +
+                                      conn.port});
+                }
+                std::string base = baseIdentifier(conn.signal);
+                if (!isLiteral(conn.signal) && !base.empty() &&
+                        !module.declares(base)) {
+                    issues.push_back({module.name(),
+                                      "instance " + inst.instanceName +
+                                      " uses undeclared signal " + base});
+                }
+                // Width check: a plain (un-sliced) signal must match the
+                // port width exactly.
+                if (port_exists && !isLiteral(conn.signal) &&
+                        base == conn.signal && module.declares(base)) {
+                    int port_width = target->widthOf(conn.port);
+                    int signal_width = module.widthOf(base);
+                    if (port_width > 0 && signal_width > 0 &&
+                            port_width != signal_width) {
+                        issues.push_back(
+                                {module.name(),
+                                 "instance " + inst.instanceName +
+                                 " connects " + std::to_string(signal_width) +
+                                 "-bit " + base + " to " +
+                                 std::to_string(port_width) + "-bit port " +
+                                 conn.port});
+                    }
+                }
+            }
+        }
+    }
+    return issues;
+}
+
+std::vector<LintIssue>
+lintText(const std::string &verilog)
+{
+    std::vector<LintIssue> issues;
+    // Strip line comments first so their punctuation is not counted.
+    std::ostringstream stripped;
+    std::istringstream lines(verilog);
+    std::string line;
+    while (std::getline(lines, line)) {
+        auto pos = line.find("//");
+        stripped << (pos == std::string::npos ? line : line.substr(0, pos))
+                 << "\n";
+    }
+    std::istringstream is(stripped.str());
+    std::string word;
+    long modules = 0, begins = 0, cases = 0;
+    long paren_depth = 0;
+    while (is >> word) {
+        // Strip punctuation glued to keywords for the counting below.
+        std::string token = baseIdentifier(word);
+        if (token == "module")
+            modules++;
+        else if (token == "endmodule")
+            modules--;
+        else if (token == "begin")
+            begins++;
+        else if (token == "end")
+            begins--;
+        else if (token == "case" || token == "casez")
+            cases++;
+        else if (token == "endcase")
+            cases--;
+        for (char ch : word) {
+            if (ch == '(')
+                paren_depth++;
+            if (ch == ')')
+                paren_depth--;
+        }
+        if (modules < 0 || begins < 0 || cases < 0 || paren_depth < 0)
+            break;
+    }
+    if (modules != 0)
+        issues.push_back({"<text>", "unbalanced module/endmodule"});
+    if (begins != 0)
+        issues.push_back({"<text>", "unbalanced begin/end"});
+    if (cases != 0)
+        issues.push_back({"<text>", "unbalanced case/endcase"});
+    if (paren_depth != 0)
+        issues.push_back({"<text>", "unbalanced parentheses"});
+    return issues;
+}
+
+std::vector<LintIssue>
+lintAll(const Design &design)
+{
+    std::vector<LintIssue> issues = lintDesign(design);
+    for (auto &issue : lintText(design.emit()))
+        issues.push_back(std::move(issue));
+    return issues;
+}
+
+} // namespace stellar::rtl

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural Verilog lint.
+ *
+ * Two layers of checking, both used heavily in tests:
+ *  - graph checks over a Design (instances reference defined modules, and
+ *    connect only real ports of those modules; assignments only target
+ *    declared signals);
+ *  - text checks over emitted Verilog (balanced module/endmodule and
+ *    begin/end, no empty port lists, balanced parentheses).
+ */
+
+#ifndef STELLAR_RTL_LINT_HPP
+#define STELLAR_RTL_LINT_HPP
+
+#include <string>
+#include <vector>
+
+#include "rtl/verilog.hpp"
+
+namespace stellar::rtl
+{
+
+/** One lint finding. */
+struct LintIssue
+{
+    std::string module;
+    std::string message;
+};
+
+/** Check the module graph of a design. Empty result means clean. */
+std::vector<LintIssue> lintDesign(const Design &design);
+
+/** Check emitted Verilog text. Empty result means clean. */
+std::vector<LintIssue> lintText(const std::string &verilog);
+
+/** Convenience: emit, run both linters, and return all issues. */
+std::vector<LintIssue> lintAll(const Design &design);
+
+} // namespace stellar::rtl
+
+#endif // STELLAR_RTL_LINT_HPP

@@ -1,0 +1,171 @@
+#include "rtl/soc.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::rtl
+{
+
+namespace
+{
+
+/** A 5-stage in-order RISC-V host CPU stub with a RoCC-style custom
+ *  command port for the Table II instructions. */
+void
+buildHostCpu(Design &design, const std::string &name, int bus_bits)
+{
+    Module &cpu = design.addModule(name);
+    cpu.setComment("In-order RISC-V host CPU (Rocket-class stub): fetches "
+                   "from the bus and\nissues Table II custom instructions "
+                   "over the RoCC command channel.");
+    cpu.addPort(PortDir::Input, "clock", 1);
+    cpu.addPort(PortDir::Input, "reset", 1);
+    cpu.addPort(PortDir::Output, "rocc_cmd_valid", 1);
+    cpu.addPort(PortDir::Output, "rocc_cmd_inst", 32);
+    cpu.addPort(PortDir::Output, "rocc_cmd_rs1", 64);
+    cpu.addPort(PortDir::Output, "rocc_cmd_rs2", 64);
+    cpu.addPort(PortDir::Input, "rocc_busy", 1);
+    cpu.addPort(PortDir::Output, "bus_req_valid", 1);
+    cpu.addPort(PortDir::Output, "bus_req_addr", 40);
+    cpu.addPort(PortDir::Input, "bus_resp_valid", 1);
+    cpu.addPort(PortDir::Input, "bus_resp_data", bus_bits);
+
+    cpu.addReg("pc", 40);
+    cpu.addReg("cmd_valid_r", 1);
+    cpu.addReg("cmd_inst_r", 32);
+    cpu.addReg("cmd_rs1_r", 64);
+    cpu.addReg("cmd_rs2_r", 64);
+    cpu.addAssign("rocc_cmd_valid", "cmd_valid_r");
+    cpu.addAssign("rocc_cmd_inst", "cmd_inst_r");
+    cpu.addAssign("rocc_cmd_rs1", "cmd_rs1_r");
+    cpu.addAssign("rocc_cmd_rs2", "cmd_rs2_r");
+    cpu.addAssign("bus_req_valid", "!reset");
+    cpu.addAssign("bus_req_addr", "pc");
+    cpu.addAlways("if (reset) begin\n"
+                  "  pc <= 0;\n"
+                  "  cmd_valid_r <= 0;\n"
+                  "  cmd_inst_r <= 0;\n"
+                  "  cmd_rs1_r <= 0;\n"
+                  "  cmd_rs2_r <= 0;\n"
+                  "end else begin\n"
+                  "  if (bus_resp_valid) begin\n"
+                  "    pc <= pc + 4;\n"
+                  "    cmd_inst_r <= bus_resp_data[31:0];\n"
+                  "    cmd_valid_r <= !rocc_busy;\n"
+                  "  end\n"
+                  "end");
+}
+
+/** A shared L2 cache stub: tag + data arrays with a simple lookup. */
+void
+buildL2(Design &design, const std::string &name, std::int64_t bytes,
+        int bus_bits)
+{
+    Module &l2 = design.addModule(name);
+    l2.setComment("Shared L2 cache: CPU and accelerator both hit the "
+                  "same banked arrays\n(Section IV-F: Chipyard provisions "
+                  "the shared outer memory).");
+    l2.addPort(PortDir::Input, "clock", 1);
+    l2.addPort(PortDir::Input, "reset", 1);
+    for (const char *side : {"cpu", "accel"}) {
+        std::string s(side);
+        l2.addPort(PortDir::Input, s + "_req_valid", 1);
+        l2.addPort(PortDir::Input, s + "_req_addr", 40);
+        l2.addPort(PortDir::Output, s + "_resp_valid", 1);
+        l2.addPort(PortDir::Output, s + "_resp_data", bus_bits);
+    }
+    std::int64_t lines = std::max<std::int64_t>(bytes / (bus_bits / 8), 1);
+    l2.addMemory("data_array", bus_bits, lines);
+    l2.addMemory("tag_array", 24, lines);
+    for (const char *side : {"cpu", "accel"}) {
+        std::string s(side);
+        l2.addReg(s + "_resp_valid_r", 1);
+        l2.addReg(s + "_resp_data_r", bus_bits);
+        l2.addAssign(s + "_resp_valid", s + "_resp_valid_r");
+        l2.addAssign(s + "_resp_data", s + "_resp_data_r");
+    }
+    l2.addAlways("cpu_resp_valid_r <= cpu_req_valid;\n"
+                 "cpu_resp_data_r <= data_array[cpu_req_addr[15:4]];\n"
+                 "accel_resp_valid_r <= accel_req_valid;\n"
+                 "accel_resp_data_r <= data_array[accel_req_addr[15:4]];");
+}
+
+} // namespace
+
+std::string
+assembleSoc(Design &design, const SocOptions &options)
+{
+    const Module *accel_top = design.findModule(design.top());
+    require(accel_top != nullptr, "design needs an accelerator top first");
+    std::string base = design.top();
+
+    std::string l2_name = base + "_l2";
+    buildL2(design, l2_name, options.l2Bytes, options.busDataBits);
+    std::string cpu_name;
+    if (options.includeHostCpu) {
+        cpu_name = base + "_host_cpu";
+        buildHostCpu(design, cpu_name, options.busDataBits);
+    }
+
+    std::string soc_name = "stellar_soc";
+    Module &soc = design.addModule(soc_name);
+    soc.setComment("Full SoC: accelerator tile + host CPU + shared L2 "
+                   "(Fig 1's rightmost output).");
+    soc.addPort(PortDir::Input, "clock", 1);
+    soc.addPort(PortDir::Input, "reset", 1);
+    soc.addPort(PortDir::Input, "enable", 1);
+    soc.addWire("cpu_req_valid", 1);
+    soc.addWire("cpu_req_addr", 40);
+    soc.addWire("cpu_resp_valid", 1);
+    soc.addWire("cpu_resp_data", options.busDataBits);
+    soc.addWire("rocc_cmd_valid", 1);
+    soc.addWire("rocc_cmd_inst", 32);
+    soc.addWire("rocc_cmd_rs1", 64);
+    soc.addWire("rocc_cmd_rs2", 64);
+
+    {
+        Instance inst;
+        inst.moduleName = base;
+        inst.instanceName = "accel_tile";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"enable", "enable"});
+        soc.addInstance(std::move(inst));
+    }
+    {
+        Instance inst;
+        inst.moduleName = l2_name;
+        inst.instanceName = "l2";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"cpu_req_valid", "cpu_req_valid"});
+        inst.connections.push_back({"cpu_req_addr", "cpu_req_addr"});
+        inst.connections.push_back({"cpu_resp_valid", "cpu_resp_valid"});
+        inst.connections.push_back({"cpu_resp_data", "cpu_resp_data"});
+        inst.connections.push_back({"accel_req_valid", "enable"});
+        inst.connections.push_back({"accel_req_addr", "cpu_req_addr"});
+        soc.addInstance(std::move(inst));
+    }
+    if (!cpu_name.empty()) {
+        Instance inst;
+        inst.moduleName = cpu_name;
+        inst.instanceName = "host_cpu";
+        inst.connections.push_back({"clock", "clock"});
+        inst.connections.push_back({"reset", "reset"});
+        inst.connections.push_back({"rocc_cmd_valid", "rocc_cmd_valid"});
+        inst.connections.push_back({"rocc_cmd_inst", "rocc_cmd_inst"});
+        inst.connections.push_back({"rocc_cmd_rs1", "rocc_cmd_rs1"});
+        inst.connections.push_back({"rocc_cmd_rs2", "rocc_cmd_rs2"});
+        inst.connections.push_back({"rocc_busy", "enable"});
+        inst.connections.push_back({"bus_req_valid", "cpu_req_valid"});
+        inst.connections.push_back({"bus_req_addr", "cpu_req_addr"});
+        inst.connections.push_back({"bus_resp_valid", "cpu_resp_valid"});
+        inst.connections.push_back({"bus_resp_data", "cpu_resp_data"});
+        soc.addInstance(std::move(inst));
+    }
+    design.setTop(soc_name);
+    return soc_name;
+}
+
+} // namespace stellar::rtl

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * SoC assembly (the Chipyard-style integration of Section IV-F / VII).
+ *
+ * Stellar outputs full SoCs: the generated accelerator tile plus an
+ * optional in-order RISC-V host CPU, a shared L2 cache, and a system
+ * bus tying them to the DRAM controller. The CPU issues the Table II
+ * custom instructions over the RoCC-style command channel.
+ */
+
+#ifndef STELLAR_RTL_SOC_HPP
+#define STELLAR_RTL_SOC_HPP
+
+#include <string>
+
+#include "rtl/verilog.hpp"
+
+namespace stellar::rtl
+{
+
+/** SoC assembly options. */
+struct SocOptions
+{
+    bool includeHostCpu = true;
+    std::int64_t l2Bytes = 512 * 1024;
+    int busDataBits = 128;
+};
+
+/**
+ * Wrap an accelerator design (whose top was produced by lowerToVerilog)
+ * into an SoC: adds host-CPU, L2, and bus modules plus an `stellar_soc_*`
+ * top that instantiates everything. Returns the new top name; the
+ * design's top is updated to it.
+ */
+std::string assembleSoc(Design &design, const SocOptions &options = {});
+
+} // namespace stellar::rtl
+
+#endif // STELLAR_RTL_SOC_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Verilog testbench generation.
+ *
+ * For a generated design, emit a self-checking testbench module that
+ * clocks the top level, drives reset/enable, and (for PE modules)
+ * applies stimulus/expected-response vectors computed by the schedule
+ * executor. The testbench is plain Verilog-2001 so the emitted design
+ * can be handed to any simulator; inside this repo the same vectors are
+ * checked natively by the schedule executor, keeping the two in sync.
+ */
+
+#ifndef STELLAR_RTL_TESTBENCH_HPP
+#define STELLAR_RTL_TESTBENCH_HPP
+
+#include <string>
+#include <vector>
+
+#include "rtl/verilog.hpp"
+
+namespace stellar::rtl
+{
+
+/** One stimulus/response vector for a module port set. */
+struct TestVector
+{
+    std::vector<std::pair<std::string, std::int64_t>> inputs;
+    std::vector<std::pair<std::string, std::int64_t>> expected;
+};
+
+/**
+ * Build a testbench module for the design's top level: clock/reset
+ * generation, an enable pulse, and a cycle-count watchdog. Returns the
+ * testbench module name.
+ */
+std::string addTopTestbench(Design &design, std::int64_t run_cycles);
+
+/**
+ * Build a self-checking testbench for one module with explicit vectors:
+ * each vector applies its inputs, waits one clock, and $display-checks
+ * the expected outputs. Returns the testbench module name.
+ */
+std::string addVectorTestbench(Design &design,
+                               const std::string &module_name,
+                               const std::vector<TestVector> &vectors);
+
+} // namespace stellar::rtl
+
+#endif // STELLAR_RTL_TESTBENCH_HPP

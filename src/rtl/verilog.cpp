@@ -1,0 +1,212 @@
+#include "rtl/verilog.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::rtl
+{
+
+namespace
+{
+
+std::string
+rangeOf(int width)
+{
+    if (width <= 1)
+        return "";
+    return "[" + std::to_string(width - 1) + ":0] ";
+}
+
+} // namespace
+
+void
+Module::addPort(PortDir dir, const std::string &name, int width,
+                bool is_signed)
+{
+    require(!declares(name), "duplicate signal " + name + " in " + name_);
+    ports_.push_back(Port{dir, name, width, is_signed});
+}
+
+void
+Module::addWire(const std::string &name, int width, bool is_signed)
+{
+    require(!declares(name), "duplicate signal " + name + " in " + name_);
+    wires_.push_back(Wire{name, width, is_signed});
+}
+
+void
+Module::addReg(const std::string &name, int width, bool is_signed)
+{
+    require(!declares(name), "duplicate signal " + name + " in " + name_);
+    regs_.push_back(Reg{name, width, is_signed});
+}
+
+void
+Module::addMemory(const std::string &name, int width, std::int64_t depth)
+{
+    require(!declares(name), "duplicate signal " + name + " in " + name_);
+    memories_.push_back(Memory{name, width, depth});
+}
+
+void
+Module::addAssign(const std::string &lhs, const std::string &rhs)
+{
+    assigns_.push_back(Assign{lhs, rhs});
+}
+
+void
+Module::addInstance(Instance instance)
+{
+    instances_.push_back(std::move(instance));
+}
+
+void
+Module::addAlways(const std::string &body)
+{
+    always_.push_back(body);
+}
+
+void
+Module::addRaw(const std::string &text)
+{
+    raws_.push_back(text);
+}
+
+bool
+Module::declares(const std::string &name) const
+{
+    for (const auto &port : ports_)
+        if (port.name == name)
+            return true;
+    for (const auto &wire : wires_)
+        if (wire.name == name)
+            return true;
+    for (const auto &reg : regs_)
+        if (reg.name == name)
+            return true;
+    for (const auto &memory : memories_)
+        if (memory.name == name)
+            return true;
+    return false;
+}
+
+int
+Module::widthOf(const std::string &name) const
+{
+    for (const auto &port : ports_)
+        if (port.name == name)
+            return port.width;
+    for (const auto &wire : wires_)
+        if (wire.name == name)
+            return wire.width;
+    for (const auto &reg : regs_)
+        if (reg.name == name)
+            return reg.width;
+    for (const auto &memory : memories_)
+        if (memory.name == name)
+            return memory.width;
+    return -1;
+}
+
+std::string
+Module::emit() const
+{
+    std::ostringstream os;
+    if (!comment_.empty()) {
+        std::istringstream lines(comment_);
+        std::string line;
+        while (std::getline(lines, line))
+            os << "// " << line << "\n";
+    }
+    os << "module " << name_ << " (\n";
+    for (std::size_t i = 0; i < ports_.size(); i++) {
+        const auto &port = ports_[i];
+        os << "    " << (port.dir == PortDir::Input ? "input  " : "output ")
+           << (port.isSigned ? "signed " : "") << rangeOf(port.width)
+           << port.name << (i + 1 < ports_.size() ? "," : "") << "\n";
+    }
+    os << ");\n";
+    for (const auto &wire : wires_) {
+        os << "  wire " << (wire.isSigned ? "signed " : "")
+           << rangeOf(wire.width) << wire.name << ";\n";
+    }
+    for (const auto &reg : regs_) {
+        os << "  reg " << (reg.isSigned ? "signed " : "")
+           << rangeOf(reg.width) << reg.name << ";\n";
+    }
+    for (const auto &memory : memories_) {
+        os << "  reg " << rangeOf(memory.width) << memory.name << " [0:"
+           << (memory.depth - 1) << "];\n";
+    }
+    for (const auto &assign : assigns_)
+        os << "  assign " << assign.lhs << " = " << assign.rhs << ";\n";
+    for (const auto &inst : instances_) {
+        os << "  " << inst.moduleName << " " << inst.instanceName << " (\n";
+        for (std::size_t i = 0; i < inst.connections.size(); i++) {
+            const auto &conn = inst.connections[i];
+            os << "    ." << conn.port << "(" << conn.signal << ")"
+               << (i + 1 < inst.connections.size() ? "," : "") << "\n";
+        }
+        os << "  );\n";
+    }
+    for (const auto &body : always_) {
+        os << "  always @(posedge clock) begin\n";
+        os << indent(body, 4) << "\n";
+        os << "  end\n";
+    }
+    for (const auto &raw : raws_)
+        os << indent(raw, 2) << "\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+Module &
+Design::addModule(const std::string &name)
+{
+    require(findModule(name) == nullptr, "duplicate module " + name);
+    modules_.emplace_back(name);
+    return modules_.back();
+}
+
+Module *
+Design::findModule(const std::string &name)
+{
+    for (auto &module : modules_)
+        if (module.name() == name)
+            return &module;
+    return nullptr;
+}
+
+const Module *
+Design::findModule(const std::string &name) const
+{
+    for (const auto &module : modules_)
+        if (module.name() == name)
+            return &module;
+    return nullptr;
+}
+
+std::string
+Design::emit() const
+{
+    std::ostringstream os;
+    os << "// Generated by stellar (C++ reproduction of the Stellar\n"
+       << "// accelerator design framework, MICRO 2024).\n\n";
+    for (const auto &module : modules_)
+        os << module.emit() << "\n";
+    return os.str();
+}
+
+void
+Design::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open " + path + " for writing");
+    out << emit();
+    require(out.good(), "failed writing Verilog to " + path);
+}
+
+} // namespace stellar::rtl

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * A lightweight structural Verilog representation and emitter.
+ *
+ * The Stellar compiler lowers its optimized IR onto hardware templates and
+ * prints synthesizable Verilog (Fig 7, right side). This module provides
+ * the Module/Port/Wire/Instance graph those templates are built from, and
+ * the text emitter. The companion lint (rtl/lint.hpp) checks both the
+ * graph and the emitted text for structural well-formedness.
+ */
+
+#ifndef STELLAR_RTL_VERILOG_HPP
+#define STELLAR_RTL_VERILOG_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace stellar::rtl
+{
+
+/** Signal direction of a module port. */
+enum class PortDir { Input, Output };
+
+/** A module port. Width 1 ports are plain wires; wider ports are vectors. */
+struct Port
+{
+    PortDir dir = PortDir::Input;
+    std::string name;
+    int width = 1;
+    bool isSigned = false;
+};
+
+/** An internal wire (continuous assignment target). */
+struct Wire
+{
+    std::string name;
+    int width = 1;
+    bool isSigned = false;
+};
+
+/** An internal register (always-block target). */
+struct Reg
+{
+    std::string name;
+    int width = 1;
+    bool isSigned = false;
+};
+
+/** An internal memory array: reg [w-1:0] name [0:depth-1]. */
+struct Memory
+{
+    std::string name;
+    int width = 1;
+    std::int64_t depth = 1;
+};
+
+/** One port connection of an instance: .port(signal). */
+struct Connection
+{
+    std::string port;
+    std::string signal;
+};
+
+/** A module instantiation. */
+struct Instance
+{
+    std::string moduleName;
+    std::string instanceName;
+    std::vector<Connection> connections;
+};
+
+/** A continuous assignment: assign lhs = rhs. */
+struct Assign
+{
+    std::string lhs;
+    std::string rhs;
+};
+
+/** One Verilog module. */
+class Module
+{
+  public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void addPort(PortDir dir, const std::string &name, int width,
+                 bool is_signed = false);
+    void addWire(const std::string &name, int width, bool is_signed = false);
+    void addReg(const std::string &name, int width, bool is_signed = false);
+    void addMemory(const std::string &name, int width, std::int64_t depth);
+    void addAssign(const std::string &lhs, const std::string &rhs);
+    void addInstance(Instance instance);
+
+    /**
+     * Add a clocked always-block. `body` holds statements using
+     * non-blocking assignments; it is emitted inside
+     * "always @(posedge clock) begin ... end".
+     */
+    void addAlways(const std::string &body);
+
+    /**
+     * Add raw Verilog text emitted verbatim inside the module (initial
+     * blocks, clock generators). Used by the testbench generator; the
+     * text must keep begin/end balanced for the lint to pass.
+     */
+    void addRaw(const std::string &text);
+
+    /** Free-form comment emitted above the module body. */
+    void setComment(const std::string &comment) { comment_ = comment; }
+
+    const std::vector<Port> &ports() const { return ports_; }
+    const std::vector<Wire> &wires() const { return wires_; }
+    const std::vector<Reg> &regs() const { return regs_; }
+    const std::vector<Memory> &memories() const { return memories_; }
+    const std::vector<Assign> &assigns() const { return assigns_; }
+    const std::vector<Instance> &instances() const { return instances_; }
+    const std::vector<std::string> &alwaysBlocks() const { return always_; }
+    const std::vector<std::string> &rawBlocks() const { return raws_; }
+
+    /** True when the module declares a signal of this name. */
+    bool declares(const std::string &name) const;
+
+    /** Width of a declared signal; -1 when not declared. */
+    int widthOf(const std::string &name) const;
+
+    /** Render this module as Verilog text. */
+    std::string emit() const;
+
+  private:
+    std::string name_;
+    std::string comment_;
+    std::vector<Port> ports_;
+    std::vector<Wire> wires_;
+    std::vector<Reg> regs_;
+    std::vector<Memory> memories_;
+    std::vector<Assign> assigns_;
+    std::vector<Instance> instances_;
+    std::vector<std::string> always_;
+    std::vector<std::string> raws_;
+};
+
+/** A complete design: a set of modules with one designated top. */
+class Design
+{
+  public:
+    /**
+     * Add a module and return a stable reference to it. Modules are
+     * stored in a deque precisely so references survive later
+     * additions (template builders add helper modules mid-build).
+     */
+    Module &addModule(const std::string &name);
+
+    const std::deque<Module> &modules() const { return modules_; }
+    Module *findModule(const std::string &name);
+    const Module *findModule(const std::string &name) const;
+
+    void setTop(const std::string &name) { top_ = name; }
+    const std::string &top() const { return top_; }
+
+    /** Render the whole design as one Verilog source file. */
+    std::string emit() const;
+
+    /** Write the emitted Verilog to a file; fatal on IO errors. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::deque<Module> modules_;
+    std::string top_;
+};
+
+} // namespace stellar::rtl
+
+#endif // STELLAR_RTL_VERILOG_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Load-balancer simulation (Section III-D / IV-E, Fig 6).
+ *
+ * Models the sparse input-stationary matmul array of Fig 4 executing an
+ * imbalanced B matrix: array row k processes the nonzeros of B's row k.
+ * Without balancing, every wave of rows waits for its longest member.
+ * With a Listing 3-style shift, idle rows apply a space-time bias
+ * (Eq. 2) and take work from the *next* wave's corresponding row.
+ */
+
+#ifndef STELLAR_SIM_BALANCE_HPP
+#define STELLAR_SIM_BALANCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "balance/shift.hpp"
+
+namespace stellar::sim
+{
+
+/** Result of one load-balanced execution. */
+struct BalanceResult
+{
+    std::int64_t cycles = 0;
+    std::int64_t work = 0;       //!< total useful operations
+    double utilization = 0.0;    //!< work / (cycles * rows)
+    std::int64_t shiftsApplied = 0; //!< runtime space-time biases applied
+};
+
+/**
+ * Execute `row_work[k]` units of work on an array with `rows` physical
+ * rows. Rows are processed in waves of `rows` consecutive work items.
+ * When `balanced` is set, a row that finishes its wave early steals the
+ * matching row of the next wave (adjacent-wave sharing, Fig 6).
+ */
+BalanceResult simulateRowWaves(const std::vector<std::int64_t> &row_work,
+                               int rows, bool balanced);
+
+/**
+ * Fine-grained variant (Listing 4 / Fig 10b): any idle lane may take
+ * work from the global queue, at the cost of the pruned-conn hardware.
+ */
+BalanceResult simulatePerPe(const std::vector<std::int64_t> &row_work,
+                            int rows);
+
+} // namespace stellar::sim
+
+#endif // STELLAR_SIM_BALANCE_HPP

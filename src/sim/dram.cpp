@@ -1,0 +1,157 @@
+#include "sim/dram.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace stellar::sim
+{
+
+std::int64_t
+DramModel::outstanding(std::int64_t now) const
+{
+    while (!inflight_.empty() && inflight_.top() <= now)
+        inflight_.pop();
+    return std::int64_t(inflight_.size());
+}
+
+bool
+DramModel::canAccept(std::int64_t now) const
+{
+    return outstanding(now) < config_.maxOutstanding;
+}
+
+std::int64_t
+DramModel::issue(std::int64_t now, std::int64_t bytes)
+{
+    require(bytes > 0, "DRAM request must move at least one byte");
+    std::int64_t charged = std::max(bytes, config_.minBurstBytes);
+    std::int64_t start = std::max(now, bwCursor_);
+    std::int64_t occupancy =
+            (charged + config_.bytesPerCycle - 1) / config_.bytesPerCycle;
+    bwCursor_ = start + occupancy;
+    bytesTransferred_ += bytes;
+    std::int64_t completion = bwCursor_ + config_.latency;
+    inflight_.push(completion);
+    return completion;
+}
+
+TransferResult
+simulateTransfer(const DmaConfig &dma, DramModel &dram,
+                 const std::vector<TransferChunk> &chunks,
+                 std::int64_t start_cycle)
+{
+    TransferResult result;
+    std::int64_t now = start_cycle;
+
+    // Chunks whose pointer load has been issued, keyed by the cycle the
+    // pointer value arrives.
+    struct PendingData
+    {
+        std::int64_t readyAt;
+        std::int64_t bytes;
+    };
+    std::vector<PendingData> pending;
+    std::size_t next_chunk = 0;
+    std::int64_t last_completion = start_cycle;
+
+    auto all_done = [&]() {
+        return next_chunk >= chunks.size() && pending.empty();
+    };
+
+    while (!all_done()) {
+        int issued_this_cycle = 0;
+        bool stalled_on_pointer = false;
+        while (issued_this_cycle < dma.reqsPerCycle) {
+            if (!dram.canAccept(now))
+                break;
+            // Prefer dependent data requests whose pointers have arrived.
+            auto ready = pending.end();
+            for (auto it = pending.begin(); it != pending.end(); ++it)
+                if (it->readyAt <= now &&
+                        (ready == pending.end() ||
+                         it->readyAt < ready->readyAt)) {
+                    ready = it;
+                }
+            if (ready != pending.end()) {
+                std::int64_t done = dram.issue(now, ready->bytes);
+                last_completion = std::max(last_completion, done);
+                result.requests++;
+                result.bytes += ready->bytes;
+                pending.erase(ready);
+                issued_this_cycle++;
+                continue;
+            }
+            if (next_chunk < chunks.size()) {
+                if (chunks[next_chunk].pointerChased &&
+                        std::int64_t(pending.size()) >=
+                                dma.pointerContexts) {
+                    // All pointer contexts are occupied: stall until a
+                    // pointer returns and its data request issues.
+                    stalled_on_pointer = true;
+                    break;
+                }
+                const auto &chunk = chunks[next_chunk++];
+                if (chunk.pointerChased) {
+                    // Load the 8-byte pointer first; the data request
+                    // becomes issueable when the pointer returns.
+                    std::int64_t ptr_done = dram.issue(now, 8);
+                    result.requests++;
+                    result.bytes += 8;
+                    pending.push_back(PendingData{ptr_done, chunk.bytes});
+                } else {
+                    std::int64_t done = dram.issue(now, chunk.bytes);
+                    last_completion = std::max(last_completion, done);
+                    result.requests++;
+                    result.bytes += chunk.bytes;
+                }
+                issued_this_cycle++;
+                continue;
+            }
+            // Nothing issueable: waiting on pointer returns.
+            if (!pending.empty())
+                stalled_on_pointer = true;
+            break;
+        }
+        if (stalled_on_pointer)
+            result.pointerStallCycles++;
+        now++;
+        // Fast-forward across long waits so the loop stays cheap.
+        if (issued_this_cycle == 0 && !all_done()) {
+            std::int64_t skip_to = now;
+            if (!pending.empty()) {
+                std::int64_t earliest = pending.front().readyAt;
+                for (const auto &p : pending)
+                    earliest = std::min(earliest, p.readyAt);
+                skip_to = std::max(skip_to, std::min(earliest,
+                                                     last_completion));
+            } else {
+                skip_to = std::max(skip_to, dram.bandwidthCursor());
+            }
+            if (skip_to > now) {
+                result.pointerStallCycles +=
+                        pending.empty() ? 0 : skip_to - now;
+                now = skip_to;
+            }
+        }
+    }
+    result.cycles = std::max(last_completion, now) - start_cycle;
+    return result;
+}
+
+TransferResult
+simulateStream(const DmaConfig &dma, DramModel &dram, std::int64_t bytes,
+               std::int64_t start_cycle)
+{
+    // Split into DRAM-burst-sized chunks.
+    std::vector<TransferChunk> chunks;
+    std::int64_t burst = dram.config().minBurstBytes;
+    for (std::int64_t off = 0; off < bytes; off += burst) {
+        TransferChunk chunk;
+        chunk.bytes = std::min(burst, bytes - off);
+        chunks.push_back(chunk);
+    }
+    return simulateTransfer(dma, dram, chunks, start_cycle);
+}
+
+} // namespace stellar::sim

@@ -1,0 +1,169 @@
+#include "sim/merger.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace stellar::sim
+{
+
+namespace
+{
+
+/** Output fiber lengths of merging a pair, keyed by row id. */
+std::map<std::int64_t, std::int64_t>
+mergedRowLengths(const sparse::PartialMatrix &a,
+                 const sparse::PartialMatrix &b)
+{
+    // The merged fiber length is bounded by the sum of the inputs; exact
+    // lengths require coordinate comparison, so merge coordinate sets.
+    std::map<std::int64_t, const sparse::Fiber *> a_rows, b_rows;
+    for (std::size_t f = 0; f < a.rowIds.size(); f++)
+        a_rows[a.rowIds[f]] = &a.rowFibers[f];
+    for (std::size_t f = 0; f < b.rowIds.size(); f++)
+        b_rows[b.rowIds[f]] = &b.rowFibers[f];
+
+    std::map<std::int64_t, std::int64_t> lengths;
+    for (const auto &[row, fiber] : a_rows) {
+        auto it = b_rows.find(row);
+        if (it == b_rows.end()) {
+            lengths[row] = fiber->size();
+        } else {
+            lengths[row] =
+                    sparse::mergeFibers(*fiber, *it->second).size();
+        }
+    }
+    for (const auto &[row, fiber] : b_rows)
+        if (!a_rows.count(row))
+            lengths[row] = fiber->size();
+    return lengths;
+}
+
+} // namespace
+
+MergerResult
+mergePairRowPartitioned(const MergerConfig &config,
+                        const sparse::PartialMatrix &a,
+                        const sparse::PartialMatrix &b)
+{
+    auto lengths = mergedRowLengths(a, b);
+    MergerResult result;
+    // Rows are handed to the least-loaded lane in arrival order (the
+    // hardware cannot sort by length ahead of time); each lane emits one
+    // element per cycle plus a startup bubble per fiber.
+    std::vector<std::int64_t> lane_busy(std::size_t(config.lanes), 0);
+    for (const auto &[row, len] : lengths) {
+        result.mergedElements += len;
+        auto lane = std::min_element(lane_busy.begin(), lane_busy.end());
+        *lane += len + config.laneStartup;
+    }
+    result.cycles = *std::max_element(lane_busy.begin(), lane_busy.end());
+    result.cycles = std::max<std::int64_t>(result.cycles, 1);
+    return result;
+}
+
+MergerResult
+mergePairFlattened(const MergerConfig &config,
+                   const sparse::PartialMatrix &a,
+                   const sparse::PartialMatrix &b)
+{
+    auto lengths = mergedRowLengths(a, b);
+    MergerResult result;
+    for (const auto &[row, len] : lengths)
+        result.mergedElements += len;
+    // The flattened fiber pops up to `throughput` elements every cycle
+    // regardless of row boundaries (Fig 19b).
+    result.cycles = (result.mergedElements + config.throughput - 1) /
+                    config.throughput;
+    result.cycles = std::max<std::int64_t>(result.cycles, 1);
+    return result;
+}
+
+sparse::PartialMatrix
+mergePartialPair(const sparse::PartialMatrix &a,
+                 const sparse::PartialMatrix &b)
+{
+    std::map<std::int64_t, sparse::Fiber> rows;
+    for (std::size_t f = 0; f < a.rowIds.size(); f++)
+        rows[a.rowIds[f]] = a.rowFibers[f];
+    for (std::size_t f = 0; f < b.rowIds.size(); f++) {
+        auto it = rows.find(b.rowIds[f]);
+        if (it == rows.end())
+            rows[b.rowIds[f]] = b.rowFibers[f];
+        else
+            it->second = sparse::mergeFibers(it->second, b.rowFibers[f]);
+    }
+    sparse::PartialMatrix merged;
+    for (auto &[row, fiber] : rows) {
+        merged.rowIds.push_back(row);
+        merged.rowFibers.push_back(std::move(fiber));
+    }
+    return merged;
+}
+
+MergerResult
+runMergeSchedule(const MergerConfig &config, MergerKind kind,
+                 std::vector<sparse::PartialMatrix> partials)
+{
+    MergerResult total;
+    if (partials.size() <= 1)
+        return total;
+    // SpArch's execution order: merge neighbouring partial matrices
+    // pairwise, round after round, until one remains.
+    while (partials.size() > 1) {
+        std::vector<sparse::PartialMatrix> next;
+        for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+            MergerResult pair =
+                    kind == MergerKind::RowPartitioned
+                            ? mergePairRowPartitioned(config, partials[i],
+                                                      partials[i + 1])
+                            : mergePairFlattened(config, partials[i],
+                                                 partials[i + 1]);
+            total.cycles += pair.cycles;
+            total.mergedElements += pair.mergedElements;
+            next.push_back(
+                    mergePartialPair(partials[i], partials[i + 1]));
+        }
+        if (partials.size() % 2 == 1)
+            next.push_back(std::move(partials.back()));
+        partials = std::move(next);
+    }
+    return total;
+}
+
+MergerResult
+runHierarchicalMerge(const MergerConfig &config,
+                     const std::vector<sparse::PartialMatrix> &partials,
+                     int ways)
+{
+    require(ways >= 2, "hierarchical merge needs at least 2 ways");
+    MergerResult total;
+    if (partials.empty())
+        return total;
+    int levels = 0;
+    for (int span = 1; span < ways; span *= 2)
+        levels++;
+
+    // Process the partial stream in groups of `ways`. Each group flows
+    // through the pipelined tree: output elements emerge at the
+    // flattened throughput once the tree fills.
+    std::size_t group_start = 0;
+    while (group_start < partials.size()) {
+        std::size_t group_end =
+                std::min(group_start + std::size_t(ways), partials.size());
+        // Functionally merge the group to get the output element count.
+        sparse::PartialMatrix merged = partials[group_start];
+        for (std::size_t i = group_start + 1; i < group_end; i++)
+            merged = mergePartialPair(merged, partials[i]);
+        std::int64_t elements = merged.totalElements();
+        total.mergedElements += elements;
+        total.cycles += (elements + config.throughput - 1) /
+                        config.throughput +
+                        levels; // pipeline fill
+        group_start = group_end;
+    }
+    return total;
+}
+
+} // namespace stellar::sim

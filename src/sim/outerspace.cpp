@@ -1,0 +1,105 @@
+#include "sim/outerspace.hpp"
+
+#include <algorithm>
+
+#include "sim/balance.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellar::sim
+{
+
+double
+OuterSpaceResult::gflops(double freq_ghz) const
+{
+    if (cycles == 0)
+        return 0.0;
+    double seconds = double(cycles) / (freq_ghz * 1e9);
+    return 2.0 * double(multiplies) / seconds / 1e9;
+}
+
+OuterSpaceResult
+simulateOuterSpace(const OuterSpaceConfig &config,
+                   const sparse::CsrMatrix &a)
+{
+    OuterSpaceResult result;
+    result.multiplies = sparse::spgemmMultiplies(a, a);
+
+    // Column nonzero counts of A (the CSC view used by the outer product).
+    std::vector<std::int64_t> col_nnz(std::size_t(a.cols()), 0);
+    for (auto c : a.colIdx())
+        col_nnz[std::size_t(c)]++;
+
+    // Every nonzero A(i, k) produces one partial-sum fiber of length
+    // rowNnz(k), stored as a scattered vector reached through a pointer.
+    const std::int64_t elem_bytes = 12; // 8B value + 4B coordinate
+    std::vector<TransferChunk> scatter;
+    scatter.reserve(std::size_t(a.nnz()));
+    for (std::int64_t k = 0; k < a.cols(); k++) {
+        std::int64_t fiber_len = a.rowNnz(std::min(k, a.rows() - 1));
+        if (fiber_len == 0 || col_nnz[std::size_t(k)] == 0)
+            continue;
+        for (std::int64_t f = 0; f < col_nnz[std::size_t(k)]; f++) {
+            TransferChunk chunk;
+            chunk.bytes = fiber_len * elem_bytes;
+            chunk.pointerChased = true;
+            scatter.push_back(chunk);
+        }
+    }
+
+    // ---- Multiply phase ----
+    DramModel multiply_dram(config.dram);
+    // Stream A in twice (CSC for the left operand, CSR for the right).
+    std::int64_t a_bytes = a.nnz() * 12 + (a.rows() + 1) * 8;
+    auto a_read = simulateStream(config.dma, multiply_dram, 2 * a_bytes);
+    // Scatter the partial vectors out (pointer-chased writes).
+    auto scatter_out =
+            simulateTransfer(config.dma, multiply_dram, scatter,
+                             a_read.cycles);
+    std::int64_t multiply_mem = a_read.cycles + scatter_out.cycles;
+    // Compute side: columns of A are outer-product work items distributed
+    // across the PE groups; imbalanced columns strand groups unless the
+    // Listing 3-style balancer shifts work between waves (Fig 6).
+    std::vector<std::int64_t> column_work;
+    for (std::int64_t k = 0; k < a.cols(); k++) {
+        std::int64_t products =
+                col_nnz[std::size_t(k)] * a.rowNnz(std::min(k, a.rows() - 1));
+        if (products > 0)
+            column_work.push_back(
+                    (products + config.multipliers / config.workGroups - 1) /
+                    std::max(config.multipliers / config.workGroups, 1));
+    }
+    auto balance = simulateRowWaves(column_work, config.workGroups,
+                                    config.loadBalanced);
+    std::int64_t multiply_compute = balance.cycles;
+    result.balancerShifts = balance.shiftsApplied;
+    result.multiplyUtilization = balance.utilization;
+    result.multiplyPhaseCycles = std::max(multiply_mem, multiply_compute);
+    result.pointerRequests += std::int64_t(scatter.size());
+    result.pointerStallCycles += scatter_out.pointerStallCycles;
+    result.dramBytes += multiply_dram.bytesTransferred();
+
+    // ---- Merge phase ----
+    DramModel merge_dram(config.dram);
+    // Gather the scattered partial vectors back (pointer-chased reads).
+    auto gather = simulateTransfer(config.dma, merge_dram, scatter);
+    // Write the final merged matrix out as a stream. Use the partial
+    // element count as an upper bound on the result size.
+    auto write_out = simulateStream(config.dma, merge_dram,
+                                    result.multiplies * elem_bytes,
+                                    gather.cycles);
+    std::int64_t merge_mem = gather.cycles + write_out.cycles;
+    // Merge lanes consume one element per lane per cycle; imbalanced
+    // fibers leave some lanes idle (~20% on the matrices studied).
+    std::int64_t merge_compute = std::int64_t(
+            1.2 * double(result.multiplies) / double(config.mergeLanes));
+    result.mergePhaseCycles = std::max(merge_mem, merge_compute);
+    result.pointerRequests += std::int64_t(scatter.size());
+    result.pointerStallCycles += gather.pointerStallCycles;
+    result.dramBytes += merge_dram.bytesTransferred();
+
+    result.cycles = result.multiplyPhaseCycles + result.mergePhaseCycles;
+    return result;
+}
+
+} // namespace stellar::sim

@@ -1,0 +1,86 @@
+#include "sim/scnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace stellar::sim
+{
+
+namespace
+{
+
+/** Approximate binomial sample via the RNG's Gaussian. */
+std::int64_t
+sampleCount(Rng &rng, std::int64_t trials, double p)
+{
+    if (trials <= 0)
+        return 0;
+    double mean = double(trials) * p;
+    double stddev = std::sqrt(std::max(mean * (1.0 - p), 0.0));
+    auto n = std::int64_t(std::llround(rng.nextGaussian(mean, stddev)));
+    return std::clamp<std::int64_t>(n, 0, trials);
+}
+
+} // namespace
+
+ScnnResult
+simulateScnnLayer(const ScnnConfig &config, const ScnnLayer &layer,
+                  std::uint64_t seed)
+{
+    require(layer.inChannels > 0 && layer.outChannels > 0,
+            "layer must have channels");
+    Rng rng(seed * 0x9e3779b9ULL + std::uint64_t(layer.inChannels));
+    ScnnResult result;
+
+    int pes = config.peRows * config.peCols;
+    // Input activations are tiled planar-wise: each PE owns a patch of
+    // every input channel's feature map.
+    std::int64_t fmap = layer.outSize * layer.outSize;
+    std::int64_t acts_per_pe =
+            std::max<std::int64_t>(1, fmap / pes);
+
+    std::int64_t weights_per_channel = layer.outChannels * layer.kernel *
+                                       layer.kernel;
+
+    for (std::int64_t c = 0; c < layer.inChannels; c++) {
+        // Weights for this input channel are broadcast to every PE.
+        std::int64_t nnz_w =
+                sampleCount(rng, weights_per_channel, layer.weightDensity);
+        if (nnz_w == 0)
+            continue;
+        std::int64_t w_vectors = (nnz_w + config.mulF - 1) / config.mulF;
+
+        std::int64_t slowest = 0;
+        for (int pe = 0; pe < pes; pe++) {
+            std::int64_t nnz_a = sampleCount(rng, acts_per_pe,
+                                             layer.activationDensity);
+            std::int64_t a_vectors =
+                    (nnz_a + config.mulI - 1) / config.mulI;
+            std::int64_t pe_cycles = w_vectors * a_vectors;
+            slowest = std::max(slowest, pe_cycles);
+            result.multiplies += nnz_w * nnz_a;
+        }
+        // Accumulator-bank conflicts stretch the group.
+        slowest = std::int64_t(double(slowest) *
+                               (1.0 + config.bankConflictRate));
+        // All PEs synchronize at the channel boundary; the Stellar design
+        // additionally drains its regfile pipeline (global stall epoch).
+        if (config.stellarGenerated) {
+            slowest = std::int64_t(double(slowest) *
+                                   (1.0 + config.stellarSyncFraction));
+            slowest += config.stellarGroupDrain;
+        }
+        result.cycles += slowest;
+    }
+
+    double peak = double(pes) * double(config.mulF) * double(config.mulI);
+    result.utilization = result.cycles == 0
+                                 ? 0.0
+                                 : double(result.multiplies) /
+                                           (double(result.cycles) * peak);
+    return result;
+}
+
+} // namespace stellar::sim

@@ -1,0 +1,64 @@
+#include "sim/scratchpad.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace stellar::sim
+{
+
+ScratchpadResult
+simulateScratchpadReads(const mem::MemBufferSpec &spec,
+                        const ScratchpadConfig &config,
+                        std::int64_t num_requests, std::uint64_t seed)
+{
+    require(num_requests >= 0, "negative request count");
+    require(config.requestsPerCycle > 0, "need a positive request rate");
+    auto stages = mem::planPipeline(spec, /*for_reads=*/true);
+    ScratchpadResult result;
+    result.requests = num_requests;
+    if (num_requests == 0)
+        return result;
+
+    Rng rng(seed ^ 0x5c7a7c4dULL);
+    int banks = std::max(spec.banks, 1);
+
+    // Steady-state model: the pipeline accepts up to requestsPerCycle
+    // requests per cycle; a metadata miss or a bank conflict holds the
+    // front of the pipe for its penalty.
+    std::int64_t cycles = mem::pipelineLatency(stages); // fill
+    std::int64_t issued = 0;
+    std::vector<std::int64_t> bank_busy(std::size_t(banks), -1);
+    std::int64_t now = 0;
+    while (issued < num_requests) {
+        int accepted = 0;
+        bool stalled = false;
+        while (accepted < config.requestsPerCycle &&
+                issued < num_requests) {
+            // Bank check: the data access goes to a random bank.
+            auto bank = std::size_t(rng.nextBounded(std::uint64_t(banks)));
+            if (bank_busy[bank] >= now) {
+                result.bankConflictStalls++;
+                stalled = true;
+                break;
+            }
+            bank_busy[bank] = now;
+            // Metadata misses on sparse axes.
+            for (const auto &stage : stages) {
+                if (stage.metadataLookup &&
+                        rng.nextBool(config.metadataMissRate)) {
+                    result.metadataStalls += config.metadataMissPenalty;
+                    now += config.metadataMissPenalty;
+                }
+            }
+            issued++;
+            accepted++;
+        }
+        (void)stalled;
+        now++;
+    }
+    result.cycles = cycles + now;
+    return result;
+}
+
+} // namespace stellar::sim

@@ -1,0 +1,213 @@
+#include "sparse/formats.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellar::sparse
+{
+
+std::int64_t
+BitvectorMatrix::nnz() const
+{
+    std::int64_t n = 0;
+    for (const auto &values : rowValues)
+        n += std::int64_t(values.size());
+    return n;
+}
+
+std::int64_t
+BitvectorMatrix::metadataBits() const
+{
+    std::int64_t bits = 0;
+    for (const auto &mask : rowMasks)
+        bits += std::int64_t(mask.size()) * 64;
+    return bits;
+}
+
+BitvectorMatrix
+csrToBitvector(const CsrMatrix &csr)
+{
+    BitvectorMatrix bv;
+    bv.rows = csr.rows();
+    bv.cols = csr.cols();
+    std::size_t words = std::size_t((csr.cols() + 63) / 64);
+    bv.rowMasks.assign(std::size_t(csr.rows()),
+                       std::vector<std::uint64_t>(words, 0));
+    bv.rowValues.assign(std::size_t(csr.rows()), {});
+    for (std::int64_t r = 0; r < csr.rows(); r++) {
+        for (auto idx = csr.rowPtr()[std::size_t(r)];
+                idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+            auto c = csr.colIdx()[std::size_t(idx)];
+            bv.rowMasks[std::size_t(r)][std::size_t(c / 64)] |=
+                    std::uint64_t(1) << (c % 64);
+            bv.rowValues[std::size_t(r)].push_back(
+                    csr.values()[std::size_t(idx)]);
+        }
+    }
+    return bv;
+}
+
+CsrMatrix
+bitvectorToCsr(const BitvectorMatrix &bv)
+{
+    CooMatrix coo;
+    coo.rows = bv.rows;
+    coo.cols = bv.cols;
+    for (std::int64_t r = 0; r < bv.rows; r++) {
+        std::size_t cursor = 0;
+        const auto &mask = bv.rowMasks[std::size_t(r)];
+        for (std::int64_t c = 0; c < bv.cols; c++) {
+            bool set = (mask[std::size_t(c / 64)] >> (c % 64)) & 1;
+            if (!set)
+                continue;
+            invariant(cursor < bv.rowValues[std::size_t(r)].size(),
+                      "bitvector value underrun");
+            coo.entries.push_back(CooEntry{r, c,
+                    bv.rowValues[std::size_t(r)][cursor++]});
+        }
+    }
+    return cooToCsr(coo);
+}
+
+void
+LinkedListMatrix::insert(std::int64_t row, std::int64_t col, double value)
+{
+    invariant(row >= 0 && row < rows && col >= 0 && col < cols,
+              "linked-list insert out of range");
+    std::int64_t prev = -1;
+    std::int64_t curr = rowHead[std::size_t(row)];
+    while (curr != -1 && nodes[std::size_t(curr)].col < col) {
+        prev = curr;
+        curr = nodes[std::size_t(curr)].next;
+    }
+    if (curr != -1 && nodes[std::size_t(curr)].col == col) {
+        nodes[std::size_t(curr)].value += value;
+        return;
+    }
+    Node node;
+    node.col = col;
+    node.value = value;
+    node.next = curr;
+    auto inserted = std::int64_t(nodes.size());
+    nodes.push_back(node);
+    if (prev == -1)
+        rowHead[std::size_t(row)] = inserted;
+    else
+        nodes[std::size_t(prev)].next = inserted;
+}
+
+LinkedListMatrix
+csrToLinkedList(const CsrMatrix &csr)
+{
+    LinkedListMatrix ll;
+    ll.rows = csr.rows();
+    ll.cols = csr.cols();
+    ll.rowHead.assign(std::size_t(csr.rows()), -1);
+    for (std::int64_t r = 0; r < csr.rows(); r++) {
+        for (auto idx = csr.rowPtr()[std::size_t(r)];
+                idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+            ll.insert(r, csr.colIdx()[std::size_t(idx)],
+                      csr.values()[std::size_t(idx)]);
+        }
+    }
+    return ll;
+}
+
+CsrMatrix
+linkedListToCsr(const LinkedListMatrix &ll)
+{
+    CooMatrix coo;
+    coo.rows = ll.rows;
+    coo.cols = ll.cols;
+    for (std::int64_t r = 0; r < ll.rows; r++) {
+        std::int64_t curr = ll.rowHead[std::size_t(r)];
+        while (curr != -1) {
+            const auto &node = ll.nodes[std::size_t(curr)];
+            coo.entries.push_back(CooEntry{r, node.col, node.value});
+            curr = node.next;
+        }
+    }
+    return cooToCsr(coo);
+}
+
+std::int64_t
+BlockCrsMatrix::blockRows() const
+{
+    return (rows + blockSize - 1) / blockSize;
+}
+
+BlockCrsMatrix
+csrToBlockCrs(const CsrMatrix &csr, std::int64_t block_size)
+{
+    require(block_size > 0, "block size must be positive");
+    BlockCrsMatrix bcrs;
+    bcrs.rows = csr.rows();
+    bcrs.cols = csr.cols();
+    bcrs.blockSize = block_size;
+    std::int64_t block_rows = (csr.rows() + block_size - 1) / block_size;
+    std::int64_t block_cols = (csr.cols() + block_size - 1) / block_size;
+    bcrs.blockRowPtr.assign(std::size_t(block_rows) + 1, 0);
+
+    for (std::int64_t br = 0; br < block_rows; br++) {
+        // Discover the nonempty block columns of this block row.
+        std::vector<std::vector<double>> row_blocks;
+        row_blocks.resize(std::size_t(block_cols));
+        std::vector<bool> present(std::size_t(block_cols), false);
+        for (std::int64_t r = br * block_size;
+                r < std::min((br + 1) * block_size, csr.rows()); r++) {
+            for (auto idx = csr.rowPtr()[std::size_t(r)];
+                    idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+                auto c = csr.colIdx()[std::size_t(idx)];
+                auto bc = c / block_size;
+                if (!present[std::size_t(bc)]) {
+                    present[std::size_t(bc)] = true;
+                    row_blocks[std::size_t(bc)].assign(
+                            std::size_t(block_size * block_size), 0.0);
+                }
+                auto lr = r - br * block_size;
+                auto lc = c - bc * block_size;
+                row_blocks[std::size_t(bc)][std::size_t(
+                        lr * block_size + lc)] =
+                        csr.values()[std::size_t(idx)];
+            }
+        }
+        for (std::int64_t bc = 0; bc < block_cols; bc++) {
+            if (!present[std::size_t(bc)])
+                continue;
+            bcrs.blockColIdx.push_back(bc);
+            bcrs.blocks.push_back(std::move(row_blocks[std::size_t(bc)]));
+            bcrs.blockRowPtr[std::size_t(br) + 1]++;
+        }
+    }
+    for (std::size_t br = 1; br < bcrs.blockRowPtr.size(); br++)
+        bcrs.blockRowPtr[br] += bcrs.blockRowPtr[br - 1];
+    return bcrs;
+}
+
+CsrMatrix
+blockCrsToCsr(const BlockCrsMatrix &bcrs)
+{
+    CooMatrix coo;
+    coo.rows = bcrs.rows;
+    coo.cols = bcrs.cols;
+    for (std::int64_t br = 0; br < bcrs.blockRows(); br++) {
+        for (auto idx = bcrs.blockRowPtr[std::size_t(br)];
+                idx < bcrs.blockRowPtr[std::size_t(br + 1)]; idx++) {
+            auto bc = bcrs.blockColIdx[std::size_t(idx)];
+            const auto &block = bcrs.blocks[std::size_t(idx)];
+            for (std::int64_t lr = 0; lr < bcrs.blockSize; lr++) {
+                for (std::int64_t lc = 0; lc < bcrs.blockSize; lc++) {
+                    double v = block[std::size_t(lr * bcrs.blockSize + lc)];
+                    if (v == 0.0)
+                        continue;
+                    std::int64_t r = br * bcrs.blockSize + lr;
+                    std::int64_t c = bc * bcrs.blockSize + lc;
+                    if (r < bcrs.rows && c < bcrs.cols)
+                        coo.entries.push_back(CooEntry{r, c, v});
+                }
+            }
+        }
+    }
+    return cooToCsr(coo);
+}
+
+} // namespace stellar::sparse

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Additional fibertree storage formats (Section III-E): bitvector,
+ * linked-list, and block-CRS. Each supports lossless round-trips to CSR,
+ * mirroring the format conversions Stellar-generated DMAs perform when
+ * moving tensors between memories.
+ */
+
+#ifndef STELLAR_SPARSE_FORMATS_HPP
+#define STELLAR_SPARSE_FORMATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+
+namespace stellar::sparse
+{
+
+/** Rows stored as presence bitmasks plus packed values. */
+struct BitvectorMatrix
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::vector<std::vector<std::uint64_t>> rowMasks; //!< per-row bitmask
+    std::vector<std::vector<double>> rowValues;       //!< packed nonzeros
+
+    std::int64_t nnz() const;
+
+    /** Total metadata bits (the format's storage cost). */
+    std::int64_t metadataBits() const;
+};
+
+BitvectorMatrix csrToBitvector(const CsrMatrix &csr);
+CsrMatrix bitvectorToCsr(const BitvectorMatrix &bv);
+
+/** Rows stored as singly-linked coordinate/value nodes (append-friendly,
+ *  used for accumulating scattered partial sums). */
+struct LinkedListMatrix
+{
+    struct Node
+    {
+        std::int64_t col = 0;
+        double value = 0.0;
+        std::int64_t next = -1; //!< index into nodes, -1 terminates
+    };
+
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::vector<std::int64_t> rowHead; //!< per-row head node (-1 = empty)
+    std::vector<Node> nodes;
+
+    std::int64_t nnz() const { return std::int64_t(nodes.size()); }
+
+    /** Insert (or accumulate into) an entry, keeping rows sorted. */
+    void insert(std::int64_t row, std::int64_t col, double value);
+};
+
+LinkedListMatrix csrToLinkedList(const CsrMatrix &csr);
+CsrMatrix linkedListToCsr(const LinkedListMatrix &ll);
+
+/** Block compressed-row storage: dense b x b blocks indexed CSR-style
+ *  (the Fig 12 example format). */
+struct BlockCrsMatrix
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t blockSize = 1;
+    std::vector<std::int64_t> blockRowPtr;
+    std::vector<std::int64_t> blockColIdx;
+    std::vector<std::vector<double>> blocks; //!< row-major b*b values
+
+    std::int64_t blockRows() const;
+    std::int64_t nnzBlocks() const { return std::int64_t(blocks.size()); }
+};
+
+BlockCrsMatrix csrToBlockCrs(const CsrMatrix &csr, std::int64_t block_size);
+CsrMatrix blockCrsToCsr(const BlockCrsMatrix &bcrs);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_FORMATS_HPP

@@ -1,0 +1,278 @@
+#include "sparse/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace stellar::sparse
+{
+
+DenseMatrix::DenseMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), data_(std::size_t(rows * cols), 0.0)
+{
+    require(rows >= 0 && cols >= 0, "matrix dims must be nonnegative");
+}
+
+double &
+DenseMatrix::at(std::int64_t r, std::int64_t c)
+{
+    invariant(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "DenseMatrix index out of range");
+    return data_[std::size_t(r * cols_ + c)];
+}
+
+double
+DenseMatrix::at(std::int64_t r, std::int64_t c) const
+{
+    invariant(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "DenseMatrix index out of range");
+    return data_[std::size_t(r * cols_ + c)];
+}
+
+std::int64_t
+DenseMatrix::nnz() const
+{
+    std::int64_t n = 0;
+    for (double v : data_)
+        if (v != 0.0)
+            n++;
+    return n;
+}
+
+double
+DenseMatrix::maxAbsDiff(const DenseMatrix &other) const
+{
+    require(rows_ == other.rows_ && cols_ == other.cols_,
+            "maxAbsDiff shape mismatch");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); i++)
+        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+    return worst;
+}
+
+void
+CooMatrix::canonicalize()
+{
+    std::sort(entries.begin(), entries.end());
+    std::vector<CooEntry> merged;
+    for (const auto &entry : entries) {
+        if (!merged.empty() && merged.back().row == entry.row &&
+                merged.back().col == entry.col) {
+            merged.back().value += entry.value;
+        } else {
+            merged.push_back(entry);
+        }
+    }
+    entries = std::move(merged);
+}
+
+CsrMatrix::CsrMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> row_ptr,
+                     std::vector<std::int64_t> col_idx,
+                     std::vector<double> values)
+    : rows_(rows), cols_(cols), rowPtr_(std::move(row_ptr)),
+      colIdx_(std::move(col_idx)), values_(std::move(values))
+{
+    require(std::int64_t(rowPtr_.size()) == rows + 1,
+            "CSR row pointer array must have rows+1 entries");
+    require(colIdx_.size() == values_.size(),
+            "CSR column and value arrays must match");
+    require(rowPtr_.back() == std::int64_t(values_.size()),
+            "CSR row pointers must cover all values");
+}
+
+std::int64_t
+CsrMatrix::rowNnz(std::int64_t r) const
+{
+    invariant(r >= 0 && r < rows_, "row out of range");
+    return rowPtr_[std::size_t(r + 1)] - rowPtr_[std::size_t(r)];
+}
+
+std::int64_t
+CsrMatrix::maxRowNnz() const
+{
+    std::int64_t worst = 0;
+    for (std::int64_t r = 0; r < rows_; r++)
+        worst = std::max(worst, rowNnz(r));
+    return worst;
+}
+
+bool
+CsrMatrix::wellFormed() const
+{
+    if (std::int64_t(rowPtr_.size()) != rows_ + 1)
+        return false;
+    if (rowPtr_[0] != 0 || rowPtr_.back() != nnz())
+        return false;
+    for (std::int64_t r = 0; r < rows_; r++) {
+        auto lo = rowPtr_[std::size_t(r)];
+        auto hi = rowPtr_[std::size_t(r + 1)];
+        if (lo > hi)
+            return false;
+        for (auto idx = lo; idx + 1 < hi; idx++)
+            if (colIdx_[std::size_t(idx)] >= colIdx_[std::size_t(idx + 1)])
+                return false;
+        for (auto idx = lo; idx < hi; idx++)
+            if (colIdx_[std::size_t(idx)] < 0 ||
+                    colIdx_[std::size_t(idx)] >= cols_) {
+                return false;
+            }
+    }
+    return true;
+}
+
+CscMatrix::CscMatrix(std::int64_t rows, std::int64_t cols,
+                     std::vector<std::int64_t> col_ptr,
+                     std::vector<std::int64_t> row_idx,
+                     std::vector<double> values)
+    : rows_(rows), cols_(cols), colPtr_(std::move(col_ptr)),
+      rowIdx_(std::move(row_idx)), values_(std::move(values))
+{
+    require(std::int64_t(colPtr_.size()) == cols + 1,
+            "CSC column pointer array must have cols+1 entries");
+    require(rowIdx_.size() == values_.size(),
+            "CSC row and value arrays must match");
+}
+
+std::int64_t
+CscMatrix::colNnz(std::int64_t c) const
+{
+    invariant(c >= 0 && c < cols_, "col out of range");
+    return colPtr_[std::size_t(c + 1)] - colPtr_[std::size_t(c)];
+}
+
+CsrMatrix
+cooToCsr(const CooMatrix &coo)
+{
+    CooMatrix canon = coo;
+    canon.canonicalize();
+    std::vector<std::int64_t> row_ptr(std::size_t(coo.rows) + 1, 0);
+    std::vector<std::int64_t> col_idx;
+    std::vector<double> values;
+    for (const auto &entry : canon.entries) {
+        invariant(entry.row >= 0 && entry.row < coo.rows &&
+                          entry.col >= 0 && entry.col < coo.cols,
+                  "COO entry out of range");
+        row_ptr[std::size_t(entry.row) + 1]++;
+        col_idx.push_back(entry.col);
+        values.push_back(entry.value);
+    }
+    for (std::size_t r = 1; r < row_ptr.size(); r++)
+        row_ptr[r] += row_ptr[r - 1];
+    return CsrMatrix(coo.rows, coo.cols, std::move(row_ptr),
+                     std::move(col_idx), std::move(values));
+}
+
+CooMatrix
+csrToCoo(const CsrMatrix &csr)
+{
+    CooMatrix coo;
+    coo.rows = csr.rows();
+    coo.cols = csr.cols();
+    for (std::int64_t r = 0; r < csr.rows(); r++) {
+        for (auto idx = csr.rowPtr()[std::size_t(r)];
+                idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+            coo.entries.push_back(CooEntry{r, csr.colIdx()[std::size_t(idx)],
+                                           csr.values()[std::size_t(idx)]});
+        }
+    }
+    return coo;
+}
+
+CscMatrix
+csrToCsc(const CsrMatrix &csr)
+{
+    std::vector<std::int64_t> col_ptr(std::size_t(csr.cols()) + 1, 0);
+    for (auto c : csr.colIdx())
+        col_ptr[std::size_t(c) + 1]++;
+    for (std::size_t c = 1; c < col_ptr.size(); c++)
+        col_ptr[c] += col_ptr[c - 1];
+    std::vector<std::int64_t> row_idx(std::size_t(csr.nnz()));
+    std::vector<double> values(std::size_t(csr.nnz()));
+    std::vector<std::int64_t> cursor = col_ptr;
+    for (std::int64_t r = 0; r < csr.rows(); r++) {
+        for (auto idx = csr.rowPtr()[std::size_t(r)];
+                idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+            auto c = csr.colIdx()[std::size_t(idx)];
+            auto dst = cursor[std::size_t(c)]++;
+            row_idx[std::size_t(dst)] = r;
+            values[std::size_t(dst)] = csr.values()[std::size_t(idx)];
+        }
+    }
+    return CscMatrix(csr.rows(), csr.cols(), std::move(col_ptr),
+                     std::move(row_idx), std::move(values));
+}
+
+CsrMatrix
+cscToCsr(const CscMatrix &csc)
+{
+    CooMatrix coo;
+    coo.rows = csc.rows();
+    coo.cols = csc.cols();
+    for (std::int64_t c = 0; c < csc.cols(); c++) {
+        for (auto idx = csc.colPtr()[std::size_t(c)];
+                idx < csc.colPtr()[std::size_t(c + 1)]; idx++) {
+            coo.entries.push_back(CooEntry{csc.rowIdx()[std::size_t(idx)], c,
+                                           csc.values()[std::size_t(idx)]});
+        }
+    }
+    return cooToCsr(coo);
+}
+
+DenseMatrix
+csrToDense(const CsrMatrix &csr)
+{
+    DenseMatrix dense(csr.rows(), csr.cols());
+    for (std::int64_t r = 0; r < csr.rows(); r++) {
+        for (auto idx = csr.rowPtr()[std::size_t(r)];
+                idx < csr.rowPtr()[std::size_t(r + 1)]; idx++) {
+            dense.at(r, csr.colIdx()[std::size_t(idx)]) =
+                    csr.values()[std::size_t(idx)];
+        }
+    }
+    return dense;
+}
+
+CsrMatrix
+denseToCsr(const DenseMatrix &dense)
+{
+    CooMatrix coo;
+    coo.rows = dense.rows();
+    coo.cols = dense.cols();
+    for (std::int64_t r = 0; r < dense.rows(); r++)
+        for (std::int64_t c = 0; c < dense.cols(); c++)
+            if (dense.at(r, c) != 0.0)
+                coo.entries.push_back(CooEntry{r, c, dense.at(r, c)});
+    return cooToCsr(coo);
+}
+
+DenseMatrix
+denseMatmul(const DenseMatrix &a, const DenseMatrix &b)
+{
+    require(a.cols() == b.rows(), "matmul shape mismatch");
+    DenseMatrix c(a.rows(), b.cols());
+    for (std::int64_t i = 0; i < a.rows(); i++)
+        for (std::int64_t k = 0; k < a.cols(); k++) {
+            double av = a.at(i, k);
+            if (av == 0.0)
+                continue;
+            for (std::int64_t j = 0; j < b.cols(); j++)
+                c.at(i, j) += av * b.at(k, j);
+        }
+    return c;
+}
+
+CsrMatrix
+csrTranspose(const CsrMatrix &csr)
+{
+    CscMatrix csc = csrToCsc(csr);
+    // A CSC of M is structurally the CSR of M^T.
+    std::vector<std::int64_t> row_ptr = csc.colPtr();
+    std::vector<std::int64_t> col_idx = csc.rowIdx();
+    std::vector<double> values = csc.values();
+    return CsrMatrix(csr.cols(), csr.rows(), std::move(row_ptr),
+                     std::move(col_idx), std::move(values));
+}
+
+} // namespace stellar::sparse

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Software sparse-matrix substrate: dense, COO, CSR, and CSC matrices
+ * with conversions. These back the sparse workloads of Sections VI-C and
+ * VI-D (OuterSPACE-style SpGEMM and SpArch/GAMMA-style merging) and give
+ * the simulator its golden results.
+ */
+
+#ifndef STELLAR_SPARSE_MATRIX_HPP
+#define STELLAR_SPARSE_MATRIX_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stellar::sparse
+{
+
+/** A row-major dense matrix of doubles. */
+class DenseMatrix
+{
+  public:
+    DenseMatrix() : rows_(0), cols_(0) {}
+    DenseMatrix(std::int64_t rows, std::int64_t cols);
+
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+
+    double &at(std::int64_t r, std::int64_t c);
+    double at(std::int64_t r, std::int64_t c) const;
+
+    /** Count of nonzero entries. */
+    std::int64_t nnz() const;
+
+    bool operator==(const DenseMatrix &other) const = default;
+
+    /** Max absolute elementwise difference (for float comparisons). */
+    double maxAbsDiff(const DenseMatrix &other) const;
+
+  private:
+    std::int64_t rows_;
+    std::int64_t cols_;
+    std::vector<double> data_;
+};
+
+/** One coordinate-format entry. */
+struct CooEntry
+{
+    std::int64_t row = 0;
+    std::int64_t col = 0;
+    double value = 0.0;
+
+    bool
+    operator<(const CooEntry &other) const
+    {
+        if (row != other.row)
+            return row < other.row;
+        return col < other.col;
+    }
+};
+
+/** A COO matrix: unordered triplets plus dimensions. */
+struct CooMatrix
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::vector<CooEntry> entries;
+
+    /** Sort by (row, col) and sum duplicates. */
+    void canonicalize();
+};
+
+/** A compressed-sparse-row matrix. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() : rows_(0), cols_(0) { rowPtr_.push_back(0); }
+    CsrMatrix(std::int64_t rows, std::int64_t cols,
+              std::vector<std::int64_t> row_ptr,
+              std::vector<std::int64_t> col_idx, std::vector<double> values);
+
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t nnz() const { return std::int64_t(values_.size()); }
+
+    const std::vector<std::int64_t> &rowPtr() const { return rowPtr_; }
+    const std::vector<std::int64_t> &colIdx() const { return colIdx_; }
+    const std::vector<double> &values() const { return values_; }
+
+    std::int64_t rowNnz(std::int64_t r) const;
+
+    /** Largest row length (merger imbalance metric). */
+    std::int64_t maxRowNnz() const;
+
+    /** Check structural invariants (sorted columns, consistent ptrs). */
+    bool wellFormed() const;
+
+    bool operator==(const CsrMatrix &other) const = default;
+
+  private:
+    std::int64_t rows_;
+    std::int64_t cols_;
+    std::vector<std::int64_t> rowPtr_;
+    std::vector<std::int64_t> colIdx_;
+    std::vector<double> values_;
+};
+
+/** A compressed-sparse-column matrix. */
+class CscMatrix
+{
+  public:
+    CscMatrix() : rows_(0), cols_(0) { colPtr_.push_back(0); }
+    CscMatrix(std::int64_t rows, std::int64_t cols,
+              std::vector<std::int64_t> col_ptr,
+              std::vector<std::int64_t> row_idx, std::vector<double> values);
+
+    std::int64_t rows() const { return rows_; }
+    std::int64_t cols() const { return cols_; }
+    std::int64_t nnz() const { return std::int64_t(values_.size()); }
+
+    const std::vector<std::int64_t> &colPtr() const { return colPtr_; }
+    const std::vector<std::int64_t> &rowIdx() const { return rowIdx_; }
+    const std::vector<double> &values() const { return values_; }
+
+    std::int64_t colNnz(std::int64_t c) const;
+
+  private:
+    std::int64_t rows_;
+    std::int64_t cols_;
+    std::vector<std::int64_t> colPtr_;
+    std::vector<std::int64_t> rowIdx_;
+    std::vector<double> values_;
+};
+
+/** Conversions. */
+CsrMatrix cooToCsr(const CooMatrix &coo);
+CooMatrix csrToCoo(const CsrMatrix &csr);
+CscMatrix csrToCsc(const CsrMatrix &csr);
+CsrMatrix cscToCsr(const CscMatrix &csc);
+DenseMatrix csrToDense(const CsrMatrix &csr);
+CsrMatrix denseToCsr(const DenseMatrix &dense);
+
+/** Dense reference matmul. */
+DenseMatrix denseMatmul(const DenseMatrix &a, const DenseMatrix &b);
+
+/** CSR transpose (via CSC reinterpretation). */
+CsrMatrix csrTranspose(const CsrMatrix &csr);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_MATRIX_HPP

@@ -1,0 +1,103 @@
+#include "sparse/matrix_market.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace stellar::sparse
+{
+
+CsrMatrix
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    require(bool(std::getline(in, line)), "empty Matrix Market stream");
+    require(startsWith(line, "%%MatrixMarket"),
+            "missing %%MatrixMarket banner");
+
+    std::istringstream banner(line);
+    std::string tag, object, format, field, symmetry;
+    banner >> tag >> object >> format >> field >> symmetry;
+    require(toLower(object) == "matrix", "only matrix objects supported");
+    require(toLower(format) == "coordinate",
+            "only coordinate format supported");
+    std::string field_lc = toLower(field);
+    require(field_lc == "real" || field_lc == "integer" ||
+                    field_lc == "pattern",
+            "unsupported field type: " + field);
+    std::string symmetry_lc = toLower(symmetry);
+    require(symmetry_lc == "general" || symmetry_lc == "symmetric",
+            "unsupported symmetry: " + symmetry);
+    bool pattern = field_lc == "pattern";
+    bool symmetric = symmetry_lc == "symmetric";
+
+    // Skip comments; the first non-comment line is the size header.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%')
+            break;
+    }
+    std::istringstream sizes(line);
+    std::int64_t rows = 0, cols = 0, entries = 0;
+    sizes >> rows >> cols >> entries;
+    require(rows > 0 && cols > 0 && entries >= 0,
+            "malformed size header");
+
+    CooMatrix coo;
+    coo.rows = rows;
+    coo.cols = cols;
+    for (std::int64_t e = 0; e < entries; e++) {
+        require(bool(std::getline(in, line)),
+                "truncated entry list (expected " +
+                std::to_string(entries) + " entries)");
+        std::istringstream entry(line);
+        std::int64_t r = 0, c = 0;
+        double v = 1.0;
+        entry >> r >> c;
+        if (!pattern)
+            entry >> v;
+        require(r >= 1 && r <= rows && c >= 1 && c <= cols,
+                "entry coordinates out of range");
+        coo.entries.push_back(CooEntry{r - 1, c - 1, v});
+        if (symmetric && r != c)
+            coo.entries.push_back(CooEntry{c - 1, r - 1, v});
+    }
+    return cooToCsr(coo);
+}
+
+CsrMatrix
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    require(in.good(), "cannot open " + path);
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(std::ostream &out, const CsrMatrix &matrix)
+{
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by stellar-cpp\n";
+    out << matrix.rows() << " " << matrix.cols() << " " << matrix.nnz()
+        << "\n";
+    for (std::int64_t r = 0; r < matrix.rows(); r++) {
+        for (auto idx = matrix.rowPtr()[std::size_t(r)];
+                idx < matrix.rowPtr()[std::size_t(r + 1)]; idx++) {
+            out << (r + 1) << " "
+                << (matrix.colIdx()[std::size_t(idx)] + 1) << " "
+                << matrix.values()[std::size_t(idx)] << "\n";
+        }
+    }
+}
+
+void
+writeMatrixMarketFile(const std::string &path, const CsrMatrix &matrix)
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open " + path + " for writing");
+    writeMatrixMarket(out, matrix);
+    require(out.good(), "failed writing " + path);
+}
+
+} // namespace stellar::sparse

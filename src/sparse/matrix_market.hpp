@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Matrix Market (.mtx) I/O.
+ *
+ * SuiteSparse distributes its matrices in the Matrix Market coordinate
+ * format; this reader/writer lets users run the Section VI experiments
+ * on the *real* collection when they have it, instead of the synthetic
+ * profiles. Supports the `matrix coordinate real/integer/pattern
+ * general/symmetric` headers that cover the collection.
+ */
+
+#ifndef STELLAR_SPARSE_MATRIX_MARKET_HPP
+#define STELLAR_SPARSE_MATRIX_MARKET_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/matrix.hpp"
+
+namespace stellar::sparse
+{
+
+/** Parse a Matrix Market stream into CSR; fatal on malformed input. */
+CsrMatrix readMatrixMarket(std::istream &in);
+
+/** Load a .mtx file. */
+CsrMatrix readMatrixMarketFile(const std::string &path);
+
+/** Write a CSR matrix as `matrix coordinate real general`. */
+void writeMatrixMarket(std::ostream &out, const CsrMatrix &matrix);
+
+/** Save a .mtx file. */
+void writeMatrixMarketFile(const std::string &path,
+                           const CsrMatrix &matrix);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_MATRIX_MARKET_HPP

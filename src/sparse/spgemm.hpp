@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reference sparse-matrix-multiplication algorithms.
+ *
+ * Two SpGEMM formulations matter for the evaluation:
+ *  - Gustavson (row-wise) products, the GAMMA baseline;
+ *  - outer products, the OuterSPACE/SpArch formulation, which produce
+ *    *partial matrices* (one per column of A) that must then be merged
+ *    (Section VI-C/VI-D). The partial-matrix representation here is what
+ *    the merger simulators consume.
+ */
+
+#ifndef STELLAR_SPARSE_SPGEMM_HPP
+#define STELLAR_SPARSE_SPGEMM_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+
+namespace stellar::sparse
+{
+
+/** Gustavson row-wise SpGEMM: C = A * B over CSR operands. */
+CsrMatrix spgemmGustavson(const CsrMatrix &a, const CsrMatrix &b);
+
+/** One sorted (coordinate, value) stream. */
+struct Fiber
+{
+    std::vector<std::int64_t> coords;
+    std::vector<double> values;
+
+    std::int64_t size() const { return std::int64_t(coords.size()); }
+    bool sorted() const;
+};
+
+/**
+ * One outer-product partial matrix: the rank-1 update A(:,k) x B(k,:),
+ * stored as one fiber per touched row.
+ */
+struct PartialMatrix
+{
+    std::vector<std::int64_t> rowIds;
+    std::vector<Fiber> rowFibers;
+
+    std::int64_t totalElements() const;
+    std::int64_t maxFiberLen() const;
+
+    /** Row-length imbalance: max fiber length / mean fiber length. */
+    double imbalance() const;
+};
+
+/** Produce the outer-product partial matrices of C = A * B, one per
+ *  column k of A (equivalently row k of B), in k order. */
+std::vector<PartialMatrix> outerProductPartials(const CscMatrix &a,
+                                                const CsrMatrix &b);
+
+/** Merge partial matrices into the final CSR result (reference). */
+CsrMatrix mergePartials(std::int64_t rows, std::int64_t cols,
+                        const std::vector<PartialMatrix> &partials);
+
+/** Two-way sorted-fiber merge, summing values at equal coordinates. */
+Fiber mergeFibers(const Fiber &a, const Fiber &b);
+
+/** Number of multiply operations an SpGEMM performs (2x for GFLOPs). */
+std::int64_t spgemmMultiplies(const CsrMatrix &a, const CsrMatrix &b);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_SPGEMM_HPP

@@ -1,0 +1,109 @@
+#include "sparse/structured.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace stellar::sparse
+{
+
+StructuredMatrix
+generateStructured(Rng &rng, std::int64_t rows, std::int64_t cols,
+                   int keep_n, int group_m)
+{
+    require(group_m > 0 && keep_n > 0 && keep_n <= group_m,
+            "invalid N:M parameters");
+    require(cols % group_m == 0, "cols must be a multiple of M");
+    StructuredMatrix matrix;
+    matrix.rows = rows;
+    matrix.cols = cols;
+    matrix.keepN = keep_n;
+    matrix.groupM = group_m;
+    for (std::int64_t r = 0; r < rows; r++) {
+        for (std::int64_t g = 0; g < cols / group_m; g++) {
+            // Choose keep_n distinct positions within the group.
+            auto perm = rng.permutation(std::size_t(group_m));
+            std::vector<std::uint8_t> kept(perm.begin(),
+                                           perm.begin() + keep_n);
+            std::sort(kept.begin(), kept.end());
+            for (auto sel : kept) {
+                matrix.values.push_back(
+                        double(rng.nextRange(1, 9)));
+                matrix.selectors.push_back(sel);
+            }
+        }
+    }
+    return matrix;
+}
+
+DenseMatrix
+structuredToDense(const StructuredMatrix &matrix)
+{
+    DenseMatrix dense(matrix.rows, matrix.cols);
+    std::size_t cursor = 0;
+    for (std::int64_t r = 0; r < matrix.rows; r++) {
+        for (std::int64_t g = 0; g < matrix.groupsPerRow(); g++) {
+            for (int n = 0; n < matrix.keepN; n++) {
+                invariant(cursor < matrix.values.size(),
+                          "structured matrix underrun");
+                std::int64_t c = g * matrix.groupM +
+                                 matrix.selectors[cursor];
+                dense.at(r, c) = matrix.values[cursor];
+                cursor++;
+            }
+        }
+    }
+    return dense;
+}
+
+StructuredMatrix
+denseToStructured(const DenseMatrix &dense, int keep_n, int group_m)
+{
+    require(isStructuredNM(dense, keep_n, group_m),
+            "matrix violates the N:M structured-sparsity property");
+    StructuredMatrix matrix;
+    matrix.rows = dense.rows();
+    matrix.cols = dense.cols();
+    matrix.keepN = keep_n;
+    matrix.groupM = group_m;
+    for (std::int64_t r = 0; r < dense.rows(); r++) {
+        for (std::int64_t g = 0; g < dense.cols() / group_m; g++) {
+            int packed = 0;
+            for (int pos = 0; pos < group_m; pos++) {
+                double v = dense.at(r, g * group_m + pos);
+                if (v != 0.0) {
+                    matrix.values.push_back(v);
+                    matrix.selectors.push_back(std::uint8_t(pos));
+                    packed++;
+                }
+            }
+            // Pad with explicit zeros so groups stay fixed-size.
+            while (packed < keep_n) {
+                matrix.values.push_back(0.0);
+                matrix.selectors.push_back(0);
+                packed++;
+            }
+        }
+    }
+    return matrix;
+}
+
+bool
+isStructuredNM(const DenseMatrix &dense, int keep_n, int group_m)
+{
+    if (group_m <= 0 || dense.cols() % group_m != 0)
+        return false;
+    for (std::int64_t r = 0; r < dense.rows(); r++) {
+        for (std::int64_t g = 0; g < dense.cols() / group_m; g++) {
+            int nonzeros = 0;
+            for (int pos = 0; pos < group_m; pos++)
+                if (dense.at(r, g * group_m + pos) != 0.0)
+                    nonzeros++;
+            if (nonzeros > keep_n)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace stellar::sparse

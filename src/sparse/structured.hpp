@@ -1,0 +1,60 @@
+/**
+ * @file
+ * N:M structured sparsity (Fig 5 / NVIDIA A100 2:4).
+ *
+ * In an N:M structured-sparse matrix every aligned group of M elements
+ * along the compressed dimension holds at most N nonzeros. The format
+ * stores the N values plus small per-group selector metadata, which is
+ * what lets the OptimisticSkip hardware keep its PE-to-PE connections
+ * and mux the right operands out of 4-wide bundles.
+ */
+
+#ifndef STELLAR_SPARSE_STRUCTURED_HPP
+#define STELLAR_SPARSE_STRUCTURED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::sparse
+{
+
+/** An N:M structured-sparse matrix in packed form. */
+struct StructuredMatrix
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    int keepN = 2;
+    int groupM = 4;
+
+    /** Packed nonzero values: rows x (cols / M) groups of N values. */
+    std::vector<double> values;
+
+    /** Per kept value: its index within the M-group (selector bits). */
+    std::vector<std::uint8_t> selectors;
+
+    std::int64_t groupsPerRow() const { return cols / groupM; }
+    std::int64_t nnz() const { return std::int64_t(values.size()); }
+};
+
+/** Generate a random N:M structured matrix. cols must divide by M. */
+StructuredMatrix generateStructured(Rng &rng, std::int64_t rows,
+                                    std::int64_t cols, int keep_n,
+                                    int group_m);
+
+/** Expand to dense (zeros where pruned). */
+DenseMatrix structuredToDense(const StructuredMatrix &matrix);
+
+/** Pack a dense matrix that satisfies the N:M property; fatal if the
+ *  property is violated. */
+StructuredMatrix denseToStructured(const DenseMatrix &dense, int keep_n,
+                                   int group_m);
+
+/** True when the dense matrix satisfies N:M sparsity along rows. */
+bool isStructuredNM(const DenseMatrix &dense, int keep_n, int group_m);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_STRUCTURED_HPP

@@ -1,0 +1,157 @@
+#include "sparse/suitesparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace stellar::sparse
+{
+
+double
+MatrixProfile::density() const
+{
+    return rows == 0 || cols == 0
+                   ? 0.0
+                   : double(nnz) / (double(rows) * double(cols));
+}
+
+double
+MatrixProfile::avgRowNnz() const
+{
+    return rows == 0 ? 0.0 : double(nnz) / double(rows);
+}
+
+const std::vector<MatrixProfile> &
+outerSpaceSuite()
+{
+    // Dimensions and nonzero counts follow the published SuiteSparse
+    // metadata for the matrices in OuterSPACE's (and SpArch's) evaluation.
+    static const std::vector<MatrixProfile> suite = {
+        {"2cubes_sphere", 101492, 101492, 1647264, MatrixPattern::Mesh, 0.3},
+        {"amazon0312", 400727, 400727, 3200440, MatrixPattern::PowerLaw, 0.9},
+        {"ca-CondMat", 23133, 23133, 186936, MatrixPattern::PowerLaw, 0.9},
+        {"cage12", 130228, 130228, 2032536, MatrixPattern::Mesh, 0.3},
+        {"cop20k_A", 121192, 121192, 2624331, MatrixPattern::Mesh, 0.5},
+        {"email-Enron", 36692, 36692, 367662, MatrixPattern::PowerLaw, 1.4},
+        {"filter3D", 106437, 106437, 2707179, MatrixPattern::Mesh, 0.3},
+        {"m133-b3", 200200, 200200, 800800, MatrixPattern::Mesh, 0.1},
+        {"mario002", 389874, 389874, 2101242, MatrixPattern::Mesh, 0.2},
+        {"offshore", 259789, 259789, 4242673, MatrixPattern::Mesh, 0.3},
+        {"p2p-Gnutella31", 62586, 62586, 147892, MatrixPattern::PowerLaw,
+         1.1},
+        {"patents_main", 240547, 240547, 560943, MatrixPattern::PowerLaw,
+         0.8},
+        {"poisson3Da", 13514, 13514, 352762, MatrixPattern::Mesh, 0.4},
+        {"roadNet-CA", 1971281, 1971281, 5533214, MatrixPattern::Mesh, 0.2},
+        {"scircuit", 170998, 170998, 958936, MatrixPattern::PowerLaw, 1.2},
+        {"web-Google", 916428, 916428, 5105039, MatrixPattern::PowerLaw,
+         1.3},
+        {"webbase-1M", 1000005, 1000005, 3105536, MatrixPattern::PowerLaw,
+         1.6},
+        {"wiki-Vote", 8297, 8297, 103689, MatrixPattern::PowerLaw, 1.3},
+    };
+    return suite;
+}
+
+const MatrixProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &profile : outerSpaceSuite())
+        if (profile.name == name)
+            return profile;
+    fatal("unknown SuiteSparse profile: " + name);
+}
+
+MatrixProfile
+scaleProfile(const MatrixProfile &profile, std::int64_t target_nnz)
+{
+    if (profile.nnz <= target_nnz)
+        return profile;
+    MatrixProfile scaled = profile;
+    // Preserve the average row length (the statistic merger throughput
+    // and SpGEMM work depend on): rows shrink linearly with nnz.
+    double ratio = double(target_nnz) / double(profile.nnz);
+    scaled.rows = std::max<std::int64_t>(
+            64, std::int64_t(double(profile.rows) * ratio));
+    scaled.cols = scaled.rows;
+    scaled.nnz = std::max<std::int64_t>(
+            scaled.rows,
+            std::int64_t(double(scaled.rows) * profile.avgRowNnz()));
+    return scaled;
+}
+
+CsrMatrix
+synthesize(const MatrixProfile &profile, std::uint64_t seed)
+{
+    require(profile.rows > 0 && profile.cols > 0,
+            "profile must have positive dimensions");
+    Rng rng(seed ^ std::hash<std::string>{}(profile.name));
+
+    // Draw per-row weights from the profile's distribution and scale them
+    // so the total matches nnz.
+    std::vector<double> weights(std::size_t(profile.rows));
+    double total_weight = 0.0;
+    for (auto &w : weights) {
+        if (profile.pattern == MatrixPattern::PowerLaw) {
+            // Pareto-distributed row weights: a handful of hub rows carry
+            // a large share of the nonzeros, as in real graph matrices.
+            double u = std::max(rng.nextDouble(), 1e-9);
+            w = std::min(std::pow(u, -profile.rowSkew), 1e5);
+        } else {
+            w = std::max(0.2, rng.nextGaussian(1.0, profile.rowSkew));
+        }
+        total_weight += w;
+    }
+
+    std::vector<std::int64_t> row_ptr(std::size_t(profile.rows) + 1, 0);
+    std::vector<std::int64_t> col_idx;
+    col_idx.reserve(std::size_t(profile.nnz));
+    std::vector<double> values;
+    values.reserve(std::size_t(profile.nnz));
+
+    std::int64_t remaining = profile.nnz;
+    for (std::int64_t r = 0; r < profile.rows; r++) {
+        std::int64_t len;
+        if (r + 1 == profile.rows) {
+            len = remaining;
+        } else {
+            len = std::int64_t(std::llround(
+                    weights[std::size_t(r)] / total_weight *
+                    double(profile.nnz)));
+        }
+        len = std::clamp<std::int64_t>(len, 0,
+                                       std::min(remaining, profile.cols));
+        remaining -= len;
+
+        // Distinct sorted column indices for this row.
+        std::set<std::int64_t> cols;
+        if (profile.pattern == MatrixPattern::Mesh && len > 0) {
+            // Mesh rows cluster near the diagonal.
+            std::int64_t center = std::int64_t(
+                    double(r) / double(profile.rows) * double(profile.cols));
+            while (std::int64_t(cols.size()) < len) {
+                auto offset = std::int64_t(
+                        rng.nextGaussian(0.0, double(len) * 4.0 + 8.0));
+                auto c = std::clamp<std::int64_t>(center + offset, 0,
+                                                  profile.cols - 1);
+                cols.insert(c);
+            }
+        } else {
+            while (std::int64_t(cols.size()) < len)
+                cols.insert(std::int64_t(
+                        rng.nextBounded(std::uint64_t(profile.cols))));
+        }
+        for (auto c : cols) {
+            col_idx.push_back(c);
+            values.push_back(0.1 + 0.9 * rng.nextDouble());
+        }
+        row_ptr[std::size_t(r) + 1] =
+                row_ptr[std::size_t(r)] + std::int64_t(cols.size());
+    }
+    return CsrMatrix(profile.rows, profile.cols, std::move(row_ptr),
+                     std::move(col_idx), std::move(values));
+}
+
+} // namespace stellar::sparse

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic SuiteSparse workloads (Sections VI-C and VI-D).
+ *
+ * The paper evaluates its OuterSPACE-style accelerator and merger designs
+ * on matrices from the SuiteSparse (University of Florida) collection.
+ * The collection is not available offline, so this module carries each
+ * matrix's published dimensions and nonzero count plus a row-length-
+ * distribution profile (mesh-like/uniform vs power-law/skewed), and
+ * synthesizes matrices matching those statistics. Throughput and merger
+ * results depend on size, density, and row imbalance — which the
+ * generator reproduces per matrix — not on the exact coordinate values.
+ * Dimensions/nnz are from the published collection metadata and are
+ * approximate where the original papers rounded.
+ */
+
+#ifndef STELLAR_SPARSE_SUITESPARSE_HPP
+#define STELLAR_SPARSE_SUITESPARSE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::sparse
+{
+
+/** Row-length distribution family. */
+enum class MatrixPattern
+{
+    Mesh,      //!< near-uniform row lengths (FEM/meshes)
+    PowerLaw,  //!< heavy-tailed row lengths (graphs, circuits)
+};
+
+/** Published statistics of one SuiteSparse matrix. */
+struct MatrixProfile
+{
+    std::string name;
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    std::int64_t nnz = 0;
+    MatrixPattern pattern = MatrixPattern::Mesh;
+
+    /** Zipf skew of the row-length distribution. */
+    double rowSkew = 0.4;
+
+    double density() const;
+    double avgRowNnz() const;
+};
+
+/** The matrices OuterSPACE (and SpArch) were evaluated on. */
+const std::vector<MatrixProfile> &outerSpaceSuite();
+
+/** Look up a profile by name; fatal when unknown. */
+const MatrixProfile &profileByName(const std::string &name);
+
+/**
+ * Scale a profile down to approximately `target_nnz` nonzeros while
+ * preserving its average row length and skew (the statistics merger
+ * throughput and SpGEMM work depend on), so cycle-level simulation stays
+ * tractable on one core. Profiles at or below the target are unchanged.
+ */
+MatrixProfile scaleProfile(const MatrixProfile &profile,
+                           std::int64_t target_nnz);
+
+/** Synthesize a matrix matching a profile. Deterministic per (profile,
+ *  seed). */
+CsrMatrix synthesize(const MatrixProfile &profile, std::uint64_t seed);
+
+} // namespace stellar::sparse
+
+#endif // STELLAR_SPARSE_SUITESPARSE_HPP

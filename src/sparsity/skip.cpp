@@ -1,0 +1,198 @@
+#include "sparsity/skip.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::sparsity
+{
+
+SkipSpec
+skipWhenZero(int index, int tensor,
+             const std::vector<func::IndexExpr> &coords)
+{
+    SkipSpec skip;
+    skip.skippedIndices = {index};
+    skip.condition.kind = SkipCondition::Kind::TensorZero;
+    skip.condition.tensor = tensor;
+    skip.condition.coords = coords;
+    return skip;
+}
+
+SkipSpec
+skipWhenNotEqual(int index_a, int index_b)
+{
+    SkipSpec skip;
+    skip.skippedIndices = {index_a, index_b};
+    skip.condition.kind = SkipCondition::Kind::IndexRelation;
+    skip.condition.lhsIndex = index_a;
+    skip.condition.rhsIndex = index_b;
+    return skip;
+}
+
+SkipSpec
+skipFiberZero(int index, int tensor,
+              const std::vector<func::IndexExpr> &fixed_coords,
+              int wildcard_axis)
+{
+    SkipSpec skip;
+    skip.skippedIndices = {index};
+    skip.condition.kind = SkipCondition::Kind::FiberZero;
+    skip.condition.tensor = tensor;
+    skip.condition.coords = fixed_coords;
+    skip.condition.wildcardAxis = wildcard_axis;
+    return skip;
+}
+
+SkipSpec
+optimisticSkip(int index, int tensor,
+               const std::vector<func::IndexExpr> &coords, int bundle_size)
+{
+    SkipSpec skip = skipWhenZero(index, tensor, coords);
+    skip.optimistic = true;
+    skip.bundleSize = bundle_size;
+    return skip;
+}
+
+std::set<int>
+SparsitySpec::skippedIndices() const
+{
+    std::set<int> out;
+    for (const auto &skip : skips_)
+        if (!skip.optimistic)
+            out.insert(skip.skippedIndices.begin(),
+                       skip.skippedIndices.end());
+    return out;
+}
+
+std::set<int>
+SparsitySpec::optimisticIndices() const
+{
+    std::set<int> out;
+    for (const auto &skip : skips_)
+        if (skip.optimistic)
+            out.insert(skip.skippedIndices.begin(),
+                       skip.skippedIndices.end());
+    return out;
+}
+
+std::set<int>
+SparsitySpec::expansionDeps(int index) const
+{
+    std::set<int> deps;
+    for (const auto &skip : skips_) {
+        if (!skip.skippedIndices.count(index))
+            continue;
+        switch (skip.condition.kind) {
+          case SkipCondition::Kind::TensorZero:
+            // Every iterator in the condition's coordinates other than the
+            // skipped one parameterizes the expansion function.
+            for (const auto &coord : skip.condition.coords)
+                if (coord.isAffine())
+                    for (const auto &[id, coeff] : coord.coeffs)
+                        if (coeff != 0 && id != index)
+                            deps.insert(id);
+            break;
+          case SkipCondition::Kind::IndexRelation:
+            // Skipping i and k when i != k ties each to the other.
+            if (skip.condition.lhsIndex == index)
+                deps.insert(skip.condition.rhsIndex);
+            else if (skip.condition.rhsIndex == index)
+                deps.insert(skip.condition.lhsIndex);
+            break;
+          case SkipCondition::Kind::FiberZero:
+            // A whole-fiber condition depends on the coordinates that pick
+            // the fiber; they are exactly the non-wildcard coords.
+            for (const auto &coord : skip.condition.coords)
+                if (coord.isAffine())
+                    for (const auto &[id, coeff] : coord.coeffs)
+                        if (coeff != 0 && id != index)
+                            deps.insert(id);
+            break;
+        }
+    }
+    return deps;
+}
+
+bool
+SparsitySpec::isSkipped(int index) const
+{
+    for (const auto &skip : skips_)
+        if (skip.skippedIndices.count(index))
+            return true;
+    return false;
+}
+
+bool
+SparsitySpec::isOptimistic(int index) const
+{
+    for (const auto &skip : skips_)
+        if (skip.optimistic && skip.skippedIndices.count(index))
+            return true;
+    return false;
+}
+
+int
+SparsitySpec::bundleSizeOf(int index) const
+{
+    int size = 1;
+    for (const auto &skip : skips_)
+        if (skip.optimistic && skip.skippedIndices.count(index))
+            size = std::max(size, skip.bundleSize);
+    return size;
+}
+
+std::string
+SparsitySpec::toString(const func::FunctionalSpec &spec) const
+{
+    std::ostringstream os;
+    for (const auto &skip : skips_) {
+        os << (skip.optimistic ? "OptimisticSkip " : "Skip ");
+        bool first = true;
+        for (int id : skip.skippedIndices) {
+            if (!first)
+                os << " and ";
+            os << spec.indexNames()[std::size_t(id)];
+            first = false;
+        }
+        os << " when ";
+        const auto &cond = skip.condition;
+        switch (cond.kind) {
+          case SkipCondition::Kind::TensorZero: {
+            os << spec.tensorNames()[std::size_t(cond.tensor)] << "(";
+            for (std::size_t i = 0; i < cond.coords.size(); i++) {
+                if (i > 0)
+                    os << ", ";
+                os << cond.coords[i].toString(spec.indexNames());
+            }
+            os << ") == 0";
+            break;
+          }
+          case SkipCondition::Kind::IndexRelation:
+            os << spec.indexNames()[std::size_t(cond.lhsIndex)] << " != "
+               << spec.indexNames()[std::size_t(cond.rhsIndex)];
+            break;
+          case SkipCondition::Kind::FiberZero: {
+            os << spec.tensorNames()[std::size_t(cond.tensor)] << "(";
+            int rank = spec.tensorRank(cond.tensor);
+            std::size_t fixed = 0;
+            for (int axis = 0; axis < rank; axis++) {
+                if (axis > 0)
+                    os << ", ";
+                if (axis == cond.wildcardAxis)
+                    os << "->";
+                else if (fixed < cond.coords.size())
+                    os << cond.coords[fixed++].toString(spec.indexNames());
+            }
+            os << ") == 0";
+            break;
+          }
+        }
+        if (skip.optimistic)
+            os << " [bundle=" << skip.bundleSize << "]";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stellar::sparsity

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Sparse-data-structure specifications (Section III-C).
+ *
+ * Sparsity is specified by declaring which tensor iterators may be
+ * *skipped* and under which conditions (Listing 2). These declarations say
+ * nothing about how tensors are stored in memory (that is Section III-E /
+ * src/mem); they only drive the spatial-array connection pruning of
+ * Section IV-B.
+ *
+ * Skipping an iterator makes its *expanded* coordinate a symbolic function
+ * f of the compressed coordinate and the iterators its condition depends
+ * on (e.g. for "Skip j when B(k, j) == 0", j_expanded = f(k, j_comp)).
+ * The pruning pass in src/core uses the dependency sets computed here.
+ */
+
+#ifndef STELLAR_SPARSITY_SKIP_HPP
+#define STELLAR_SPARSITY_SKIP_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "func/spec.hpp"
+
+namespace stellar::sparsity
+{
+
+/** The condition under which iterations are skipped. */
+struct SkipCondition
+{
+    enum class Kind
+    {
+        TensorZero,      //!< skip when tensor(coords) == 0 (CSR/CSC style)
+        IndexRelation,   //!< skip when e.g. i != k (diagonal matrices)
+        FiberZero,       //!< skip when a whole fiber is zero: A(i, ->) == 0
+    };
+
+    Kind kind = Kind::TensorZero;
+
+    /** TensorZero / FiberZero: the tensor whose zeros trigger skipping. */
+    int tensor = -1;
+
+    /** TensorZero: the access coordinates; FiberZero: the fixed coords. */
+    std::vector<func::IndexExpr> coords;
+
+    /** IndexRelation: skip when lhsIndex != rhsIndex. */
+    int lhsIndex = -1;
+    int rhsIndex = -1;
+
+    /** FiberZero: the axis position that is wildcarded ("->"). */
+    int wildcardAxis = -1;
+};
+
+/**
+ * One Skip / OptimisticSkip declaration. `optimistic` corresponds to the
+ * paper's OptimisticSkip keyword: PE-to-PE connections are retained but
+ * widened into bundles of `bundleSize` potentially-useful values (the A100
+ * 2:4 structured-sparsity case, Fig 5).
+ */
+struct SkipSpec
+{
+    std::set<int> skippedIndices;
+    SkipCondition condition;
+    bool optimistic = false;
+    int bundleSize = 1;
+};
+
+/** Convenience builders mirroring the paper's Listing 2. */
+SkipSpec skipWhenZero(int index, int tensor,
+                      const std::vector<func::IndexExpr> &coords);
+SkipSpec skipWhenNotEqual(int index_a, int index_b);
+SkipSpec skipFiberZero(int index, int tensor,
+                       const std::vector<func::IndexExpr> &fixed_coords,
+                       int wildcard_axis);
+SkipSpec optimisticSkip(int index, int tensor,
+                        const std::vector<func::IndexExpr> &coords,
+                        int bundle_size);
+
+/** The full sparsity specification for an accelerator. */
+class SparsitySpec
+{
+  public:
+    void add(const SkipSpec &skip) { skips_.push_back(skip); }
+
+    const std::vector<SkipSpec> &skips() const { return skips_; }
+    bool empty() const { return skips_.empty(); }
+
+    /** All iterators skipped non-optimistically. */
+    std::set<int> skippedIndices() const;
+
+    /** All iterators skipped optimistically. */
+    std::set<int> optimisticIndices() const;
+
+    /**
+     * The expansion-dependency set of a skipped iterator s: the iterators
+     * that parameterize s's compressed-to-expanded mapping. For
+     * "Skip j when B(k, j) == 0" this is {k}: each value of k selects a
+     * different row of B, hence a different expansion function f(k, *).
+     */
+    std::set<int> expansionDeps(int index) const;
+
+    /** True when the iterator is skipped (optimistically or not). */
+    bool isSkipped(int index) const;
+    bool isOptimistic(int index) const;
+
+    /** Largest bundle size among optimistic skips of this iterator. */
+    int bundleSizeOf(int index) const;
+
+    std::string toString(const func::FunctionalSpec &spec) const;
+
+  private:
+    std::vector<SkipSpec> skips_;
+};
+
+} // namespace stellar::sparsity
+
+#endif // STELLAR_SPARSITY_SKIP_HPP

@@ -1,0 +1,131 @@
+#include "util/fraction.hpp"
+
+#include "util/logging.hpp"
+
+namespace stellar
+{
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    if (a < 0)
+        a = -a;
+    if (b < 0)
+        b = -b;
+    while (b != 0) {
+        std::int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den)
+{
+    require(den != 0, "Fraction denominator must be nonzero");
+    normalize();
+}
+
+void
+Fraction::normalize()
+{
+    if (den_ < 0) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    std::int64_t g = gcd64(num_, den_);
+    if (g > 1) {
+        num_ /= g;
+        den_ /= g;
+    }
+    if (num_ == 0)
+        den_ = 1;
+}
+
+std::int64_t
+Fraction::toInteger() const
+{
+    invariant(den_ == 1, "Fraction " + toString() + " is not an integer");
+    return num_;
+}
+
+Fraction
+Fraction::operator-() const
+{
+    Fraction r;
+    r.num_ = -num_;
+    r.den_ = den_;
+    return r;
+}
+
+Fraction
+Fraction::operator+(const Fraction &other) const
+{
+    return Fraction(num_ * other.den_ + other.num_ * den_, den_ * other.den_);
+}
+
+Fraction
+Fraction::operator-(const Fraction &other) const
+{
+    return Fraction(num_ * other.den_ - other.num_ * den_, den_ * other.den_);
+}
+
+Fraction
+Fraction::operator*(const Fraction &other) const
+{
+    return Fraction(num_ * other.num_, den_ * other.den_);
+}
+
+Fraction
+Fraction::operator/(const Fraction &other) const
+{
+    require(other.num_ != 0, "Fraction division by zero");
+    return Fraction(num_ * other.den_, den_ * other.num_);
+}
+
+Fraction &
+Fraction::operator+=(const Fraction &other)
+{
+    *this = *this + other;
+    return *this;
+}
+
+Fraction &
+Fraction::operator-=(const Fraction &other)
+{
+    *this = *this - other;
+    return *this;
+}
+
+Fraction &
+Fraction::operator*=(const Fraction &other)
+{
+    *this = *this * other;
+    return *this;
+}
+
+Fraction &
+Fraction::operator/=(const Fraction &other)
+{
+    *this = *this / other;
+    return *this;
+}
+
+std::strong_ordering
+Fraction::operator<=>(const Fraction &other) const
+{
+    // Denominators are positive, so cross-multiplication preserves order.
+    std::int64_t lhs = num_ * other.den_;
+    std::int64_t rhs = other.num_ * den_;
+    return lhs <=> rhs;
+}
+
+std::string
+Fraction::toString() const
+{
+    if (den_ == 1)
+        return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+} // namespace stellar

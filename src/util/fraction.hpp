@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Exact rational arithmetic.
+ *
+ * Space-time transform inverses are rational in general (the determinant of
+ * a user-supplied transform need not be +/-1), and PE iterator recovery via
+ * T^-1 must be exact, so all transform math uses Fraction instead of
+ * floating point.
+ */
+
+#ifndef STELLAR_UTIL_FRACTION_HPP
+#define STELLAR_UTIL_FRACTION_HPP
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace stellar
+{
+
+/**
+ * An exact rational number with a canonical representation: the denominator
+ * is always positive and gcd(|num|, den) == 1.
+ */
+class Fraction
+{
+  public:
+    Fraction() : num_(0), den_(1) {}
+    Fraction(std::int64_t value) : num_(value), den_(1) {}
+    Fraction(std::int64_t num, std::int64_t den);
+
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    bool isInteger() const { return den_ == 1; }
+    bool isZero() const { return num_ == 0; }
+
+    /** The integer value; panics if the fraction is not integral. */
+    std::int64_t toInteger() const;
+
+    double toDouble() const { return double(num_) / double(den_); }
+
+    Fraction operator-() const;
+    Fraction operator+(const Fraction &other) const;
+    Fraction operator-(const Fraction &other) const;
+    Fraction operator*(const Fraction &other) const;
+    Fraction operator/(const Fraction &other) const;
+
+    Fraction &operator+=(const Fraction &other);
+    Fraction &operator-=(const Fraction &other);
+    Fraction &operator*=(const Fraction &other);
+    Fraction &operator/=(const Fraction &other);
+
+    bool operator==(const Fraction &other) const = default;
+    std::strong_ordering operator<=>(const Fraction &other) const;
+
+    std::string toString() const;
+
+  private:
+    void normalize();
+
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+/** Greatest common divisor of the absolute values; gcd(0, 0) == 0. */
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+} // namespace stellar
+
+#endif // STELLAR_UTIL_FRACTION_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Small dense integer and rational matrices.
+ *
+ * These back the space-time transforms of Section III-B: the transform T is
+ * an invertible integer matrix, applied to integer iteration vectors, and
+ * inverted exactly (via the adjugate) to recover tensor iterators from
+ * space-time coordinates inside PEs (Fig 11).
+ */
+
+#ifndef STELLAR_UTIL_INT_MATRIX_HPP
+#define STELLAR_UTIL_INT_MATRIX_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/fraction.hpp"
+
+namespace stellar
+{
+
+using IntVec = std::vector<std::int64_t>;
+using FracVec = std::vector<Fraction>;
+
+class FracMatrix;
+
+/** A small, dense, row-major matrix of 64-bit integers. */
+class IntMatrix
+{
+  public:
+    IntMatrix() : rows_(0), cols_(0) {}
+    IntMatrix(int rows, int cols);
+
+    /** Build from a row-major nested initializer, e.g. {{1,0},{0,1}}. */
+    IntMatrix(std::initializer_list<std::initializer_list<std::int64_t>> rows);
+
+    static IntMatrix identity(int n);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    std::int64_t &at(int r, int c);
+    std::int64_t at(int r, int c) const;
+
+    IntVec row(int r) const;
+    IntVec col(int c) const;
+
+    IntMatrix operator*(const IntMatrix &other) const;
+    IntVec operator*(const IntVec &v) const;
+    IntMatrix operator+(const IntMatrix &other) const;
+    IntMatrix operator-(const IntMatrix &other) const;
+    bool operator==(const IntMatrix &other) const = default;
+
+    IntMatrix transpose() const;
+
+    /** Exact determinant by cofactor expansion (matrices here are tiny). */
+    std::int64_t determinant() const;
+
+    bool isSquare() const { return rows_ == cols_; }
+    bool isInvertible() const;
+
+    /** Exact inverse as a rational matrix; fatal if singular. */
+    FracMatrix inverse() const;
+
+    std::string toString() const;
+
+  private:
+    std::int64_t minorDet(int skip_row, int skip_col) const;
+
+    int rows_;
+    int cols_;
+    std::vector<std::int64_t> data_;
+};
+
+/** A small, dense, row-major matrix of exact rationals. */
+class FracMatrix
+{
+  public:
+    FracMatrix() : rows_(0), cols_(0) {}
+    FracMatrix(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    Fraction &at(int r, int c);
+    const Fraction &at(int r, int c) const;
+
+    FracVec operator*(const FracVec &v) const;
+    FracVec operator*(const IntVec &v) const;
+    FracMatrix operator*(const FracMatrix &other) const;
+    bool operator==(const FracMatrix &other) const = default;
+
+    /** True when every entry is integral. */
+    bool isIntegral() const;
+
+    /** Convert to an integer matrix; panics when not integral. */
+    IntMatrix toIntMatrix() const;
+
+    std::string toString() const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<Fraction> data_;
+};
+
+/** Element-wise difference a - b of equal-length vectors. */
+IntVec vecSub(const IntVec &a, const IntVec &b);
+
+/** Element-wise sum of equal-length vectors. */
+IntVec vecAdd(const IntVec &a, const IntVec &b);
+
+/** Sum of absolute values (L1 norm), used for wire-length estimates. */
+std::int64_t vecL1(const IntVec &v);
+
+/** True when every component is zero. */
+bool vecIsZero(const IntVec &v);
+
+std::string vecToString(const IntVec &v);
+std::string vecToString(const FracVec &v);
+
+} // namespace stellar
+
+#endif // STELLAR_UTIL_INT_MATRIX_HPP

@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace stellar
+{
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("stellar panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("stellar fatal: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "stellar warn: %s\n", msg.c_str());
+}
+
+void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "stellar info: %s\n", msg.c_str());
+}
+
+} // namespace stellar

@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace stellar
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    require(bound > 0, "Rng::nextBounded requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    while (true) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    require(lo <= hi, "Rng::nextRange requires lo <= hi");
+    std::uint64_t span = std::uint64_t(hi - lo) + 1;
+    return lo + std::int64_t(nextBounded(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::nextBool(double probability)
+{
+    return nextDouble() < probability;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    double sum = 0.0;
+    for (int i = 0; i < 12; i++)
+        sum += nextDouble();
+    return mean + (sum - 6.0) * stddev;
+}
+
+std::size_t
+Rng::nextZipf(std::size_t n, double s)
+{
+    require(n > 0, "Rng::nextZipf requires n > 0");
+    // Inverse-CDF sampling against the (approximated) generalized
+    // harmonic normalizer. Accurate enough for workload shaping.
+    double h = 0.0;
+    // For large n, approximate the tail of the harmonic sum analytically.
+    const std::size_t exact_terms = n < 1024 ? n : 1024;
+    for (std::size_t k = 1; k <= exact_terms; k++)
+        h += 1.0 / std::pow(double(k), s);
+    if (n > exact_terms) {
+        if (s == 1.0) {
+            h += std::log(double(n) / double(exact_terms));
+        } else {
+            h += (std::pow(double(n), 1.0 - s) -
+                  std::pow(double(exact_terms), 1.0 - s)) / (1.0 - s);
+        }
+    }
+    double target = nextDouble() * h;
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= exact_terms; k++) {
+        acc += 1.0 / std::pow(double(k), s);
+        if (acc >= target)
+            return k - 1;
+    }
+    // Landed in the approximated tail: spread uniformly across it.
+    return exact_terms + nextBounded(n - exact_terms);
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; i++)
+        perm[i] = i;
+    for (std::size_t i = n; i > 1; i--) {
+        std::size_t j = nextBounded(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace stellar

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All synthetic workloads (sparse matrix generators, pruned-DNN densities)
+ * derive from this generator so experiments are reproducible bit-for-bit
+ * across runs and platforms.
+ */
+
+#ifndef STELLAR_UTIL_RNG_HPP
+#define STELLAR_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace stellar
+{
+
+/** A splitmix64-seeded xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5713ac3915ULL);
+
+    /** A uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** A uniform value in [0, bound). bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** A uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** A uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with the given probability. */
+    bool nextBool(double probability);
+
+    /** An approximately normal sample (12-term Irwin-Hall). */
+    double nextGaussian(double mean, double stddev);
+
+    /**
+     * A Zipf-distributed integer in [0, n) with skew parameter s. Used to
+     * model the heavy-tailed row-length distributions of SuiteSparse
+     * matrices (Sec VI-C / VI-D workloads).
+     */
+    std::size_t nextZipf(std::size_t n, double s);
+
+    /** A uniformly shuffled permutation of [0, n). */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace stellar
+
+#endif // STELLAR_UTIL_RNG_HPP

@@ -1,0 +1,95 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar
+{
+
+void
+SampleStats::add(double value)
+{
+    count_++;
+    sum_ += value;
+    sumSquares_ += value * value;
+    if (value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+}
+
+double
+SampleStats::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / double(count_);
+}
+
+double
+SampleStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double m = mean();
+    double var = sumSquares_ / double(count_) - m * m;
+    return var < 0.0 ? 0.0 : var;
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::string
+SampleStats::toString() const
+{
+    std::ostringstream os;
+    os << "n=" << count_ << " mean=" << mean() << " min=" << min_
+       << " max=" << max_ << " stddev=" << stddev();
+    return os.str();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    require(hi > lo, "Histogram range must be nonempty");
+    require(buckets > 0, "Histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double value)
+{
+    total_++;
+    if (value < lo_) {
+        underflow_++;
+    } else if (value >= hi_) {
+        overflow_++;
+    } else {
+        double frac = (value - lo_) / (hi_ - lo_);
+        auto idx = std::size_t(frac * double(counts_.size()));
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        counts_[idx]++;
+    }
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * double(i) / double(counts_.size());
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); i++)
+        os << "[" << bucketLo(i) << ", " << bucketLo(i + 1) << "): "
+           << counts_[i] << "\n";
+    os << "underflow: " << underflow_ << ", overflow: " << overflow_;
+    return os.str();
+}
+
+} // namespace stellar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Statistics accumulators used throughout the simulator and benchmarks.
+ */
+
+#ifndef STELLAR_UTIL_STATS_HPP
+#define STELLAR_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace stellar
+{
+
+/** Online accumulator for min/max/mean/stddev of a sample stream. */
+class SampleStats
+{
+  public:
+    void add(double value);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    std::string toString() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSquares_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double value);
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Bucket lower edge. */
+    double bucketLo(std::size_t i) const;
+
+    std::string toString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace stellar
+
+#endif // STELLAR_UTIL_STATS_HPP

@@ -1,0 +1,20 @@
+#include "workloads/alexnet.hpp"
+
+namespace stellar::workloads
+{
+
+const std::vector<sim::ScnnLayer> &
+alexnetConvLayers()
+{
+    static const std::vector<sim::ScnnLayer> layers = {
+        // name, inC, outC, kernel, outSize, weightDensity, actDensity
+        {"conv1", 3, 96, 11, 55, 0.84, 1.00},
+        {"conv2", 96, 256, 5, 27, 0.38, 0.49},
+        {"conv3", 256, 384, 3, 13, 0.35, 0.39},
+        {"conv4", 384, 384, 3, 13, 0.37, 0.43},
+        {"conv5", 384, 256, 3, 13, 0.37, 0.44},
+    };
+    return layers;
+}
+
+} // namespace stellar::workloads

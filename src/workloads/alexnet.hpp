@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Pruned AlexNet layers with SCNN-style sparsity (Fig 15 workload).
+ *
+ * Weight densities follow the Han et al. pruned AlexNet that SCNN was
+ * evaluated on (conv1 kept dense-ish, conv2-5 pruned to ~35-40%);
+ * activation densities approximate the post-ReLU statistics SCNN
+ * reports. Both are documented approximations: the figure's claim is
+ * about *relative* PE utilization of handwritten vs generated hardware,
+ * which depends only on these statistics.
+ */
+
+#ifndef STELLAR_WORKLOADS_ALEXNET_HPP
+#define STELLAR_WORKLOADS_ALEXNET_HPP
+
+#include <vector>
+
+#include "sim/scnn.hpp"
+
+namespace stellar::workloads
+{
+
+/** The five convolution layers of pruned AlexNet. */
+const std::vector<sim::ScnnLayer> &alexnetConvLayers();
+
+} // namespace stellar::workloads
+
+#endif // STELLAR_WORKLOADS_ALEXNET_HPP

@@ -1,0 +1,81 @@
+#include "workloads/resnet.hpp"
+
+namespace stellar::workloads
+{
+
+namespace
+{
+
+std::vector<MatmulLayer>
+buildResnet50()
+{
+    std::vector<MatmulLayer> layers;
+    // Stem: 7x7/2 conv, 3 -> 64 channels, 224 -> 112.
+    layers.push_back({"conv1", 112 * 112, 64, 7 * 7 * 3});
+
+    struct Stage
+    {
+        const char *name;
+        int blocks;
+        std::int64_t width;    // bottleneck width
+        std::int64_t spatial;  // output feature-map side
+    };
+    const Stage stages[] = {
+        {"conv2", 3, 64, 56},
+        {"conv3", 4, 128, 28},
+        {"conv4", 6, 256, 14},
+        {"conv5", 3, 512, 7},
+    };
+
+    std::int64_t in_channels = 64;
+    for (const auto &stage : stages) {
+        for (int block = 1; block <= stage.blocks; block++) {
+            std::string base = std::string(stage.name) + "_" +
+                               std::to_string(block);
+            std::int64_t m = stage.spatial * stage.spatial;
+            // 1x1 reduce.
+            layers.push_back({base + "_1x1a", m, stage.width, in_channels});
+            // 3x3.
+            layers.push_back(
+                    {base + "_3x3", m, stage.width, 9 * stage.width});
+            // 1x1 expand.
+            layers.push_back(
+                    {base + "_1x1b", m, 4 * stage.width, stage.width});
+            if (block == 1) {
+                // Projection shortcut.
+                layers.push_back({base + "_proj", m, 4 * stage.width,
+                                  in_channels});
+            }
+            in_channels = 4 * stage.width;
+        }
+    }
+    layers.push_back({"fc1000", 1, 1000, 2048});
+    return layers;
+}
+
+} // namespace
+
+const std::vector<MatmulLayer> &
+resnet50Layers()
+{
+    static const std::vector<MatmulLayer> layers = buildResnet50();
+    return layers;
+}
+
+std::vector<MatmulLayer>
+resnet50Representative()
+{
+    std::vector<MatmulLayer> subset;
+    for (const auto &layer : resnet50Layers()) {
+        if (layer.name == "conv1" || layer.name == "conv2_1_3x3" ||
+                layer.name == "conv3_2_1x1a" || layer.name == "conv3_4_3x3" ||
+                layer.name == "conv4_3_3x3" || layer.name == "conv4_6_1x1b" ||
+                layer.name == "conv5_1_3x3" || layer.name == "conv5_3_1x1b" ||
+                layer.name == "fc1000") {
+            subset.push_back(layer);
+        }
+    }
+    return subset;
+}
+
+} // namespace stellar::workloads

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * ResNet50 layer shapes (Fig 16a / Fig 17 workload).
+ *
+ * Each convolution is lowered to the im2col matmul the Gemmini-like
+ * accelerator executes: M = output pixels, K = kernel volume,
+ * N = output channels, at batch size 1.
+ */
+
+#ifndef STELLAR_WORKLOADS_RESNET_HPP
+#define STELLAR_WORKLOADS_RESNET_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stellar::workloads
+{
+
+/** One layer lowered to a matmul. */
+struct MatmulLayer
+{
+    std::string name;
+    std::int64_t m = 0;
+    std::int64_t n = 0;
+    std::int64_t k = 0;
+
+    std::int64_t macs() const { return m * n * k; }
+};
+
+/** Every conv (plus the final FC) of ResNet50 at batch 1. */
+const std::vector<MatmulLayer> &resnet50Layers();
+
+/** A representative per-stage subset used for per-layer figures. */
+std::vector<MatmulLayer> resnet50Representative();
+
+} // namespace stellar::workloads
+
+#endif // STELLAR_WORKLOADS_RESNET_HPP

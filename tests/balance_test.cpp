@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Focused tests for the load-balancing module (Section III-D): shift
+ * kinds, bias vectors, granularity under every named dataflow, and the
+ * sparse-aware DSE interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dse.hpp"
+#include "balance/shift.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "sparsity/skip.hpp"
+#include "util/logging.hpp"
+
+namespace stellar::balance
+{
+namespace
+{
+
+TEST(IndexShift, ManyToFewDetection)
+{
+    EXPECT_FALSE(shiftUnchanged(0).isManyToFew());
+    // Equal-size range map: one-to-one.
+    EXPECT_FALSE(shiftRange(0, 4, 8, 0, 4).isManyToFew());
+    // Shrinking range map: many-to-few.
+    EXPECT_TRUE(shiftRange(0, 0, 8, 0, 4).isManyToFew());
+    // Collapse is always many-to-few.
+    EXPECT_TRUE(shiftCollapse(0, 0, 4).isManyToFew());
+}
+
+TEST(IndexShift, OffsetsOnlyForRangeMaps)
+{
+    EXPECT_EQ(shiftRange(0, 4, 8, 0, 4).offset(), -4);
+    EXPECT_EQ(shiftRange(0, 0, 4, 1, 5).offset(), 1);
+    EXPECT_EQ(shiftUnchanged(0).offset(), 0);
+    EXPECT_EQ(shiftCollapse(0, 0, 4).offset(), 0);
+}
+
+TEST(BiasVector, RejectsUnknownIterators)
+{
+    ShiftSpec shift;
+    shift.shifts = {shiftRange(5, 0, 4, 4, 8)};
+    EXPECT_THROW(shift.biasVector(3), PanicError);
+}
+
+TEST(Granularity, DependsOnWhichAxesTheShiftTouches)
+{
+    // Collapse j (maps to the horizontal axis of the input-stationary
+    // array) -> per-PE there; but under a transform where j is only
+    // temporal, the same shift stays row-granular.
+    BalanceSpec spec;
+    ShiftSpec shift;
+    shift.shifts = {shiftUnchanged(0), shiftCollapse(1, 0, 4),
+                    shiftUnchanged(2)};
+    spec.add(shift);
+
+    auto is = dataflow::dataflows::inputStationary(); // y = j
+    EXPECT_EQ(spec.granularity(is), Granularity::PerPE);
+    EXPECT_TRUE(spec.perPeAxes(is).count(1));
+
+    // x = k, y = i, t = f(i,j,k): j spatial coefficient zero.
+    dataflow::SpaceTimeTransform temporal_j(
+            IntMatrix{{0, 0, 1}, {1, 0, 0}, {1, 1, 1}});
+    EXPECT_EQ(spec.granularity(temporal_j), Granularity::RowGranular);
+}
+
+TEST(Granularity, EmptySpecIsAlwaysRowGranular)
+{
+    BalanceSpec spec;
+    EXPECT_TRUE(spec.perPeAxes(dataflow::dataflows::hexagonal()).empty());
+    EXPECT_EQ(spec.granularity(dataflow::dataflows::outputStationary()),
+              Granularity::RowGranular);
+}
+
+TEST(ToString, RendersListing3Shape)
+{
+    auto fn = func::matmulSpec();
+    BalanceSpec spec;
+    ShiftSpec shift;
+    shift.shifts = {shiftRange(0, 8, 16, 0, 8), shiftUnchanged(1),
+                    shiftRange(2, 0, 8, 1, 9)};
+    spec.add(shift);
+    auto text = spec.toString(fn);
+    EXPECT_NE(text.find("Shift i = 8->16"), std::string::npos);
+    EXPECT_NE(text.find("to i = 0->8"), std::string::npos);
+    EXPECT_NE(text.find("k = 1->9"), std::string::npos);
+}
+
+TEST(DseInteraction, SparsityChangesTheRanking)
+{
+    // The same dataflow search run dense vs with CSR-B sparsity must
+    // produce different leader scores: pruning removes wires and adds
+    // regfile ports, which the cost model sees.
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    auto fn = func::matmulSpec();
+
+    accel::DseOptions dense;
+    dense.topK = 3;
+    auto dense_result = accel::exploreDataflows(fn, {4, 4, 4}, dense,
+                                                area_params, timing_params);
+
+    accel::DseOptions sparse = dense;
+    sparse.sparsity.add(sparsity::skipWhenZero(
+            1, fn.tensorIdByName("B"),
+            {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    auto sparse_result = accel::exploreDataflows(
+            fn, {4, 4, 4}, sparse, area_params, timing_params);
+
+    ASSERT_FALSE(dense_result.empty());
+    ASSERT_FALSE(sparse_result.empty());
+    EXPECT_NE(dense_result[0].score, sparse_result[0].score);
+}
+
+} // namespace
+} // namespace stellar::balance

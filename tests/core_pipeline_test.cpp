@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the compiler pipeline of Section IV: elaboration (Fig 9a),
+ * sparsity/load-balancing pruning (Fig 9b, Figs 4-6, 10), transform
+ * application (Fig 9c), access orders (Fig 13), and regfile optimization
+ * (Fig 14).
+ */
+
+#include <gtest/gtest.h>
+
+#include "balance/shift.hpp"
+#include "core/accelerator.hpp"
+#include "core/iteration_space.hpp"
+#include "core/prune.hpp"
+#include "core/regfile_opt.hpp"
+#include "core/spatial_array.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "mem/access_order.hpp"
+#include "sparsity/skip.hpp"
+#include "util/logging.hpp"
+
+namespace stellar::core
+{
+namespace
+{
+
+using dataflow::dataflows::hexagonal;
+using dataflow::dataflows::inputStationary;
+using dataflow::dataflows::outputStationary;
+
+func::FunctionalSpec gMatmul = func::matmulSpec();
+
+int tid(const char *name) { return gMatmul.tensorIdByName(name); }
+
+TEST(Elaborate, MatmulHasThreeConnsAndThreeIos)
+{
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    EXPECT_EQ(space.conns().size(), 3u);
+    EXPECT_EQ(space.ioConns().size(), 3u);
+    EXPECT_EQ(space.numPoints(), 64);
+    EXPECT_EQ(space.aliveConns().size(), 3u);
+}
+
+TEST(Elaborate, ConnInstanceCounts)
+{
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    // Every conn moves one step along one axis: (4-1)*4*4 = 48 instances.
+    for (const auto &conn : space.conns())
+        EXPECT_EQ(space.connInstances(conn), 48);
+    EXPECT_EQ(space.totalConnInstances(), 3 * 48);
+}
+
+TEST(Elaborate, IoInstanceCounts)
+{
+    auto space = elaborate(gMatmul, {2, 3, 5});
+    for (const auto &io : space.ioConns()) {
+        if (io.tensor == tid("a")) {
+            EXPECT_EQ(space.ioInstances(io), 2 * 5); // feeds across j face
+        }
+        if (io.tensor == tid("b")) {
+            EXPECT_EQ(space.ioInstances(io), 3 * 5); // feeds across i face
+        }
+        if (io.tensor == tid("c")) {
+            EXPECT_EQ(space.ioInstances(io), 2 * 3); // drains across k face
+        }
+    }
+}
+
+TEST(PruneSparsity, CsrBRemovesAccumulationConnsOnly)
+{
+    // Paper Sec IV-B / Fig 4: B in CSR ("Skip j when B(k, j) == 0") makes
+    // the expanded j symbolic along k, so c's accumulation conn (moving
+    // along k) is pruned, while a's and b's conns survive.
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::skipWhenZero(
+            /*index=*/1, tid("B"),
+            {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    auto decisions = applySparsity(space, sp);
+
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].tensor, tid("c"));
+    EXPECT_EQ(decisions[0].reason, PruneReason::Sparsity);
+
+    EXPECT_EQ(space.aliveConnFor(tid("c")), nullptr);
+    EXPECT_NE(space.aliveConnFor(tid("a")), nullptr);
+    EXPECT_NE(space.aliveConnFor(tid("b")), nullptr);
+
+    // The pruned accumulator now scatters and gathers via per-point IO.
+    int per_point_ios = 0;
+    for (const auto &io : space.ioConns())
+        if (io.perPoint && io.tensor == tid("c"))
+            per_point_ios++;
+    EXPECT_EQ(per_point_ios, 2); // one write side, one read-back side
+}
+
+TEST(PruneSparsity, CscAAndCsrBYieldOuterProductStructure)
+{
+    // Skipping i (A in CSC) and j (B in CSR) removes only the
+    // accumulation conn: A and B values can still be shared across the
+    // array (outer-product style, as in OuterSPACE).
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::skipWhenZero(
+            0, tid("A"), {func::makeIndexExpr(0), func::makeIndexExpr(2)}));
+    sp.add(sparsity::skipWhenZero(
+            1, tid("B"), {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    applySparsity(space, sp);
+    EXPECT_EQ(space.aliveConnFor(tid("c")), nullptr);
+    EXPECT_NE(space.aliveConnFor(tid("a")), nullptr);
+    EXPECT_NE(space.aliveConnFor(tid("b")), nullptr);
+}
+
+TEST(PruneSparsity, DiagonalSkipPrunesEverythingTiedToBothIterators)
+{
+    // "Skip i and k when i != k": i and k become mutually dependent.
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::skipWhenNotEqual(0, 2));
+    applySparsity(space, sp);
+    // a (identity {i,k}) moves along j only: its identity coordinates do
+    // not change along its conn, so it survives.
+    EXPECT_NE(space.aliveConnFor(tid("a")), nullptr);
+    // b (identity {j,k}) moves along i, and expanded k depends on i.
+    EXPECT_EQ(space.aliveConnFor(tid("b")), nullptr);
+    // c (identity {i,j}) moves along k, and expanded i depends on k.
+    EXPECT_EQ(space.aliveConnFor(tid("c")), nullptr);
+}
+
+TEST(PruneSparsity, OptimisticSkipBundlesInsteadOfPruning)
+{
+    // Fig 5: A100 2:4 structured sparsity on A along k keeps b's conns
+    // but widens them into 4-wide bundles.
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::optimisticSkip(
+            2, tid("A"), {func::makeIndexExpr(0), func::makeIndexExpr(2)},
+            /*bundle=*/4));
+    auto decisions = applySparsity(space, sp);
+
+    const auto *b_conn = space.aliveConnFor(tid("b"));
+    ASSERT_NE(b_conn, nullptr);
+    EXPECT_TRUE(b_conn->bundled);
+    EXPECT_EQ(b_conn->bundleSize, 4);
+    ASSERT_FALSE(decisions.empty());
+    bool saw_bundle = false;
+    for (const auto &d : decisions)
+        saw_bundle |= d.bundled;
+    EXPECT_TRUE(saw_bundle);
+}
+
+TEST(PruneSparsity, FiberZeroSkipBehavesLikeTensorZero)
+{
+    // "Skip k when A(i, ->) == 0": expanded k depends on i.
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::skipFiberZero(2, tid("A"),
+                                   {func::makeIndexExpr(0)}, 1));
+    applySparsity(space, sp);
+    // a's identity is {i,k}; a moves along j; k and i unchanged: alive.
+    EXPECT_NE(space.aliveConnFor(tid("a")), nullptr);
+    // b's identity is {j,k}; b moves along i, a dependency of expanded k.
+    EXPECT_EQ(space.aliveConnFor(tid("b")), nullptr);
+}
+
+TEST(PruneBalance, RowGranularShiftPreservesConns)
+{
+    // Listing 3: whole-row shifting (equal-size ranges) is row-granular
+    // under the input-stationary dataflow and prunes nothing (Fig 10a).
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    balance::BalanceSpec bal;
+    balance::ShiftSpec shift;
+    shift.shifts = {balance::shiftRange(0, 4, 8, 0, 4),
+                    balance::shiftUnchanged(1),
+                    balance::shiftRange(2, 0, 4, 1, 5)};
+    bal.add(shift);
+    auto t = inputStationary();
+    EXPECT_EQ(bal.granularity(t), balance::Granularity::RowGranular);
+    auto decisions = applyBalancing(space, bal, t);
+    EXPECT_TRUE(decisions.empty());
+    EXPECT_EQ(space.aliveConns().size(), 3u);
+}
+
+TEST(PruneBalance, PerPeShiftPrunesConnsAlongBalancedAxis)
+{
+    // Listing 4: "Shift i, j, k to i=0, j=0->4, k" collapses j onto a few
+    // PEs; under input-stationary, j maps to the horizontal axis, so
+    // conns moving horizontally (a's broadcast) are pruned (Fig 10b).
+    auto space = elaborate(gMatmul, {8, 8, 8});
+    balance::BalanceSpec bal;
+    balance::ShiftSpec shift;
+    shift.shifts = {balance::shiftCollapse(0, 0, 1),
+                    balance::shiftCollapse(1, 0, 4),
+                    balance::shiftUnchanged(2)};
+    bal.add(shift);
+    auto t = inputStationary();
+    EXPECT_EQ(bal.granularity(t), balance::Granularity::PerPE);
+    applyBalancing(space, bal, t);
+    EXPECT_EQ(space.aliveConnFor(tid("a")), nullptr);
+}
+
+TEST(BiasVector, MatchesListing3)
+{
+    balance::ShiftSpec shift;
+    shift.shifts = {balance::shiftRange(0, 4, 8, 0, 4),
+                    balance::shiftUnchanged(1),
+                    balance::shiftRange(2, 0, 4, 1, 5)};
+    EXPECT_EQ(shift.biasVector(3), (IntVec{-4, 0, 1}));
+}
+
+TEST(Transform, OutputStationaryArrayShape)
+{
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    auto array = applyTransform(space, outputStationary());
+    EXPECT_EQ(array.numPes(), 16);           // 4x4 PEs
+    EXPECT_EQ(array.extents(), (IntVec{4, 4}));
+    EXPECT_EQ(array.maxFolding(), 4);        // k folds onto time
+    // Schedule: t = i + j + k spans 0 .. 9.
+    EXPECT_EQ(array.scheduleLength(), 10);
+}
+
+TEST(Transform, OutputStationaryWires)
+{
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    auto array = applyTransform(space, outputStationary());
+    // c is stationary: only a (horizontal) and b (vertical) wires remain.
+    ASSERT_EQ(array.wires().size(), 2u);
+    for (const auto &wire : array.wires()) {
+        EXPECT_EQ(wire.registers, 1);
+        EXPECT_EQ(wire.wireLength, 1);
+        // 4 rows/columns of 3 hops each, from 12 distinct source PEs.
+        EXPECT_EQ(wire.instances, 12);
+    }
+}
+
+TEST(Transform, HexagonalUsesMorePes)
+{
+    auto space = elaborate(gMatmul, {3, 3, 3});
+    auto array = applyTransform(space, hexagonal());
+    // All three iterators are spatially unrolled: more PEs than 3x3,
+    // and no PE is time-multiplexed more than necessary.
+    EXPECT_GT(array.numPes(), 9);
+    EXPECT_LE(array.maxFolding(), 3);
+}
+
+TEST(Transform, SparsePruningCreatesPerPointPorts)
+{
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    sparsity::SparsitySpec sp;
+    sp.add(sparsity::skipWhenZero(
+            1, tid("B"), {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    applySparsity(space, sp);
+    auto array = applyTransform(space, inputStationary());
+    bool saw_per_point = false;
+    for (const auto &port : array.ports()) {
+        if (port.perPoint) {
+            saw_per_point = true;
+            EXPECT_EQ(port.portCount, array.numPes());
+        }
+    }
+    EXPECT_TRUE(saw_per_point);
+}
+
+TEST(AccessOrders, OutputStationaryConsumesBInSkewedOrder)
+{
+    // Fig 13b: the output-stationary array consumes B(k, j) along
+    // anti-diagonals, matching the skewed buffer emit order of Fig 13a.
+    auto space = elaborate(gMatmul, {4, 4, 4});
+    auto order = arrayAccessOrder(space, outputStationary(), tid("B"));
+    auto expected = mem::skewedOrder(4, 4);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(RegfileOpt, MatchingOrdersYieldFeedForward)
+{
+    auto producer = mem::skewedOrder(4, 4);
+    auto consumer = mem::skewedOrder(4, 4);
+    auto config = optimizeRegfile(producer, consumer, 16);
+    EXPECT_EQ(config.kind, RegfileKind::FeedForward);
+    EXPECT_EQ(config.comparators, 0);
+}
+
+TEST(RegfileOpt, TransposedOrdersYieldTransposingRegfile)
+{
+    // Producer emits row-major; consumer reads column-major: the orders
+    // match after swapping coordinate axes (Fig 14d).
+    auto producer = mem::rowMajorOrder({4, 4}, 4);
+    mem::AccessOrder consumer;
+    for (std::int64_t c = 0; c < 4; c++) {
+        std::vector<IntVec> step;
+        for (std::int64_t r = 0; r < 4; r++)
+            step.push_back({r, c});
+        consumer.addStep(step);
+    }
+    auto config = optimizeRegfile(producer, consumer, 16);
+    EXPECT_EQ(config.kind, RegfileKind::Transposing);
+    EXPECT_EQ(config.comparators, 0);
+}
+
+TEST(RegfileOpt, MonotoneMismatchYieldsEdgeIo)
+{
+    // Same population, non-transposed reordering, but monotone along
+    // axis 0: edge IO suffices (Fig 14b).
+    auto producer = mem::rowMajorOrder({4, 4}, 4);
+    auto consumer = mem::skewedOrder(4, 4);
+    auto config = optimizeRegfile(producer, consumer, 16);
+    EXPECT_EQ(config.kind, RegfileKind::EdgeIO);
+    EXPECT_GT(config.comparators, 0);
+    auto fallback = configForKind(RegfileKind::FullyAssociative, 16,
+                                  config.inPorts, config.outPorts);
+    EXPECT_LT(config.comparators, fallback.comparators);
+}
+
+TEST(RegfileOpt, DisjointPopulationsFallBackToFullyAssociative)
+{
+    auto producer = mem::rowMajorOrder({2, 2}, 1);
+    mem::AccessOrder consumer;
+    consumer.addStep({{7, 7}});
+    auto config = optimizeRegfile(producer, consumer, 4);
+    EXPECT_EQ(config.kind, RegfileKind::FullyAssociative);
+}
+
+TEST(RegfileOpt, CostOrderingIsMonotone)
+{
+    // The Fig 14 progression must strictly reduce comparator counts.
+    auto full = configForKind(RegfileKind::FullyAssociative, 64, 4, 4);
+    auto edge = configForKind(RegfileKind::EdgeIO, 64, 4, 4);
+    auto transpose = configForKind(RegfileKind::Transposing, 64, 4, 4);
+    auto feed = configForKind(RegfileKind::FeedForward, 64, 4, 4);
+    EXPECT_GT(full.comparators, edge.comparators);
+    EXPECT_GT(edge.comparators, transpose.comparators);
+    EXPECT_GE(transpose.comparators, feed.comparators);
+}
+
+TEST(Generate, DenseMatmulEndToEnd)
+{
+    AcceleratorSpec spec;
+    spec.name = "dense-os-matmul";
+    spec.functional = gMatmul;
+    spec.transform = outputStationary();
+    spec.elaborationBounds = {4, 4, 4};
+
+    mem::MemBufferSpec buf;
+    buf.name = "SRAM_B";
+    buf.boundTensor = "B";
+    buf.format = mem::denseFormat(2);
+    buf.emitOrder = mem::EmitOrder::Skewed;
+    buf.hardcodedRead.spans = {4, 4};
+    spec.buffers.push_back(buf);
+
+    auto generated = generate(spec);
+    EXPECT_EQ(generated.array.numPes(), 16);
+    EXPECT_TRUE(generated.pruneLog.empty());
+
+    // B's buffer emit order matches the array's consumption order, so
+    // the optimizer must pick the feed-forward regfile (Fig 14c).
+    const auto *plan = generated.regfileFor("B");
+    ASSERT_NE(plan, nullptr);
+    EXPECT_EQ(plan->config.kind, RegfileKind::FeedForward);
+
+    // A has no hardcoded buffer: worst-case fallback.
+    const auto *a_plan = generated.regfileFor("A");
+    ASSERT_NE(a_plan, nullptr);
+    EXPECT_EQ(a_plan->config.kind, RegfileKind::FullyAssociative);
+}
+
+TEST(Generate, RejectsNonCausalTransform)
+{
+    AcceleratorSpec spec;
+    spec.functional = gMatmul;
+    spec.transform = dataflow::SpaceTimeTransform(
+            IntMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, -1}});
+    spec.elaborationBounds = {2, 2, 2};
+    EXPECT_THROW(generate(spec), FatalError);
+}
+
+TEST(Generate, SparseMatmulPruneLogIsRecorded)
+{
+    AcceleratorSpec spec;
+    spec.name = "sparse-matmul";
+    spec.functional = gMatmul;
+    spec.transform = inputStationary();
+    spec.sparsity.add(sparsity::skipWhenZero(
+            1, tid("B"), {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    spec.elaborationBounds = {4, 4, 4};
+    auto generated = generate(spec);
+    ASSERT_EQ(generated.pruneLog.size(), 1u);
+    EXPECT_EQ(generated.pruneLog[0].tensor, tid("c"));
+}
+
+} // namespace
+} // namespace stellar::core

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for space-time transforms (Section III-B): invertibility, exact
+ * iterator recovery (the Fig 11 PE mechanism), causality, and the named
+ * dataflows of Figs 2 and 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dataflow/transform.hpp"
+#include "dataflow/unrolling.hpp"
+#include "func/library.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::dataflow
+{
+namespace
+{
+
+TEST(SpaceTimeTransform, RejectsSingularMatrices)
+{
+    EXPECT_THROW(SpaceTimeTransform(IntMatrix{{1, 2}, {2, 4}}), FatalError);
+}
+
+TEST(SpaceTimeTransform, IdentityMapsPointsToThemselves)
+{
+    SpaceTimeTransform t(IntMatrix::identity(3));
+    EXPECT_EQ(t.apply({1, 2, 3}), (IntVec{1, 2, 3}));
+    EXPECT_EQ(t.spaceOf({1, 2, 3}), (IntVec{1, 2}));
+    EXPECT_EQ(t.timeOf({1, 2, 3}), 3);
+}
+
+TEST(NamedDataflows, InputStationaryDeltas)
+{
+    auto t = dataflows::inputStationary();
+    // B is stationary: its recurrence (1,0,0) has zero space displacement.
+    auto b = t.deltaOf({1, 0, 0});
+    EXPECT_TRUE(vecIsZero(b.space));
+    EXPECT_EQ(b.time, 1);
+    // Partial sums move vertically down with one register (paper Sec IV-B).
+    auto c = t.deltaOf({0, 0, 1});
+    EXPECT_EQ(c.space, (IntVec{1, 0}));
+    EXPECT_EQ(c.time, 1);
+    // A broadcasts combinationally along the row.
+    auto a = t.deltaOf({0, 1, 0});
+    EXPECT_EQ(a.space, (IntVec{0, 1}));
+    EXPECT_EQ(a.time, 0);
+}
+
+TEST(NamedDataflows, OutputStationaryDeltas)
+{
+    auto t = dataflows::outputStationary();
+    auto c = t.deltaOf({0, 0, 1});
+    EXPECT_TRUE(vecIsZero(c.space)); // C accumulates in place
+    EXPECT_EQ(c.time, 1);
+    auto a = t.deltaOf({0, 1, 0});
+    EXPECT_EQ(a.space, (IntVec{0, 1}));
+    EXPECT_EQ(a.time, 1);
+    auto b = t.deltaOf({1, 0, 0});
+    EXPECT_EQ(b.space, (IntVec{1, 0}));
+    EXPECT_EQ(b.time, 1);
+}
+
+TEST(NamedDataflows, HexagonalUnrollsAllThreeIterators)
+{
+    auto t = dataflows::hexagonal();
+    // Each variable moves along a distinct direction in the plane.
+    auto a = t.deltaOf({0, 1, 0}).space;
+    auto b = t.deltaOf({1, 0, 0}).space;
+    auto c = t.deltaOf({0, 0, 1}).space;
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    EXPECT_FALSE(vecIsZero(a));
+    EXPECT_FALSE(vecIsZero(b));
+    EXPECT_FALSE(vecIsZero(c));
+}
+
+TEST(NamedDataflows, AllCausalForMatmul)
+{
+    auto spec = func::matmulSpec();
+    EXPECT_TRUE(dataflows::inputStationary().isCausalFor(spec));
+    EXPECT_TRUE(dataflows::outputStationary().isCausalFor(spec));
+    EXPECT_TRUE(dataflows::hexagonal().isCausalFor(spec));
+    for (int e = 0; e <= 3; e++)
+        EXPECT_TRUE(dataflows::inputStationaryPipelined(e).isCausalFor(spec));
+}
+
+TEST(NamedDataflows, NonCausalTransformDetected)
+{
+    auto spec = func::matmulSpec();
+    // Time decreases along k: partial sums would flow backward in time.
+    SpaceTimeTransform t(IntMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, -1}});
+    EXPECT_FALSE(t.isCausalFor(spec));
+}
+
+TEST(Pipelining, TimeRowControlsRegisterDepth)
+{
+    // Fig 3: the pipeline depth along the A-streaming axis equals the
+    // extra_time value placed in the time row.
+    for (std::int64_t e = 0; e <= 3; e++) {
+        auto t = dataflows::inputStationaryPipelined(e);
+        EXPECT_EQ(t.pipelineDepth({0, 1, 0}), e);
+        // Other variables are unaffected by the change.
+        EXPECT_EQ(t.pipelineDepth({1, 0, 0}), 1);
+        EXPECT_EQ(t.pipelineDepth({0, 0, 1}), 1);
+    }
+}
+
+/** Property: invert(apply(p)) == p for random points and transforms. */
+class TransformRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TransformRoundTrip, ExactRecovery)
+{
+    Rng rng(std::uint64_t(GetParam()) * 104729 + 1);
+    std::vector<SpaceTimeTransform> transforms = {
+        dataflows::inputStationary(),
+        dataflows::outputStationary(),
+        dataflows::hexagonal(),
+        dataflows::inputStationaryPipelined(2),
+    };
+    for (const auto &t : transforms) {
+        for (int trial = 0; trial < 50; trial++) {
+            IntVec p = {rng.nextRange(-8, 8), rng.nextRange(-8, 8),
+                        rng.nextRange(-8, 8)};
+            auto recovered = t.invert(t.apply(p));
+            ASSERT_TRUE(recovered.has_value()) << t.name();
+            EXPECT_EQ(*recovered, p) << t.name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformRoundTrip, ::testing::Range(0, 6));
+
+TEST(SpaceTimeTransform, InvertRejectsNonLatticePoints)
+{
+    // The hexagonal transform has determinant 3: two thirds of space-time
+    // positions correspond to no iteration point.
+    auto t = dataflows::hexagonal();
+    int valid = 0, invalid = 0;
+    for (std::int64_t x = 0; x < 3; x++)
+        for (std::int64_t y = 0; y < 3; y++)
+            for (std::int64_t tt = 0; tt < 3; tt++)
+                (t.invert({x, y, tt}).has_value() ? valid : invalid)++;
+    EXPECT_GT(invalid, 0);
+    EXPECT_GT(valid, 0);
+}
+
+TEST(Unrolling, ChoicesBuildValidTransforms)
+{
+    // All six matmul unrolling choices (which iterator stays temporal,
+    // and how the other two order onto axes) are causal transforms.
+    auto spec = func::matmulSpec();
+    auto choices = allUnrollingChoices(3, 2);
+    EXPECT_EQ(choices.size(), 6u);
+    for (const auto &choice : choices) {
+        auto t = fromUnrolling(choice, 3);
+        EXPECT_TRUE(t.matrix().isInvertible());
+        EXPECT_TRUE(t.isCausalFor(spec));
+        EXPECT_TRUE(isExpressibleAsUnrolling(t));
+    }
+}
+
+TEST(Unrolling, ClassicDataflowsAreUnrollingChoices)
+{
+    EXPECT_TRUE(isExpressibleAsUnrolling(dataflows::inputStationary()));
+    EXPECT_TRUE(isExpressibleAsUnrolling(dataflows::outputStationary()));
+}
+
+TEST(Unrolling, HexagonalEscapesTheClassification)
+{
+    // The Section III-B superset claim: the hexagonal dataflow unrolls
+    // all three iterators onto a 2-D plane, which no spatial/temporal
+    // unrolling assignment can express.
+    EXPECT_FALSE(isExpressibleAsUnrolling(dataflows::hexagonal()));
+}
+
+TEST(Unrolling, OutputStationaryChoiceMatchesKTemporal)
+{
+    // Spatial {i, j}, temporal {k} is the output-stationary family: C
+    // stays in place, A and B broadcast.
+    UnrollingChoice choice;
+    choice.spatialIterators = {0, 1};
+    choice.temporalIterators = {2};
+    auto t = fromUnrolling(choice, 3);
+    auto c = t.deltaOf({0, 0, 1});
+    EXPECT_TRUE(vecIsZero(c.space));
+    EXPECT_EQ(c.time, 1);
+}
+
+TEST(Unrolling, RejectsMalformedChoices)
+{
+    UnrollingChoice repeated;
+    repeated.spatialIterators = {0, 0};
+    repeated.temporalIterators = {2};
+    EXPECT_THROW(fromUnrolling(repeated, 3), FatalError);
+
+    UnrollingChoice overlap;
+    overlap.spatialIterators = {0, 1};
+    overlap.temporalIterators = {1};
+    EXPECT_THROW(fromUnrolling(overlap, 3), FatalError);
+}
+
+} // namespace
+} // namespace stellar::dataflow

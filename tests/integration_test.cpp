@@ -1,0 +1,274 @@
+/**
+ * @file
+ * End-to-end integration tests spanning many modules at once:
+ *
+ *  - spec -> generate -> schedule execution -> golden model, with the
+ *    generated Verilog linting clean, for all prebuilt designs;
+ *  - ISA program -> descriptors -> functional data movement ->
+ *    interpreter consumption of the moved tile;
+ *  - OuterSPACE pipeline: synthesize matrix -> outer-product partials ->
+ *    merge schedule -> exact CSR result, with cycle costs attached;
+ *  - the full evaluation loop: generation, area, timing, energy on one
+ *    design, checking unit consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "core/interpreter.hpp"
+#include "core/schedule.hpp"
+#include "func/library.hpp"
+#include "isa/driver.hpp"
+#include "model/area.hpp"
+#include "model/energy.hpp"
+#include "model/timing.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "sim/merger.hpp"
+#include "sim/outerspace.hpp"
+#include "sparse/spgemm.hpp"
+#include "sparse/suitesparse.hpp"
+#include "util/rng.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+TEST(EndToEnd, IsaMovesTileThatInterpreterThenConsumes)
+{
+    // Software writes A and B to DRAM, the ISA moves them into SRAMs,
+    // and the interpreter computes with exactly the moved data.
+    const std::int64_t DIM = 4;
+    isa::HostMemory dram(1 << 16);
+    Rng rng(21);
+    std::vector<float> a_data, b_data;
+    for (std::int64_t i = 0; i < DIM * DIM; i++) {
+        a_data.push_back(float(rng.nextRange(-3, 3)));
+        b_data.push_back(float(rng.nextRange(-3, 3)));
+    }
+    dram.writeFloatArray(0x100, a_data);
+    dram.writeFloatArray(0x800, b_data);
+
+    isa::Driver driver;
+    for (auto [addr, unit] :
+            {std::pair<std::uint64_t, isa::MemUnit>{0x100,
+                                                    isa::MemUnit::Sram0},
+             std::pair<std::uint64_t, isa::MemUnit>{0x800,
+                                                    isa::MemUnit::Sram1}}) {
+        driver.setSrcAndDst(isa::MemUnit::Dram, unit);
+        driver.setDataAddr(isa::Target::Src, addr);
+        for (int axis = 0; axis < 2; axis++) {
+            driver.setSpan(isa::Target::Both, axis, std::uint64_t(DIM));
+            driver.setAxis(isa::Target::Both, axis, isa::AxisType::Dense);
+        }
+        driver.setStride(isa::Target::Both, 0, 1);
+        driver.setStride(isa::Target::Both, 1, std::uint64_t(DIM));
+        driver.issue();
+    }
+    std::map<isa::MemUnit, isa::SramUnit> srams;
+    srams[isa::MemUnit::Sram0] = {};
+    srams[isa::MemUnit::Sram1] = {};
+    isa::executeProgram(isa::decode(isa::encode(driver.program())), dram,
+                        srams);
+
+    // Feed the moved tiles to the golden model.
+    auto spec = func::matmulSpec();
+    core::TensorSet inputs;
+    auto to_tensor = [&](const isa::SramUnit &sram) {
+        std::vector<double> values(sram.data.begin(), sram.data.end());
+        return core::denseToTensor(values, DIM, DIM);
+    };
+    inputs[spec.tensorIdByName("A")] = to_tensor(srams[isa::MemUnit::Sram0]);
+    inputs[spec.tensorIdByName("B")] = to_tensor(srams[isa::MemUnit::Sram1]);
+    auto result = core::evaluateSpec(spec, {DIM, DIM, DIM}, inputs);
+
+    // Reference from the original host arrays.
+    for (std::int64_t i = 0; i < DIM; i++) {
+        for (std::int64_t j = 0; j < DIM; j++) {
+            double expected = 0.0;
+            for (std::int64_t k = 0; k < DIM; k++)
+                expected += double(a_data[std::size_t(i * DIM + k)]) *
+                            double(b_data[std::size_t(k * DIM + j)]);
+            EXPECT_DOUBLE_EQ(
+                    core::tensorAt(result.at(spec.tensorIdByName("C")),
+                                   {i, j}),
+                    expected);
+        }
+    }
+}
+
+TEST(EndToEnd, OuterSpacePipelineIsExactAndCosted)
+{
+    auto profile = sparse::scaleProfile(
+            sparse::profileByName("ca-CondMat"), 5000);
+    auto matrix = sparse::synthesize(profile, 4);
+
+    // Functional: outer-product partials merged == Gustavson.
+    auto partials = sparse::outerProductPartials(
+            sparse::csrToCsc(matrix), matrix);
+    auto merged = sparse::mergePartials(matrix.rows(), matrix.cols(),
+                                        partials);
+    auto gustavson = sparse::spgemmGustavson(matrix, matrix);
+    EXPECT_LT(sparse::csrToDense(merged).maxAbsDiff(
+                      sparse::csrToDense(gustavson)),
+              1e-9);
+
+    // Performance: the cycle model runs on the same matrix and reports
+    // consistent totals.
+    sim::OuterSpaceConfig config;
+    auto perf = sim::simulateOuterSpace(config, matrix);
+    EXPECT_EQ(perf.multiplies, sparse::spgemmMultiplies(matrix, matrix));
+    EXPECT_EQ(perf.cycles,
+              perf.multiplyPhaseCycles + perf.mergePhaseCycles);
+    EXPECT_GT(perf.gflops(1.5), 0.0);
+
+    // Merger cycle models emit exactly the merged element stream.
+    sim::MergerConfig merger_config;
+    auto row = sim::runMergeSchedule(
+            merger_config, sim::MergerKind::RowPartitioned, partials);
+    auto flat = sim::runMergeSchedule(
+            merger_config, sim::MergerKind::Flattened, partials);
+    EXPECT_EQ(row.mergedElements, flat.mergedElements);
+}
+
+TEST(EndToEnd, EveryPrebuiltDesignSchedulesAndLints)
+{
+    struct Case
+    {
+        const char *name;
+        core::AcceleratorSpec spec;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"gemmini", accel::gemminiLikeSpec(4)});
+    cases.push_back({"outerspace", accel::outerSpaceLikeSpec(4)});
+    cases.push_back({"a100", accel::a100SparseSpec(4)});
+
+    Rng rng(33);
+    for (auto &test_case : cases) {
+        auto generated = core::generate(test_case.spec);
+        // Dense random inputs; every design must compute the true
+        // product regardless of its sparsity/balance hardware.
+        core::TensorSet inputs;
+        const auto &fn = test_case.spec.functional;
+        std::vector<double> a, b;
+        for (int i = 0; i < 16; i++) {
+            a.push_back(double(rng.nextRange(-2, 2)));
+            b.push_back(double(rng.nextRange(-2, 2)));
+        }
+        inputs[fn.tensorIdByName("A")] = core::denseToTensor(a, 4, 4);
+        inputs[fn.tensorIdByName("B")] = core::denseToTensor(b, 4, 4);
+        auto schedule = core::executeSchedule(generated, inputs);
+        auto golden = core::evaluateSpec(fn, {4, 4, 4}, inputs);
+        int C = fn.tensorIdByName("C");
+        for (std::int64_t i = 0; i < 4; i++)
+            for (std::int64_t j = 0; j < 4; j++)
+                EXPECT_DOUBLE_EQ(
+                        core::tensorAt(schedule.tensors.at(C), {i, j}),
+                        core::tensorAt(golden.at(C), {i, j}))
+                        << test_case.name;
+        auto design = rtl::lowerToVerilog(generated);
+        EXPECT_TRUE(rtl::lintAll(design).empty()) << test_case.name;
+    }
+}
+
+TEST(EndToEnd, BalancedDesignEmitsBalancerModule)
+{
+    auto generated = core::generate(accel::outerSpaceLikeSpec(4));
+    auto design = rtl::lowerToVerilog(generated);
+    const auto *balancer =
+            design.findModule("stellar_balancer_outerspace_like");
+    ASSERT_NE(balancer, nullptr);
+    EXPECT_TRUE(balancer->declares("bias_valid"));
+    EXPECT_TRUE(balancer->declares("bias0_k"));
+    EXPECT_TRUE(rtl::lintAll(design).empty());
+}
+
+TEST(EndToEnd, ModelsAgreeOnUnits)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    model::EnergyParams energy_params;
+    auto generated = core::generate(accel::gemminiLikeSpec(8));
+
+    double area = model::arrayArea(area_params, generated, 8, 8, true);
+    EXPECT_GT(area, 0.0);
+    auto timing = model::timingOf(timing_params, generated, false);
+    EXPECT_GT(timing.fmaxMhz(), 100.0);
+    EXPECT_LT(timing.fmaxMhz(), 5000.0);
+
+    model::EnergyEvents events;
+    events.macs = 1 << 20;
+    events.cycles = 1 << 14;
+    events.areaMm2 = area / 1e6;
+    events.sramReadBytes = 1 << 22;
+    double pj = model::energyPerMac(energy_params, events);
+    EXPECT_GT(pj, 0.05);
+    EXPECT_LT(pj, 100.0);
+}
+
+TEST(EndToEnd, LargeArrayGenerationScales)
+{
+    // A 32x32x32 elaboration (32768 points, 1024 PEs) must generate and
+    // lint within interactive time.
+    auto spec = accel::gemminiLikeSpec(32);
+    auto generated = core::generate(spec);
+    EXPECT_EQ(generated.array.numPes(), 1024);
+    EXPECT_EQ(generated.array.maxFolding(), 32);
+    auto design = rtl::lowerToVerilog(generated);
+    EXPECT_TRUE(rtl::lintAll(design).empty());
+    // ~1024 PE instances in the array module.
+    const auto *array = design.findModule("stellar_array_gemmini_like");
+    ASSERT_NE(array, nullptr);
+    EXPECT_GE(array->instances().size(), 1024u);
+}
+
+TEST(EndToEnd, GenerateCarriesDiagnostics)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "diag";
+    func::FunctionalSpec fn("with_unread_input");
+    auto i = fn.index("i");
+    auto A = fn.input("A", 1);
+    fn.input("Unused", 1);
+    auto C = fn.output("C", 1);
+    auto t = fn.intermediate("t");
+    fn.define(t(i), func::Expr(A(i)) + func::Expr(t(i - 1)));
+    fn.define(C(i), t(i));
+    spec.functional = fn;
+    spec.transform = dataflow::SpaceTimeTransform(IntMatrix{{1}});
+    spec.elaborationBounds = {4};
+    auto generated = core::generate(spec);
+    bool found = false;
+    for (const auto &finding : generated.diagnostics)
+        if (finding.message.find("Unused") != std::string::npos)
+            found = true;
+    EXPECT_TRUE(found);
+    // Clean designs carry none.
+    EXPECT_TRUE(core::generate(accel::gemminiLikeSpec(4))
+                        .diagnostics.empty());
+}
+
+TEST(EndToEnd, HexagonalArraysPayWiringArea)
+{
+    // Same bounds, same data width: the hexagonal dataflow spreads over
+    // more PEs and longer aggregate wiring than the 2-D stationary
+    // arrays, and the area model must reflect it.
+    model::AreaParams params;
+    core::AcceleratorSpec spec;
+    spec.name = "wires";
+    spec.functional = func::matmulSpec();
+    spec.elaborationBounds = {8, 8, 8};
+    spec.transform = dataflow::dataflows::outputStationary();
+    auto os_accel = core::generate(spec);
+    spec.transform = dataflow::dataflows::hexagonal();
+    auto hex_accel = core::generate(spec);
+    EXPECT_GT(hex_accel.array.totalWireLength(),
+              os_accel.array.totalWireLength());
+    EXPECT_GT(model::arrayArea(params, hex_accel, 8, 8, true),
+              model::arrayArea(params, os_accel, 8, 8, true));
+}
+
+} // namespace
+} // namespace stellar

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Tests for the Table II ISA: field packing, binary encode/decode
+ * round-trips, the configuration state machine, the Listing 7 driver
+ * flows, and the functional transfer executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/config_state.hpp"
+#include "isa/driver.hpp"
+#include "isa/instructions.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::isa
+{
+namespace
+{
+
+TEST(Rs1Packing, RoundTripsFields)
+{
+    auto rs1 = packRs1(Target::Src, 0x0003);
+    EXPECT_EQ(rs1Target(rs1), Target::Src);
+    EXPECT_EQ(rs1Axis(rs1), 3);
+    EXPECT_FALSE(rs1HasMetadata(rs1));
+
+    auto meta = packRs1Metadata(Target::Both, 1, MetadataType::Coord);
+    EXPECT_EQ(rs1Target(meta), Target::Both);
+    EXPECT_EQ(rs1Axis(meta), 1);
+    EXPECT_TRUE(rs1HasMetadata(meta));
+    EXPECT_EQ(rs1Metadata(meta), MetadataType::Coord);
+}
+
+/** Property: encode/decode round-trips arbitrary programs. */
+class EncodeRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EncodeRoundTrip, Bitexact)
+{
+    Rng rng(std::uint64_t(GetParam()) * 3 + 1);
+    std::vector<Instruction> program;
+    for (int i = 0; i < 50; i++) {
+        Instruction inst;
+        inst.op = Opcode(rng.nextRange(0, 6));
+        inst.rs1 = std::uint32_t(rng.next() & 0xFFFFF);
+        inst.rs2 = rng.next();
+        program.push_back(inst);
+    }
+    auto decoded = decode(encode(program));
+    EXPECT_EQ(decoded, program);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeRoundTrip, ::testing::Range(0, 8));
+
+TEST(Decode, RejectsBadStreams)
+{
+    EXPECT_THROW(decode(std::vector<std::uint8_t>(7, 0)), FatalError);
+    std::vector<std::uint8_t> bad(16, 0);
+    bad[0] = 200; // invalid opcode
+    EXPECT_THROW(decode(bad), FatalError);
+}
+
+TEST(Disassemble, CoversAllOpcodes)
+{
+    EXPECT_NE(disassemble(makeSetAddress(Target::Src, 0, 0x1000))
+                      .find("set_address"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeSetSpan(Target::Both, 1, kEntireAxis))
+                      .find("ENTIRE_AXIS"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeSetDataStride(Target::Dst, 0, 4))
+                      .find("set_data_stride"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeSetMetadataStride(Target::Both, 0,
+                                                MetadataType::RowId, 1))
+                      .find("ROW_ID"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeSetAxisType(Target::Both, 1,
+                                          AxisType::Compressed))
+                      .find("COMPRESSED"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeSetConstant(ConstantId::ShouldTrailReads, 1))
+                      .find("set_constant"),
+              std::string::npos);
+    EXPECT_NE(disassemble(makeIssue()).find("stellar_issue"),
+              std::string::npos);
+}
+
+TEST(ConfigState, AccumulatesAndSnapshots)
+{
+    ConfigState state;
+    EXPECT_TRUE(state.apply(makeSetAddress(Target::Src, 0, 0x100)).empty());
+    state.apply(makeSetSpan(Target::Both, 0, 16));
+    state.apply(makeSetSpan(Target::Both, 1, 8));
+    state.apply(makeSetAxisType(Target::Both, 1, AxisType::Dense));
+    state.apply(makeSetConstant(ConstantId::SrcUnit,
+                                std::uint64_t(MemUnit::Dram)));
+    state.apply(makeSetConstant(ConstantId::DstUnit,
+                                std::uint64_t(MemUnit::Sram0)));
+    auto issued = state.apply(makeIssue());
+    ASSERT_EQ(issued.size(), 1u);
+    const auto &desc = issued[0];
+    EXPECT_EQ(desc.src.unit, MemUnit::Dram);
+    EXPECT_EQ(desc.dst.unit, MemUnit::Sram0);
+    EXPECT_EQ(desc.src.dataAddress[0], 0x100u);
+    EXPECT_EQ(desc.src.span[0], 16u);
+    EXPECT_EQ(desc.dst.span[1], 8u);
+    EXPECT_EQ(desc.numAxes, 2);
+}
+
+TEST(ConfigState, TargetSelectorsAreIndependent)
+{
+    ConfigState state;
+    state.apply(makeSetSpan(Target::Src, 0, 4));
+    state.apply(makeSetSpan(Target::Dst, 0, 9));
+    EXPECT_EQ(state.src().span[0], 4u);
+    EXPECT_EQ(state.dst().span[0], 9u);
+}
+
+TEST(ConfigState, RejectsOutOfRangeAxis)
+{
+    ConfigState state;
+    EXPECT_THROW(state.apply(makeSetSpan(Target::Both, 9, 1)), FatalError);
+}
+
+TEST(Driver, Listing7DenseFlow)
+{
+    // The first half of Listing 7: move a dense DIM x DIM matrix from
+    // DRAM into SRAM_A.
+    const std::uint64_t DIM = 8;
+    HostMemory dram(64 * 1024);
+    std::vector<float> matrix(DIM * DIM);
+    for (std::size_t i = 0; i < matrix.size(); i++)
+        matrix[i] = float(i) * 0.5f;
+    const std::uint64_t base = 0x400;
+    dram.writeFloatArray(base, matrix);
+
+    Driver driver;
+    driver.setSrcAndDst(MemUnit::Dram, MemUnit::Sram0);
+    driver.setDataAddr(Target::Src, base);
+    for (int axis = 0; axis < 2; axis++) {
+        driver.setSpan(Target::Both, axis, DIM);
+        driver.setAxis(Target::Both, axis, AxisType::Dense);
+    }
+    driver.setStride(Target::Both, 0, 1);
+    driver.setStride(Target::Both, 1, DIM);
+    driver.issue();
+
+    std::map<MemUnit, SramUnit> srams;
+    srams[MemUnit::Sram0] = SramUnit{};
+    auto stats = executeProgram(driver.program(), dram, srams);
+    EXPECT_EQ(stats.descriptors, 1);
+    EXPECT_EQ(stats.elementsMoved, std::int64_t(DIM * DIM));
+    ASSERT_EQ(srams[MemUnit::Sram0].data.size(), DIM * DIM);
+    for (std::size_t i = 0; i < matrix.size(); i++)
+        EXPECT_FLOAT_EQ(srams[MemUnit::Sram0].data[i], matrix[i]);
+}
+
+TEST(Driver, Listing7CsrFlow)
+{
+    // The second half of Listing 7: move a CSR matrix into SRAM_B.
+    HostMemory dram(64 * 1024);
+    std::vector<float> data = {1.5f, 2.5f, 3.5f, 4.5f, 5.5f};
+    std::vector<std::int32_t> coords = {0, 3, 1, 2, 4};
+    std::vector<std::int32_t> row_ids = {0, 2, 2, 4, 5};
+    const std::uint64_t data_addr = 0x1000;
+    const std::uint64_t coord_addr = 0x2000;
+    const std::uint64_t row_addr = 0x3000;
+    dram.writeFloatArray(data_addr, data);
+    dram.writeIntArray(coord_addr, coords);
+    dram.writeIntArray(row_addr, row_ids);
+
+    Driver driver;
+    driver.setSrcAndDst(MemUnit::Dram, MemUnit::Sram1);
+    driver.setDataAddr(Target::Src, data_addr);
+    driver.setMetadataAddr(Target::Src, 0, MetadataType::RowId, row_addr);
+    driver.setMetadataAddr(Target::Src, 0, MetadataType::Coord, coord_addr);
+    driver.setSpan(Target::Both, 0, kEntireAxis);
+    driver.setSpan(Target::Both, 1, 4); // N_ROWS
+    driver.setStride(Target::Both, 0, 1);
+    driver.setMetadataStride(Target::Both, 0, 0, MetadataType::Coord, 1);
+    driver.setMetadataStride(Target::Both, 1, 0, MetadataType::RowId, 1);
+    driver.setAxis(Target::Both, 0, AxisType::Compressed);
+    driver.setAxis(Target::Both, 1, AxisType::Dense);
+    driver.issue();
+
+    std::map<MemUnit, SramUnit> srams;
+    srams[MemUnit::Sram1] = SramUnit{};
+    auto stats = executeProgram(driver.program(), dram, srams);
+    EXPECT_EQ(stats.elementsMoved, 5);
+    const auto &sram = srams[MemUnit::Sram1];
+    ASSERT_EQ(sram.data.size(), 5u);
+    EXPECT_FLOAT_EQ(sram.data[0], 1.5f);
+    EXPECT_FLOAT_EQ(sram.data[4], 5.5f);
+    EXPECT_EQ(sram.coords,
+              (std::vector<std::int32_t>{0, 3, 1, 2, 4}));
+    EXPECT_EQ(sram.rowIds, (std::vector<std::int32_t>{0, 2, 2, 4, 5}));
+}
+
+TEST(Driver, WritebackRoundTrip)
+{
+    // Dense in, dense out: DRAM -> SRAM -> DRAM at a new address.
+    const std::uint64_t DIM = 4;
+    HostMemory dram(16 * 1024);
+    std::vector<float> matrix(DIM * DIM);
+    for (std::size_t i = 0; i < matrix.size(); i++)
+        matrix[i] = float(i + 1);
+    dram.writeFloatArray(0x100, matrix);
+
+    Driver driver;
+    driver.setSrcAndDst(MemUnit::Dram, MemUnit::Sram0);
+    driver.setDataAddr(Target::Src, 0x100);
+    for (int axis = 0; axis < 2; axis++) {
+        driver.setSpan(Target::Both, axis, DIM);
+        driver.setAxis(Target::Both, axis, AxisType::Dense);
+    }
+    driver.setStride(Target::Both, 0, 1);
+    driver.setStride(Target::Both, 1, DIM);
+    driver.issue();
+    // Writeback program.
+    driver.setSrcAndDst(MemUnit::Sram0, MemUnit::Dram);
+    driver.setDataAddr(Target::Dst, 0x2000);
+    driver.issue();
+
+    std::map<MemUnit, SramUnit> srams;
+    srams[MemUnit::Sram0] = SramUnit{};
+    executeProgram(driver.program(), dram, srams);
+    for (std::size_t i = 0; i < matrix.size(); i++)
+        EXPECT_FLOAT_EQ(dram.readFloat(0x2000 + i * 4), matrix[i]);
+}
+
+TEST(Driver, EncodedProgramSurvivesBinaryTransport)
+{
+    Driver driver;
+    driver.setSrcAndDst(MemUnit::Dram, MemUnit::Sram0);
+    driver.setSpan(Target::Both, 0, 16);
+    driver.issue();
+    auto decoded = decode(encode(driver.program()));
+    EXPECT_EQ(decoded, driver.program());
+}
+
+TEST(Driver, CsrWritebackRoundTrip)
+{
+    // CSR into SRAM, then CSR back out to fresh DRAM arrays.
+    HostMemory dram(64 * 1024);
+    std::vector<float> data = {1.0f, 2.0f, 3.0f};
+    std::vector<std::int32_t> coords = {1, 0, 2};
+    std::vector<std::int32_t> row_ids = {0, 1, 3};
+    dram.writeFloatArray(0x100, data);
+    dram.writeIntArray(0x200, coords);
+    dram.writeIntArray(0x300, row_ids);
+
+    Driver driver;
+    driver.setSrcAndDst(MemUnit::Dram, MemUnit::Sram0);
+    driver.setDataAddr(Target::Src, 0x100);
+    driver.setMetadataAddr(Target::Src, 0, MetadataType::RowId, 0x300);
+    driver.setMetadataAddr(Target::Src, 0, MetadataType::Coord, 0x200);
+    driver.setSpan(Target::Both, 0, kEntireAxis);
+    driver.setSpan(Target::Both, 1, 2);
+    driver.setAxis(Target::Both, 0, AxisType::Compressed);
+    driver.setAxis(Target::Both, 1, AxisType::Dense);
+    driver.issue();
+    // Writeback to new addresses.
+    driver.setSrcAndDst(MemUnit::Sram0, MemUnit::Dram);
+    driver.setDataAddr(Target::Dst, 0x1000);
+    driver.setMetadataAddr(Target::Dst, 0, MetadataType::RowId, 0x2000);
+    driver.setMetadataAddr(Target::Dst, 0, MetadataType::Coord, 0x3000);
+    driver.issue();
+
+    std::map<MemUnit, SramUnit> srams;
+    srams[MemUnit::Sram0] = SramUnit{};
+    executeProgram(driver.program(), dram, srams);
+
+    for (std::size_t i = 0; i < data.size(); i++) {
+        EXPECT_FLOAT_EQ(dram.readFloat(0x1000 + i * 4), data[i]);
+        EXPECT_EQ(std::int32_t(dram.read32(0x3000 + i * 4)), coords[i]);
+    }
+    for (std::size_t r = 0; r < row_ids.size(); r++)
+        EXPECT_EQ(std::int32_t(dram.read32(0x2000 + r * 4)), row_ids[r]);
+}
+
+} // namespace
+} // namespace stellar::isa

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the memory-buffer module: fibertree formats, pipeline-stage
+ * planning (Fig 12), hardcoded request parameters (Listing 6), access
+ * orders (Fig 13), plus the report/SoC/hierarchical-merge extensions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/designs.hpp"
+#include "accel/report.hpp"
+#include "core/accelerator.hpp"
+#include "mem/access_order.hpp"
+#include "mem/buffer_spec.hpp"
+#include "mem/format.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/soc.hpp"
+#include "sim/merger.hpp"
+#include "util/logging.hpp"
+
+namespace stellar::mem
+{
+namespace
+{
+
+TEST(Formats, CommonFormatsHaveExpectedShape)
+{
+    EXPECT_TRUE(denseFormat(3).isAllDense());
+    EXPECT_EQ(denseFormat(3).rank(), 3);
+    EXPECT_EQ(csrFormat().compressedAxes(), 1);
+    EXPECT_EQ(blockCrsFormat().rank(), 4);
+    EXPECT_EQ(blockCrsFormat().compressedAxes(), 1);
+    EXPECT_EQ(csrFormat().toString(), "{Dense, Compressed}");
+}
+
+TEST(PipelinePlanning, DenseAxesAreSingleCycle)
+{
+    MemBufferSpec spec;
+    spec.name = "t";
+    spec.format = denseFormat(2);
+    auto stages = planPipeline(spec, true);
+    ASSERT_EQ(stages.size(), 2u);
+    for (const auto &stage : stages) {
+        EXPECT_EQ(stage.latency, 1);
+        EXPECT_FALSE(stage.metadataLookup);
+    }
+    EXPECT_EQ(pipelineLatency(stages), 2);
+}
+
+TEST(PipelinePlanning, BlockCrsMatchesFig12)
+{
+    // Fig 12: block-CRS buffers get four stages; the compressed axis
+    // performs the row-id + coordinate metadata lookups.
+    MemBufferSpec spec;
+    spec.name = "bcrs";
+    spec.format = blockCrsFormat();
+    auto stages = planPipeline(spec, true);
+    ASSERT_EQ(stages.size(), 4u);
+    EXPECT_FALSE(stages[0].metadataLookup); // dense block rows
+    EXPECT_TRUE(stages[1].metadataLookup);  // compressed block cols
+    EXPECT_EQ(stages[1].metadataSrams.size(), 2u);
+    EXPECT_FALSE(stages[2].metadataLookup);
+    EXPECT_FALSE(stages[3].metadataLookup);
+    EXPECT_EQ(pipelineLatency(stages), 1 + 2 + 1 + 1);
+}
+
+TEST(PipelinePlanning, HardcodedSpansSimplifyDenseAddressGen)
+{
+    MemBufferSpec spec;
+    spec.name = "hc";
+    spec.format = denseFormat(2);
+    spec.hardcodedRead.spans = {4, 4};
+    auto stages = planPipeline(spec, true);
+    EXPECT_TRUE(stages[0].simplifiedAddressGen);
+    EXPECT_TRUE(stages[1].simplifiedAddressGen);
+    auto writes = planPipeline(spec, false);
+    EXPECT_FALSE(writes[0].simplifiedAddressGen); // only reads hardcoded
+}
+
+TEST(AccessOrder, SkewedOrderMatchesFig13a)
+{
+    // Fig 13a: t=0: (0,0); t=1: (1,0)(0,1); ...; t=6: (3,3).
+    auto order = skewedOrder(4, 4);
+    ASSERT_EQ(order.steps(), 7u);
+    EXPECT_EQ(order.step(0), (std::vector<IntVec>{{0, 0}}));
+    EXPECT_EQ(order.step(1), (std::vector<IntVec>{{0, 1}, {1, 0}}));
+    EXPECT_EQ(order.step(6), (std::vector<IntVec>{{3, 3}}));
+    EXPECT_EQ(order.totalElements(), 16u);
+    EXPECT_EQ(order.maxPerStep(), 4u);
+}
+
+TEST(AccessOrder, RowMajorRespectsRate)
+{
+    auto order = rowMajorOrder({2, 3}, 2);
+    EXPECT_EQ(order.steps(), 3u);
+    EXPECT_EQ(order.totalElements(), 6u);
+    EXPECT_EQ(order.maxPerStep(), 2u);
+}
+
+TEST(AccessOrder, TransposeDetection)
+{
+    auto row_major = rowMajorOrder({3, 3}, 3);
+    AccessOrder col_major;
+    for (std::int64_t c = 0; c < 3; c++) {
+        std::vector<IntVec> step;
+        for (std::int64_t r = 0; r < 3; r++)
+            step.push_back({r, c});
+        col_major.addStep(step);
+    }
+    EXPECT_TRUE(col_major.isTransposeOf(row_major, 0, 1));
+    EXPECT_TRUE(row_major.isTransposeOf(col_major, 0, 1));
+    EXPECT_FALSE(col_major.isTransposeOf(skewedOrder(3, 3), 0, 1));
+}
+
+TEST(AccessOrder, PopulationComparison)
+{
+    auto a = rowMajorOrder({2, 2}, 1);
+    auto b = skewedOrder(2, 2);
+    EXPECT_TRUE(a.samePopulation(b));
+    AccessOrder c;
+    c.addStep({{9, 9}});
+    EXPECT_FALSE(a.samePopulation(c));
+}
+
+TEST(BufferEmitOrder, RequiresHardcodedSpans)
+{
+    MemBufferSpec spec;
+    spec.name = "x";
+    spec.format = denseFormat(2);
+    EXPECT_THROW(bufferEmitOrder(spec), FatalError);
+    spec.hardcodedRead.spans = {4, 4};
+    spec.emitOrder = EmitOrder::Skewed;
+    EXPECT_EQ(bufferEmitOrder(spec), skewedOrder(4, 4));
+}
+
+TEST(Report, CoversEverySection)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    auto generated = core::generate(accel::outerSpaceLikeSpec(4));
+    auto text = accel::designReport(generated, area_params, timing_params);
+    EXPECT_NE(text.find("functionality"), std::string::npos);
+    EXPECT_NE(text.find("dataflow"), std::string::npos);
+    EXPECT_NE(text.find("sparsity"), std::string::npos);
+    EXPECT_NE(text.find("load balancing"), std::string::npos);
+    EXPECT_NE(text.find("pruning decisions"), std::string::npos);
+    EXPECT_NE(text.find("register files"), std::string::npos);
+    EXPECT_NE(text.find("Fmax"), std::string::npos);
+}
+
+TEST(Soc, AssemblyLintsCleanAndHasAllTiles)
+{
+    auto generated = core::generate(accel::gemminiLikeSpec(4));
+    auto design = rtl::lowerToVerilog(generated);
+    auto soc = rtl::assembleSoc(design);
+    EXPECT_EQ(design.top(), soc);
+    auto issues = rtl::lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    const auto *top = design.findModule(soc);
+    ASSERT_NE(top, nullptr);
+    EXPECT_EQ(top->instances().size(), 3u); // accel + L2 + host CPU
+}
+
+TEST(Soc, CpuCanBeOmitted)
+{
+    auto generated = core::generate(accel::gemminiLikeSpec(4));
+    auto design = rtl::lowerToVerilog(generated);
+    rtl::SocOptions options;
+    options.includeHostCpu = false;
+    rtl::assembleSoc(design, options);
+    const auto *top = design.findModule(design.top());
+    ASSERT_NE(top, nullptr);
+    EXPECT_EQ(top->instances().size(), 2u);
+    EXPECT_TRUE(rtl::lintAll(design).empty());
+}
+
+TEST(HierarchicalMerge, FewerPassesThanPairwise)
+{
+    // Build 32 small partial matrices.
+    std::vector<sparse::PartialMatrix> partials;
+    for (int p = 0; p < 32; p++) {
+        sparse::PartialMatrix partial;
+        for (std::int64_t r = 0; r < 4; r++) {
+            sparse::Fiber fiber;
+            for (std::int64_t c = 0; c < 8; c++) {
+                fiber.coords.push_back(c * 32 + p);
+                fiber.values.push_back(1.0);
+            }
+            partial.rowIds.push_back(r);
+            partial.rowFibers.push_back(std::move(fiber));
+        }
+        partials.push_back(std::move(partial));
+    }
+    sim::MergerConfig config;
+    auto pairwise = sim::runMergeSchedule(
+            config, sim::MergerKind::Flattened, partials);
+    auto tree = sim::runHierarchicalMerge(config, partials, 64);
+    // The tree merges everything in one pass: far fewer cycles.
+    EXPECT_LT(tree.cycles, pairwise.cycles / 2);
+    // And it emits each final element once rather than once per level.
+    EXPECT_LT(tree.mergedElements, pairwise.mergedElements);
+}
+
+} // namespace
+} // namespace stellar::mem

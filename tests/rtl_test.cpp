@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for the RTL backend: the Verilog IR and emitter, the structural
+ * lint, and end-to-end lowering of dense and sparse accelerators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/verilog.hpp"
+#include "sparsity/skip.hpp"
+#include "util/logging.hpp"
+
+namespace stellar::rtl
+{
+namespace
+{
+
+using dataflow::dataflows::inputStationary;
+using dataflow::dataflows::outputStationary;
+
+core::AcceleratorSpec
+denseSpec(const dataflow::SpaceTimeTransform &t, IntVec bounds)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "test";
+    spec.functional = func::matmulSpec();
+    spec.transform = t;
+    spec.elaborationBounds = std::move(bounds);
+    return spec;
+}
+
+TEST(VerilogModule, EmitsDeclaredStructure)
+{
+    Module m("counter");
+    m.addPort(PortDir::Input, "clock", 1);
+    m.addPort(PortDir::Output, "value", 8);
+    m.addReg("value_r", 8);
+    m.addAssign("value", "value_r");
+    m.addAlways("value_r <= value_r + 1;");
+    std::string text = m.emit();
+    EXPECT_NE(text.find("module counter"), std::string::npos);
+    EXPECT_NE(text.find("input  clock"), std::string::npos);
+    EXPECT_NE(text.find("output [7:0] value"), std::string::npos);
+    EXPECT_NE(text.find("always @(posedge clock)"), std::string::npos);
+    EXPECT_NE(text.find("endmodule"), std::string::npos);
+    EXPECT_TRUE(lintText(text).empty());
+}
+
+TEST(VerilogModule, RejectsDuplicateSignals)
+{
+    Module m("dup");
+    m.addPort(PortDir::Input, "x", 1);
+    EXPECT_THROW(m.addWire("x", 1), FatalError);
+    EXPECT_THROW(m.addReg("x", 1), FatalError);
+}
+
+TEST(VerilogModule, MemoriesEmitArraySyntax)
+{
+    Module m("ram");
+    m.addMemory("data", 32, 64);
+    std::string text = m.emit();
+    EXPECT_NE(text.find("reg [31:0] data [0:63];"), std::string::npos);
+}
+
+TEST(VerilogDesign, RejectsDuplicateModules)
+{
+    Design d;
+    d.addModule("m");
+    EXPECT_THROW(d.addModule("m"), FatalError);
+}
+
+TEST(Lint, CatchesUndefinedTop)
+{
+    Design d;
+    d.addModule("a");
+    d.setTop("nonexistent");
+    auto issues = lintDesign(d);
+    ASSERT_FALSE(issues.empty());
+}
+
+TEST(Lint, CatchesUndefinedInstanceModule)
+{
+    Design d;
+    Module &m = d.addModule("parent");
+    d.setTop("parent");
+    Instance inst;
+    inst.moduleName = "ghost";
+    inst.instanceName = "u0";
+    m.addInstance(inst);
+    auto issues = lintDesign(d);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("ghost"), std::string::npos);
+}
+
+TEST(Lint, CatchesBadPortAndUndeclaredSignal)
+{
+    Design d;
+    Module &child = d.addModule("child");
+    child.addPort(PortDir::Input, "clock", 1);
+    Module &parent = d.addModule("parent");
+    d.setTop("parent");
+    Instance inst;
+    inst.moduleName = "child";
+    inst.instanceName = "u0";
+    inst.connections.push_back({"clk", "mystery"}); // wrong port, no wire
+    parent.addInstance(inst);
+    auto issues = lintDesign(d);
+    EXPECT_EQ(issues.size(), 2u);
+}
+
+TEST(Lint, CatchesUnbalancedText)
+{
+    EXPECT_FALSE(lintText("module a (\n);\n").empty());
+    EXPECT_FALSE(lintText("module a (\n);\nbegin\nendmodule\n").empty());
+    EXPECT_TRUE(lintText("module a (\n);\nendmodule\n").empty());
+}
+
+TEST(Lint, IgnoresCommentPunctuation)
+{
+    EXPECT_TRUE(lintText("// unbalanced ( in a comment\n"
+                         "module a (\n);\nendmodule\n").empty());
+}
+
+TEST(LowerDense, OutputStationaryMatmulIsClean)
+{
+    auto generated = core::generate(denseSpec(outputStationary(), {4, 4, 4}));
+    Design design = lowerToVerilog(generated);
+    auto issues = lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    EXPECT_TRUE(issues.empty());
+
+    // 16 PEs instantiated in the array.
+    const Module *array = design.findModule("stellar_array_test");
+    ASSERT_NE(array, nullptr);
+    int pes = 0;
+    for (const auto &inst : array->instances())
+        if (inst.moduleName == "stellar_pe_test")
+            pes++;
+    EXPECT_EQ(pes, 16);
+}
+
+TEST(LowerDense, PeModuleHasFig11Structure)
+{
+    auto generated = core::generate(denseSpec(outputStationary(), {4, 4, 4}));
+    Design design = lowerToVerilog(generated);
+    const Module *pe = design.findModule("stellar_pe_test");
+    ASSERT_NE(pe, nullptr);
+    // Time counter register (Fig 11) and iterator-recovery wires.
+    EXPECT_TRUE(pe->declares("time_counter"));
+    EXPECT_TRUE(pe->declares("it_i"));
+    EXPECT_TRUE(pe->declares("it_j"));
+    EXPECT_TRUE(pe->declares("it_k"));
+    // The output-request valid derived from the k boundary.
+    EXPECT_TRUE(pe->declares("out_c_valid"));
+    // Stationary accumulator for c; flowing ports for a and b.
+    EXPECT_TRUE(pe->declares("acc_c"));
+    EXPECT_TRUE(pe->declares("in_a"));
+    EXPECT_TRUE(pe->declares("out_b"));
+}
+
+TEST(LowerDense, InputStationaryHasCombinationalBroadcast)
+{
+    // Under the input-stationary dataflow A moves with zero time delta:
+    // no pipereg modules should appear for it.
+    auto generated = core::generate(denseSpec(inputStationary(), {4, 4, 4}));
+    Design design = lowerToVerilog(generated);
+    EXPECT_TRUE(lintAll(design).empty());
+    // c moves with one register: a pipereg module must exist.
+    bool has_pipereg = false;
+    for (const auto &module : design.modules())
+        if (module.name().find("pipereg") != std::string::npos)
+            has_pipereg = true;
+    EXPECT_TRUE(has_pipereg);
+}
+
+TEST(LowerSparse, PrunedConnsBecomePerPointIoPorts)
+{
+    auto spec = denseSpec(inputStationary(), {4, 4, 4});
+    int B = spec.functional.tensorIdByName("B");
+    spec.sparsity.add(sparsity::skipWhenZero(
+            1, B, {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    auto generated = core::generate(spec);
+    Design design = lowerToVerilog(generated);
+    EXPECT_TRUE(lintAll(design).empty());
+    const Module *pe = design.findModule("stellar_pe_test");
+    ASSERT_NE(pe, nullptr);
+    EXPECT_TRUE(pe->declares("io_c_rd"));
+    EXPECT_TRUE(pe->declares("io_c_wr"));
+    EXPECT_FALSE(pe->declares("acc_c"));
+}
+
+TEST(LowerSparse, OptimisticSkipWidensPorts)
+{
+    auto spec = denseSpec(outputStationary(), {4, 4, 4});
+    int A = spec.functional.tensorIdByName("A");
+    spec.sparsity.add(sparsity::optimisticSkip(
+            2, A, {func::makeIndexExpr(0), func::makeIndexExpr(2)}, 4));
+    auto generated = core::generate(spec);
+    RtlOptions opt;
+    Design design = lowerToVerilog(generated, opt);
+    EXPECT_TRUE(lintAll(design).empty());
+    const Module *pe = design.findModule("stellar_pe_test");
+    ASSERT_NE(pe, nullptr);
+    for (const auto &port : pe->ports()) {
+        if (port.name == "in_b") {
+            EXPECT_EQ(port.width, opt.dataWidth * 4);
+        }
+    }
+}
+
+TEST(LowerBuffers, BufferModuleHasStagePipeline)
+{
+    auto spec = denseSpec(outputStationary(), {4, 4, 4});
+    mem::MemBufferSpec buf;
+    buf.name = "SRAM_B";
+    buf.boundTensor = "B";
+    buf.format = mem::csrFormat();
+    buf.capacityBytes = 4096;
+    spec.buffers.push_back(buf);
+    auto generated = core::generate(spec);
+    Design design = lowerToVerilog(generated);
+    EXPECT_TRUE(lintAll(design).empty());
+    const Module *mem_module = design.findModule("stellar_mem_test_SRAM_B");
+    ASSERT_NE(mem_module, nullptr);
+    // Dense axis (1 cycle) + compressed axis (2 cycles) = 3 stages.
+    EXPECT_TRUE(mem_module->declares("stage2_valid"));
+    EXPECT_FALSE(mem_module->declares("stage3_valid"));
+    // Metadata SRAMs for the compressed axis.
+    EXPECT_GE(mem_module->memories().size(), 2u);
+}
+
+TEST(LowerDma, InflightParameterControlsPortCount)
+{
+    auto spec = denseSpec(outputStationary(), {2, 2, 2});
+    RtlOptions opt;
+    opt.dmaMaxInflight = 16;
+    Design design = lowerToVerilog(core::generate(spec), opt);
+    EXPECT_TRUE(lintAll(design).empty());
+    const Module *dma = design.findModule("stellar_dma_test");
+    ASSERT_NE(dma, nullptr);
+    EXPECT_TRUE(dma->declares("mem_req_valid_15"));
+    EXPECT_FALSE(dma->declares("mem_req_valid_16"));
+}
+
+TEST(LowerMerge, DataDependentSpecLowersCleanly)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "merger";
+    spec.functional = func::mergeSpec();
+    spec.transform = dataflow::SpaceTimeTransform(IntMatrix{{1}});
+    spec.elaborationBounds = {8};
+    Design design = lowerToVerilog(core::generate(spec));
+    auto issues = lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    const Module *pe = design.findModule("stellar_pe_merger");
+    ASSERT_NE(pe, nullptr);
+    // Data-dependent stream heads surface as request ports.
+    EXPECT_TRUE(pe->declares("in_ACoord_head"));
+    EXPECT_TRUE(pe->declares("in_BVal_head"));
+}
+
+TEST(CountRegisters, GrowsWithArraySize)
+{
+    auto small = lowerToVerilog(
+            core::generate(denseSpec(outputStationary(), {2, 2, 2})));
+    auto large = lowerToVerilog(
+            core::generate(denseSpec(outputStationary(), {4, 4, 4})));
+    EXPECT_GT(countRegisters(large), countRegisters(small));
+}
+
+TEST(EmittedText, FullDesignPassesTextLint)
+{
+    auto generated = core::generate(denseSpec(inputStationary(), {4, 4, 4}));
+    std::string text = lowerToVerilog(generated).emit();
+    EXPECT_TRUE(lintText(text).empty());
+    EXPECT_NE(text.find("stellar_top_test"), std::string::npos);
+}
+
+TEST(Lint, CatchesWidthMismatch)
+{
+    Design d;
+    Module &child = d.addModule("child");
+    child.addPort(PortDir::Input, "clock", 1);
+    child.addPort(PortDir::Input, "data", 8);
+    Module &parent = d.addModule("parent");
+    d.setTop("parent");
+    parent.addWire("narrow", 4);
+    parent.addWire("clk", 1);
+    Instance inst;
+    inst.moduleName = "child";
+    inst.instanceName = "u0";
+    inst.connections.push_back({"clock", "clk"});
+    inst.connections.push_back({"data", "narrow"}); // 4 bits into 8
+    parent.addInstance(inst);
+    auto issues = lintDesign(d);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("4-bit"), std::string::npos);
+}
+
+TEST(Regfiles, FeedForwardEmitsEveryPort)
+{
+    // The feed-forward regfile must expose as many write/read ports as
+    // the optimizer's configuration demands (Fig 14c with parallel
+    // shift lanes).
+    auto spec = denseSpec(outputStationary(), {4, 4, 4});
+    mem::MemBufferSpec buf;
+    buf.name = "SRAM_B";
+    buf.boundTensor = "B";
+    buf.format = mem::denseFormat(2);
+    buf.emitOrder = mem::EmitOrder::Skewed;
+    buf.readPorts = 4;
+    buf.hardcodedRead.spans = {4, 4};
+    spec.buffers.push_back(buf);
+    auto generated = core::generate(spec);
+    const auto *plan = generated.regfileFor("B");
+    ASSERT_NE(plan, nullptr);
+    ASSERT_EQ(plan->config.kind, core::RegfileKind::FeedForward);
+    Design design = lowerToVerilog(generated);
+    EXPECT_TRUE(lintAll(design).empty());
+    const Module *rf = design.findModule("stellar_rf_test_B");
+    ASSERT_NE(rf, nullptr);
+    for (std::int64_t p = 0; p < plan->config.inPorts; p++)
+        EXPECT_TRUE(rf->declares("wr_data_" + std::to_string(p)));
+    for (std::int64_t p = 0; p < plan->config.outPorts; p++)
+        EXPECT_TRUE(rf->declares("rd_data_" + std::to_string(p)));
+}
+
+TEST(PeLogic, SimplifierRemovesIdentityOperations)
+{
+    // The matmul MAC contains "c + a*b" with no degenerate terms, but a
+    // spec with a "* 1" survives only as the bare operand in Verilog.
+    core::AcceleratorSpec spec;
+    spec.name = "simp";
+    func::FunctionalSpec fn("scaled");
+    auto i = fn.index("i");
+    auto A = fn.input("A", 1);
+    auto C = fn.output("C", 1);
+    auto t = fn.intermediate("t");
+    fn.define(t(i), (func::Expr(A(i)) * func::Expr(1)) + func::Expr(0));
+    fn.define(C(i), t(i));
+    spec.functional = fn;
+    spec.transform = dataflow::SpaceTimeTransform(IntMatrix{{1}});
+    spec.elaborationBounds = {4};
+    Design design = lowerToVerilog(core::generate(spec));
+    const Module *pe = design.findModule("stellar_pe_simp");
+    ASSERT_NE(pe, nullptr);
+    std::string text = pe->emit();
+    EXPECT_EQ(text.find("* 1"), std::string::npos);
+    EXPECT_EQ(text.find("+ 0"), std::string::npos);
+    EXPECT_NE(text.find("in_A_head"), std::string::npos);
+}
+
+} // namespace
+} // namespace stellar::rtl

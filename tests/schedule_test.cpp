@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the schedule executor: schedule-order execution must match
+ * the lexicographic golden model for every dataflow, must flag
+ * non-causal schedules, and must report the utilization statistics the
+ * evaluation uses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/interpreter.hpp"
+#include "core/schedule.hpp"
+#include "core/selftest.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::core
+{
+namespace
+{
+
+TensorSet
+randomMatmulInputs(const func::FunctionalSpec &spec, Rng &rng,
+                   std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    TensorSet inputs;
+    std::vector<double> a(std::size_t(m * k)), b(std::size_t(k * n));
+    for (auto &v : a)
+        v = double(rng.nextRange(-3, 3));
+    for (auto &v : b)
+        v = double(rng.nextRange(-3, 3));
+    inputs[spec.tensorIdByName("A")] = denseToTensor(a, m, k);
+    inputs[spec.tensorIdByName("B")] = denseToTensor(b, k, n);
+    return inputs;
+}
+
+GeneratedAccelerator
+matmulAccel(const dataflow::SpaceTimeTransform &t, IntVec bounds)
+{
+    AcceleratorSpec spec;
+    spec.name = "sched";
+    spec.functional = func::matmulSpec();
+    spec.transform = t;
+    spec.elaborationBounds = std::move(bounds);
+    return generate(spec);
+}
+
+/** Property: schedule execution == interpreter, for every dataflow. */
+class ScheduleMatchesInterpreter : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ScheduleMatchesInterpreter, AllDataflows)
+{
+    Rng rng(std::uint64_t(GetParam()) * 97 + 3);
+    std::int64_t m = rng.nextRange(2, 5);
+    std::int64_t n = rng.nextRange(2, 5);
+    std::int64_t k = rng.nextRange(2, 5);
+    auto spec = func::matmulSpec();
+    auto inputs = randomMatmulInputs(spec, rng, m, n, k);
+    auto golden = evaluateSpec(spec, {m, n, k}, inputs);
+    int C = spec.tensorIdByName("C");
+
+    std::vector<dataflow::SpaceTimeTransform> transforms = {
+        dataflow::dataflows::inputStationary(),
+        dataflow::dataflows::outputStationary(),
+        dataflow::dataflows::hexagonal(),
+        dataflow::dataflows::inputStationaryPipelined(2),
+    };
+    for (const auto &t : transforms) {
+        auto accel = matmulAccel(t, {m, n, k});
+        auto result = executeSchedule(accel, inputs);
+        for (std::int64_t i = 0; i < m; i++) {
+            for (std::int64_t j = 0; j < n; j++) {
+                EXPECT_DOUBLE_EQ(tensorAt(result.tensors.at(C), {i, j}),
+                                 tensorAt(golden.at(C), {i, j}))
+                        << t.name() << " at (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleMatchesInterpreter,
+                         ::testing::Range(0, 10));
+
+TEST(Schedule, UtilizationReflectsFillDrain)
+{
+    // The output-stationary 4x4x4 array is fully busy only in the middle
+    // of its skewed schedule: utilization must be strictly between the
+    // all-idle and all-busy extremes, and the peak must hit every PE.
+    auto accel = matmulAccel(dataflow::dataflows::outputStationary(),
+                             {4, 4, 4});
+    TensorSet inputs;
+    auto result = executeSchedule(accel, inputs);
+    EXPECT_EQ(result.numPes, 16);
+    EXPECT_EQ(result.cycles, 10); // t = i+j+k in 0..9
+    EXPECT_GT(result.utilization(), 0.3);
+    EXPECT_LT(result.utilization(), 1.0);
+    EXPECT_LE(result.peakActive(), result.numPes);
+    // Total activations must equal the number of iteration points.
+    std::int64_t total = 0;
+    for (auto active : result.activePerCycle)
+        total += active;
+    EXPECT_EQ(total, 64);
+}
+
+TEST(Schedule, IdentityTransformIsFullyParallelPerStep)
+{
+    // x=i, y=j, t=k: all 16 PEs fire every cycle.
+    auto accel = matmulAccel(
+            dataflow::SpaceTimeTransform(IntMatrix::identity(3)),
+            {4, 4, 4});
+    auto result = executeSchedule(accel, {});
+    EXPECT_DOUBLE_EQ(result.utilization(), 1.0);
+    EXPECT_EQ(result.cycles, 4);
+}
+
+TEST(Schedule, ConvSpecExecutesUnderTransform)
+{
+    // 2x2-kernel conv over (oh, ow, oc, ic) with oc/ow spatial.
+    auto spec = func::convSpec(2, 2);
+    AcceleratorSpec accel_spec;
+    accel_spec.name = "conv";
+    accel_spec.functional = spec;
+    accel_spec.transform = dataflow::SpaceTimeTransform(
+            IntMatrix{{0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {1, 0, 0, 0},
+                      {1, 1, 0, 1}});
+    accel_spec.elaborationBounds = {3, 3, 2, 2};
+    auto accel = generate(accel_spec);
+
+    Rng rng(5);
+    TensorSet inputs;
+    TensorData I, W;
+    for (std::int64_t h = 0; h < 4; h++)
+        for (std::int64_t w = 0; w < 4; w++)
+            for (std::int64_t c = 0; c < 2; c++)
+                I[{h, w, c}] = double(rng.nextRange(-2, 2));
+    for (std::int64_t oc = 0; oc < 2; oc++)
+        for (std::int64_t ic = 0; ic < 2; ic++)
+            for (std::int64_t kh = 0; kh < 2; kh++)
+                for (std::int64_t kw = 0; kw < 2; kw++)
+                    W[{oc, ic, kh, kw}] = double(rng.nextRange(-2, 2));
+    inputs[spec.tensorIdByName("I")] = I;
+    inputs[spec.tensorIdByName("W")] = W;
+
+    auto result = executeSchedule(accel, inputs);
+    const auto &O = result.tensors.at(spec.tensorIdByName("O"));
+
+    // Direct convolution reference.
+    for (std::int64_t oh = 0; oh < 3; oh++) {
+        for (std::int64_t ow = 0; ow < 3; ow++) {
+            for (std::int64_t oc = 0; oc < 2; oc++) {
+                double expected = 0.0;
+                for (std::int64_t ic = 0; ic < 2; ic++)
+                    for (std::int64_t kh = 0; kh < 2; kh++)
+                        for (std::int64_t kw = 0; kw < 2; kw++)
+                            expected += tensorAt(W, {oc, ic, kh, kw}) *
+                                        tensorAt(I, {oh + kh, ow + kw, ic});
+                EXPECT_DOUBLE_EQ(tensorAt(O, {oh, ow, oc}), expected)
+                        << oh << "," << ow << "," << oc;
+            }
+        }
+    }
+}
+
+TEST(Schedule, SparseAccelStillComputesDenseResult)
+{
+    // Pruning conns changes the hardware, not the function: a sparse
+    // accelerator executing a dense tile must match the golden model.
+    AcceleratorSpec spec;
+    spec.name = "sparse_sched";
+    spec.functional = func::matmulSpec();
+    spec.transform = dataflow::dataflows::inputStationary();
+    spec.elaborationBounds = {3, 3, 3};
+    int B = spec.functional.tensorIdByName("B");
+    spec.sparsity.add(sparsity::skipWhenZero(
+            1, B, {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+    auto accel = generate(spec);
+
+    Rng rng(9);
+    auto inputs = randomMatmulInputs(spec.functional, rng, 3, 3, 3);
+    auto golden = evaluateSpec(spec.functional, {3, 3, 3}, inputs);
+    auto result = executeSchedule(accel, inputs);
+    int C = spec.functional.tensorIdByName("C");
+    for (std::int64_t i = 0; i < 3; i++)
+        for (std::int64_t j = 0; j < 3; j++)
+            EXPECT_DOUBLE_EQ(tensorAt(result.tensors.at(C), {i, j}),
+                             tensorAt(golden.at(C), {i, j}));
+}
+
+/** Property: selfTest passes on every design x dataflow combination. */
+class SelfTestProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SelfTestProperty, AllDataflowsAndSparsities)
+{
+    std::uint64_t seed = std::uint64_t(GetParam());
+    std::vector<dataflow::SpaceTimeTransform> transforms = {
+        dataflow::dataflows::inputStationary(),
+        dataflow::dataflows::outputStationary(),
+        dataflow::dataflows::hexagonal(),
+    };
+    for (const auto &t : transforms) {
+        AcceleratorSpec spec;
+        spec.name = "selftest";
+        spec.functional = func::matmulSpec();
+        spec.transform = t;
+        spec.elaborationBounds = {3, 4, 5};
+        if (seed % 2 == 1) {
+            spec.sparsity.add(sparsity::skipWhenZero(
+                    1, spec.functional.tensorIdByName("B"),
+                    {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+        }
+        auto accel = generate(spec);
+        auto result = selfTest(accel, seed);
+        EXPECT_TRUE(result.passed) << t.name() << ": " << result.failure;
+        EXPECT_GT(result.outputsChecked, 0);
+        EXPECT_GT(result.utilization, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelfTestProperty, ::testing::Range(0, 8));
+
+TEST(SelfTest, ConvDesignPasses)
+{
+    AcceleratorSpec spec;
+    spec.name = "conv_selftest";
+    spec.functional = func::convSpec(3, 3);
+    spec.transform = dataflow::SpaceTimeTransform(
+            IntMatrix{{0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {1, 0, 0, 0},
+                      {1, 1, 0, 1}});
+    spec.elaborationBounds = {4, 4, 3, 2};
+    auto result = selfTest(generate(spec), 11);
+    EXPECT_TRUE(result.passed) << result.failure;
+    // 4*4*3 output coordinates.
+    EXPECT_EQ(result.outputsChecked, 48);
+}
+
+TEST(SelfTest, RandomInputsCoverHaloWindow)
+{
+    // The conv spec reads I at oh+kh, ow+kw: the generated inputs must
+    // cover the full (bound + kernel - 1) window.
+    AcceleratorSpec spec;
+    spec.name = "conv_window";
+    spec.functional = func::convSpec(2, 2);
+    spec.transform = dataflow::SpaceTimeTransform(
+            IntMatrix{{0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {1, 0, 0, 0},
+                      {1, 1, 0, 1}});
+    spec.elaborationBounds = {3, 3, 2, 2};
+    auto accel = generate(spec);
+    auto inputs = randomInputsFor(accel, 3);
+    const auto &I = inputs.at(spec.functional.tensorIdByName("I"));
+    EXPECT_TRUE(I.count({3, 3, 1})); // (oh_max + kh_max, ow_max + kw_max)
+    EXPECT_FALSE(I.count({4, 0, 0}));
+}
+
+TEST(SelfTest, RejectsIndirectSpecs)
+{
+    AcceleratorSpec spec;
+    spec.name = "merge_selftest";
+    spec.functional = func::mergeSpec();
+    spec.transform = dataflow::SpaceTimeTransform(IntMatrix{{1}});
+    spec.elaborationBounds = {4};
+    auto accel = generate(spec);
+    EXPECT_THROW(selfTest(accel, 1), FatalError);
+}
+
+} // namespace
+} // namespace stellar::core

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for expression simplification and the pipeline (Fig 8) builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "accel/pipeline.hpp"
+#include "core/interpreter.hpp"
+#include "func/library.hpp"
+#include "func/simplify.hpp"
+#include "rtl/lint.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::func
+{
+namespace
+{
+
+Expr
+access(FunctionalSpec &, TensorHandle handle, Index i)
+{
+    return handle(i);
+}
+
+TEST(Simplify, AdditiveAndMultiplicativeIdentities)
+{
+    FunctionalSpec spec("s");
+    Index i = spec.index("i");
+    TensorHandle A = spec.input("A", 1);
+    Expr x = access(spec, A, i);
+
+    EXPECT_EQ(simplify(x + Expr(0)).node(), x.node());
+    EXPECT_EQ(simplify(Expr(0) + x).node(), x.node());
+    EXPECT_EQ(simplify(x * Expr(1)).node(), x.node());
+    EXPECT_EQ(simplify(x - Expr(0)).node(), x.node());
+    EXPECT_EQ(simplify(x / Expr(1)).node(), x.node());
+
+    auto zero = simplify(x * Expr(0)).node();
+    ASSERT_EQ(zero->op, ExprOp::Constant);
+    EXPECT_DOUBLE_EQ(zero->value, 0.0);
+}
+
+TEST(Simplify, ConstantFolding)
+{
+    Expr folded = simplify(Expr(3) * Expr(4) + Expr(2) - Expr(1));
+    ASSERT_EQ(folded.node()->op, ExprOp::Constant);
+    EXPECT_DOUBLE_EQ(folded.node()->value, 13.0);
+
+    Expr cmp = simplify(Expr(3) < Expr(4));
+    ASSERT_EQ(cmp.node()->op, ExprOp::Constant);
+    EXPECT_DOUBLE_EQ(cmp.node()->value, 1.0);
+
+    Expr mx = simplify(exprMax(Expr(3), Expr(7)));
+    EXPECT_DOUBLE_EQ(mx.node()->value, 7.0);
+}
+
+TEST(Simplify, SelectOnConstantCollapses)
+{
+    FunctionalSpec spec("s");
+    Index i = spec.index("i");
+    TensorHandle A = spec.input("A", 1);
+    Expr x = access(spec, A, i);
+    Expr y = Expr(A(i + 1));
+    EXPECT_EQ(simplify(exprSelect(Expr(1), x, y)).node(), x.node());
+    EXPECT_EQ(simplify(exprSelect(Expr(0), x, y)).node(), y.node());
+}
+
+TEST(Simplify, BooleanRules)
+{
+    FunctionalSpec spec("s");
+    Index i = spec.index("i");
+    TensorHandle A = spec.input("A", 1);
+    Expr x = access(spec, A, i);
+    EXPECT_EQ(simplify(x && Expr(1)).node(), x.node());
+    EXPECT_DOUBLE_EQ(simplify(x && Expr(0)).node()->value, 0.0);
+    EXPECT_EQ(simplify(x || Expr(0)).node(), x.node());
+    EXPECT_DOUBLE_EQ(simplify(!Expr(0)).node()->value, 1.0);
+}
+
+TEST(Simplify, NestedTreesShrink)
+{
+    FunctionalSpec spec("s");
+    Index i = spec.index("i");
+    TensorHandle A = spec.input("A", 1);
+    Expr x = access(spec, A, i);
+    Expr bloated = (x * Expr(1) + Expr(0)) * (Expr(2) * Expr(3));
+    auto simplified = simplify(bloated);
+    EXPECT_LT(exprOpCount(simplified.node()),
+              exprOpCount(bloated.node()));
+}
+
+/** Property: simplification never changes evaluated values. */
+class SimplifyPreservesSemantics : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SimplifyPreservesSemantics, RandomTrees)
+{
+    Rng rng(std::uint64_t(GetParam()) * 613 + 7);
+    FunctionalSpec spec("s");
+    Index i = spec.index("i");
+    TensorHandle A = spec.input("A", 1);
+
+    // Build a random expression tree over A(i) and small constants.
+    std::function<Expr(int)> build = [&](int depth) -> Expr {
+        if (depth == 0 || rng.nextBool(0.3)) {
+            if (rng.nextBool(0.5))
+                return Expr(A(i));
+            return Expr(int(rng.nextRange(0, 3)));
+        }
+        Expr lhs = build(depth - 1);
+        Expr rhs = build(depth - 1);
+        switch (rng.nextRange(0, 5)) {
+          case 0: return lhs + rhs;
+          case 1: return lhs - rhs;
+          case 2: return lhs * rhs;
+          case 3: return exprMin(lhs, rhs);
+          case 4: return exprMax(lhs, rhs);
+          default: return exprSelect(lhs <= rhs, lhs, rhs);
+        }
+    };
+
+    core::TensorSet tensors;
+    for (std::int64_t n = 0; n < 8; n++)
+        tensors[A.id()][{n}] = double(rng.nextRange(-5, 5));
+
+    for (int trial = 0; trial < 20; trial++) {
+        Expr tree = build(4);
+        Expr reduced = simplify(tree);
+        for (std::int64_t n = 0; n < 8; n++) {
+            double before = core::evalExprAt(tree.node(), {n}, {8},
+                                             tensors);
+            double after = core::evalExprAt(reduced.node(), {n}, {8},
+                                            tensors);
+            EXPECT_DOUBLE_EQ(before, after) << "trial " << trial;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifyPreservesSemantics,
+                         ::testing::Range(0, 8));
+
+TEST(Pipeline, Fig8PipelineGeneratesAndLints)
+{
+    auto pipeline = stellar::accel::generatePipeline(
+            stellar::accel::sparseMatmulPipelineSpec(4, 4));
+    EXPECT_EQ(pipeline.stages.size(), 2u);
+    EXPECT_GT(pipeline.totalPes(), 0);
+    auto design = stellar::accel::lowerPipelineToVerilog(pipeline);
+    auto issues = stellar::rtl::lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    const auto *top = design.findModule(design.top());
+    ASSERT_NE(top, nullptr);
+    EXPECT_EQ(top->instances().size(), 2u);
+}
+
+TEST(Pipeline, EmptyPipelineRejected)
+{
+    stellar::accel::PipelineSpec empty;
+    empty.name = "none";
+    EXPECT_THROW(stellar::accel::generatePipeline(empty),
+                 stellar::FatalError);
+}
+
+} // namespace
+} // namespace stellar::func

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for N:M structured sparsity, the structured systolic model, the
+ * ISA-to-DMA bridge, and testbench generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/dma_bridge.hpp"
+#include "isa/driver.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "rtl/testbench.hpp"
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "sim/systolic.hpp"
+#include "sparse/structured.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+TEST(Structured, GeneratedMatrixSatisfiesProperty)
+{
+    Rng rng(1);
+    auto matrix = sparse::generateStructured(rng, 8, 32, 2, 4);
+    EXPECT_EQ(matrix.nnz(), 8 * 32 / 4 * 2);
+    auto dense = sparse::structuredToDense(matrix);
+    EXPECT_TRUE(sparse::isStructuredNM(dense, 2, 4));
+    // Exactly half the elements are zero.
+    EXPECT_EQ(dense.nnz(), matrix.nnz());
+}
+
+/** Property: dense <-> structured round trips for several N:M configs. */
+class StructuredRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(StructuredRoundTrip, Lossless)
+{
+    auto [keep_n, group_m] = GetParam();
+    Rng rng(std::uint64_t(keep_n * 31 + group_m));
+    auto matrix = sparse::generateStructured(rng, 6, 24, keep_n, group_m);
+    auto dense = sparse::structuredToDense(matrix);
+    EXPECT_TRUE(sparse::isStructuredNM(dense, keep_n, group_m));
+    auto repacked = sparse::denseToStructured(dense, keep_n, group_m);
+    EXPECT_EQ(sparse::structuredToDense(repacked), dense);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        Configs, StructuredRoundTrip,
+        ::testing::Values(std::pair<int, int>{1, 4},
+                          std::pair<int, int>{2, 4},
+                          std::pair<int, int>{4, 8},
+                          std::pair<int, int>{2, 2}));
+
+TEST(Structured, ViolationDetected)
+{
+    sparse::DenseMatrix dense(1, 4);
+    dense.at(0, 0) = 1;
+    dense.at(0, 1) = 2;
+    dense.at(0, 2) = 3; // three nonzeros in one 2:4 group
+    EXPECT_FALSE(sparse::isStructuredNM(dense, 2, 4));
+    EXPECT_THROW(sparse::denseToStructured(dense, 2, 4), FatalError);
+}
+
+TEST(StructuredSystolic, TwoToFourIsNearlyTwiceAsFast)
+{
+    sim::SystolicConfig config;
+    config.stellarGenerated = true;
+    auto dense = sim::simulateSystolicMatmul(config, 512, 512, 512);
+    auto structured = sim::simulateStructuredSparseMatmul(config, 512, 512,
+                                                          512, 2, 4);
+    double speedup = double(dense.cycles) / double(structured.cycles);
+    EXPECT_GT(speedup, 1.6);
+    EXPECT_LT(speedup, 2.0);
+}
+
+TEST(StructuredSystolic, RejectsBadGrouping)
+{
+    sim::SystolicConfig config;
+    EXPECT_THROW(sim::simulateStructuredSparseMatmul(config, 8, 8, 9, 2, 4),
+                 FatalError);
+}
+
+TEST(DmaBridge, DenseContiguousBecomesRowChunks)
+{
+    isa::Driver driver;
+    driver.setSrcAndDst(isa::MemUnit::Dram, isa::MemUnit::Sram0);
+    driver.setDataAddr(isa::Target::Src, 0x1000);
+    driver.setSpan(isa::Target::Both, 0, 64);
+    driver.setSpan(isa::Target::Both, 1, 8);
+    driver.setStride(isa::Target::Both, 0, 1);
+    driver.setStride(isa::Target::Both, 1, 64);
+    driver.setAxis(isa::Target::Both, 0, isa::AxisType::Dense);
+    driver.setAxis(isa::Target::Both, 1, isa::AxisType::Dense);
+    driver.issue();
+    isa::ConfigState state;
+    auto descs = state.applyProgram(driver.program());
+    ASSERT_EQ(descs.size(), 1u);
+    auto chunks = isa::chunksForDescriptor(descs[0], 4);
+    ASSERT_EQ(chunks.size(), 8u); // one per row
+    for (const auto &chunk : chunks) {
+        EXPECT_EQ(chunk.bytes, 64 * 4);
+        EXPECT_FALSE(chunk.pointerChased);
+    }
+}
+
+TEST(DmaBridge, StridedDenseDegradesToElements)
+{
+    isa::Driver driver;
+    driver.setSrcAndDst(isa::MemUnit::Dram, isa::MemUnit::Sram0);
+    driver.setSpan(isa::Target::Both, 0, 16);
+    driver.setStride(isa::Target::Both, 0, 128); // scattered column read
+    driver.setAxis(isa::Target::Both, 0, isa::AxisType::Dense);
+    driver.issue();
+    isa::ConfigState state;
+    auto descs = state.applyProgram(driver.program());
+    auto chunks = isa::chunksForDescriptor(descs[0], 4);
+    EXPECT_EQ(chunks.size(), 16u);
+    EXPECT_EQ(chunks[0].bytes, 4);
+}
+
+TEST(DmaBridge, CompressedBecomesPointerChased)
+{
+    isa::Driver driver;
+    driver.setSrcAndDst(isa::MemUnit::Dram, isa::MemUnit::Sram1);
+    driver.setSpan(isa::Target::Both, 0, isa::kEntireAxis);
+    driver.setSpan(isa::Target::Both, 1, 4);
+    driver.setAxis(isa::Target::Both, 0, isa::AxisType::Compressed);
+    driver.setAxis(isa::Target::Both, 1, isa::AxisType::Dense);
+    driver.issue();
+    isa::ConfigState state;
+    auto descs = state.applyProgram(driver.program());
+    isa::FiberShape fibers;
+    fibers.fiberLengths = {3, 0, 5, 2};
+    auto chunks = isa::chunksForDescriptor(descs[0], 4, fibers);
+    ASSERT_EQ(chunks.size(), 3u); // empty fiber skipped
+    for (const auto &chunk : chunks)
+        EXPECT_TRUE(chunk.pointerChased);
+    EXPECT_EQ(chunks[0].bytes, 12);
+
+    // And it runs through the DMA model: faster with a wide DMA.
+    isa::FiberShape many;
+    for (int i = 0; i < 500; i++)
+        many.fiberLengths.push_back(3);
+    sim::DramConfig dram;
+    auto slow = isa::simulateDescriptor(descs[0], 4, many,
+                                        sim::DmaConfig::withRate(1), dram);
+    auto fast = isa::simulateDescriptor(descs[0], 4, many,
+                                        sim::DmaConfig::withRate(16), dram);
+    EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(DmaBridge, CompressedWithoutFibersIsRejected)
+{
+    isa::TransferDescriptor desc;
+    desc.numAxes = 1;
+    desc.src.unit = isa::MemUnit::Dram;
+    desc.src.axisType[0] = isa::AxisType::Compressed;
+    EXPECT_THROW(isa::chunksForDescriptor(desc, 4), FatalError);
+}
+
+TEST(Testbench, TopTestbenchLintsClean)
+{
+    auto spec = accel::gemminiLikeSpec(4);
+    auto design = rtl::lowerToVerilog(core::generate(spec));
+    auto tb = rtl::addTopTestbench(design, 100);
+    EXPECT_NE(design.findModule(tb), nullptr);
+    auto issues = rtl::lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    std::string text = design.findModule(tb)->emit();
+    EXPECT_NE(text.find("$finish"), std::string::npos);
+    EXPECT_NE(text.find("always #5 clock = !clock;"), std::string::npos);
+}
+
+TEST(Testbench, VectorTestbenchChecksOutputs)
+{
+    rtl::Design design;
+    rtl::Module &adder = design.addModule("adder");
+    adder.addPort(rtl::PortDir::Input, "clock", 1);
+    adder.addPort(rtl::PortDir::Input, "a", 8);
+    adder.addPort(rtl::PortDir::Input, "b", 8);
+    adder.addPort(rtl::PortDir::Output, "sum", 9);
+    adder.addAssign("sum", "a + b");
+    design.setTop("adder");
+
+    std::vector<rtl::TestVector> vectors = {
+        {{{"a", 1}, {"b", 2}}, {{"sum", 3}}},
+        {{{"a", 100}, {"b", 55}}, {{"sum", 155}}},
+    };
+    auto tb = rtl::addVectorTestbench(design, "adder", vectors);
+    auto issues = rtl::lintAll(design);
+    for (const auto &issue : issues)
+        ADD_FAILURE() << issue.module << ": " << issue.message;
+    std::string text = design.findModule(tb)->emit();
+    EXPECT_NE(text.find("sum !== 3"), std::string::npos);
+    EXPECT_NE(text.find("PASS: all 2 vectors"), std::string::npos);
+}
+
+} // namespace
+} // namespace stellar

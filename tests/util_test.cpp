@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit and property tests for the util substrate: fractions, integer and
+ * rational matrices, RNG, stats, and string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/fraction.hpp"
+#include "util/int_matrix.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+TEST(Fraction, NormalizesOnConstruction)
+{
+    Fraction f(4, 8);
+    EXPECT_EQ(f.num(), 1);
+    EXPECT_EQ(f.den(), 2);
+}
+
+TEST(Fraction, NegativeDenominatorMovesSign)
+{
+    Fraction f(3, -6);
+    EXPECT_EQ(f.num(), -1);
+    EXPECT_EQ(f.den(), 2);
+}
+
+TEST(Fraction, ZeroHasCanonicalForm)
+{
+    Fraction f(0, 17);
+    EXPECT_EQ(f.num(), 0);
+    EXPECT_EQ(f.den(), 1);
+    EXPECT_TRUE(f.isZero());
+}
+
+TEST(Fraction, Arithmetic)
+{
+    Fraction half(1, 2), third(1, 3);
+    EXPECT_EQ(half + third, Fraction(5, 6));
+    EXPECT_EQ(half - third, Fraction(1, 6));
+    EXPECT_EQ(half * third, Fraction(1, 6));
+    EXPECT_EQ(half / third, Fraction(3, 2));
+    EXPECT_EQ(-half, Fraction(-1, 2));
+}
+
+TEST(Fraction, Ordering)
+{
+    EXPECT_LT(Fraction(1, 3), Fraction(1, 2));
+    EXPECT_GT(Fraction(-1, 3), Fraction(-1, 2));
+    EXPECT_EQ(Fraction(2, 4), Fraction(1, 2));
+}
+
+TEST(Fraction, IntegerConversion)
+{
+    EXPECT_TRUE(Fraction(6, 3).isInteger());
+    EXPECT_EQ(Fraction(6, 3).toInteger(), 2);
+    EXPECT_FALSE(Fraction(1, 3).isInteger());
+    EXPECT_THROW(Fraction(1, 3).toInteger(), PanicError);
+}
+
+TEST(Fraction, DivisionByZeroThrows)
+{
+    EXPECT_THROW(Fraction(1, 0), FatalError);
+    EXPECT_THROW(Fraction(1) / Fraction(0), FatalError);
+}
+
+TEST(IntMatrix, IdentityAndMultiply)
+{
+    IntMatrix id = IntMatrix::identity(3);
+    IntMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+    EXPECT_EQ(id * m, m);
+    EXPECT_EQ(m * id, m);
+}
+
+TEST(IntMatrix, DeterminantKnownValues)
+{
+    EXPECT_EQ((IntMatrix{{2}}).determinant(), 2);
+    EXPECT_EQ((IntMatrix{{1, 2}, {3, 4}}).determinant(), -2);
+    EXPECT_EQ((IntMatrix{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}).determinant(), 0);
+    EXPECT_EQ((IntMatrix{{1, 0, -1}, {0, 1, -1}, {1, 1, 1}}).determinant(),
+              3);
+}
+
+TEST(IntMatrix, SingularMatrixHasNoInverse)
+{
+    IntMatrix m{{1, 2}, {2, 4}};
+    EXPECT_FALSE(m.isInvertible());
+    EXPECT_THROW(m.inverse(), FatalError);
+}
+
+TEST(IntMatrix, VectorMultiply)
+{
+    IntMatrix m{{1, 0, 0}, {0, 1, 0}, {1, 1, 1}};
+    IntVec v = m * IntVec{2, 3, 4};
+    EXPECT_EQ(v, (IntVec{2, 3, 9}));
+}
+
+TEST(IntMatrix, TransposeInvolution)
+{
+    IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.transpose().transpose(), m);
+    EXPECT_EQ(m.transpose().rows(), 3);
+}
+
+/** Property: A * A^-1 == I for a sweep of invertible matrices. */
+class MatrixInverseProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatrixInverseProperty, InverseRoundTrip)
+{
+    Rng rng(std::uint64_t(GetParam()) * 7919 + 13);
+    for (int trial = 0; trial < 20; trial++) {
+        int n = int(rng.nextRange(1, 4));
+        IntMatrix m(n, n);
+        do {
+            for (int r = 0; r < n; r++)
+                for (int c = 0; c < n; c++)
+                    m.at(r, c) = rng.nextRange(-3, 3);
+        } while (!m.isInvertible());
+        FracMatrix inv = m.inverse();
+        // Check M * M^-1 == I exactly.
+        FracMatrix mf(n, n);
+        for (int r = 0; r < n; r++)
+            for (int c = 0; c < n; c++)
+                mf.at(r, c) = Fraction(m.at(r, c));
+        FracMatrix prod = mf * inv;
+        for (int r = 0; r < n; r++)
+            for (int c = 0; c < n; c++)
+                EXPECT_EQ(prod.at(r, c), Fraction(r == c ? 1 : 0))
+                        << "n=" << n << " trial=" << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixInverseProperty,
+                         ::testing::Range(0, 8));
+
+TEST(VecOps, SubAddL1Zero)
+{
+    IntVec a{3, -1, 2}, b{1, 1, 2};
+    EXPECT_EQ(vecSub(a, b), (IntVec{2, -2, 0}));
+    EXPECT_EQ(vecAdd(a, b), (IntVec{4, 0, 4}));
+    EXPECT_EQ(vecL1(a), 6);
+    EXPECT_FALSE(vecIsZero(a));
+    EXPECT_TRUE(vecIsZero(IntVec{0, 0}));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        auto v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; i++) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ZipfIsSkewed)
+{
+    Rng rng(5);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; i++)
+        counts[rng.nextZipf(100, 1.2)]++;
+    // The head of a Zipf distribution dominates the tail.
+    EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(Rng, PermutationIsBijective)
+{
+    Rng rng(9);
+    auto perm = rng.permutation(257);
+    std::vector<bool> seen(257, false);
+    for (auto p : perm) {
+        EXPECT_LT(p, 257u);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(SampleStats, BasicMoments)
+{
+    SampleStats s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_EQ(h.bucket(2), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Strings, JoinIndentSanitize)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(indent("x\ny", 2), "  x\n  y");
+    EXPECT_EQ(sanitizeIdentifier("foo-bar.baz"), "foo_bar_baz");
+    EXPECT_EQ(sanitizeIdentifier("1abc"), "id_1abc");
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(padLeft("7", 3), "  7");
+    EXPECT_EQ(padRight("7", 3), "7  ");
+    EXPECT_TRUE(startsWith("stellar", "ste"));
+    EXPECT_FALSE(startsWith("st", "ste"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+}
+
+} // namespace
+} // namespace stellar

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the workload tables: ResNet50 layer structure and MAC
+ * budget, pruned-AlexNet shapes and densities, and their consistency
+ * with the simulators that consume them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/scnn.hpp"
+#include "sim/systolic.hpp"
+#include "workloads/alexnet.hpp"
+#include "workloads/resnet.hpp"
+
+namespace stellar::workloads
+{
+namespace
+{
+
+TEST(Resnet50, LayerNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &layer : resnet50Layers())
+        EXPECT_TRUE(names.insert(layer.name).second) << layer.name;
+}
+
+TEST(Resnet50, StageStructure)
+{
+    // 3/4/6/3 bottleneck blocks, 3 convs each, plus 4 projections.
+    int conv2 = 0, conv3 = 0, conv4 = 0, conv5 = 0, proj = 0;
+    for (const auto &layer : resnet50Layers()) {
+        if (layer.name.find("_proj") != std::string::npos)
+            proj++;
+        else if (layer.name.rfind("conv2_", 0) == 0)
+            conv2++;
+        else if (layer.name.rfind("conv3_", 0) == 0)
+            conv3++;
+        else if (layer.name.rfind("conv4_", 0) == 0)
+            conv4++;
+        else if (layer.name.rfind("conv5_", 0) == 0)
+            conv5++;
+    }
+    EXPECT_EQ(conv2, 9);
+    EXPECT_EQ(conv3, 12);
+    EXPECT_EQ(conv4, 18);
+    EXPECT_EQ(conv5, 9);
+    EXPECT_EQ(proj, 4);
+}
+
+TEST(Resnet50, EveryLayerHasPositiveWork)
+{
+    for (const auto &layer : resnet50Layers()) {
+        EXPECT_GT(layer.m, 0) << layer.name;
+        EXPECT_GT(layer.n, 0) << layer.name;
+        EXPECT_GT(layer.k, 0) << layer.name;
+        EXPECT_GT(layer.macs(), 0) << layer.name;
+    }
+}
+
+TEST(Resnet50, RepresentativeSubsetIsWellFormed)
+{
+    auto subset = resnet50Representative();
+    EXPECT_GE(subset.size(), 6u);
+    for (const auto &rep : subset) {
+        bool found = false;
+        for (const auto &layer : resnet50Layers())
+            if (layer.name == rep.name && layer.macs() == rep.macs())
+                found = true;
+        EXPECT_TRUE(found) << rep.name;
+    }
+}
+
+TEST(Resnet50, KnownLayerShapes)
+{
+    // Spot checks against the architecture definition.
+    for (const auto &layer : resnet50Layers()) {
+        if (layer.name == "conv1") {
+            EXPECT_EQ(layer.m, 112 * 112);
+            EXPECT_EQ(layer.k, 147);
+            EXPECT_EQ(layer.n, 64);
+        }
+        if (layer.name == "conv5_1_3x3") {
+            EXPECT_EQ(layer.m, 49);
+            EXPECT_EQ(layer.n, 512);
+            EXPECT_EQ(layer.k, 4608);
+        }
+        if (layer.name == "fc1000") {
+            EXPECT_EQ(layer.k, 2048);
+            EXPECT_EQ(layer.n, 1000);
+        }
+    }
+}
+
+TEST(Alexnet, ShapesMatchTheNetwork)
+{
+    const auto &layers = alexnetConvLayers();
+    ASSERT_EQ(layers.size(), 5u);
+    EXPECT_EQ(layers[0].kernel, 11);
+    EXPECT_EQ(layers[0].outSize, 55);
+    EXPECT_EQ(layers[1].kernel, 5);
+    EXPECT_EQ(layers[4].outChannels, 256);
+}
+
+TEST(Alexnet, Conv1KeepsDenseActivations)
+{
+    // The network input is an image: activations are dense.
+    EXPECT_DOUBLE_EQ(alexnetConvLayers()[0].activationDensity, 1.0);
+    EXPECT_GT(alexnetConvLayers()[0].weightDensity, 0.8);
+}
+
+TEST(Workloads, EveryResnetLayerSimulates)
+{
+    // The full end-to-end Fig 16a loop must be runnable: every layer
+    // simulates without tripping invariants and yields sane utilization.
+    sim::SystolicConfig config;
+    for (const auto &layer : resnet50Layers()) {
+        auto result = sim::simulateSystolicMatmul(config, layer.m, layer.n,
+                                                  layer.k);
+        EXPECT_GT(result.cycles, 0) << layer.name;
+        EXPECT_GT(result.utilization, 0.0) << layer.name;
+        EXPECT_LE(result.utilization, 1.0) << layer.name;
+    }
+}
+
+TEST(Workloads, EveryAlexnetLayerSimulates)
+{
+    sim::ScnnConfig config;
+    for (const auto &layer : alexnetConvLayers()) {
+        auto result = sim::simulateScnnLayer(config, layer, 1);
+        EXPECT_GT(result.cycles, 0) << layer.name;
+        EXPECT_GT(result.multiplies, 0) << layer.name;
+        EXPECT_LE(result.utilization, 1.0) << layer.name;
+    }
+}
+
+} // namespace
+} // namespace stellar::workloads
