@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dma_reqs.dir/ablation_dma_reqs.cpp.o"
+  "CMakeFiles/ablation_dma_reqs.dir/ablation_dma_reqs.cpp.o.d"
+  "ablation_dma_reqs"
+  "ablation_dma_reqs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dma_reqs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dse.dir/ablation_dse.cpp.o"
+  "CMakeFiles/ablation_dse.dir/ablation_dse.cpp.o.d"
+  "ablation_dse"
+  "ablation_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

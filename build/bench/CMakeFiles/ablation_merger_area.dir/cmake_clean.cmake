@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_merger_area.dir/ablation_merger_area.cpp.o"
+  "CMakeFiles/ablation_merger_area.dir/ablation_merger_area.cpp.o.d"
+  "ablation_merger_area"
+  "ablation_merger_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merger_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_regfiles.dir/ablation_regfiles.cpp.o"
+  "CMakeFiles/ablation_regfiles.dir/ablation_regfiles.cpp.o.d"
+  "ablation_regfiles"
+  "ablation_regfiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_regfiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

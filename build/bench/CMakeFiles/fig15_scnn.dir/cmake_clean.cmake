@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scnn.dir/fig15_scnn.cpp.o"
+  "CMakeFiles/fig15_scnn.dir/fig15_scnn.cpp.o.d"
+  "fig15_scnn"
+  "fig15_scnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16a_gemmini.dir/fig16a_gemmini.cpp.o"
+  "CMakeFiles/fig16a_gemmini.dir/fig16a_gemmini.cpp.o.d"
+  "fig16a_gemmini"
+  "fig16a_gemmini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16a_gemmini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

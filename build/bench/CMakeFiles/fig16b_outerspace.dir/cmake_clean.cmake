@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16b_outerspace.dir/fig16b_outerspace.cpp.o"
+  "CMakeFiles/fig16b_outerspace.dir/fig16b_outerspace.cpp.o.d"
+  "fig16b_outerspace"
+  "fig16b_outerspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16b_outerspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

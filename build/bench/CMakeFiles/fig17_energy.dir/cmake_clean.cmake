@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_energy.dir/fig17_energy.cpp.o"
+  "CMakeFiles/fig17_energy.dir/fig17_energy.cpp.o.d"
+  "fig17_energy"
+  "fig17_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

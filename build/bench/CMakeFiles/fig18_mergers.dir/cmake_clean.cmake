@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_mergers.dir/fig18_mergers.cpp.o"
+  "CMakeFiles/fig18_mergers.dir/fig18_mergers.cpp.o.d"
+  "fig18_mergers"
+  "fig18_mergers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_mergers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_merger_structures.dir/fig19_merger_structures.cpp.o"
+  "CMakeFiles/fig19_merger_structures.dir/fig19_merger_structures.cpp.o.d"
+  "fig19_merger_structures"
+  "fig19_merger_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_merger_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_isa.dir/table2_isa.cpp.o"
+  "CMakeFiles/table2_isa.dir/table2_isa.cpp.o.d"
+  "table2_isa"
+  "table2_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

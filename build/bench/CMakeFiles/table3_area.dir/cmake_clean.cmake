@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_area.dir/table3_area.cpp.o"
+  "CMakeFiles/table3_area.dir/table3_area.cpp.o.d"
+  "table3_area"
+  "table3_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a100_sparsity.dir/a100_sparsity.cpp.o"
+  "CMakeFiles/a100_sparsity.dir/a100_sparsity.cpp.o.d"
+  "a100_sparsity"
+  "a100_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a100_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_programming.dir/isa_programming.cpp.o"
+  "CMakeFiles/isa_programming.dir/isa_programming.cpp.o.d"
+  "isa_programming"
+  "isa_programming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_programming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merger_tradeoffs.dir/merger_tradeoffs.cpp.o"
+  "CMakeFiles/merger_tradeoffs.dir/merger_tradeoffs.cpp.o.d"
+  "merger_tradeoffs"
+  "merger_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merger_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_accelerator.dir/sparse_accelerator.cpp.o"
+  "CMakeFiles/sparse_accelerator.dir/sparse_accelerator.cpp.o.d"
+  "sparse_accelerator"
+  "sparse_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stellar_cli.dir/stellar_cli.cpp.o"
+  "CMakeFiles/stellar_cli.dir/stellar_cli.cpp.o.d"
+  "stellar_cli"
+  "stellar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stellar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/designs.cpp" "src/CMakeFiles/stellar.dir/accel/designs.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/accel/designs.cpp.o.d"
+  "/root/repo/src/accel/dse.cpp" "src/CMakeFiles/stellar.dir/accel/dse.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/accel/dse.cpp.o.d"
+  "/root/repo/src/accel/features.cpp" "src/CMakeFiles/stellar.dir/accel/features.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/accel/features.cpp.o.d"
+  "/root/repo/src/accel/pipeline.cpp" "src/CMakeFiles/stellar.dir/accel/pipeline.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/accel/pipeline.cpp.o.d"
+  "/root/repo/src/accel/report.cpp" "src/CMakeFiles/stellar.dir/accel/report.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/accel/report.cpp.o.d"
+  "/root/repo/src/balance/shift.cpp" "src/CMakeFiles/stellar.dir/balance/shift.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/balance/shift.cpp.o.d"
+  "/root/repo/src/core/accelerator.cpp" "src/CMakeFiles/stellar.dir/core/accelerator.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/accelerator.cpp.o.d"
+  "/root/repo/src/core/interpreter.cpp" "src/CMakeFiles/stellar.dir/core/interpreter.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/interpreter.cpp.o.d"
+  "/root/repo/src/core/iteration_space.cpp" "src/CMakeFiles/stellar.dir/core/iteration_space.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/iteration_space.cpp.o.d"
+  "/root/repo/src/core/prune.cpp" "src/CMakeFiles/stellar.dir/core/prune.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/prune.cpp.o.d"
+  "/root/repo/src/core/regfile_opt.cpp" "src/CMakeFiles/stellar.dir/core/regfile_opt.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/regfile_opt.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/stellar.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/selftest.cpp" "src/CMakeFiles/stellar.dir/core/selftest.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/selftest.cpp.o.d"
+  "/root/repo/src/core/spatial_array.cpp" "src/CMakeFiles/stellar.dir/core/spatial_array.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/core/spatial_array.cpp.o.d"
+  "/root/repo/src/dataflow/enumerate.cpp" "src/CMakeFiles/stellar.dir/dataflow/enumerate.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/dataflow/enumerate.cpp.o.d"
+  "/root/repo/src/dataflow/transform.cpp" "src/CMakeFiles/stellar.dir/dataflow/transform.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/dataflow/transform.cpp.o.d"
+  "/root/repo/src/dataflow/unrolling.cpp" "src/CMakeFiles/stellar.dir/dataflow/unrolling.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/dataflow/unrolling.cpp.o.d"
+  "/root/repo/src/func/diagnose.cpp" "src/CMakeFiles/stellar.dir/func/diagnose.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/func/diagnose.cpp.o.d"
+  "/root/repo/src/func/expr.cpp" "src/CMakeFiles/stellar.dir/func/expr.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/func/expr.cpp.o.d"
+  "/root/repo/src/func/library.cpp" "src/CMakeFiles/stellar.dir/func/library.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/func/library.cpp.o.d"
+  "/root/repo/src/func/simplify.cpp" "src/CMakeFiles/stellar.dir/func/simplify.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/func/simplify.cpp.o.d"
+  "/root/repo/src/func/spec.cpp" "src/CMakeFiles/stellar.dir/func/spec.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/func/spec.cpp.o.d"
+  "/root/repo/src/isa/config_state.cpp" "src/CMakeFiles/stellar.dir/isa/config_state.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/isa/config_state.cpp.o.d"
+  "/root/repo/src/isa/dma_bridge.cpp" "src/CMakeFiles/stellar.dir/isa/dma_bridge.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/isa/dma_bridge.cpp.o.d"
+  "/root/repo/src/isa/driver.cpp" "src/CMakeFiles/stellar.dir/isa/driver.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/isa/driver.cpp.o.d"
+  "/root/repo/src/isa/instructions.cpp" "src/CMakeFiles/stellar.dir/isa/instructions.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/isa/instructions.cpp.o.d"
+  "/root/repo/src/mem/access_order.cpp" "src/CMakeFiles/stellar.dir/mem/access_order.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/mem/access_order.cpp.o.d"
+  "/root/repo/src/mem/buffer_spec.cpp" "src/CMakeFiles/stellar.dir/mem/buffer_spec.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/mem/buffer_spec.cpp.o.d"
+  "/root/repo/src/mem/format.cpp" "src/CMakeFiles/stellar.dir/mem/format.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/mem/format.cpp.o.d"
+  "/root/repo/src/model/area.cpp" "src/CMakeFiles/stellar.dir/model/area.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/model/area.cpp.o.d"
+  "/root/repo/src/model/energy.cpp" "src/CMakeFiles/stellar.dir/model/energy.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/model/energy.cpp.o.d"
+  "/root/repo/src/model/timing.cpp" "src/CMakeFiles/stellar.dir/model/timing.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/model/timing.cpp.o.d"
+  "/root/repo/src/rtl/generate.cpp" "src/CMakeFiles/stellar.dir/rtl/generate.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/rtl/generate.cpp.o.d"
+  "/root/repo/src/rtl/lint.cpp" "src/CMakeFiles/stellar.dir/rtl/lint.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/rtl/lint.cpp.o.d"
+  "/root/repo/src/rtl/soc.cpp" "src/CMakeFiles/stellar.dir/rtl/soc.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/rtl/soc.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/CMakeFiles/stellar.dir/rtl/testbench.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/rtl/testbench.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/CMakeFiles/stellar.dir/rtl/verilog.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/rtl/verilog.cpp.o.d"
+  "/root/repo/src/sim/balance.cpp" "src/CMakeFiles/stellar.dir/sim/balance.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/balance.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/CMakeFiles/stellar.dir/sim/dram.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/dram.cpp.o.d"
+  "/root/repo/src/sim/merger.cpp" "src/CMakeFiles/stellar.dir/sim/merger.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/merger.cpp.o.d"
+  "/root/repo/src/sim/outerspace.cpp" "src/CMakeFiles/stellar.dir/sim/outerspace.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/outerspace.cpp.o.d"
+  "/root/repo/src/sim/scnn.cpp" "src/CMakeFiles/stellar.dir/sim/scnn.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/scnn.cpp.o.d"
+  "/root/repo/src/sim/scratchpad.cpp" "src/CMakeFiles/stellar.dir/sim/scratchpad.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/scratchpad.cpp.o.d"
+  "/root/repo/src/sim/systolic.cpp" "src/CMakeFiles/stellar.dir/sim/systolic.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sim/systolic.cpp.o.d"
+  "/root/repo/src/sparse/formats.cpp" "src/CMakeFiles/stellar.dir/sparse/formats.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/formats.cpp.o.d"
+  "/root/repo/src/sparse/matrix.cpp" "src/CMakeFiles/stellar.dir/sparse/matrix.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/matrix.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/CMakeFiles/stellar.dir/sparse/matrix_market.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/CMakeFiles/stellar.dir/sparse/spgemm.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/spgemm.cpp.o.d"
+  "/root/repo/src/sparse/structured.cpp" "src/CMakeFiles/stellar.dir/sparse/structured.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/structured.cpp.o.d"
+  "/root/repo/src/sparse/suitesparse.cpp" "src/CMakeFiles/stellar.dir/sparse/suitesparse.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparse/suitesparse.cpp.o.d"
+  "/root/repo/src/sparsity/skip.cpp" "src/CMakeFiles/stellar.dir/sparsity/skip.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/sparsity/skip.cpp.o.d"
+  "/root/repo/src/util/fraction.cpp" "src/CMakeFiles/stellar.dir/util/fraction.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/fraction.cpp.o.d"
+  "/root/repo/src/util/int_matrix.cpp" "src/CMakeFiles/stellar.dir/util/int_matrix.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/int_matrix.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/stellar.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/stellar.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/stellar.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/stellar.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/util/strings.cpp.o.d"
+  "/root/repo/src/workloads/alexnet.cpp" "src/CMakeFiles/stellar.dir/workloads/alexnet.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/workloads/alexnet.cpp.o.d"
+  "/root/repo/src/workloads/resnet.cpp" "src/CMakeFiles/stellar.dir/workloads/resnet.cpp.o" "gcc" "src/CMakeFiles/stellar.dir/workloads/resnet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
