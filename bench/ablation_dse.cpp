@@ -10,6 +10,7 @@
 #include "bench_common.hpp"
 
 #include "accel/dse.hpp"
+#include "accel/report.hpp"
 #include "func/library.hpp"
 
 namespace
@@ -28,11 +29,13 @@ report()
         accel::DseOptions options;
         options.topK = 6;
         options.enumerate.maxHopLength = hop;
+        accel::DseStats stats;
         auto candidates = accel::exploreDataflows(
                 func::matmulSpec(), {8, 8, 8}, options, area_params,
-                timing_params);
+                timing_params, &stats);
         std::printf("\nmax hop length %lld: top %zu designs\n",
                     (long long)hop, candidates.size());
+        std::printf("%s", accel::dseStatsReport(stats).c_str());
         bench::row({"PEs", "wires", "wirelen", "steps", "Fmax", "area",
                     "score"}, 10);
         bench::rule(7, 10);
@@ -50,6 +53,31 @@ report()
     std::printf("\nEvery candidate passed invertibility and causality "
                 "checks and ran through the\nfull generation pipeline "
                 "(Fig 7) before being scored.\n");
+
+    // Parallel-scaling report: the same default sweep at 1/2/4 workers.
+    // Rankings are identical at every thread count (deterministic
+    // reduction); only the wall time changes.
+    std::printf("\nparallel scaling (matmul 8x8x8, default sweep)\n");
+    bench::row({"threads", "evaluate ms", "cand/s", "speedup"}, 12);
+    bench::rule(4, 12);
+    double serial_ms = 0.0;
+    for (std::size_t threads : {1u, 2u, 4u}) {
+        accel::DseOptions options;
+        options.topK = 6;
+        options.threads = threads;
+        accel::DseStats stats;
+        auto candidates = accel::exploreDataflows(
+                func::matmulSpec(), {8, 8, 8}, options, area_params,
+                timing_params, &stats);
+        benchmark::DoNotOptimize(candidates);
+        if (threads == 1)
+            serial_ms = stats.evaluateMs;
+        bench::row({std::to_string(threads),
+                    formatDouble(stats.evaluateMs, 1),
+                    formatDouble(stats.candidatesPerSecond(), 1),
+                    formatDouble(serial_ms / stats.evaluateMs, 2) + "x"},
+                   12);
+    }
 }
 
 void
@@ -59,6 +87,7 @@ BM_ExploreMatmulDataflows(benchmark::State &state)
     model::TimingParams timing_params;
     accel::DseOptions options;
     options.topK = 4;
+    options.threads = std::size_t(state.range(0));
     for (auto _ : state) {
         auto candidates = accel::exploreDataflows(
                 func::matmulSpec(), {4, 4, 4}, options, area_params,
@@ -66,7 +95,11 @@ BM_ExploreMatmulDataflows(benchmark::State &state)
         benchmark::DoNotOptimize(candidates);
     }
 }
-BENCHMARK(BM_ExploreMatmulDataflows)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExploreMatmulDataflows)
+        ->Arg(1)
+        ->Arg(2)
+        ->Arg(4)
+        ->Unit(benchmark::kMillisecond);
 
 void
 BM_EnumerateOnly(benchmark::State &state)

@@ -5,29 +5,49 @@
  * each accelerator, and rank them by delay-area product. The well-known
  * hand-designed dataflows (Fig 2) fall out of the enumeration rather
  * than being special cases.
+ *
+ * usage: dse_explorer [--threads N] [--topk K]
+ *   --threads N   evaluation workers (0 = hardware concurrency);
+ *                 rankings are identical for every thread count
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "accel/dse.hpp"
+#include "accel/report.hpp"
 #include "func/library.hpp"
 #include "util/strings.hpp"
 
 using namespace stellar;
 
 int
-main()
+main(int argc, char **argv)
 {
     accel::DseOptions options;
     options.topK = 12;
     options.enumerate.maxHopLength = 2;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            options.threads = std::size_t(std::max(0, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--topk") == 0 && i + 1 < argc)
+            options.topK = std::size_t(std::max(1, std::atoi(argv[++i])));
+        else {
+            std::printf("usage: dse_explorer [--threads N] [--topk K]\n");
+            return 1;
+        }
+    }
 
     model::AreaParams area_params;
     model::TimingParams timing_params;
 
     auto spec = func::matmulSpec();
+    accel::DseStats stats;
     auto candidates = accel::exploreDataflows(spec, {8, 8, 8}, options,
-                                              area_params, timing_params);
+                                              area_params, timing_params,
+                                              &stats);
 
     std::printf("explored matmul dataflows with coefficients in [-1, 1]; "
                 "top %zu by delay-area:\n\n", candidates.size());
@@ -55,6 +75,7 @@ main()
                             .c_str(),
                     rows.c_str());
     }
+    std::printf("\n%s", accel::dseStatsReport(stats).c_str());
     std::printf("\nEvery candidate passed invertibility and causality "
                 "checks and went through\nthe full generation pipeline; "
                 "classic input-/output-stationary arrays appear\namong "

@@ -7,18 +7,26 @@
  *                        [--testbench] [--dma-inflight R]
  *
  * designs: gemmini | scnn | outerspace | gamma | sparch | a100 | pipeline
+ *
+ * The `dse` command runs the automated dataflow search instead of
+ * generating a fixed design:
+ *
+ *   stellar_cli dse [--dim N] [--threads T] [--topk K] [--max-pes P]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "accel/designs.hpp"
+#include "accel/dse.hpp"
 #include "accel/pipeline.hpp"
 #include "accel/report.hpp"
 #include "core/accelerator.hpp"
 #include "core/selftest.hpp"
 #include "func/diagnose.hpp"
+#include "func/library.hpp"
 #include "rtl/generate.hpp"
 #include "rtl/lint.hpp"
 #include "rtl/soc.hpp"
@@ -35,14 +43,44 @@ usage()
     std::printf(
             "usage: stellar_cli <design> [options]\n"
             "  designs: gemmini scnn outerspace gamma sparch a100 "
-            "pipeline\n"
+            "pipeline dse\n"
             "  --dim N           array dimension (default 8)\n"
             "  --out FILE        write Verilog to FILE\n"
             "  --report          print the architect's design report\n"
             "  --soc             wrap into a full SoC (CPU + L2)\n"
             "  --testbench       add an auto-generated testbench\n"
             "  --selftest        check schedule vs golden model\n"
-            "  --dma-inflight R  DMA requests per cycle (default 1)\n");
+            "  --dma-inflight R  DMA requests per cycle (default 1)\n"
+            "  dse options:\n"
+            "  --threads T       DSE workers (0 = hardware concurrency)\n"
+            "  --topk K          designs to keep (default 10)\n"
+            "  --max-pes P       prune candidates over P PEs (bounding "
+            "box)\n");
+}
+
+int
+runDse(int dim, const accel::DseOptions &options)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    accel::DseStats stats;
+    auto candidates = accel::exploreDataflows(
+            func::matmulSpec(), {dim, dim, dim}, options, area_params,
+            timing_params, &stats);
+    std::printf("rank  PEs     steps   score      transform (rows)\n");
+    int rank = 1;
+    for (const auto &candidate : candidates) {
+        std::string rows;
+        const auto &m = candidate.transform.matrix();
+        for (int r = 0; r < m.rows(); r++)
+            rows += vecToString(m.row(r)) + (r + 1 < m.rows() ? " " : "");
+        std::printf("%-5d %-7lld %-7lld %-10.4g %s\n", rank++,
+                    (long long)candidate.pes,
+                    (long long)candidate.scheduleLength, candidate.score,
+                    rows.c_str());
+    }
+    std::printf("%s", accel::dseStatsReport(stats).c_str());
+    return candidates.empty() ? 1 : 0;
 }
 
 } // namespace
@@ -60,6 +98,7 @@ main(int argc, char **argv)
     bool want_report = false, want_soc = false, want_tb = false;
     bool want_selftest = false;
     rtl::RtlOptions rtl_options;
+    accel::DseOptions dse_options;
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -83,6 +122,12 @@ main(int argc, char **argv)
             want_selftest = true;
         else if (arg == "--dma-inflight")
             rtl_options.dmaMaxInflight = std::atoi(next());
+        else if (arg == "--threads")
+            dse_options.threads = std::size_t(std::max(0, std::atoi(next())));
+        else if (arg == "--topk")
+            dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
+        else if (arg == "--max-pes")
+            dse_options.maxPes = std::max<std::int64_t>(0, std::atoll(next()));
         else {
             usage();
             return 1;
@@ -90,6 +135,8 @@ main(int argc, char **argv)
     }
 
     try {
+        if (design_name == "dse")
+            return runDse(dim, dse_options);
         rtl::Design design;
         if (design_name == "pipeline") {
             auto pipeline = accel::generatePipeline(

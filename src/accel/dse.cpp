@@ -1,56 +1,165 @@
 #include "accel/dse.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "model/area.hpp"
 #include "model/timing.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stellar::accel
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+}
+
+/**
+ * Upper bound on the PE count of a transform: the product of the
+ * per-spatial-axis bounding-box extents. Exact for fully occupied
+ * rectangular arrays, an over-count otherwise — cheap enough to run
+ * before elaboration.
+ */
+std::int64_t
+boundingBoxPes(const dataflow::SpaceTimeTransform &transform,
+               const IntVec &bounds)
+{
+    const auto &m = transform.matrix();
+    std::int64_t pes = 1;
+    for (int r = 0; r + 1 < m.rows(); r++) {
+        std::int64_t extent = 0;
+        for (int c = 0; c < m.cols(); c++) {
+            std::int64_t coeff = m.at(r, c);
+            std::int64_t span = bounds[std::size_t(c)] - 1;
+            extent += (coeff < 0 ? -coeff : coeff) * span;
+        }
+        pes *= extent + 1;
+    }
+    return pes;
+}
+
+DseCandidate
+evaluateCandidate(const dataflow::SpaceTimeTransform &transform,
+                  std::size_t enum_index,
+                  const func::FunctionalSpec &functional,
+                  const IntVec &bounds, const DseOptions &options,
+                  const model::AreaParams &area_params,
+                  const model::TimingParams &timing_params)
+{
+    core::AcceleratorSpec spec;
+    spec.name = "dse";
+    spec.functional = functional;
+    spec.transform = transform;
+    spec.sparsity = options.sparsity;
+    spec.balancing = options.balancing;
+    spec.elaborationBounds = bounds;
+    auto generated = core::generate(spec);
+
+    DseCandidate candidate;
+    candidate.transform = transform;
+    candidate.enumIndex = enum_index;
+    candidate.pes = generated.array.numPes();
+    candidate.wires = generated.array.totalWires();
+    candidate.wireLength = generated.array.totalWireLength();
+    candidate.scheduleLength = generated.array.scheduleLength();
+    auto timing = model::timingOf(timing_params, generated,
+                                  /*centralized=*/false);
+    candidate.fmaxMhz = timing.fmaxMhz();
+    candidate.areaUm2 = model::arrayArea(area_params, generated,
+                                         options.macBits,
+                                         options.dataWidth, true);
+    double seconds = double(candidate.scheduleLength) /
+                     (candidate.fmaxMhz * 1e6);
+    candidate.score = seconds * candidate.areaUm2;
+    return candidate;
+}
+
+} // namespace
+
+double
+DseStats::candidatesPerSecond() const
+{
+    if (evaluateMs <= 0.0)
+        return 0.0;
+    return double(evaluated) / (evaluateMs / 1e3);
+}
 
 std::vector<DseCandidate>
 exploreDataflows(const func::FunctionalSpec &functional,
                  const IntVec &bounds, const DseOptions &options,
                  const model::AreaParams &area_params,
-                 const model::TimingParams &timing_params)
+                 const model::TimingParams &timing_params, DseStats *stats)
 {
+    DseStats local;
+
+    auto enumerate_start = Clock::now();
     auto transforms =
             dataflow::enumerateTransforms(functional, options.enumerate);
+    local.enumerateMs = msSince(enumerate_start);
+    local.enumerated = transforms.size();
 
-    std::vector<DseCandidate> candidates;
-    for (auto &transform : transforms) {
-        core::AcceleratorSpec spec;
-        spec.name = "dse";
-        spec.functional = functional;
-        spec.transform = transform;
-        spec.sparsity = options.sparsity;
-        spec.balancing = options.balancing;
-        spec.elaborationBounds = bounds;
-        auto generated = core::generate(spec);
-
-        DseCandidate candidate;
-        candidate.transform = transform;
-        candidate.pes = generated.array.numPes();
-        candidate.wires = generated.array.totalWires();
-        candidate.wireLength = generated.array.totalWireLength();
-        candidate.scheduleLength = generated.array.scheduleLength();
-        auto timing = model::timingOf(timing_params, generated,
-                                      /*centralized=*/false);
-        candidate.fmaxMhz = timing.fmaxMhz();
-        candidate.areaUm2 = model::arrayArea(area_params, generated,
-                                             options.macBits,
-                                             options.dataWidth, true);
-        double seconds = double(candidate.scheduleLength) /
-                         (candidate.fmaxMhz * 1e6);
-        candidate.score = seconds * candidate.areaUm2;
-        candidates.push_back(std::move(candidate));
+    // Fix the work list (and each candidate's enumIndex) up front so the
+    // ranking never depends on evaluation order.
+    std::vector<std::size_t> worklist;
+    worklist.reserve(transforms.size());
+    for (std::size_t i = 0; i < transforms.size(); i++) {
+        if (options.maxPes > 0 &&
+            boundingBoxPes(transforms[i], bounds) > options.maxPes) {
+            local.prunedEarly++;
+            continue;
+        }
+        worklist.push_back(i);
     }
+
+    auto evaluate_start = Clock::now();
+    std::vector<DseCandidate> candidates;
+    auto evaluate = [&](std::size_t i) {
+        return evaluateCandidate(transforms[worklist[i]], worklist[i],
+                                 functional, bounds, options, area_params,
+                                 timing_params);
+    };
+    std::size_t threads = options.threads;
+    if (threads == 0)
+        threads = std::max<std::size_t>(
+                1, std::thread::hardware_concurrency());
+    if (threads == 1 || worklist.size() <= 1) {
+        local.threadsUsed = 1;
+        candidates.reserve(worklist.size());
+        for (std::size_t i = 0; i < worklist.size(); i++)
+            candidates.push_back(evaluate(i));
+    } else {
+        util::ThreadPool pool(threads);
+        local.threadsUsed = pool.size();
+        candidates = pool.parallelMap<DseCandidate>(worklist.size(),
+                                                    evaluate);
+    }
+    local.evaluated = candidates.size();
+    local.evaluateMs = msSince(evaluate_start);
+
+    // Deterministic top-K reduction: each candidate's score is a pure
+    // function of its transform, so sorting by (score, enumIndex) gives
+    // byte-identical rankings for serial and parallel runs.
+    auto rank_start = Clock::now();
     std::sort(candidates.begin(), candidates.end(),
               [](const DseCandidate &a, const DseCandidate &b) {
-                  return a.score < b.score;
+                  if (a.score != b.score)
+                      return a.score < b.score;
+                  return a.enumIndex < b.enumIndex;
               });
     if (candidates.size() > options.topK)
         candidates.resize(options.topK);
+    local.rankMs = msSince(rank_start);
+
+    if (stats)
+        *stats = local;
     return candidates;
 }
 

@@ -10,6 +10,7 @@
 #ifndef STELLAR_ACCEL_DSE_HPP
 #define STELLAR_ACCEL_DSE_HPP
 
+#include <cstddef>
 #include <vector>
 
 #include "core/accelerator.hpp"
@@ -23,6 +24,10 @@ namespace stellar::accel
 struct DseCandidate
 {
     dataflow::SpaceTimeTransform transform;
+
+    /** Position in the enumeration order; the deterministic tie-break. */
+    std::size_t enumIndex = 0;
+
     std::int64_t pes = 0;
     std::int64_t wires = 0;
     std::int64_t wireLength = 0;
@@ -42,6 +47,22 @@ struct DseOptions
     int dataWidth = 8;
     int macBits = 8;
 
+    /**
+     * Worker threads for candidate evaluation: 0 = hardware concurrency,
+     * 1 = serial in the calling thread. Rankings are byte-identical for
+     * every thread count: each candidate is scored independently and the
+     * reduction sorts by (score, enumeration index).
+     */
+    std::size_t threads = 0;
+
+    /**
+     * Skip candidates whose spatial bounding box holds more than this
+     * many PEs before elaborating them (0 = keep everything). The bound
+     * is conservative — the box can over-count partially occupied
+     * arrays — so treat it as a throughput knob, not an exact filter.
+     */
+    std::int64_t maxPes = 0;
+
     /** Optional sparsity/balancing applied to every candidate, so the
      *  search sees the interactions between dataflow and the other
      *  concerns (pruned conns change both wiring and regfile cost). */
@@ -49,14 +70,34 @@ struct DseOptions
     balance::BalanceSpec balancing;
 };
 
+/** Counters and phase timings of one exploreDataflows call. */
+struct DseStats
+{
+    std::size_t enumerated = 0;  //!< distinct transforms found
+    std::size_t evaluated = 0;   //!< candidates fully elaborated+scored
+    std::size_t prunedEarly = 0; //!< skipped by the maxPes bounding box
+    std::size_t threadsUsed = 1;
+
+    double enumerateMs = 0.0; //!< wall time enumerating transforms
+    double evaluateMs = 0.0;  //!< wall time elaborating + scoring
+    double rankMs = 0.0;      //!< wall time in the top-K reduction
+
+    /** Evaluation throughput over the evaluate phase. */
+    double candidatesPerSecond() const;
+};
+
 /**
  * Explore dataflows for a spec at the given elaboration bounds. The
- * returned candidates are sorted by ascending score (best first).
+ * returned candidates are sorted by ascending score (best first), ties
+ * broken by enumeration index, so the ranking is deterministic across
+ * runs and thread counts. When `stats` is non-null it receives the
+ * counters for this call.
  */
 std::vector<DseCandidate> exploreDataflows(
         const func::FunctionalSpec &functional, const IntVec &bounds,
         const DseOptions &options, const model::AreaParams &area_params,
-        const model::TimingParams &timing_params);
+        const model::TimingParams &timing_params,
+        DseStats *stats = nullptr);
 
 } // namespace stellar::accel
 

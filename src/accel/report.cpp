@@ -103,4 +103,20 @@ designReport(const core::GeneratedAccelerator &accel,
     return os.str();
 }
 
+std::string
+dseStatsReport(const DseStats &stats)
+{
+    std::ostringstream os;
+    os << "explored " << stats.enumerated << " dataflows ("
+       << stats.prunedEarly << " pruned early, " << stats.evaluated
+       << " evaluated) on " << stats.threadsUsed
+       << (stats.threadsUsed == 1 ? " thread" : " threads") << "\n";
+    os << "  enumerate " << formatDouble(stats.enumerateMs, 1)
+       << " ms, evaluate " << formatDouble(stats.evaluateMs, 1)
+       << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
+       << formatDouble(stats.candidatesPerSecond(), 1)
+       << " candidates/s)\n";
+    return os.str();
+}
+
 } // namespace stellar::accel

@@ -14,6 +14,7 @@
 
 #include <string>
 
+#include "accel/dse.hpp"
 #include "core/accelerator.hpp"
 #include "model/params.hpp"
 
@@ -38,6 +39,13 @@ std::string designReport(const core::GeneratedAccelerator &accel,
                          const model::AreaParams &area_params,
                          const model::TimingParams &timing_params,
                          const ReportOptions &options = {});
+
+/**
+ * One-paragraph summary of a DSE run: candidates enumerated, pruned
+ * early, evaluated, per-phase wall time, and evaluation throughput.
+ * Benches and the CLI print this after each exploration.
+ */
+std::string dseStatsReport(const DseStats &stats);
 
 } // namespace stellar::accel
 

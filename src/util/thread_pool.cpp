@@ -1,0 +1,102 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace stellar::util
+{
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0) {
+        threads = std::max<std::size_t>(
+                1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; i++)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        // Discard queued-but-unstarted tasks: their packaged_tasks are
+        // destroyed here, which marks their futures broken_promise
+        // instead of leaving waiters hung.
+        queue_.clear();
+    }
+    ready_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            ready_.wait(lock,
+                        [this]() { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // packaged_task catches the exception and stores it in the
+        // future; plain closures from parallelFor do their own capture.
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto first_error = std::make_shared<std::exception_ptr>();
+    auto error_mutex = std::make_shared<std::mutex>();
+
+    auto drain = [n, next, first_error, error_mutex, &fn]() {
+        for (;;) {
+            std::size_t i = next->fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(*error_mutex);
+                if (!*first_error)
+                    *first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::size_t helpers = std::min(size(), n) - 1;
+    std::vector<std::future<void>> futures;
+    futures.reserve(helpers);
+    for (std::size_t w = 0; w < helpers; w++)
+        futures.push_back(submit(drain));
+    drain(); // the calling thread participates, so a 1-thread pool (or a
+             // pool busy with other work) still makes progress
+    for (auto &future : futures)
+        future.get();
+    if (*first_error)
+        std::rethrow_exception(*first_error);
+}
+
+} // namespace stellar::util

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A fixed-size worker pool for the embarrassingly parallel loops in the
+ * framework (candidate evaluation in the DSE driver, per-design sweeps
+ * in the benches).
+ *
+ * Design goals, in order:
+ *  - exceptions thrown by a task surface in the caller (via the task's
+ *    future, or rethrown by parallelFor/parallelMap after every index
+ *    has finished);
+ *  - destruction never hangs: queued-but-unstarted tasks are discarded
+ *    (their futures report broken_promise) and running tasks are joined;
+ *  - deterministic composition: parallelMap writes each result into the
+ *    slot of its index, so callers that reduce in index order get
+ *    results independent of scheduling.
+ */
+
+#ifndef STELLAR_UTIL_THREAD_POOL_HPP
+#define STELLAR_UTIL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace stellar::util
+{
+
+/** A fixed worker-count thread pool with exception-propagating futures. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers; 0 means std::thread::hardware_concurrency
+     * (at least 1). Workers live until destruction.
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers; queued-but-unstarted tasks are discarded. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue a nullary callable; the returned future yields its result
+     * or rethrows its exception. Futures of tasks still queued when the
+     * pool is destroyed report std::future_error (broken_promise).
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using Result = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+                std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n). Indices are claimed dynamically
+     * but the call only returns once all have finished; the first
+     * exception (by index order of discovery) is rethrown.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Evaluate fn(i) for i in [0, n) and collect the results in index
+     * order. T must be default-constructible and movable.
+     */
+    template <typename T, typename F>
+    std::vector<T> parallelMap(std::size_t n, F &&fn)
+    {
+        std::vector<T> results(n);
+        parallelFor(n, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace stellar::util
+
+#endif // STELLAR_UTIL_THREAD_POOL_HPP

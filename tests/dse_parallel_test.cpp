@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Determinism property tests for the parallel DSE engine: across
+ * randomized specs, bounds, enumeration constraints, and sparsity, a
+ * parallel exploration must return candidate lists byte-identical to
+ * the serial run, and repeated runs must be stable. This is the
+ * guarantee that lets benches and users pick thread counts freely
+ * without changing which designs win.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dse.hpp"
+#include "accel/report.hpp"
+#include "func/library.hpp"
+#include "sparsity/skip.hpp"
+#include "util/rng.hpp"
+
+namespace stellar::accel
+{
+namespace
+{
+
+/** A randomized exploration problem drawn from a seeded Rng. */
+struct RandomProblem
+{
+    func::FunctionalSpec spec;
+    IntVec bounds;
+    DseOptions options;
+};
+
+func::FunctionalSpec
+pickSpec(Rng &rng)
+{
+    switch (rng.nextBounded(3)) {
+    case 0:
+        return func::matmulSpec();
+    case 1:
+        return func::matAddSpec();
+    default:
+        return func::mergeSpec();
+    }
+}
+
+RandomProblem
+randomProblem(Rng &rng)
+{
+    RandomProblem problem{pickSpec(rng), {}, {}};
+    for (int i = 0; i < problem.spec.numIndices(); i++)
+        problem.bounds.push_back(rng.nextRange(2, 4));
+
+    problem.options.topK = std::size_t(rng.nextRange(3, 12));
+    problem.options.enumerate.maxHopLength = rng.nextRange(1, 2);
+    problem.options.enumerate.allowBroadcast = rng.nextBool(0.7);
+    if (rng.nextBool(0.3))
+        problem.options.maxPes = rng.nextRange(8, 64);
+
+    // Sparsity only for matmul, mirroring the randomized-spec idiom of
+    // properties_test.cpp.
+    if (problem.spec.numIndices() == 3 && rng.nextBool(0.5)) {
+        int A = problem.spec.tensorIdByName("A");
+        problem.options.sparsity.add(sparsity::skipWhenZero(
+                0, A, {func::makeIndexExpr(0), func::makeIndexExpr(2)}));
+    }
+    return problem;
+}
+
+void
+expectIdentical(const std::vector<DseCandidate> &a,
+                const std::vector<DseCandidate> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        EXPECT_EQ(a[i].enumIndex, b[i].enumIndex);
+        EXPECT_EQ(a[i].transform.matrix(), b[i].transform.matrix());
+        EXPECT_EQ(a[i].pes, b[i].pes);
+        EXPECT_EQ(a[i].wires, b[i].wires);
+        EXPECT_EQ(a[i].wireLength, b[i].wireLength);
+        EXPECT_EQ(a[i].scheduleLength, b[i].scheduleLength);
+        // Exact floating-point equality on purpose: each candidate's
+        // score is computed independently of scheduling, so parallel
+        // and serial runs must agree bit for bit.
+        EXPECT_EQ(a[i].fmaxMhz, b[i].fmaxMhz);
+        EXPECT_EQ(a[i].areaUm2, b[i].areaUm2);
+        EXPECT_EQ(a[i].score, b[i].score);
+    }
+}
+
+class DseDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DseDeterminism, ParallelMatchesSerialExactly)
+{
+    Rng rng(std::uint64_t(GetParam()) * 9176 + 31);
+    auto problem = randomProblem(rng);
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+
+    auto serial_options = problem.options;
+    serial_options.threads = 1;
+    DseStats serial_stats;
+    auto serial = exploreDataflows(problem.spec, problem.bounds,
+                                   serial_options, area_params,
+                                   timing_params, &serial_stats);
+
+    auto parallel_options = problem.options;
+    parallel_options.threads = 4;
+    DseStats parallel_stats;
+    auto parallel = exploreDataflows(problem.spec, problem.bounds,
+                                     parallel_options, area_params,
+                                     timing_params, &parallel_stats);
+
+    expectIdentical(serial, parallel);
+
+    // The counters describe the same search regardless of thread count.
+    EXPECT_EQ(serial_stats.enumerated, parallel_stats.enumerated);
+    EXPECT_EQ(serial_stats.evaluated, parallel_stats.evaluated);
+    EXPECT_EQ(serial_stats.prunedEarly, parallel_stats.prunedEarly);
+    EXPECT_EQ(serial_stats.threadsUsed, 1u);
+}
+
+TEST_P(DseDeterminism, RepeatedRunsAreStable)
+{
+    Rng rng(std::uint64_t(GetParam()) * 40503 + 7);
+    auto problem = randomProblem(rng);
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    problem.options.threads = 4;
+
+    auto first = exploreDataflows(problem.spec, problem.bounds,
+                                  problem.options, area_params,
+                                  timing_params);
+    auto second = exploreDataflows(problem.spec, problem.bounds,
+                                   problem.options, area_params,
+                                   timing_params);
+    expectIdentical(first, second);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DseDeterminism, ::testing::Range(0, 12));
+
+TEST(DseCounters, StatsAccountForEveryCandidate)
+{
+    DseOptions options;
+    options.threads = 2;
+    options.maxPes = 32; // prunes the larger arrays at 6x6x6 bounds
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    DseStats stats;
+    auto candidates = exploreDataflows(func::matmulSpec(), {6, 6, 6},
+                                       options, area_params,
+                                       timing_params, &stats);
+    EXPECT_GT(stats.enumerated, 0u);
+    EXPECT_GT(stats.prunedEarly, 0u);
+    EXPECT_EQ(stats.evaluated + stats.prunedEarly, stats.enumerated);
+    EXPECT_LE(candidates.size(), options.topK);
+    for (const auto &candidate : candidates)
+        EXPECT_LE(candidate.pes, options.maxPes);
+    EXPECT_GE(stats.evaluateMs, 0.0);
+
+    auto text = dseStatsReport(stats);
+    EXPECT_NE(text.find("pruned early"), std::string::npos);
+    EXPECT_NE(text.find("candidates/s"), std::string::npos);
+}
+
+TEST(DseCounters, TieBreakIsEnumerationOrder)
+{
+    DseOptions options;
+    options.threads = 4;
+    options.topK = 64;
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    auto candidates = exploreDataflows(func::matmulSpec(), {4, 4, 4},
+                                       options, area_params,
+                                       timing_params);
+    ASSERT_GT(candidates.size(), 1u);
+    for (std::size_t i = 1; i < candidates.size(); i++) {
+        const auto &prev = candidates[i - 1];
+        const auto &cur = candidates[i];
+        EXPECT_TRUE(prev.score < cur.score ||
+                    (prev.score == cur.score &&
+                     prev.enumIndex < cur.enumIndex))
+                << "rank " << i << " breaks the (score, enumIndex) order";
+    }
+}
+
+} // namespace
+} // namespace stellar::accel

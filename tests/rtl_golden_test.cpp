@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Golden-structure regression for the RTL path: the three flagship
+ * designs (Gemmini-like, SCNN-like, OuterSPACE-like) are lowered to
+ * Verilog and their module/port/instance/connection/assign/reg counts
+ * are pinned against recorded goldens. DSE- or template-driven
+ * refactors that change the emitted hardware must show up here as an
+ * explicit golden update, never as a silent drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+
+namespace stellar::rtl
+{
+namespace
+{
+
+/** Structural fingerprint of a lowered design. */
+struct DesignGolden
+{
+    std::string name;
+    std::size_t modules = 0;
+    std::size_t ports = 0;       //!< summed over modules
+    std::size_t instances = 0;   //!< summed over modules
+    std::size_t connections = 0; //!< summed over instances
+    std::size_t assigns = 0;     //!< summed over modules
+    std::size_t regs = 0;        //!< summed over modules
+};
+
+DesignGolden
+fingerprint(const std::string &name, const core::AcceleratorSpec &spec)
+{
+    auto generated = core::generate(spec);
+    auto design = lowerToVerilog(generated);
+
+    // The goldens only mean something if the design is well-formed.
+    auto issues = lintAll(design);
+    EXPECT_TRUE(issues.empty());
+    for (const auto &issue : issues)
+        ADD_FAILURE() << name << ": " << issue.module << ": "
+                      << issue.message;
+
+    DesignGolden got;
+    got.name = name;
+    got.modules = design.modules().size();
+    for (const auto &module : design.modules()) {
+        got.ports += module.ports().size();
+        got.instances += module.instances().size();
+        got.assigns += module.assigns().size();
+        got.regs += module.regs().size();
+        for (const auto &instance : module.instances())
+            got.connections += instance.connections.size();
+    }
+    return got;
+}
+
+void
+expectGolden(const DesignGolden &got, const DesignGolden &want)
+{
+    SCOPED_TRACE(want.name);
+    EXPECT_EQ(got.modules, want.modules);
+    EXPECT_EQ(got.ports, want.ports);
+    EXPECT_EQ(got.instances, want.instances);
+    EXPECT_EQ(got.connections, want.connections);
+    EXPECT_EQ(got.assigns, want.assigns);
+    EXPECT_EQ(got.regs, want.regs);
+}
+
+// Recorded goldens for the flagship designs at the dimensions below.
+// If a change to the generator or the RTL templates is *supposed* to
+// alter the emitted structure, re-record these numbers in the same
+// change and say why in the commit message.
+
+TEST(RtlGolden, GemminiLikeStructureIsPinned)
+{
+    auto got = fingerprint("gemmini", accel::gemminiLikeSpec(8));
+    expectGolden(got, {"gemmini", 11, 289, 184, 1122, 20, 407});
+}
+
+TEST(RtlGolden, ScnnLikeStructureIsPinned)
+{
+    auto got = fingerprint("scnn", accel::scnnLikeSpec());
+    expectGolden(got, {"scnn", 11, 289, 184, 1122, 20, 285});
+}
+
+TEST(RtlGolden, OuterSpaceLikeStructureIsPinned)
+{
+    auto got = fingerprint("outerspace", accel::outerSpaceLikeSpec(8));
+    expectGolden(got, {"outerspace", 12, 296, 185, 1124, 24, 414});
+}
+
+TEST(RtlGolden, FingerprintsAreReproducible)
+{
+    // The fingerprint itself must be deterministic, otherwise the pins
+    // above would flake rather than catch regressions.
+    auto first = fingerprint("gemmini", accel::gemminiLikeSpec(8));
+    auto second = fingerprint("gemmini", accel::gemminiLikeSpec(8));
+    expectGolden(first, second);
+}
+
+} // namespace
+} // namespace stellar::rtl
