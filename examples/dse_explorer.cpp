@@ -6,9 +6,12 @@
  * hand-designed dataflows (Fig 2) fall out of the enumeration rather
  * than being special cases.
  *
- * usage: dse_explorer [--threads N] [--topk K]
- *   --threads N   evaluation workers (0 = hardware concurrency);
- *                 rankings are identical for every thread count
+ * usage: dse_explorer [--threads N] [--topk K] [--step-budget B]
+ *   --threads N      evaluation workers (0 = hardware concurrency);
+ *                    rankings are identical for every thread count
+ *   --step-budget B  per-candidate watchdog step budget (0 = unlimited);
+ *                    candidates that exceed it are recorded as timeout
+ *                    failures and rank nowhere
  */
 
 #include <algorithm>
@@ -34,8 +37,12 @@ main(int argc, char **argv)
             options.threads = std::size_t(std::max(0, std::atoi(argv[++i])));
         else if (std::strcmp(argv[i], "--topk") == 0 && i + 1 < argc)
             options.topK = std::size_t(std::max(1, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--step-budget") == 0 && i + 1 < argc)
+            options.stepBudget =
+                    std::max<std::int64_t>(0, std::atoll(argv[++i]));
         else {
-            std::printf("usage: dse_explorer [--threads N] [--topk K]\n");
+            std::printf("usage: dse_explorer [--threads N] [--topk K] "
+                        "[--step-budget B]\n");
             return 1;
         }
     }

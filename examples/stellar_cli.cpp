@@ -55,7 +55,14 @@ usage()
             "  --threads T       DSE workers (0 = hardware concurrency)\n"
             "  --topk K          designs to keep (default 10)\n"
             "  --max-pes P       prune candidates over P PEs (bounding "
-            "box)\n");
+            "box)\n"
+            "  --step-budget B   per-candidate watchdog step budget "
+            "(0 = unlimited);\n"
+            "                    over-budget candidates are recorded as "
+            "timeout failures\n"
+            "  --fail-fast       rethrow the first candidate failure "
+            "instead of\n"
+            "                    recording it and continuing\n");
 }
 
 int
@@ -128,6 +135,11 @@ main(int argc, char **argv)
             dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--max-pes")
             dse_options.maxPes = std::max<std::int64_t>(0, std::atoll(next()));
+        else if (arg == "--step-budget")
+            dse_options.stepBudget =
+                    std::max<std::int64_t>(0, std::atoll(next()));
+        else if (arg == "--fail-fast")
+            dse_options.isolateFailures = false;
         else {
             usage();
             return 1;

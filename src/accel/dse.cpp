@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
 
 #include "model/area.hpp"
 #include "model/timing.hpp"
+#include "util/fault_inject.hpp"
 #include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::accel
 {
@@ -54,6 +57,7 @@ evaluateCandidate(const dataflow::SpaceTimeTransform &transform,
                   const model::AreaParams &area_params,
                   const model::TimingParams &timing_params)
 {
+    util::fault::checkpoint("dse.evaluate");
     core::AcceleratorSpec spec;
     spec.name = "dse";
     spec.functional = functional;
@@ -62,6 +66,7 @@ evaluateCandidate(const dataflow::SpaceTimeTransform &transform,
     spec.balancing = options.balancing;
     spec.elaborationBounds = bounds;
     auto generated = core::generate(spec);
+    util::fault::checkpoint("dse.score");
 
     DseCandidate candidate;
     candidate.transform = transform;
@@ -120,26 +125,61 @@ exploreDataflows(const func::FunctionalSpec &functional,
     }
 
     auto evaluate_start = Clock::now();
-    std::vector<DseCandidate> candidates;
+    // Each slot is evaluated independently; a throwing candidate leaves
+    // its result slot empty and its exception in `errors`. Failure
+    // isolation (and the failure *records*) therefore never depend on
+    // scheduling: the reduction below walks slots in worklist order.
     auto evaluate = [&](std::size_t i) {
+        util::fault::ScopedContext context(worklist[i]);
+        util::WatchdogScope guard("dse.candidate", options.stepBudget);
         return evaluateCandidate(transforms[worklist[i]], worklist[i],
                                  functional, bounds, options, area_params,
                                  timing_params);
     };
+    std::vector<DseCandidate> slots;
+    std::vector<std::exception_ptr> errors;
     std::size_t threads = options.threads;
     if (threads == 0)
         threads = std::max<std::size_t>(
                 1, std::thread::hardware_concurrency());
     if (threads == 1 || worklist.size() <= 1) {
         local.threadsUsed = 1;
-        candidates.reserve(worklist.size());
-        for (std::size_t i = 0; i < worklist.size(); i++)
-            candidates.push_back(evaluate(i));
+        slots.resize(worklist.size());
+        errors.assign(worklist.size(), nullptr);
+        for (std::size_t i = 0; i < worklist.size(); i++) {
+            try {
+                slots[i] = evaluate(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        }
     } else {
         util::ThreadPool pool(threads);
         local.threadsUsed = pool.size();
-        candidates = pool.parallelMap<DseCandidate>(worklist.size(),
-                                                    evaluate);
+        slots = pool.parallelMapIsolated<DseCandidate>(worklist.size(),
+                                                       evaluate, errors);
+    }
+
+    // Deterministic reduction: classify failures in worklist (i.e.
+    // enumeration) order, so counts, kinds, and records are identical
+    // at every thread count.
+    std::vector<DseCandidate> candidates;
+    candidates.reserve(worklist.size());
+    for (std::size_t i = 0; i < worklist.size(); i++) {
+        if (!errors[i]) {
+            candidates.push_back(std::move(slots[i]));
+            continue;
+        }
+        if (!options.isolateFailures)
+            std::rethrow_exception(errors[i]);
+        CandidateFailure failure;
+        failure.enumIndex = worklist[i];
+        failure.failure = util::classifyException(
+                errors[i], "dse.candidate",
+                "enum#" + std::to_string(worklist[i]));
+        local.failed++;
+        local.failedByKind[std::size_t(failure.failure.kind)]++;
+        local.failures.push_back(std::move(failure));
     }
     local.evaluated = candidates.size();
     local.evaluateMs = msSince(evaluate_start);

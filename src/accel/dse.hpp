@@ -10,12 +10,14 @@
 #ifndef STELLAR_ACCEL_DSE_HPP
 #define STELLAR_ACCEL_DSE_HPP
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
 #include "core/accelerator.hpp"
 #include "dataflow/enumerate.hpp"
 #include "model/params.hpp"
+#include "util/failure.hpp"
 
 namespace stellar::accel
 {
@@ -68,6 +70,30 @@ struct DseOptions
      *  concerns (pruned conns change both wiring and regfile cost). */
     sparsity::SparsitySpec sparsity;
     balance::BalanceSpec balancing;
+
+    /**
+     * Per-candidate watchdog step budget for elaboration and scoring
+     * (0 = unlimited). A candidate that exceeds it raises TimeoutError
+     * and is recorded as a Timeout failure instead of wedging a worker.
+     */
+    std::int64_t stepBudget = 0;
+
+    /**
+     * When true (the default), a candidate whose evaluation throws is
+     * recorded in DseStats::failures and exploration continues; failed
+     * candidates rank nowhere and rankings stay byte-identical across
+     * thread counts. When false, the first failure (by enumeration
+     * order) is rethrown to the caller.
+     */
+    bool isolateFailures = true;
+};
+
+/** One candidate whose evaluation failed, with the classified cause. */
+struct CandidateFailure
+{
+    /** The candidate's position in the enumeration order. */
+    std::size_t enumIndex = 0;
+    util::Failure failure;
 };
 
 /** Counters and phase timings of one exploreDataflows call. */
@@ -76,7 +102,15 @@ struct DseStats
     std::size_t enumerated = 0;  //!< distinct transforms found
     std::size_t evaluated = 0;   //!< candidates fully elaborated+scored
     std::size_t prunedEarly = 0; //!< skipped by the maxPes bounding box
+    std::size_t failed = 0;      //!< candidates that threw (isolated)
     std::size_t threadsUsed = 1;
+
+    /** failed, broken down by util::FailureKind (indexed by the enum). */
+    std::array<std::size_t, util::kFailureKindCount> failedByKind{};
+
+    /** Every isolated failure, in enumeration order — deterministic
+     *  across thread counts. */
+    std::vector<CandidateFailure> failures;
 
     double enumerateMs = 0.0; //!< wall time enumerating transforms
     double evaluateMs = 0.0;  //!< wall time elaborating + scoring
@@ -91,7 +125,10 @@ struct DseStats
  * returned candidates are sorted by ascending score (best first), ties
  * broken by enumeration index, so the ranking is deterministic across
  * runs and thread counts. When `stats` is non-null it receives the
- * counters for this call.
+ * counters for this call; `evaluated + prunedEarly + failed ==
+ * enumerated` always holds, and with the default isolateFailures a
+ * throwing candidate becomes a recorded CandidateFailure rather than
+ * an exception out of this call.
  */
 std::vector<DseCandidate> exploreDataflows(
         const func::FunctionalSpec &functional, const IntVec &bounds,

@@ -1,8 +1,12 @@
 #include "accel/pipeline.hpp"
 
+#include <exception>
+
 #include "accel/designs.hpp"
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::accel
 {
@@ -25,6 +29,34 @@ generatePipeline(const PipelineSpec &spec)
     for (const auto &stage : spec.stages)
         pipeline.stages.push_back(core::generate(stage));
     return pipeline;
+}
+
+PipelineGenerationResult
+generatePipelineIsolated(const PipelineSpec &spec,
+                         std::int64_t step_budget)
+{
+    require(!spec.stages.empty(), "pipeline needs at least one stage");
+    PipelineGenerationResult result;
+    result.pipeline.spec = spec;
+    for (std::size_t s = 0; s < spec.stages.size(); s++) {
+        util::fault::ScopedContext context(s);
+        util::WatchdogScope guard("pipeline.stage", step_budget);
+        try {
+            util::fault::checkpoint("pipeline.stage");
+            result.pipeline.stages.push_back(
+                    core::generate(spec.stages[s]));
+        } catch (...) {
+            StageFailure failure;
+            failure.stageIndex = s;
+            failure.stageName = spec.stages[s].name;
+            failure.failure = util::classifyException(
+                    std::current_exception(), "pipeline.stage",
+                    "stage#" + std::to_string(s) + " " +
+                            spec.stages[s].name);
+            result.failures.push_back(std::move(failure));
+        }
+    }
+    return result;
 }
 
 rtl::Design

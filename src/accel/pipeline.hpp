@@ -19,6 +19,7 @@
 
 #include "core/accelerator.hpp"
 #include "rtl/generate.hpp"
+#include "util/failure.hpp"
 
 namespace stellar::accel
 {
@@ -39,8 +40,38 @@ struct GeneratedPipeline
     std::int64_t totalPes() const;
 };
 
-/** Compile every stage. */
+/** Compile every stage; the first failing stage's exception escapes. */
 GeneratedPipeline generatePipeline(const PipelineSpec &spec);
+
+/** One pipeline stage whose compilation failed. */
+struct StageFailure
+{
+    std::size_t stageIndex = 0;
+    std::string stageName;
+    util::Failure failure;
+};
+
+/** A pipeline compiled with per-stage failure isolation. */
+struct PipelineGenerationResult
+{
+    /** Successfully compiled stages only, in spec order. */
+    GeneratedPipeline pipeline;
+
+    /** Classified failures for the stages that threw, in spec order. */
+    std::vector<StageFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Compile every stage with per-stage isolation: a stage that throws is
+ * recorded as a classified StageFailure and the remaining stages still
+ * compile, mirroring the per-candidate isolation of exploreDataflows.
+ * `stepBudget` (0 = unlimited) bounds each stage's elaboration steps.
+ */
+PipelineGenerationResult
+generatePipelineIsolated(const PipelineSpec &spec,
+                         std::int64_t step_budget = 0);
 
 /**
  * Lower the whole pipeline into one Verilog design: per-stage arrays,

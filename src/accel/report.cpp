@@ -109,13 +109,35 @@ dseStatsReport(const DseStats &stats)
     std::ostringstream os;
     os << "explored " << stats.enumerated << " dataflows ("
        << stats.prunedEarly << " pruned early, " << stats.evaluated
-       << " evaluated) on " << stats.threadsUsed
+       << " evaluated, " << stats.failed << " failed) on "
+       << stats.threadsUsed
        << (stats.threadsUsed == 1 ? " thread" : " threads") << "\n";
     os << "  enumerate " << formatDouble(stats.enumerateMs, 1)
        << " ms, evaluate " << formatDouble(stats.evaluateMs, 1)
        << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
        << formatDouble(stats.candidatesPerSecond(), 1)
        << " candidates/s)\n";
+    if (stats.failed > 0) {
+        os << "  failures:";
+        for (std::size_t k = 0; k < util::kFailureKindCount; k++) {
+            if (stats.failedByKind[k] == 0)
+                continue;
+            os << " " << util::failureKindName(util::FailureKind(k))
+               << " x" << stats.failedByKind[k];
+        }
+        os << "\n";
+        // Cap the listing: large sweeps can fail thousands of
+        // candidates for the same root cause.
+        const std::size_t kMaxListed = 8;
+        for (std::size_t i = 0;
+             i < stats.failures.size() && i < kMaxListed; i++) {
+            os << "    " << stats.failures[i].failure.toString() << "\n";
+        }
+        if (stats.failures.size() > kMaxListed) {
+            os << "    ... and "
+               << stats.failures.size() - kMaxListed << " more\n";
+        }
+    }
     return os.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 
 namespace stellar::core
@@ -41,9 +42,13 @@ generate(const AcceleratorSpec &spec)
     require(spec.transform.isCausalFor(spec.functional),
             "dataflow transform is not causal for this functional spec");
 
-    // Fig 7 pipeline: elaborate, prune, transform.
+    // Fig 7 pipeline: elaborate, prune, transform. Each stage opens
+    // with a fault-injection checkpoint so the robustness harness can
+    // fail a candidate at any point of the pipeline.
+    util::fault::checkpoint("generate.elaborate");
     IterationSpace space = elaborate(spec.functional,
                                      spec.elaborationBounds);
+    util::fault::checkpoint("generate.prune");
     std::vector<PruneDecision> log;
     for (auto &decision : applySparsity(space, spec.sparsity))
         log.push_back(std::move(decision));
@@ -51,11 +56,13 @@ generate(const AcceleratorSpec &spec)
              applyBalancing(space, spec.balancing, spec.transform)) {
         log.push_back(std::move(decision));
     }
+    util::fault::checkpoint("generate.transform");
     SpatialArray array = applyTransform(space, spec.transform);
 
     // Regfile optimization per external tensor (Section IV-D): compare
     // the buffer's emit order (known when its read parameters are
     // hardcoded) with the array's consumption order.
+    util::fault::checkpoint("generate.regfiles");
     GeneratedAccelerator result{spec, space, array, {}, std::move(log),
                                 func::diagnose(spec.functional)};
     const auto &fn = spec.functional;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::core
 {
@@ -124,9 +126,24 @@ TensorSet
 evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
              const TensorSet &inputs)
 {
+    util::fault::checkpoint("interpreter.evaluate");
     spec.validate();
     require(int(bounds.size()) == spec.numIndices(),
             "evaluateSpec bounds must cover every iterator");
+
+    // Watchdog: one step per (pass, point) visit. The dump names the
+    // pass and the last point executed so a budget expiry reports where
+    // the walk was, not just that it ran long.
+    auto walk = [&](const char *pass,
+                    const std::function<void(const IntVec &)> &body) {
+        forEachPointLex(bounds, [&](const IntVec &point) {
+            util::watchdogTick(1, [&]() {
+                return std::string(pass) + " pass, last point " +
+                       vecToString(point);
+            });
+            body(point);
+        });
+    };
 
     // Lexicographic execution is only valid when every recurrence moves
     // lexicographically forward.
@@ -147,7 +164,7 @@ evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
     TensorSet tensors = inputs;
 
     // Pass 1: halo definitions (external inputs entering the array).
-    forEachPointLex(bounds, [&](const IntVec &point) {
+    walk("halo", [&](const IntVec &point) {
         for (const auto &assign : spec.assignments()) {
             if (!assignmentDefinesHalo(assign))
                 continue;
@@ -161,7 +178,7 @@ evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
     });
 
     // Pass 2: interior intermediate computation, first definition wins.
-    forEachPointLex(bounds, [&](const IntVec &point) {
+    walk("intermediate", [&](const IntVec &point) {
         for (const auto &assign : spec.assignments()) {
             if (assignmentDefinesHalo(assign))
                 continue;
@@ -177,7 +194,7 @@ evaluateSpec(const func::FunctionalSpec &spec, const IntVec &bounds,
     });
 
     // Pass 3: outputs.
-    forEachPointLex(bounds, [&](const IntVec &point) {
+    walk("output", [&](const IntVec &point) {
         for (const auto &assign : spec.assignments()) {
             if (spec.tensorKind(assign.lhs.tensor) !=
                     func::TensorKind::Output) {

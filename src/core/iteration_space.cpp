@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::core
 {
@@ -32,6 +33,14 @@ IterationSpace::forEachPoint(
 {
     IntVec point(bounds_.size(), 0);
     while (true) {
+        // Every elaboration pass walks points through here, so one tick
+        // per visit gives the DSE per-candidate step budget coverage of
+        // the whole generation pipeline.
+        util::watchdogTick(1, [&]() {
+            return "iteration-space walk, last point " +
+                   vecToString(point) + " of bounds " +
+                   vecToString(bounds_);
+        });
         fn(point);
         int axis = int(bounds_.size()) - 1;
         while (axis >= 0) {

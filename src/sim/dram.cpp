@@ -1,8 +1,10 @@
 #include "sim/dram.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::sim
 {
@@ -60,6 +62,19 @@ simulateTransfer(const DmaConfig &dma, DramModel &dram,
     };
 
     while (!all_done()) {
+        // One watchdog step per simulated wave: a transfer that stops
+        // making progress (livelocked arbitration, a DRAM that never
+        // accepts) expires the budget with its queue state instead of
+        // spinning forever.
+        util::watchdogTick(1, [&]() {
+            return "dram transfer at cycle " + std::to_string(now) +
+                   ", chunk " + std::to_string(next_chunk) + "/" +
+                   std::to_string(chunks.size()) + ", " +
+                   std::to_string(pending.size()) +
+                   " pointer loads pending, " +
+                   std::to_string(dram.outstanding(now)) +
+                   " requests outstanding";
+        });
         int issued_this_cycle = 0;
         bool stalled_on_pointer = false;
         while (issued_this_cycle < dma.reqsPerCycle) {

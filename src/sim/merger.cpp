@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::sim
 {
@@ -114,6 +116,15 @@ runMergeSchedule(const MergerConfig &config, MergerKind kind,
     while (partials.size() > 1) {
         std::vector<sparse::PartialMatrix> next;
         for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+            // One watchdog step per merged pair.
+            util::watchdogTick(1, [&]() {
+                return "merge round with " +
+                       std::to_string(partials.size()) +
+                       " partial matrices, pair at " +
+                       std::to_string(i) + ", " +
+                       std::to_string(total.mergedElements) +
+                       " elements merged so far";
+            });
             MergerResult pair =
                     kind == MergerKind::RowPartitioned
                             ? mergePairRowPartitioned(config, partials[i],
@@ -150,6 +161,12 @@ runHierarchicalMerge(const MergerConfig &config,
     // flattened throughput once the tree fills.
     std::size_t group_start = 0;
     while (group_start < partials.size()) {
+        // One watchdog step per merge-tree group.
+        util::watchdogTick(1, [&]() {
+            return "hierarchical merge group at " +
+                   std::to_string(group_start) + "/" +
+                   std::to_string(partials.size());
+        });
         std::size_t group_end =
                 std::min(group_start + std::size_t(ways), partials.size());
         // Functionally merge the group to get the output element count.

@@ -1,10 +1,12 @@
 #include "sim/outerspace.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/balance.hpp"
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::sim
 {
@@ -62,6 +64,13 @@ simulateOuterSpace(const OuterSpaceConfig &config,
     // Listing 3-style balancer shifts work between waves (Fig 6).
     std::vector<std::int64_t> column_work;
     for (std::int64_t k = 0; k < a.cols(); k++) {
+        // One watchdog step per outer-product column.
+        util::watchdogTick(1, [&]() {
+            return "outerspace column " + std::to_string(k) + "/" +
+                   std::to_string(a.cols()) + ", " +
+                   std::to_string(scatter.size()) +
+                   " scattered fibers queued";
+        });
         std::int64_t products =
                 col_nnz[std::size_t(k)] * a.rowNnz(std::min(k, a.rows() - 1));
         if (products > 0)

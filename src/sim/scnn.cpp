@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::sim
 {
@@ -45,6 +47,12 @@ simulateScnnLayer(const ScnnConfig &config, const ScnnLayer &layer,
                                        layer.kernel;
 
     for (std::int64_t c = 0; c < layer.inChannels; c++) {
+        // One watchdog step per input channel.
+        util::watchdogTick(1, [&]() {
+            return "scnn channel " + std::to_string(c) + "/" +
+                   std::to_string(layer.inChannels) + ", " +
+                   std::to_string(result.cycles) + " cycles so far";
+        });
         // Weights for this input channel are broadcast to every PE.
         std::int64_t nnz_w =
                 sampleCount(rng, weights_per_channel, layer.weightDensity);

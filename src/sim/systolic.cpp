@@ -1,8 +1,10 @@
 #include "sim/systolic.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::sim
 {
@@ -32,6 +34,13 @@ simulateSystolicMatmul(const SystolicConfig &config, std::int64_t m,
     std::int64_t compute = 0;
     for (std::int64_t tk = 0; tk < tiles_k; tk++) {
         for (std::int64_t tn = 0; tn < tiles_n; tn++) {
+            // One watchdog step per weight tile.
+            util::watchdogTick(1, [&]() {
+                return "systolic tile (" + std::to_string(tk) + ", " +
+                       std::to_string(tn) + ") of " +
+                       std::to_string(tiles_k) + "x" +
+                       std::to_string(tiles_n);
+            });
             std::int64_t rows_streamed = m;
             std::int64_t fill_drain = config.rows + config.cols;
             std::int64_t preload =

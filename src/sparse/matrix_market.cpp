@@ -12,53 +12,85 @@ namespace stellar::sparse
 CsrMatrix
 readMatrixMarket(std::istream &in)
 {
+    // Every failure carries the 1-based line number: malformed headers,
+    // short rows, and out-of-range indices must raise FatalError with a
+    // location, never silently misparse (istream >> on a garbage token
+    // would otherwise leave zeros behind).
+    std::int64_t line_no = 0;
     std::string line;
-    require(bool(std::getline(in, line)), "empty Matrix Market stream");
+    auto next_line = [&]() {
+        bool ok = bool(std::getline(in, line));
+        if (ok)
+            line_no++;
+        return ok;
+    };
+    auto at = [&]() { return "line " + std::to_string(line_no) + ": "; };
+
+    require(next_line(), "empty Matrix Market stream");
     require(startsWith(line, "%%MatrixMarket"),
-            "missing %%MatrixMarket banner");
+            at() + "missing %%MatrixMarket banner");
 
     std::istringstream banner(line);
     std::string tag, object, format, field, symmetry;
-    banner >> tag >> object >> format >> field >> symmetry;
-    require(toLower(object) == "matrix", "only matrix objects supported");
+    require(bool(banner >> tag >> object >> format >> field >> symmetry),
+            at() + "incomplete banner (want object format field "
+                   "symmetry): '" + line + "'");
+    require(toLower(object) == "matrix",
+            at() + "only matrix objects supported");
     require(toLower(format) == "coordinate",
-            "only coordinate format supported");
+            at() + "only coordinate format supported");
     std::string field_lc = toLower(field);
     require(field_lc == "real" || field_lc == "integer" ||
                     field_lc == "pattern",
-            "unsupported field type: " + field);
+            at() + "unsupported field type: " + field);
     std::string symmetry_lc = toLower(symmetry);
     require(symmetry_lc == "general" || symmetry_lc == "symmetric",
-            "unsupported symmetry: " + symmetry);
+            at() + "unsupported symmetry: " + symmetry);
     bool pattern = field_lc == "pattern";
     bool symmetric = symmetry_lc == "symmetric";
 
     // Skip comments; the first non-comment line is the size header.
-    while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%')
+    bool have_sizes = false;
+    while (next_line()) {
+        if (!line.empty() && line[0] != '%') {
+            have_sizes = true;
             break;
+        }
     }
+    require(have_sizes, at() + "missing size header");
     std::istringstream sizes(line);
     std::int64_t rows = 0, cols = 0, entries = 0;
-    sizes >> rows >> cols >> entries;
+    require(bool(sizes >> rows >> cols >> entries),
+            at() + "malformed size header (want 'rows cols entries'): '" +
+                    line + "'");
     require(rows > 0 && cols > 0 && entries >= 0,
-            "malformed size header");
+            at() + "size header out of range: " + std::to_string(rows) +
+                    " x " + std::to_string(cols) + ", " +
+                    std::to_string(entries) + " entries");
 
     CooMatrix coo;
     coo.rows = rows;
     coo.cols = cols;
     for (std::int64_t e = 0; e < entries; e++) {
-        require(bool(std::getline(in, line)),
-                "truncated entry list (expected " +
-                std::to_string(entries) + " entries)");
+        require(next_line(),
+                at() + "truncated entry list (got " + std::to_string(e) +
+                        " of " + std::to_string(entries) + " entries)");
         std::istringstream entry(line);
         std::int64_t r = 0, c = 0;
         double v = 1.0;
-        entry >> r >> c;
-        if (!pattern)
-            entry >> v;
+        require(bool(entry >> r >> c),
+                at() + "short entry row (want 'row col" +
+                        std::string(pattern ? "" : " value") + "'): '" +
+                        line + "'");
+        if (!pattern) {
+            require(bool(entry >> v),
+                    at() + "entry missing its value: '" + line + "'");
+        }
         require(r >= 1 && r <= rows && c >= 1 && c <= cols,
-                "entry coordinates out of range");
+                at() + "entry coordinates (" + std::to_string(r) + ", " +
+                        std::to_string(c) + ") out of range for " +
+                        std::to_string(rows) + " x " +
+                        std::to_string(cols) + " matrix");
         coo.entries.push_back(CooEntry{r - 1, c - 1, v});
         if (symmetric && r != c)
             coo.entries.push_back(CooEntry{c - 1, r - 1, v});

@@ -20,7 +20,12 @@
 namespace stellar::sparse
 {
 
-/** Parse a Matrix Market stream into CSR; fatal on malformed input. */
+/**
+ * Parse a Matrix Market stream into CSR. Malformed input — a damaged
+ * banner, a garbage size header, short entry rows, out-of-range
+ * coordinates, or a truncated entry list — raises FatalError carrying
+ * the offending 1-based line number; nothing misparses silently.
+ */
 CsrMatrix readMatrixMarket(std::istream &in);
 
 /** Load a .mtx file. */

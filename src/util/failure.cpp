@@ -1,0 +1,80 @@
+#include "util/failure.hpp"
+
+namespace stellar::util
+{
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::UserSpec: return "user-spec";
+      case FailureKind::InternalPanic: return "internal-panic";
+      case FailureKind::ResourceBudget: return "resource-budget";
+      case FailureKind::Timeout: return "timeout";
+      case FailureKind::Unknown: return "unknown";
+    }
+    return "unknown";
+}
+
+TimeoutError::TimeoutError(const std::string &stage, std::int64_t steps,
+                           std::int64_t budget,
+                           const std::string &diagnostic)
+    : std::runtime_error(
+              "stage '" + stage + "' exceeded its watchdog budget (" +
+              std::to_string(steps) + " steps, budget " +
+              std::to_string(budget) +
+              (diagnostic.empty() ? ")" : "); " + diagnostic)),
+      stage_(stage), steps_(steps), budget_(budget),
+      diagnostic_(diagnostic)
+{}
+
+std::string
+Failure::toString() const
+{
+    std::string text = failureKindName(kind);
+    if (!stage.empty())
+        text += " at " + stage;
+    if (!candidate.empty())
+        text += " (" + candidate + ")";
+    text += ": " + message;
+    return text;
+}
+
+Failure
+classifyException(std::exception_ptr error, const std::string &stage,
+                  const std::string &candidate)
+{
+    Failure failure;
+    failure.stage = stage;
+    failure.candidate = candidate;
+    if (!error) {
+        failure.message = "no exception captured";
+        return failure;
+    }
+    try {
+        std::rethrow_exception(error);
+    } catch (const TimeoutError &err) {
+        failure.kind = FailureKind::Timeout;
+        if (failure.stage.empty())
+            failure.stage = err.stage();
+        failure.message = err.what();
+    } catch (const ResourceBudgetError &err) {
+        failure.kind = FailureKind::ResourceBudget;
+        failure.message = err.what();
+    } catch (const PanicError &err) {
+        failure.kind = FailureKind::InternalPanic;
+        failure.message = err.what();
+    } catch (const FatalError &err) {
+        failure.kind = FailureKind::UserSpec;
+        failure.message = err.what();
+    } catch (const std::exception &err) {
+        failure.kind = FailureKind::Unknown;
+        failure.message = err.what();
+    } catch (...) {
+        failure.kind = FailureKind::Unknown;
+        failure.message = "non-standard exception";
+    }
+    return failure;
+}
+
+} // namespace stellar::util

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Structured failure taxonomy for the elaboration/DSE/simulation stack.
+ *
+ * The framework's exploration loops elaborate many candidate designs;
+ * one malformed or pathological candidate must degrade to a *recorded
+ * outcome*, never a crash of the whole run. This header wraps the
+ * PanicError/FatalError split of util/logging.hpp into a classified
+ * Failure record that carries the failure kind, the originating stage,
+ * and the candidate identity, so DSE drivers and reports can account
+ * for failures deterministically.
+ */
+
+#ifndef STELLAR_UTIL_FAILURE_HPP
+#define STELLAR_UTIL_FAILURE_HPP
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace stellar::util
+{
+
+/** Why a pipeline stage failed. */
+enum class FailureKind
+{
+    UserSpec,      //!< invalid specification or input (FatalError)
+    InternalPanic, //!< a stellar bug tripped an invariant (PanicError)
+    ResourceBudget, //!< a resource cap was exceeded (ResourceBudgetError)
+    Timeout,       //!< a watchdog step budget expired (TimeoutError)
+    Unknown,       //!< any other exception type
+};
+
+/** Number of FailureKind values (for per-kind counters). */
+inline constexpr std::size_t kFailureKindCount = 5;
+
+/** Short stable name of a failure kind (e.g. "user-spec"). */
+const char *failureKindName(FailureKind kind);
+
+/**
+ * Thrown when a watchdog step budget expires. Carries the diagnostic
+ * state dump supplied at the tick that tripped the budget (last point
+ * executed, queue occupancies, ...) so a livelocked schedule reports
+ * *where* it was spinning instead of looping forever.
+ */
+class TimeoutError : public std::runtime_error
+{
+  public:
+    TimeoutError(const std::string &stage, std::int64_t steps,
+                 std::int64_t budget, const std::string &diagnostic);
+
+    const std::string &stage() const { return stage_; }
+    std::int64_t steps() const { return steps_; }
+    std::int64_t budget() const { return budget_; }
+    const std::string &diagnostic() const { return diagnostic_; }
+
+  private:
+    std::string stage_;
+    std::int64_t steps_;
+    std::int64_t budget_;
+    std::string diagnostic_;
+};
+
+/** Thrown when a candidate exceeds an explicit resource cap. */
+class ResourceBudgetError : public std::runtime_error
+{
+  public:
+    explicit ResourceBudgetError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** One classified, recordable failure. */
+struct Failure
+{
+    FailureKind kind = FailureKind::Unknown;
+    std::string stage;     //!< pipeline stage that raised it
+    std::string candidate; //!< identity of the failing candidate
+    std::string message;   //!< human-readable cause
+
+    /** "kind at stage (candidate): message". */
+    std::string toString() const;
+};
+
+/**
+ * Classify a captured exception into the taxonomy. `stage` and
+ * `candidate` annotate the record; a TimeoutError's own stage wins when
+ * `stage` is empty. Classification depends only on the exception, so
+ * serial and parallel explorations produce identical records.
+ */
+Failure classifyException(std::exception_ptr error,
+                          const std::string &stage = {},
+                          const std::string &candidate = {});
+
+} // namespace stellar::util
+
+#endif // STELLAR_UTIL_FAILURE_HPP

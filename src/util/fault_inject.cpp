@@ -1,0 +1,175 @@
+#include "util/fault_inject.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "util/failure.hpp"
+#include "util/logging.hpp"
+
+namespace stellar::util::fault
+{
+
+namespace
+{
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_fired{0};
+std::mutex g_mutex;
+std::vector<InjectionSpec> g_specs;
+
+thread_local std::uint64_t t_context = kNoContext;
+
+[[noreturn]] void
+fire(const InjectionSpec &spec, const std::string &stage,
+     std::uint64_t context)
+{
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+    std::string who = context == kNoContext
+                              ? std::string("unscoped")
+                              : "candidate " + std::to_string(context);
+    std::string msg = "injected fault at " + stage + " (" + who + ")";
+    switch (spec.cls) {
+      case FaultClass::Fatal:
+        throw FatalError(msg);
+      case FaultClass::Panic:
+        throw PanicError(msg);
+      case FaultClass::Timeout:
+        throw TimeoutError(stage, 0, 0, msg);
+      case FaultClass::Budget:
+        throw ResourceBudgetError(msg);
+    }
+    throw PanicError(msg); // unreachable
+}
+
+} // namespace
+
+void
+arm(const InjectionSpec &spec)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_specs.push_back(spec);
+    g_armed.store(true, std::memory_order_release);
+}
+
+void
+reset()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_specs.clear();
+    g_armed.store(false, std::memory_order_release);
+}
+
+bool
+armed()
+{
+    return g_armed.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+firedCount()
+{
+    return g_fired.load(std::memory_order_relaxed);
+}
+
+void
+checkpoint(const std::string &stage)
+{
+    if (!g_armed.load(std::memory_order_acquire))
+        return;
+    InjectionSpec hit;
+    bool matched = false;
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        for (const auto &spec : g_specs) {
+            if (spec.matches(stage, t_context)) {
+                hit = spec;
+                matched = true;
+                break;
+            }
+        }
+    }
+    if (matched)
+        fire(hit, stage, t_context);
+}
+
+ScopedContext::ScopedContext(std::uint64_t id) : previous_(t_context)
+{
+    t_context = id;
+}
+
+ScopedContext::~ScopedContext()
+{
+    t_context = previous_;
+}
+
+std::uint64_t
+currentContext()
+{
+    return t_context;
+}
+
+std::string
+corruptMatrixMarket(const std::string &text, MtxCorruption mode)
+{
+    // Split into lines, keeping the structure: line 0 is the banner,
+    // the first non-comment line after it is the size header, and the
+    // remainder are entries.
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+
+    std::size_t size_line = lines.size();
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        if (!lines[i].empty() && lines[i][0] != '%') {
+            size_line = i;
+            break;
+        }
+    }
+    std::size_t first_entry = size_line + 1;
+
+    switch (mode) {
+      case MtxCorruption::TruncateEntries:
+        if (first_entry < lines.size())
+            lines.resize(lines.size() - 1);
+        break;
+      case MtxCorruption::BadBanner:
+        if (!lines.empty())
+            lines[0] = "%%NotMatrixMarket matrix coordinate real general";
+        break;
+      case MtxCorruption::NonNumericSize:
+        if (size_line < lines.size())
+            lines[size_line] = "rows cols nnz";
+        break;
+      case MtxCorruption::OutOfRangeIndex:
+        if (first_entry < lines.size())
+            lines[first_entry] = "999999 999999 1.0";
+        break;
+      case MtxCorruption::ShortRow:
+        if (first_entry < lines.size()) {
+            // Keep only the row coordinate: both the column index and
+            // the value go missing.
+            std::string &entry = lines[first_entry];
+            auto cut = entry.find(' ');
+            if (cut != std::string::npos)
+                entry = entry.substr(0, cut);
+        }
+        break;
+    }
+
+    std::string out;
+    for (const auto &line : lines)
+        out += line + "\n";
+    return out;
+}
+
+} // namespace stellar::util::fault

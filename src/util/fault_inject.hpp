@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deliberate fault injection for robustness testing.
+ *
+ * The elaboration pipeline and the DSE driver expose named checkpoints
+ * (e.g. "generate.elaborate", "dse.evaluate"). Tests arm the global
+ * injector with an InjectionSpec naming a checkpoint, a fault class,
+ * and the set of candidate contexts to fail; when an armed checkpoint
+ * is reached inside a matching context, the injector throws the
+ * corresponding exception type. The exploration stack must degrade to
+ * a recorded util::Failure of the right kind — never a crash or hang.
+ *
+ * Determinism: injections match on the *candidate context* (a stable
+ * identity such as a DSE enumeration index, installed per-thread via
+ * ScopedContext), not on call counts, so which candidates fail is
+ * byte-identical across thread counts.
+ *
+ * The disarmed fast path is one relaxed atomic load, so production
+ * builds pay nothing for the instrumentation.
+ */
+
+#ifndef STELLAR_UTIL_FAULT_INJECT_HPP
+#define STELLAR_UTIL_FAULT_INJECT_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace stellar::util::fault
+{
+
+/** Context id meaning "no candidate scope installed". */
+inline constexpr std::uint64_t kNoContext = ~std::uint64_t(0);
+
+/** Which exception type an armed injection throws. */
+enum class FaultClass
+{
+    Fatal,   //!< FatalError (user-spec failure)
+    Panic,   //!< PanicError (internal invariant)
+    Timeout, //!< TimeoutError (watchdog expiry)
+    Budget,  //!< ResourceBudgetError (resource cap)
+};
+
+/** One armed injection. */
+struct InjectionSpec
+{
+    std::string stage; //!< checkpoint name to fire at
+    FaultClass cls = FaultClass::Panic;
+
+    /** Candidate contexts to fail; empty + allContexts fails every one. */
+    std::set<std::uint64_t> contexts;
+    bool allContexts = false;
+
+    bool
+    matches(const std::string &at, std::uint64_t context) const
+    {
+        if (at != stage)
+            return false;
+        return allContexts || contexts.count(context) > 0;
+    }
+};
+
+/** Arm an injection (adds to the active set). */
+void arm(const InjectionSpec &spec);
+
+/** Disarm everything. */
+void reset();
+
+/** True when any injection is armed. */
+bool armed();
+
+/** Number of times any checkpoint fired an injected fault. */
+std::uint64_t firedCount();
+
+/**
+ * Declare an instrumented point. Throws per the armed specs when the
+ * current thread's context matches; otherwise a near-free no-op.
+ */
+void checkpoint(const std::string &stage);
+
+/** RAII thread-local candidate identity for checkpoint matching. */
+class ScopedContext
+{
+  public:
+    explicit ScopedContext(std::uint64_t id);
+    ~ScopedContext();
+
+    ScopedContext(const ScopedContext &) = delete;
+    ScopedContext &operator=(const ScopedContext &) = delete;
+
+  private:
+    std::uint64_t previous_;
+};
+
+/** The current thread's candidate context (kNoContext when unset). */
+std::uint64_t currentContext();
+
+/** RAII: disarms all injections on destruction (for tests). */
+class ScopedArm
+{
+  public:
+    explicit ScopedArm(const InjectionSpec &spec) { arm(spec); }
+    ~ScopedArm() { reset(); }
+
+    ScopedArm(const ScopedArm &) = delete;
+    ScopedArm &operator=(const ScopedArm &) = delete;
+};
+
+/** Ways corruptMatrixMarket can damage a Matrix Market text. */
+enum class MtxCorruption
+{
+    TruncateEntries, //!< drop the tail of the entry list
+    BadBanner,       //!< damage the %%MatrixMarket banner
+    NonNumericSize,  //!< replace the size header with garbage
+    OutOfRangeIndex, //!< push one entry's coordinates past the bounds
+    ShortRow,        //!< strip the value from one real-field entry
+};
+
+/**
+ * Return a deliberately corrupted copy of a well-formed Matrix Market
+ * text, for table-driven malformed-input tests. Parsing the result must
+ * raise FatalError with a line number — never misparse silently.
+ */
+std::string corruptMatrixMarket(const std::string &text,
+                                MtxCorruption mode);
+
+} // namespace stellar::util::fault
+
+#endif // STELLAR_UTIL_FAULT_INJECT_HPP

@@ -7,12 +7,16 @@
  * Design goals, in order:
  *  - exceptions thrown by a task surface in the caller (via the task's
  *    future, or rethrown by parallelFor/parallelMap after every index
- *    has finished);
+ *    has finished); a task exception NEVER tears down the pool — the
+ *    exception is captured before the worker returns to its loop, so
+ *    the worker survives and later tasks run normally;
  *  - destruction never hangs: queued-but-unstarted tasks are discarded
  *    (their futures report broken_promise) and running tasks are joined;
  *  - deterministic composition: parallelMap writes each result into the
  *    slot of its index, so callers that reduce in index order get
- *    results independent of scheduling.
+ *    results independent of scheduling. A throwing index leaves its
+ *    slot default-constructed and does not shift any other slot —
+ *    parallelMapIsolated exposes exactly which indices threw.
  */
 
 #ifndef STELLAR_UTIL_THREAD_POOL_HPP
@@ -87,6 +91,30 @@ class ThreadPool
     {
         std::vector<T> results(n);
         parallelFor(n, [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+    /**
+     * Like parallelMap, but a throwing index is *isolated* instead of
+     * rethrown: `errors` is resized to n and errors[i] holds the
+     * exception thrown by index i (nullptr on success, whose result
+     * lands in slot i as usual). Every index runs — one failure never
+     * skips or reorders the others — and the pool remains usable.
+     */
+    template <typename T, typename F>
+    std::vector<T> parallelMapIsolated(std::size_t n, F &&fn,
+                                       std::vector<std::exception_ptr>
+                                               &errors)
+    {
+        errors.assign(n, nullptr);
+        std::vector<T> results(n);
+        parallelFor(n, [&](std::size_t i) {
+            try {
+                results[i] = fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+        });
         return results;
     }
 

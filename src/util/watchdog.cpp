@@ -1,0 +1,30 @@
+#include "util/watchdog.hpp"
+
+namespace stellar::util
+{
+
+namespace
+{
+
+thread_local Watchdog *t_current = nullptr;
+
+} // namespace
+
+Watchdog *
+currentWatchdog()
+{
+    return t_current;
+}
+
+WatchdogScope::WatchdogScope(std::string stage, std::int64_t max_steps)
+    : watchdog_(std::move(stage), max_steps), previous_(t_current)
+{
+    t_current = &watchdog_;
+}
+
+WatchdogScope::~WatchdogScope()
+{
+    t_current = previous_;
+}
+
+} // namespace stellar::util

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Step-budget watchdogs for the interpreter and the cycle-level
+ * simulators.
+ *
+ * A livelocked schedule (or a pathological DSE candidate) must not spin
+ * forever inside an exploration worker. A WatchdogScope installs a
+ * thread-local step budget; instrumented inner loops call
+ * watchdogTick() once per unit of work (an iteration point, a simulated
+ * cycle wave, a merge round). When the budget expires the tick throws
+ * TimeoutError carrying a diagnostic state dump supplied by the loop
+ * (last point executed, queue occupancies), which the DSE isolation
+ * layer records as a per-candidate Timeout failure.
+ *
+ * The thread-local design keeps the plumbing out of every simulator
+ * signature: callers that want a budget wrap the call in a scope, and
+ * code that never installs one pays a single thread-local load per
+ * tick. Scopes nest; the innermost budget applies.
+ */
+
+#ifndef STELLAR_UTIL_WATCHDOG_HPP
+#define STELLAR_UTIL_WATCHDOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/failure.hpp"
+
+namespace stellar::util
+{
+
+/** A counting step budget; throws TimeoutError when exceeded. */
+class Watchdog
+{
+  public:
+    /** `maxSteps` of 0 disables the budget (ticks only count). */
+    Watchdog(std::string stage, std::int64_t max_steps)
+        : stage_(std::move(stage)), budget_(max_steps)
+    {}
+
+    const std::string &stage() const { return stage_; }
+    std::int64_t budget() const { return budget_; }
+    std::int64_t stepsExecuted() const { return steps_; }
+    bool enabled() const { return budget_ > 0; }
+
+    /** Charge `steps` units of work; throws TimeoutError on expiry. */
+    void
+    tick(std::int64_t steps = 1)
+    {
+        steps_ += steps;
+        if (enabled() && steps_ > budget_)
+            expire("");
+    }
+
+    /**
+     * Charge `steps` and, only on expiry, call `dump` for the
+     * diagnostic state description carried by the TimeoutError. The
+     * dump is never evaluated on the fast path.
+     */
+    template <typename DumpFn>
+    void
+    tick(std::int64_t steps, DumpFn &&dump)
+    {
+        steps_ += steps;
+        if (enabled() && steps_ > budget_)
+            expire(dump());
+    }
+
+  private:
+    [[noreturn]] void
+    expire(const std::string &diagnostic)
+    {
+        throw TimeoutError(stage_, steps_, budget_, diagnostic);
+    }
+
+    std::string stage_;
+    std::int64_t budget_ = 0;
+    std::int64_t steps_ = 0;
+};
+
+/** The watchdog installed on this thread; nullptr when none. */
+Watchdog *currentWatchdog();
+
+/**
+ * RAII: installs a thread-local Watchdog for the dynamic extent of the
+ * scope and restores the previous one (scopes nest) on destruction.
+ */
+class WatchdogScope
+{
+  public:
+    WatchdogScope(std::string stage, std::int64_t max_steps);
+    ~WatchdogScope();
+
+    WatchdogScope(const WatchdogScope &) = delete;
+    WatchdogScope &operator=(const WatchdogScope &) = delete;
+
+    Watchdog &watchdog() { return watchdog_; }
+
+  private:
+    Watchdog watchdog_;
+    Watchdog *previous_;
+};
+
+/** Tick the installed watchdog, if any. */
+inline void
+watchdogTick(std::int64_t steps = 1)
+{
+    if (Watchdog *dog = currentWatchdog())
+        dog->tick(steps);
+}
+
+/** Tick with a lazily evaluated diagnostic dump. */
+template <typename DumpFn>
+inline void
+watchdogTick(std::int64_t steps, DumpFn &&dump)
+{
+    if (Watchdog *dog = currentWatchdog())
+        dog->tick(steps, std::forward<DumpFn>(dump));
+}
+
+} // namespace stellar::util
+
+#endif // STELLAR_UTIL_WATCHDOG_HPP

@@ -1,0 +1,621 @@
+/**
+ * @file
+ * Fault-injection harness for the elaboration/DSE/simulation stack.
+ *
+ * Every fault class — bad specs, corrupt Matrix Market inputs, throws
+ * injected at configurable elaboration stages, and watchdog budget
+ * expiry — must degrade to a *recorded* failure: `exploreDataflows`
+ * completes, accounts for the failure in DseStats with the right
+ * FailureKind, and serial vs 4-thread runs report byte-identical
+ * rankings and failure records. Nothing may crash, hang, or let a
+ * PanicError escape as a user-facing abort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/dse.hpp"
+#include "accel/pipeline.hpp"
+#include "accel/report.hpp"
+#include "core/interpreter.hpp"
+#include "func/library.hpp"
+#include "sim/dram.hpp"
+#include "sim/merger.hpp"
+#include "sim/systolic.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/matrix_market.hpp"
+#include "util/fault_inject.hpp"
+#include "util/failure.hpp"
+#include "util/rng.hpp"
+#include "util/watchdog.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+using accel::DseCandidate;
+using accel::DseOptions;
+using accel::DseStats;
+using util::FailureKind;
+using util::fault::FaultClass;
+using util::fault::InjectionSpec;
+using util::fault::ScopedArm;
+
+// ---------------------------------------------------------------------
+// Failure taxonomy
+
+TEST(FailureTaxonomy, ClassifiesTheExceptionHierarchy)
+{
+    auto classify = [](auto &&thrower) {
+        try {
+            thrower();
+        } catch (...) {
+            return util::classifyException(std::current_exception(),
+                                           "stage", "cand");
+        }
+        return util::Failure{};
+    };
+
+    EXPECT_EQ(classify([] { throw FatalError("bad spec"); }).kind,
+              FailureKind::UserSpec);
+    EXPECT_EQ(classify([] { throw PanicError("bug"); }).kind,
+              FailureKind::InternalPanic);
+    EXPECT_EQ(classify([] {
+                  throw util::ResourceBudgetError("too big");
+              }).kind,
+              FailureKind::ResourceBudget);
+    EXPECT_EQ(classify([] {
+                  throw util::TimeoutError("sim", 10, 5, "stuck");
+              }).kind,
+              FailureKind::Timeout);
+    EXPECT_EQ(classify([] { throw std::bad_alloc(); }).kind,
+              FailureKind::Unknown);
+
+    auto failure = classify([] { throw FatalError("bad spec"); });
+    EXPECT_EQ(failure.stage, "stage");
+    EXPECT_EQ(failure.candidate, "cand");
+    EXPECT_NE(failure.toString().find("user-spec at stage (cand)"),
+              std::string::npos);
+    EXPECT_NE(failure.toString().find("bad spec"), std::string::npos);
+}
+
+TEST(FailureTaxonomy, TimeoutErrorCarriesTheDiagnosticDump)
+{
+    util::TimeoutError err("sim.dram", 1001, 1000,
+                           "cycle 512, 3 requests outstanding");
+    EXPECT_EQ(err.stage(), "sim.dram");
+    EXPECT_EQ(err.steps(), 1001);
+    EXPECT_EQ(err.budget(), 1000);
+    EXPECT_NE(std::string(err.what()).find("3 requests outstanding"),
+              std::string::npos);
+
+    // An empty stage annotation falls back to the error's own stage.
+    auto failure = util::classifyException(
+            std::make_exception_ptr(err), "", "c");
+    EXPECT_EQ(failure.stage, "sim.dram");
+}
+
+TEST(FailureTaxonomy, KindNamesAreStable)
+{
+    EXPECT_STREQ(util::failureKindName(FailureKind::UserSpec),
+                 "user-spec");
+    EXPECT_STREQ(util::failureKindName(FailureKind::InternalPanic),
+                 "internal-panic");
+    EXPECT_STREQ(util::failureKindName(FailureKind::ResourceBudget),
+                 "resource-budget");
+    EXPECT_STREQ(util::failureKindName(FailureKind::Timeout), "timeout");
+    EXPECT_STREQ(util::failureKindName(FailureKind::Unknown), "unknown");
+}
+
+// ---------------------------------------------------------------------
+// Watchdog budgets
+
+TEST(Watchdog, DisabledBudgetOnlyCounts)
+{
+    util::WatchdogScope scope("test", 0);
+    for (int i = 0; i < 1000; i++)
+        util::watchdogTick();
+    EXPECT_EQ(scope.watchdog().stepsExecuted(), 1000);
+}
+
+TEST(Watchdog, ExpiryThrowsWithTheLazyDump)
+{
+    util::WatchdogScope scope("test.loop", 5);
+    int dumps = 0;
+    try {
+        for (int i = 0; i < 100; i++) {
+            util::watchdogTick(1, [&]() {
+                dumps++;
+                return std::string("iteration ") + std::to_string(i);
+            });
+        }
+        FAIL() << "budget never expired";
+    } catch (const util::TimeoutError &err) {
+        EXPECT_EQ(err.stage(), "test.loop");
+        EXPECT_EQ(err.budget(), 5);
+        EXPECT_EQ(err.steps(), 6);
+        EXPECT_EQ(dumps, 1) << "dump must only run on expiry";
+        EXPECT_NE(err.diagnostic().find("iteration 5"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, ScopesNestAndRestore)
+{
+    EXPECT_EQ(util::currentWatchdog(), nullptr);
+    {
+        util::WatchdogScope outer("outer", 100);
+        {
+            util::WatchdogScope inner("inner", 2);
+            EXPECT_THROW(
+                    {
+                        for (int i = 0; i < 10; i++)
+                            util::watchdogTick();
+                    },
+                    util::TimeoutError);
+        }
+        // The outer budget is intact after the inner scope unwinds.
+        for (int i = 0; i < 50; i++)
+            util::watchdogTick();
+        EXPECT_EQ(util::currentWatchdog(), &outer.watchdog());
+    }
+    EXPECT_EQ(util::currentWatchdog(), nullptr);
+    util::watchdogTick(); // no scope installed: must be a no-op
+}
+
+TEST(Watchdog, InterpreterReportsTheLastPointExecuted)
+{
+    util::WatchdogScope scope("interpreter", 3);
+    core::TensorSet inputs;
+    try {
+        core::evaluateSpec(func::matmulSpec(), {4, 4, 4}, inputs);
+        FAIL() << "budget never expired";
+    } catch (const util::TimeoutError &err) {
+        EXPECT_NE(err.diagnostic().find("last point"), std::string::npos);
+    }
+}
+
+TEST(Watchdog, DramTransferDumpsQueueOccupancies)
+{
+    util::WatchdogScope scope("sim", 8);
+    sim::DramModel dram((sim::DramConfig()));
+    try {
+        sim::simulateStream(sim::DmaConfig(), dram, 1 << 20);
+        FAIL() << "budget never expired";
+    } catch (const util::TimeoutError &err) {
+        EXPECT_NE(err.diagnostic().find("dram transfer"),
+                  std::string::npos);
+        EXPECT_NE(err.diagnostic().find("outstanding"),
+                  std::string::npos);
+    }
+}
+
+TEST(Watchdog, SystolicSimTicksPerTile)
+{
+    util::WatchdogScope scope("sim", 2);
+    sim::SystolicConfig config;
+    EXPECT_THROW(sim::simulateSystolicMatmul(config, 64, 256, 256),
+                 util::TimeoutError);
+}
+
+TEST(Watchdog, MergeScheduleTicksPerPair)
+{
+    util::WatchdogScope scope("sim", 3);
+    // Ten single-row partial matrices force several merge rounds.
+    std::vector<sparse::PartialMatrix> partials;
+    for (int p = 0; p < 10; p++) {
+        sparse::PartialMatrix partial;
+        partial.rowIds.push_back(p % 3);
+        partial.rowFibers.push_back(
+                sparse::Fiber{{0, 1, 2}, {1.0, 2.0, 3.0}});
+        partials.push_back(partial);
+    }
+    EXPECT_THROW(sim::runMergeSchedule(sim::MergerConfig(),
+                                       sim::MergerKind::Flattened,
+                                       partials),
+                 util::TimeoutError);
+}
+
+// ---------------------------------------------------------------------
+// Corrupt Matrix Market inputs
+
+TEST(CorruptInputs, EveryCorruptionModeRaisesFatalWithALineNumber)
+{
+    // A well-formed 3x3 source text to damage.
+    sparse::CooMatrix coo;
+    coo.rows = 3;
+    coo.cols = 3;
+    coo.entries = {{0, 0, 1.0}, {1, 2, 2.0}, {2, 1, 3.0}};
+    std::ostringstream source;
+    sparse::writeMatrixMarket(source, sparse::cooToCsr(coo));
+
+    const util::fault::MtxCorruption modes[] = {
+            util::fault::MtxCorruption::TruncateEntries,
+            util::fault::MtxCorruption::BadBanner,
+            util::fault::MtxCorruption::NonNumericSize,
+            util::fault::MtxCorruption::OutOfRangeIndex,
+            util::fault::MtxCorruption::ShortRow,
+    };
+    for (auto mode : modes) {
+        SCOPED_TRACE("mode " + std::to_string(int(mode)));
+        std::string corrupted = util::fault::corruptMatrixMarket(
+                source.str(), mode);
+        ASSERT_NE(corrupted, source.str());
+        std::istringstream in(corrupted);
+        try {
+            sparse::readMatrixMarket(in);
+            FAIL() << "corrupted input parsed without error";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("line "),
+                      std::string::npos)
+                    << "no line number in: " << err.what();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// DSE per-candidate isolation
+
+DseOptions
+smallDse(std::size_t threads)
+{
+    DseOptions options;
+    options.threads = threads;
+    options.topK = 64;
+    options.enumerate.maxHopLength = 1;
+    return options;
+}
+
+void
+expectIdenticalRankings(const std::vector<DseCandidate> &a,
+                        const std::vector<DseCandidate> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        SCOPED_TRACE("rank " + std::to_string(i));
+        EXPECT_EQ(a[i].enumIndex, b[i].enumIndex);
+        EXPECT_EQ(a[i].score, b[i].score);
+    }
+}
+
+void
+expectIdenticalFailures(const DseStats &a, const DseStats &b)
+{
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.failedByKind, b.failedByKind);
+    ASSERT_EQ(a.failures.size(), b.failures.size());
+    for (std::size_t i = 0; i < a.failures.size(); i++) {
+        SCOPED_TRACE("failure " + std::to_string(i));
+        EXPECT_EQ(a.failures[i].enumIndex, b.failures[i].enumIndex);
+        EXPECT_EQ(a.failures[i].failure.kind, b.failures[i].failure.kind);
+        EXPECT_EQ(a.failures[i].failure.message,
+                  b.failures[i].failure.message);
+    }
+}
+
+/** Run the same exploration serial and 4-threaded; both must agree. */
+void
+exploreBothWays(const func::FunctionalSpec &spec, const IntVec &bounds,
+                DseOptions options, DseStats &stats_out,
+                std::vector<DseCandidate> &candidates_out)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    options.threads = 1;
+    DseStats serial_stats;
+    auto serial = accel::exploreDataflows(spec, bounds, options,
+                                          area_params, timing_params,
+                                          &serial_stats);
+    options.threads = 4;
+    DseStats parallel_stats;
+    auto parallel = accel::exploreDataflows(spec, bounds, options,
+                                            area_params, timing_params,
+                                            &parallel_stats);
+    expectIdenticalRankings(serial, parallel);
+    expectIdenticalFailures(serial_stats, parallel_stats);
+    stats_out = serial_stats;
+    candidates_out = serial;
+}
+
+TEST(DseIsolation, IllegalBoundsFailEveryCandidateWithoutCrashing)
+{
+    // A zero elaboration bound is a user error; every candidate must be
+    // recorded as a user-spec failure and the call must still return.
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    exploreBothWays(func::matmulSpec(), {4, 0, 4}, smallDse(1), stats,
+                    candidates);
+    EXPECT_TRUE(candidates.empty());
+    EXPECT_GT(stats.enumerated, 0u);
+    EXPECT_EQ(stats.failed, stats.enumerated);
+    EXPECT_EQ(stats.evaluated, 0u);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::UserSpec)],
+              stats.failed);
+    EXPECT_EQ(stats.evaluated + stats.prunedEarly + stats.failed,
+              stats.enumerated);
+}
+
+TEST(DseIsolation, StageThrowsAreRecordedWithTheRightKind)
+{
+    struct Case
+    {
+        const char *stage;
+        FaultClass cls;
+        FailureKind kind;
+    };
+    const Case cases[] = {
+            {"generate.elaborate", FaultClass::Fatal,
+             FailureKind::UserSpec},
+            {"generate.prune", FaultClass::Panic,
+             FailureKind::InternalPanic},
+            {"generate.transform", FaultClass::Budget,
+             FailureKind::ResourceBudget},
+            {"generate.regfiles", FaultClass::Timeout,
+             FailureKind::Timeout},
+            {"dse.evaluate", FaultClass::Panic,
+             FailureKind::InternalPanic},
+            {"dse.score", FaultClass::Fatal, FailureKind::UserSpec},
+    };
+    for (const auto &kase : cases) {
+        SCOPED_TRACE(kase.stage);
+        InjectionSpec spec;
+        spec.stage = kase.stage;
+        spec.cls = kase.cls;
+        spec.contexts = {1, 3, 4};
+        ScopedArm armed(spec);
+
+        DseStats stats;
+        std::vector<DseCandidate> candidates;
+        exploreBothWays(func::matmulSpec(), {3, 3, 3}, smallDse(1),
+                        stats, candidates);
+        EXPECT_EQ(stats.failed, 3u);
+        EXPECT_EQ(stats.failedByKind[std::size_t(kase.kind)], 3u);
+        EXPECT_EQ(stats.evaluated + stats.failed, stats.enumerated);
+        // The failing candidates are exactly the armed contexts, in
+        // enumeration order.
+        ASSERT_EQ(stats.failures.size(), 3u);
+        EXPECT_EQ(stats.failures[0].enumIndex, 1u);
+        EXPECT_EQ(stats.failures[1].enumIndex, 3u);
+        EXPECT_EQ(stats.failures[2].enumIndex, 4u);
+        // No failed candidate appears in the ranking.
+        for (const auto &candidate : candidates) {
+            EXPECT_NE(candidate.enumIndex, 1u);
+            EXPECT_NE(candidate.enumIndex, 3u);
+            EXPECT_NE(candidate.enumIndex, 4u);
+        }
+    }
+}
+
+TEST(DseIsolation, PanicNeverEscapesAsAnAbort)
+{
+    InjectionSpec spec;
+    spec.stage = "generate.elaborate";
+    spec.cls = FaultClass::Panic;
+    spec.allContexts = true;
+    ScopedArm armed(spec);
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    EXPECT_NO_THROW(candidates = accel::exploreDataflows(
+                            func::matmulSpec(), {3, 3, 3}, smallDse(4),
+                            area_params, timing_params, &stats));
+    EXPECT_TRUE(candidates.empty());
+    EXPECT_EQ(stats.failed, stats.enumerated);
+    EXPECT_EQ(stats.failedByKind[std::size_t(
+                      FailureKind::InternalPanic)],
+              stats.failed);
+}
+
+TEST(DseIsolation, StepBudgetExpiryIsARecordedTimeout)
+{
+    auto options = smallDse(1);
+    options.stepBudget = 10; // far below any candidate's walk
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    exploreBothWays(func::matmulSpec(), {4, 4, 4}, options, stats,
+                    candidates);
+    EXPECT_TRUE(candidates.empty());
+    EXPECT_EQ(stats.failed, stats.enumerated);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::Timeout)],
+              stats.failed);
+    // The recorded failure carries the watchdog's diagnostic dump.
+    ASSERT_FALSE(stats.failures.empty());
+    EXPECT_NE(stats.failures[0].failure.message.find("last point"),
+              std::string::npos);
+}
+
+TEST(DseIsolation, GenerousBudgetFailsNothing)
+{
+    auto options = smallDse(2);
+    options.stepBudget = 1'000'000'000;
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    DseStats stats;
+    auto candidates = accel::exploreDataflows(func::matmulSpec(),
+                                              {3, 3, 3}, options,
+                                              area_params, timing_params,
+                                              &stats);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_FALSE(candidates.empty());
+}
+
+TEST(DseIsolation, FailFastModeRethrowsTheFirstFailure)
+{
+    InjectionSpec spec;
+    spec.stage = "generate.elaborate";
+    spec.cls = FaultClass::Panic;
+    spec.contexts = {2};
+    ScopedArm armed(spec);
+
+    auto options = smallDse(1);
+    options.isolateFailures = false;
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    EXPECT_THROW(accel::exploreDataflows(func::matmulSpec(), {3, 3, 3},
+                                         options, area_params,
+                                         timing_params),
+                 PanicError);
+}
+
+TEST(DseIsolation, ReportBreaksFailuresDownByKind)
+{
+    InjectionSpec spec;
+    spec.stage = "dse.evaluate";
+    spec.cls = FaultClass::Fatal;
+    spec.contexts = {0, 2};
+    ScopedArm armed(spec);
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    DseStats stats;
+    accel::exploreDataflows(func::matmulSpec(), {3, 3, 3}, smallDse(1),
+                            area_params, timing_params, &stats);
+    auto text = accel::dseStatsReport(stats);
+    EXPECT_NE(text.find("2 failed"), std::string::npos) << text;
+    EXPECT_NE(text.find("user-spec x2"), std::string::npos) << text;
+    EXPECT_NE(text.find("injected fault at dse.evaluate"),
+              std::string::npos)
+            << text;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline per-stage isolation
+
+TEST(PipelineIsolation, AFailingStageIsRecordedAndTheRestCompile)
+{
+    InjectionSpec spec;
+    spec.stage = "pipeline.stage";
+    spec.cls = FaultClass::Panic;
+    spec.contexts = {0};
+    ScopedArm armed(spec);
+
+    auto pipeline_spec = accel::sparseMatmulPipelineSpec(4, 4);
+    auto result = accel::generatePipelineIsolated(pipeline_spec);
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].stageIndex, 0u);
+    EXPECT_EQ(result.failures[0].failure.kind,
+              FailureKind::InternalPanic);
+    EXPECT_EQ(result.pipeline.stages.size(),
+              pipeline_spec.stages.size() - 1);
+}
+
+TEST(PipelineIsolation, CleanRunMatchesTheThrowingPath)
+{
+    auto pipeline_spec = accel::sparseMatmulPipelineSpec(4, 4);
+    auto isolated = accel::generatePipelineIsolated(pipeline_spec);
+    ASSERT_TRUE(isolated.ok());
+    auto direct = accel::generatePipeline(pipeline_spec);
+    ASSERT_EQ(isolated.pipeline.stages.size(), direct.stages.size());
+    EXPECT_EQ(isolated.pipeline.totalPes(), direct.totalPes());
+}
+
+TEST(PipelineIsolation, StageBudgetExpiryIsATimeout)
+{
+    auto pipeline_spec = accel::sparseMatmulPipelineSpec(4, 4);
+    auto result = accel::generatePipelineIsolated(pipeline_spec,
+                                                  /*step_budget=*/5);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.failures.size(), pipeline_spec.stages.size());
+    for (const auto &failure : result.failures)
+        EXPECT_EQ(failure.failure.kind, FailureKind::Timeout);
+}
+
+// ---------------------------------------------------------------------
+// Deterministic failure accounting over randomized faulty explorations
+
+class FaultyDseDeterminism : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FaultyDseDeterminism, SerialAndParallelAgreeOnEverything)
+{
+    Rng rng(std::uint64_t(GetParam()) * 7919 + 13);
+
+    // Randomized problem, mirroring dse_parallel_test's generator.
+    auto spec = rng.nextBool(0.5) ? func::matmulSpec()
+                                  : func::matAddSpec();
+    IntVec bounds;
+    for (int i = 0; i < spec.numIndices(); i++)
+        bounds.push_back(rng.nextRange(2, 4));
+
+    DseOptions options;
+    options.topK = std::size_t(rng.nextRange(4, 16));
+    options.enumerate.maxHopLength = rng.nextRange(1, 2);
+    if (rng.nextBool(0.3))
+        options.stepBudget = rng.nextRange(20, 200);
+
+    // Arm a random stage with a random fault class for a random subset
+    // of candidate contexts.
+    const char *stages[] = {"generate.elaborate", "generate.prune",
+                            "generate.transform", "dse.evaluate",
+                            "dse.score"};
+    const FaultClass classes[] = {FaultClass::Fatal, FaultClass::Panic,
+                                  FaultClass::Timeout,
+                                  FaultClass::Budget};
+    InjectionSpec injection;
+    injection.stage = stages[rng.nextBounded(5)];
+    injection.cls = classes[rng.nextBounded(4)];
+    for (int i = 0; i < 12; i++)
+        injection.contexts.insert(rng.nextBounded(64));
+    ScopedArm armed(injection);
+
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    exploreBothWays(spec, bounds, options, stats, candidates);
+    EXPECT_EQ(stats.evaluated + stats.prunedEarly + stats.failed,
+              stats.enumerated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultyDseDeterminism,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Injector bookkeeping
+
+TEST(FaultInjector, DisarmedCheckpointsAreFree)
+{
+    util::fault::reset();
+    EXPECT_FALSE(util::fault::armed());
+    EXPECT_NO_THROW(util::fault::checkpoint("generate.elaborate"));
+}
+
+TEST(FaultInjector, ContextScopingNestsAndCounts)
+{
+    EXPECT_EQ(util::fault::currentContext(), util::fault::kNoContext);
+    {
+        util::fault::ScopedContext outer(7);
+        EXPECT_EQ(util::fault::currentContext(), 7u);
+        {
+            util::fault::ScopedContext inner(9);
+            EXPECT_EQ(util::fault::currentContext(), 9u);
+        }
+        EXPECT_EQ(util::fault::currentContext(), 7u);
+    }
+    EXPECT_EQ(util::fault::currentContext(), util::fault::kNoContext);
+
+    InjectionSpec spec;
+    spec.stage = "test.point";
+    spec.cls = FaultClass::Fatal;
+    spec.contexts = {7};
+    ScopedArm armed(spec);
+    auto fired_before = util::fault::firedCount();
+    {
+        util::fault::ScopedContext context(8);
+        EXPECT_NO_THROW(util::fault::checkpoint("test.point"));
+    }
+    {
+        util::fault::ScopedContext context(7);
+        EXPECT_THROW(util::fault::checkpoint("test.point"), FatalError);
+    }
+    EXPECT_EQ(util::fault::firedCount(), fired_before + 1);
+}
+
+} // namespace
+} // namespace stellar

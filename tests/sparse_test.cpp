@@ -295,5 +295,85 @@ TEST(MatrixMarket, RejectsMalformedInput)
     EXPECT_THROW(readMatrixMarket(bad_coords), FatalError);
 }
 
+TEST(MatrixMarket, MalformedInputsFailWithTheOffendingLineNumber)
+{
+    // Every parse failure must name its 1-based line, never misparse
+    // silently (a garbage token fed to istream >> leaves zeros behind).
+    struct Case
+    {
+        const char *label;
+        const char *text;
+        const char *expect; //!< required substring of the FatalError
+    };
+    const Case cases[] = {
+            {"empty stream", "", "empty Matrix Market stream"},
+            {"no banner", "3 3 1\n1 1 5.0\n",
+             "line 1: missing %%MatrixMarket banner"},
+            {"incomplete banner", "%%MatrixMarket matrix coordinate\n",
+             "line 1: incomplete banner"},
+            {"wrong object",
+             "%%MatrixMarket vector coordinate real general\n",
+             "line 1: only matrix objects"},
+            {"dense format", "%%MatrixMarket matrix array real general\n",
+             "line 1: only coordinate format"},
+            {"bad field",
+             "%%MatrixMarket matrix coordinate complex general\n",
+             "line 1: unsupported field type"},
+            {"bad symmetry",
+             "%%MatrixMarket matrix coordinate real hermitian\n",
+             "line 1: unsupported symmetry"},
+            {"missing sizes",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "% only comments follow\n",
+             "missing size header"},
+            {"garbage sizes",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "three by three\n",
+             "line 2: malformed size header"},
+            {"negative sizes",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "-3 3 1\n",
+             "line 2: size header out of range"},
+            {"truncated entries",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 3\n"
+             "1 1 5.0\n",
+             "truncated entry list (got 1 of 3 entries)"},
+            {"short entry row",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "1\n",
+             "line 3: short entry row"},
+            {"missing value",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "1 2\n",
+             "line 3: entry missing its value"},
+            {"row out of range",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "% comment shifts the entries down a line\n"
+             "2 2 1\n"
+             "5 1 1.0\n",
+             "line 4: entry coordinates (5, 1) out of range"},
+            {"zero-based column",
+             "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "1 0 1.0\n",
+             "line 3: entry coordinates (1, 0) out of range"},
+    };
+    for (const auto &kase : cases) {
+        SCOPED_TRACE(kase.label);
+        std::istringstream in(kase.text);
+        try {
+            readMatrixMarket(in);
+            FAIL() << "parsed without error";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(kase.expect),
+                      std::string::npos)
+                    << "message was: " << err.what();
+        }
+    }
+}
+
 } // namespace
 } // namespace stellar::sparse

@@ -138,6 +138,72 @@ TEST(ThreadPool, DestructionWithQueuedWorkDoesNotHang)
     EXPECT_GT(discarded, 0);
 }
 
+TEST(ThreadPool, IsolatedMapCapturesExceptionsPerIndex)
+{
+    ThreadPool pool(4);
+    std::vector<std::exception_ptr> errors;
+    auto results = pool.parallelMapIsolated<int>(
+            100,
+            [](std::size_t i) -> int {
+                if (i % 10 == 3)
+                    throw FatalError("index " + std::to_string(i));
+                return int(i) * 2;
+            },
+            errors);
+    ASSERT_EQ(results.size(), 100u);
+    ASSERT_EQ(errors.size(), 100u);
+    for (std::size_t i = 0; i < 100; i++) {
+        if (i % 10 == 3) {
+            // A throwing index leaves its exception in the matching
+            // slot and its result default-constructed; neighbours
+            // never shift.
+            ASSERT_TRUE(bool(errors[i])) << "index " << i;
+            EXPECT_EQ(results[i], 0);
+            try {
+                std::rethrow_exception(errors[i]);
+            } catch (const FatalError &err) {
+                EXPECT_NE(std::string(err.what()).find(
+                                  std::to_string(i)),
+                          std::string::npos);
+            }
+        } else {
+            EXPECT_FALSE(bool(errors[i])) << "index " << i;
+            EXPECT_EQ(results[i], int(i) * 2);
+        }
+    }
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingTasksAndStaysUsable)
+{
+    ThreadPool pool(2);
+    std::vector<std::exception_ptr> errors;
+    // Every single task throws; the pool must not tear down.
+    pool.parallelMapIsolated<int>(
+            500, [](std::size_t) -> int { throw PanicError("all fail"); },
+            errors);
+    for (const auto &error : errors)
+        EXPECT_TRUE(bool(error));
+    // The same pool still runs ordinary work afterwards.
+    auto squares = pool.parallelMap<std::int64_t>(
+            64, [](std::size_t i) { return std::int64_t(i) * i; });
+    for (std::size_t i = 0; i < squares.size(); i++)
+        EXPECT_EQ(squares[i], std::int64_t(i) * i);
+    EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, IsolatedMapWithNoFailuresMatchesParallelMap)
+{
+    ThreadPool pool(3);
+    std::vector<std::exception_ptr> errors;
+    auto isolated = pool.parallelMapIsolated<int>(
+            200, [](std::size_t i) { return int(i) + 1; }, errors);
+    auto plain = pool.parallelMap<int>(
+            200, [](std::size_t i) { return int(i) + 1; });
+    EXPECT_EQ(isolated, plain);
+    for (const auto &error : errors)
+        EXPECT_FALSE(bool(error));
+}
+
 TEST(ThreadPool, ManyPoolsConstructAndDestroy)
 {
     for (int round = 0; round < 20; round++) {
