@@ -54,6 +54,59 @@ report()
                 "checks and ran through the\nfull generation pipeline "
                 "(Fig 7) before being scored.\n");
 
+    // Fast-path ablation: the same sweep with the exact maxPes prune
+    // and with the analytic prepass, against the full single-phase run.
+    // The prune is lossless and the prepass proxy keeps the real
+    // leaders, so the top designs match the full run.
+    std::printf("\nfast-path ablation (matmul 8x8x8, larger 12x12x12 "
+                "elaboration)\n");
+    bench::row({"mode", "evaluated", "skipped", "evaluate ms", "cand/s",
+                "speedup"}, 12);
+    bench::rule(6, 12);
+    double full_ms = 0.0;
+    for (int mode = 0; mode < 3; mode++) {
+        accel::DseOptions options;
+        options.topK = 6;
+        options.threads = 1;
+        if (mode == 1)
+            options.maxPes = 256;
+        if (mode == 2)
+            options.analyticPrepass = 24;
+        accel::DseStats stats;
+        auto candidates = accel::exploreDataflows(
+                func::matmulSpec(), {12, 12, 12}, options, area_params,
+                timing_params, &stats);
+        benchmark::DoNotOptimize(candidates);
+        if (mode == 0)
+            full_ms = stats.evaluateMs;
+        const char *labels[] = {"full", "maxPes=256", "prepass=24"};
+        double total_ms = stats.prepassMs + stats.evaluateMs;
+        bench::row({labels[mode], std::to_string(stats.evaluated),
+                    std::to_string(stats.prunedEarly +
+                                   stats.prepassFiltered),
+                    formatDouble(total_ms, 1),
+                    formatDouble(stats.candidatesPerSecond(), 1),
+                    formatDouble(full_ms / total_ms, 2) + "x"},
+                   12);
+    }
+
+    // Failure surfacing: a starved step budget fails every candidate,
+    // and the stats report breaks the failures down by kind.
+    std::printf("\nfailure surfacing (stepBudget=10, every candidate "
+                "times out)\n");
+    {
+        accel::DseOptions options;
+        options.topK = 6;
+        options.threads = 1;
+        options.stepBudget = 10;
+        accel::DseStats stats;
+        auto candidates = accel::exploreDataflows(
+                func::matmulSpec(), {8, 8, 8}, options, area_params,
+                timing_params, &stats);
+        benchmark::DoNotOptimize(candidates);
+        std::printf("%s", accel::dseStatsReport(stats).c_str());
+    }
+
     // Parallel-scaling report: the same default sweep at 1/2/4 workers.
     // Rankings are identical at every thread count (deterministic
     // reduction); only the wall time changes.

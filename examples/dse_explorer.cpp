@@ -7,11 +7,18 @@
  * than being special cases.
  *
  * usage: dse_explorer [--threads N] [--topk K] [--step-budget B]
+ *                     [--max-pes P] [--prepass K]
  *   --threads N      evaluation workers (0 = hardware concurrency);
  *                    rankings are identical for every thread count
  *   --step-budget B  per-candidate watchdog step budget (0 = unlimited);
  *                    candidates that exceed it are recorded as timeout
  *                    failures and rank nowhere
+ *   --max-pes P      drop candidates over P PEs before elaboration;
+ *                    the analytic count is exact, so the prune is
+ *                    lossless (0 = keep everything)
+ *   --prepass K      two-phase mode: analytically probe everything and
+ *                    full-elaborate only the best K candidates
+ *                    (0 = single phase)
  */
 
 #include <algorithm>
@@ -40,9 +47,15 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--step-budget") == 0 && i + 1 < argc)
             options.stepBudget =
                     std::max<std::int64_t>(0, std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--max-pes") == 0 && i + 1 < argc)
+            options.maxPes =
+                    std::max<std::int64_t>(0, std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--prepass") == 0 && i + 1 < argc)
+            options.analyticPrepass =
+                    std::size_t(std::max(0, std::atoi(argv[++i])));
         else {
             std::printf("usage: dse_explorer [--threads N] [--topk K] "
-                        "[--step-budget B]\n");
+                        "[--step-budget B] [--max-pes P] [--prepass K]\n");
             return 1;
         }
     }

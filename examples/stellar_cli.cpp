@@ -54,8 +54,12 @@ usage()
             "  dse options:\n"
             "  --threads T       DSE workers (0 = hardware concurrency)\n"
             "  --topk K          designs to keep (default 10)\n"
-            "  --max-pes P       prune candidates over P PEs (bounding "
-            "box)\n"
+            "  --max-pes P       prune candidates over P PEs (exact "
+            "analytic count)\n"
+            "  --prepass K       analytically probe everything, fully "
+            "evaluate only\n"
+            "                    the best K candidates (0 = single "
+            "phase)\n"
             "  --step-budget B   per-candidate watchdog step budget "
             "(0 = unlimited);\n"
             "                    over-budget candidates are recorded as "
@@ -135,6 +139,9 @@ main(int argc, char **argv)
             dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--max-pes")
             dse_options.maxPes = std::max<std::int64_t>(0, std::atoll(next()));
+        else if (arg == "--prepass")
+            dse_options.analyticPrepass =
+                    std::size_t(std::max(0, std::atoi(next())));
         else if (arg == "--step-budget")
             dse_options.stepBudget =
                     std::max<std::int64_t>(0, std::atoll(next()));

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Build and test the three supported configurations: plain,
+# AddressSanitizer+UBSan (STELLAR_SANITIZE), and ThreadSanitizer
+# (STELLAR_TSAN). Each tree lives under build-matrix/<name> so the
+# matrix never disturbs an existing build/ directory.
+#
+# usage: scripts/check_matrix.sh [tree ...]
+#   tree: any of plain, asan, tsan (default: all three)
+#
+# The TSan tree runs only the "concurrency"-labelled tests (thread
+# pool, sharded enumeration, parallel DSE, fault isolation): TSan's
+# value is data-race detection, and restricting it keeps the matrix
+# fast enough to run before every push.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+build_and_test() {
+    local name="$1"
+    shift
+    local dir="build-matrix/${name}"
+    echo "==== [${name}] configure + build ===="
+    cmake -B "${dir}" -S . "$@" >/dev/null
+    cmake --build "${dir}" -j "${jobs}"
+    echo "==== [${name}] ctest ===="
+    case "${name}" in
+    tsan) (cd "${dir}" && ctest -L concurrency --output-on-failure -j "${jobs}") ;;
+    *) (cd "${dir}" && ctest --output-on-failure -j "${jobs}") ;;
+    esac
+}
+
+trees=("$@")
+if [ "${#trees[@]}" -eq 0 ]; then
+    trees=(plain asan tsan)
+fi
+
+for tree in "${trees[@]}"; do
+    case "${tree}" in
+    plain) build_and_test plain ;;
+    asan) build_and_test asan -DSTELLAR_SANITIZE=ON ;;
+    tsan) build_and_test tsan -DSTELLAR_TSAN=ON ;;
+    *)
+        echo "unknown tree '${tree}' (expected plain, asan, or tsan)" >&2
+        exit 1
+        ;;
+    esac
+done
+echo "==== matrix OK: ${trees[*]} ===="

@@ -1,0 +1,182 @@
+#include "accel/analytic.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/saturate.hpp"
+
+namespace stellar::accel
+{
+
+namespace
+{
+
+/**
+ * Primitive generator of the integer kernel of the spatial submatrix.
+ *
+ * The spatial rows of an invertible (d x d) transform form a rank d-1
+ * map, so its rational kernel is one-dimensional and its integer points
+ * are the multiples of a single primitive vector v. Two iteration
+ * points fold onto the same PE exactly when they differ by a multiple
+ * of v, which reduces every distinct-image count below to box-overlap
+ * arithmetic. v comes from the generalized cross product (signed
+ * (d-1)-minors of the spatial rows), normalized by the gcd.
+ */
+IntVec
+spatialKernel(const IntMatrix &m)
+{
+    int d = m.cols();
+    int sd = m.rows() - 1;
+    IntVec v(std::size_t(d), 0);
+    std::int64_t g = 0;
+    for (int skip = 0; skip < d; skip++) {
+        IntMatrix minor(sd, sd);
+        for (int r = 0; r < sd; r++) {
+            int mc = 0;
+            for (int c = 0; c < d; c++) {
+                if (c == skip)
+                    continue;
+                minor.at(r, mc++) = m.at(r, c);
+            }
+        }
+        std::int64_t det = minor.determinant();
+        v[std::size_t(skip)] = (skip % 2 == 0) ? det : -det;
+        g = std::gcd(g, std::llabs(det));
+    }
+    require(g > 0, "spatial submatrix of an invertible transform must "
+                   "have a one-dimensional kernel");
+    for (auto &component : v)
+        component /= g;
+    return v;
+}
+
+/**
+ * Distinct spatial images of an axis-aligned box with the given
+ * per-axis spans: |box| minus the overlap of the box with its translate
+ * by the kernel vector (every point whose predecessor along the kernel
+ * line is also inside the box is a duplicate image).
+ */
+std::int64_t
+distinctImages(const IntVec &spans, const IntVec &kernel, bool *saturated)
+{
+    std::int64_t total = 1;
+    std::int64_t overlap = 1;
+    for (std::size_t i = 0; i < spans.size(); i++) {
+        std::int64_t span = spans[i];
+        if (span <= 0)
+            return 0;
+        total = util::satMul(total, span, saturated);
+        std::int64_t shifted = span - std::llabs(kernel[i]);
+        overlap = shifted <= 0
+                          ? 0
+                          : util::satMul(overlap, shifted, saturated);
+    }
+    return total - overlap;
+}
+
+} // namespace
+
+std::int64_t
+AnalyticProbe::totalWires() const
+{
+    std::int64_t total = 0;
+    for (const auto &wire : wires)
+        total += wire.instances;
+    return total;
+}
+
+std::int64_t
+AnalyticProbe::totalWireLength() const
+{
+    std::int64_t total = 0;
+    for (const auto &wire : wires)
+        total += wire.instances * wire.wireLength;
+    return total;
+}
+
+std::int64_t
+analyticPeCount(const dataflow::SpaceTimeTransform &transform,
+                const IntVec &bounds)
+{
+    require(transform.dims() == int(bounds.size()),
+            "transform dimensionality must match the bounds");
+    if (transform.spaceDims() == 0)
+        return 1; // every point folds onto the single PE
+    bool saturated = false;
+    IntVec kernel = spatialKernel(transform.matrix());
+    return distinctImages(bounds, kernel, &saturated);
+}
+
+AnalyticProbe
+analyticProbe(const dataflow::SpaceTimeTransform &transform,
+              const IntVec &bounds, const core::IterationSpace &space)
+{
+    require(transform.dims() == space.numIndices(),
+            "transform dimensionality must match the iteration space");
+    require(int(bounds.size()) == space.numIndices(),
+            "bounds must cover every iterator");
+
+    AnalyticProbe probe;
+    const auto &m = transform.matrix();
+    int d = transform.dims();
+    int sd = transform.spaceDims();
+
+    // Extents and schedule length: a linear form over a box attains its
+    // extremes at the corners, so per row the image range is the sum of
+    // per-axis coefficient reaches.
+    probe.extents.assign(std::size_t(sd), 0);
+    for (int r = 0; r < d; r++) {
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        for (int c = 0; c < d; c++) {
+            std::int64_t reach =
+                    util::satMul(m.at(r, c), bounds[std::size_t(c)] - 1,
+                                 &probe.saturated);
+            if (reach < 0)
+                lo = util::satAdd(lo, reach, &probe.saturated);
+            else
+                hi = util::satAdd(hi, reach, &probe.saturated);
+        }
+        std::int64_t span = util::satAdd(
+                util::satAdd(hi, -lo, &probe.saturated), 1,
+                &probe.saturated);
+        if (r + 1 == d)
+            probe.scheduleLength = span;
+        else
+            probe.extents[std::size_t(r)] = span;
+    }
+
+    if (sd == 0) {
+        probe.pes = 1;
+        return probe; // no spatial axes: one PE, no wires
+    }
+
+    IntVec kernel = spatialKernel(m);
+    probe.pes = distinctImages(bounds, kernel, &probe.saturated);
+
+    // Dense wire-instance counts: a wire instance exists for every
+    // distinct spatial image of a source point, and the sources of a
+    // conn class form the sub-box with per-axis span bound - |diff|
+    // (the connInstances geometry), so the same kernel-overlap count
+    // applies to the sub-box.
+    for (const auto &conn : space.aliveConns()) {
+        auto delta = transform.deltaOf(conn.diff);
+        if (vecIsZero(delta.space))
+            continue; // stationary under this transform: not a wire
+        IntVec spans(std::size_t(d), 0);
+        for (int c = 0; c < d; c++)
+            spans[std::size_t(c)] = bounds[std::size_t(c)] -
+                                    std::llabs(conn.diff[std::size_t(c)]);
+        AnalyticWire wire;
+        wire.tensor = conn.tensor;
+        wire.spaceDelta = delta.space;
+        wire.registers = delta.time;
+        wire.wireLength = vecL1(delta.space);
+        wire.instances = distinctImages(spans, kernel, &probe.saturated);
+        probe.wires.push_back(std::move(wire));
+    }
+    return probe;
+}
+
+} // namespace stellar::accel

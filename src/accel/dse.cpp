@@ -4,6 +4,8 @@
 #include <chrono>
 #include <exception>
 
+#include "accel/analytic.hpp"
+#include "core/prune.hpp"
 #include "model/area.hpp"
 #include "model/timing.hpp"
 #include "util/fault_inject.hpp"
@@ -23,30 +25,6 @@ msSince(Clock::time_point start)
 {
     return std::chrono::duration<double, std::milli>(Clock::now() - start)
             .count();
-}
-
-/**
- * Upper bound on the PE count of a transform: the product of the
- * per-spatial-axis bounding-box extents. Exact for fully occupied
- * rectangular arrays, an over-count otherwise — cheap enough to run
- * before elaboration.
- */
-std::int64_t
-boundingBoxPes(const dataflow::SpaceTimeTransform &transform,
-               const IntVec &bounds)
-{
-    const auto &m = transform.matrix();
-    std::int64_t pes = 1;
-    for (int r = 0; r + 1 < m.rows(); r++) {
-        std::int64_t extent = 0;
-        for (int c = 0; c < m.cols(); c++) {
-            std::int64_t coeff = m.at(r, c);
-            std::int64_t span = bounds[std::size_t(c)] - 1;
-            extent += (coeff < 0 ? -coeff : coeff) * span;
-        }
-        pes *= extent + 1;
-    }
-    return pes;
 }
 
 DseCandidate
@@ -112,16 +90,58 @@ exploreDataflows(const func::FunctionalSpec &functional,
     local.enumerated = transforms.size();
 
     // Fix the work list (and each candidate's enumIndex) up front so the
-    // ranking never depends on evaluation order.
+    // ranking never depends on evaluation order. The maxPes prune is
+    // exact: analyticPeCount equals the elaborated numPes(), so only
+    // candidates that genuinely exceed the cap are dropped.
     std::vector<std::size_t> worklist;
     worklist.reserve(transforms.size());
     for (std::size_t i = 0; i < transforms.size(); i++) {
         if (options.maxPes > 0 &&
-            boundingBoxPes(transforms[i], bounds) > options.maxPes) {
+            analyticPeCount(transforms[i], bounds) > options.maxPes) {
             local.prunedEarly++;
             continue;
         }
         worklist.push_back(i);
+    }
+
+    // Optional analytic prepass: probe every surviving candidate in
+    // closed form and keep only the most promising ones for the full
+    // elaboration below. The probe shares one elaborated + sparsity-
+    // pruned space across candidates (both are transform-independent;
+    // balancing is transform-specific and deliberately left to the full
+    // evaluation). The proxy is the same execution-time x area shape as
+    // the real score with fmax and per-PE area held constant, and the
+    // survivor list is re-sorted back into enumeration order so the
+    // evaluate phase below behaves exactly as in a single-phase run.
+    if (options.analyticPrepass > 0 &&
+        worklist.size() > options.analyticPrepass) {
+        auto prepass_start = Clock::now();
+        core::IterationSpace probe_space =
+                core::elaborate(functional, bounds);
+        core::applySparsity(probe_space, options.sparsity);
+        std::vector<std::pair<double, std::size_t>> proxies;
+        proxies.reserve(worklist.size());
+        for (std::size_t index : worklist) {
+            auto probe = analyticProbe(transforms[index], bounds,
+                                       probe_space);
+            double proxy = double(probe.scheduleLength) *
+                           double(probe.pes);
+            proxies.emplace_back(proxy, index);
+        }
+        std::sort(proxies.begin(), proxies.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second < b.second;
+                  });
+        local.prepassFiltered =
+                worklist.size() - options.analyticPrepass;
+        proxies.resize(options.analyticPrepass);
+        worklist.clear();
+        for (const auto &[proxy, index] : proxies)
+            worklist.push_back(index);
+        std::sort(worklist.begin(), worklist.end());
+        local.prepassMs = msSince(prepass_start);
     }
 
     auto evaluate_start = Clock::now();

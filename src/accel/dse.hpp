@@ -58,12 +58,24 @@ struct DseOptions
     std::size_t threads = 0;
 
     /**
-     * Skip candidates whose spatial bounding box holds more than this
-     * many PEs before elaborating them (0 = keep everything). The bound
-     * is conservative — the box can over-count partially occupied
-     * arrays — so treat it as a throughput knob, not an exact filter.
+     * Skip candidates with more than this many PEs before elaborating
+     * them (0 = keep everything). The filter uses the closed-form
+     * analyticPeCount, which equals the elaborated PE count exactly, so
+     * the prune is lossless: it removes precisely the candidates whose
+     * elaborated array would exceed the cap, never a survivor.
      */
     std::int64_t maxPes = 0;
+
+    /**
+     * Two-phase exploration: when nonzero, every candidate is first
+     * probed analytically (exact PE count and schedule length, no
+     * iteration-space walk), and only the best `analyticPrepass`
+     * candidates by the schedule-length x PE proxy are fully elaborated
+     * and scored. The rest are counted in DseStats::prepassFiltered.
+     * The proxy tracks the delay-area score but is not identical to it,
+     * so set this comfortably above topK. 0 disables the prepass.
+     */
+    std::size_t analyticPrepass = 0;
 
     /** Optional sparsity/balancing applied to every candidate, so the
      *  search sees the interactions between dataflow and the other
@@ -101,8 +113,11 @@ struct DseStats
 {
     std::size_t enumerated = 0;  //!< distinct transforms found
     std::size_t evaluated = 0;   //!< candidates fully elaborated+scored
-    std::size_t prunedEarly = 0; //!< skipped by the maxPes bounding box
+    std::size_t prunedEarly = 0; //!< skipped by the exact maxPes prune
     std::size_t failed = 0;      //!< candidates that threw (isolated)
+
+    /** Candidates dropped by the analyticPrepass proxy ranking. */
+    std::size_t prepassFiltered = 0;
     std::size_t threadsUsed = 1;
 
     /** failed, broken down by util::FailureKind (indexed by the enum). */
@@ -113,6 +128,7 @@ struct DseStats
     std::vector<CandidateFailure> failures;
 
     double enumerateMs = 0.0; //!< wall time enumerating transforms
+    double prepassMs = 0.0;   //!< wall time in the analytic prepass
     double evaluateMs = 0.0;  //!< wall time elaborating + scoring
     double rankMs = 0.0;      //!< wall time in the top-K reduction
 
@@ -125,8 +141,8 @@ struct DseStats
  * returned candidates are sorted by ascending score (best first), ties
  * broken by enumeration index, so the ranking is deterministic across
  * runs and thread counts. When `stats` is non-null it receives the
- * counters for this call; `evaluated + prunedEarly + failed ==
- * enumerated` always holds, and with the default isolateFailures a
+ * counters for this call; `evaluated + prunedEarly + prepassFiltered +
+ * failed == enumerated` always holds, and with the default isolateFailures a
  * throwing candidate becomes a recorded CandidateFailure rather than
  * an exception out of this call.
  */

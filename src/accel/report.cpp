@@ -108,12 +108,16 @@ dseStatsReport(const DseStats &stats)
 {
     std::ostringstream os;
     os << "explored " << stats.enumerated << " dataflows ("
-       << stats.prunedEarly << " pruned early, " << stats.evaluated
-       << " evaluated, " << stats.failed << " failed) on "
-       << stats.threadsUsed
+       << stats.prunedEarly << " pruned early, ";
+    if (stats.prepassFiltered > 0)
+        os << stats.prepassFiltered << " prepass-filtered, ";
+    os << stats.evaluated << " evaluated, " << stats.failed
+       << " failed) on " << stats.threadsUsed
        << (stats.threadsUsed == 1 ? " thread" : " threads") << "\n";
-    os << "  enumerate " << formatDouble(stats.enumerateMs, 1)
-       << " ms, evaluate " << formatDouble(stats.evaluateMs, 1)
+    os << "  enumerate " << formatDouble(stats.enumerateMs, 1) << " ms, ";
+    if (stats.prepassFiltered > 0 || stats.prepassMs > 0.0)
+        os << "prepass " << formatDouble(stats.prepassMs, 2) << " ms, ";
+    os << "evaluate " << formatDouble(stats.evaluateMs, 1)
        << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
        << formatDouble(stats.candidatesPerSecond(), 1)
        << " candidates/s)\n";

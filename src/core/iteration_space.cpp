@@ -31,27 +31,9 @@ void
 IterationSpace::forEachPoint(
         const std::function<void(const IntVec &)> &fn) const
 {
-    IntVec point(bounds_.size(), 0);
-    while (true) {
-        // Every elaboration pass walks points through here, so one tick
-        // per visit gives the DSE per-candidate step budget coverage of
-        // the whole generation pipeline.
-        util::watchdogTick(1, [&]() {
-            return "iteration-space walk, last point " +
-                   vecToString(point) + " of bounds " +
-                   vecToString(bounds_);
-        });
-        fn(point);
-        int axis = int(bounds_.size()) - 1;
-        while (axis >= 0) {
-            if (++point[std::size_t(axis)] < bounds_[std::size_t(axis)])
-                break;
-            point[std::size_t(axis)] = 0;
-            axis--;
-        }
-        if (axis < 0)
-            return;
-    }
+    // Type-erased entry point; the template overload carries the walk
+    // (and its batched watchdog accounting) for both.
+    forEachPoint<const std::function<void(const IntVec &)> &>(fn);
 }
 
 bool

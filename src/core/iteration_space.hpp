@@ -19,6 +19,7 @@
 #ifndef STELLAR_CORE_ITERATION_SPACE_HPP
 #define STELLAR_CORE_ITERATION_SPACE_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -26,6 +27,7 @@
 
 #include "func/spec.hpp"
 #include "util/int_matrix.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::core
 {
@@ -78,6 +80,9 @@ struct IOConn
 class IterationSpace
 {
   public:
+    /** Points charged to the watchdog per batched tick. */
+    static constexpr std::int64_t kWatchdogBatch = 256;
+
     IterationSpace(const func::FunctionalSpec &spec, IntVec bounds);
 
     const func::FunctionalSpec &spec() const { return spec_; }
@@ -89,6 +94,57 @@ class IterationSpace
 
     /** Call fn for every interior point, in lexicographic order. */
     void forEachPoint(const std::function<void(const IntVec &)> &fn) const;
+
+    /**
+     * Raw-callable overload of forEachPoint: lambdas bind here without
+     * the std::function type-erasure cost, and the watchdog is charged
+     * in batches of kWatchdogBatch points instead of one tick per
+     * point. Batching is budget-exact: an installed budget expires
+     * after exactly the same number of visited points as the per-point
+     * tick, with the same diagnostic dump, because each batch is capped
+     * to the budget's remaining steps.
+     */
+    template <typename Fn>
+    void
+    forEachPoint(Fn &&fn) const
+    {
+        util::Watchdog *dog = util::currentWatchdog();
+        IntVec point(bounds_.size(), 0);
+        std::int64_t left = numPoints();
+        while (left > 0) {
+            std::int64_t batch = std::min(kWatchdogBatch, left);
+            if (dog != nullptr) {
+                if (dog->enabled()) {
+                    std::int64_t allowance = dog->remaining();
+                    if (allowance == 0) {
+                        // Expiring step: charge it with the diagnostic
+                        // the per-point walk would have produced.
+                        dog->tick(1, [&]() {
+                            return "iteration-space walk, last point " +
+                                   vecToString(point) + " of bounds " +
+                                   vecToString(bounds_);
+                        });
+                    }
+                    batch = std::min(batch, allowance);
+                }
+                // Pre-charge the whole batch; it never expires because
+                // the batch is capped to the remaining allowance.
+                dog->tick(batch);
+            }
+            for (std::int64_t i = 0; i < batch; i++) {
+                fn(point);
+                int axis = int(bounds_.size()) - 1;
+                while (axis >= 0) {
+                    if (++point[std::size_t(axis)] <
+                        bounds_[std::size_t(axis)])
+                        break;
+                    point[std::size_t(axis)] = 0;
+                    axis--;
+                }
+            }
+            left -= batch;
+        }
+    }
 
     bool isInterior(const IntVec &point) const;
 

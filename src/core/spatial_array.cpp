@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 
 #include "util/logging.hpp"
+#include "util/saturate.hpp"
+#include "util/watchdog.hpp"
 
 namespace stellar::core
 {
@@ -94,9 +97,9 @@ namespace
 {
 
 /** Enumerate the points at which an IOConn class fires. */
+template <typename Fn>
 void
-forEachIoPoint(const IterationSpace &space, const IOConn &io,
-               const std::function<void(const IntVec &)> &fn)
+forEachIoPoint(const IterationSpace &space, const IOConn &io, Fn &&fn)
 {
     const auto &bounds = space.bounds();
     space.forEachPoint([&](const IntVec &p) {
@@ -111,11 +114,331 @@ forEachIoPoint(const IterationSpace &space, const IOConn &io,
     });
 }
 
+/** Flat scratch tables above this many slots fall back to the naive walk. */
+constexpr std::int64_t kDenseKeyLimit = std::int64_t(1) << 21;
+
+/**
+ * The affine image of the bounds box under a transform: per-spatial-axis
+ * [lo, hi] ranges, mixed-radix strides that flatten a spatial position
+ * into one int64 key, and the time range. `dense` is false when the box
+ * product overflows or exceeds kDenseKeyLimit — the fused walk cannot
+ * index it and the naive walk takes over.
+ */
+struct WalkGeometry
+{
+    int spaceDims = 0;
+    IntVec lo;                        //!< per-axis image minimum
+    std::vector<std::int64_t> stride; //!< mixed-radix key strides
+    std::int64_t boxSize = 1;
+    std::int64_t timeLo = 0;
+    std::int64_t timeHi = 0;
+    bool dense = false;
+
+    std::int64_t
+    keyOf(const IntVec &st) const
+    {
+        std::int64_t key = 0;
+        for (int r = 0; r < spaceDims; r++)
+            key += (st[std::size_t(r)] - lo[std::size_t(r)]) *
+                   stride[std::size_t(r)];
+        return key;
+    }
+};
+
+WalkGeometry
+walkGeometry(const dataflow::SpaceTimeTransform &transform,
+             const IntVec &bounds)
+{
+    const auto &m = transform.matrix();
+    WalkGeometry g;
+    g.spaceDims = m.rows() - 1;
+    g.lo.assign(std::size_t(g.spaceDims), 0);
+    g.stride.assign(std::size_t(g.spaceDims), 0);
+
+    bool saturated = false;
+    std::vector<std::int64_t> extent(std::size_t(g.spaceDims), 1);
+    for (int r = 0; r < m.rows(); r++) {
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        for (int c = 0; c < m.cols(); c++) {
+            std::int64_t reach = util::satMul(
+                    m.at(r, c), bounds[std::size_t(c)] - 1, &saturated);
+            if (reach < 0)
+                lo = util::satAdd(lo, reach, &saturated);
+            else
+                hi = util::satAdd(hi, reach, &saturated);
+        }
+        if (r + 1 == m.rows()) {
+            g.timeLo = lo;
+            g.timeHi = hi;
+        } else {
+            g.lo[std::size_t(r)] = lo;
+            extent[std::size_t(r)] = util::satAdd(
+                    util::satAdd(hi, -lo, &saturated), 1, &saturated);
+        }
+    }
+
+    // Row-major strides, last spatial axis fastest.
+    for (int r = g.spaceDims - 1; r >= 0; r--) {
+        g.stride[std::size_t(r)] = g.boxSize;
+        g.boxSize = util::satMul(g.boxSize, extent[std::size_t(r)],
+                                 &saturated);
+    }
+    std::int64_t time_span = util::satAdd(
+            util::satAdd(g.timeHi, -g.timeLo, &saturated), 1, &saturated);
+    g.dense = !saturated && g.boxSize <= kDenseKeyLimit &&
+              time_span <= kDenseKeyLimit;
+    return g;
+}
+
+/** What the fused walk produces; applyTransform assembles the array. */
+struct FusedResult
+{
+    std::vector<ProcessingElement> pes;
+    std::vector<PeWire> wires;
+    std::vector<PePortClass> ports;
+    std::int64_t scheduleLength = 0;
+};
+
+/**
+ * The fused single-pass walk. One traversal of the iteration space
+ * updates the PE fold table, every wire's distinct-source table, and
+ * every port's PE table and cycle histogram together; spatial position,
+ * flat key, and timestep are updated incrementally per point from
+ * precomputed per-axis carry deltas, so the hot loop does no matrix
+ * multiplies and no heap allocation.
+ */
+FusedResult
+applyTransformFused(const IterationSpace &space,
+                    const dataflow::SpaceTimeTransform &transform,
+                    const WalkGeometry &g)
+{
+    FusedResult result;
+
+    const auto &bounds = space.bounds();
+    const auto &m = transform.matrix();
+    int n = transform.dims();
+    int sd = g.spaceDims;
+
+    // Carry deltas: an advance that increments axis a and wraps every
+    // axis right of it changes the point by e_a - sum_{j>a} (b_j-1) e_j,
+    // so st/key/t change by the matching linear combination of columns.
+    std::vector<IntVec> delta_st(static_cast<std::size_t>(n),
+                                 IntVec(std::size_t(sd), 0));
+    std::vector<std::int64_t> delta_key(std::size_t(n), 0);
+    std::vector<std::int64_t> delta_t(std::size_t(n), 0);
+    for (int a = 0; a < n; a++) {
+        for (int r = 0; r < n; r++) {
+            std::int64_t v = m.at(r, a);
+            for (int j = a + 1; j < n; j++)
+                v -= m.at(r, j) * (bounds[std::size_t(j)] - 1);
+            if (r < sd) {
+                delta_st[std::size_t(a)][std::size_t(r)] = v;
+                delta_key[std::size_t(a)] += v * g.stride[std::size_t(r)];
+            } else {
+                delta_t[std::size_t(a)] = v;
+            }
+        }
+    }
+
+    // PE fold table: flat spatial key -> index into array.pes_.
+    std::vector<std::int32_t> pe_at(std::size_t(g.boxSize), -1);
+
+    // Per-wire distinct-source tables, in aliveConns order.
+    struct WireScratch
+    {
+        Point2PointConn conn;
+        dataflow::SpaceTimeDelta delta;
+        std::int64_t keyDelta = 0;
+        std::int64_t count = 0;
+        std::vector<std::uint8_t> seen;
+    };
+    std::vector<WireScratch> wires;
+    for (const auto &conn : space.aliveConns()) {
+        auto delta = transform.deltaOf(conn.diff);
+        if (vecIsZero(delta.space))
+            continue; // stationary: internal PE register, not a wire
+        WireScratch w;
+        w.conn = conn;
+        w.keyDelta = 0;
+        for (int r = 0; r < sd; r++)
+            w.keyDelta += delta.space[std::size_t(r)] *
+                          g.stride[std::size_t(r)];
+        w.delta = std::move(delta);
+        w.seen.assign(std::size_t(g.boxSize), 0);
+        wires.push_back(std::move(w));
+    }
+
+    // Per-port PE tables and cycle histograms, in ioConns order.
+    struct IoScratch
+    {
+        const IOConn *io = nullptr;
+        bool everyPoint = false;
+        std::size_t axis = 0;
+        std::int64_t edge = 0;
+        std::int64_t count = 0;
+        std::vector<std::uint8_t> seen;
+        std::vector<std::int64_t> perCycle;
+    };
+    std::vector<IoScratch> ios;
+    for (const auto &io : space.ioConns()) {
+        IoScratch s;
+        s.io = &io;
+        s.everyPoint = io.perPoint || io.boundaryIndex < 0;
+        if (!s.everyPoint) {
+            s.axis = std::size_t(io.boundaryIndex);
+            s.edge = io.isInput ? 0 : bounds[s.axis] - 1;
+        }
+        s.seen.assign(std::size_t(g.boxSize), 0);
+        s.perCycle.assign(std::size_t(g.timeHi - g.timeLo + 1), 0);
+        ios.push_back(std::move(s));
+    }
+
+    std::int64_t min_time = std::numeric_limits<std::int64_t>::max();
+    std::int64_t max_time = std::numeric_limits<std::int64_t>::min();
+
+    // The walk itself, with the same batched budget-exact watchdog
+    // accounting (and diagnostic dump) as IterationSpace::forEachPoint.
+    util::Watchdog *dog = util::currentWatchdog();
+    IntVec point(std::size_t(n), 0);
+    IntVec st(std::size_t(sd), 0);
+    std::int64_t key = g.keyOf(st);
+    std::int64_t t = 0;
+    std::int64_t left = space.numPoints();
+    while (left > 0) {
+        std::int64_t batch =
+                std::min(IterationSpace::kWatchdogBatch, left);
+        if (dog != nullptr) {
+            if (dog->enabled()) {
+                std::int64_t allowance = dog->remaining();
+                if (allowance == 0) {
+                    dog->tick(1, [&]() {
+                        return "iteration-space walk, last point " +
+                               vecToString(point) + " of bounds " +
+                               vecToString(bounds);
+                    });
+                }
+                batch = std::min(batch, allowance);
+            }
+            dog->tick(batch);
+        }
+        for (std::int64_t i = 0; i < batch; i++) {
+            // PE folding.
+            std::int32_t &slot = pe_at[std::size_t(key)];
+            if (slot < 0) {
+                slot = std::int32_t(result.pes.size());
+                ProcessingElement pe;
+                pe.position = st;
+                pe.firstTime = t;
+                pe.lastTime = t;
+                result.pes.push_back(std::move(pe));
+            }
+            auto &pe = result.pes[std::size_t(slot)];
+            pe.foldedPoints++;
+            pe.firstTime = std::min(pe.firstTime, t);
+            pe.lastTime = std::max(pe.lastTime, t);
+            min_time = std::min(min_time, t);
+            max_time = std::max(max_time, t);
+
+            // Distinct (source PE -> dest PE) pairs per wire class: the
+            // source image key is this point's key shifted by the
+            // wire's space delta, valid whenever p - diff is interior.
+            for (auto &w : wires) {
+                bool interior = true;
+                for (int c = 0; c < n; c++) {
+                    std::int64_t s = point[std::size_t(c)] -
+                                     w.conn.diff[std::size_t(c)];
+                    if (s < 0 || s >= bounds[std::size_t(c)]) {
+                        interior = false;
+                        break;
+                    }
+                }
+                if (!interior)
+                    continue;
+                auto &mark = w.seen[std::size_t(key - w.keyDelta)];
+                w.count += mark == 0;
+                mark = 1;
+            }
+
+            // Port PEs and per-cycle request histograms.
+            for (auto &s : ios) {
+                if (!s.everyPoint && point[s.axis] != s.edge)
+                    continue;
+                auto &mark = s.seen[std::size_t(key)];
+                s.count += mark == 0;
+                mark = 1;
+                s.perCycle[std::size_t(t - g.timeLo)]++;
+            }
+
+            // Lexicographic advance with incremental st/key/t updates.
+            int axis = n - 1;
+            while (axis >= 0) {
+                if (++point[std::size_t(axis)] < bounds[std::size_t(axis)])
+                    break;
+                point[std::size_t(axis)] = 0;
+                axis--;
+            }
+            if (axis >= 0) {
+                const auto &d = delta_st[std::size_t(axis)];
+                for (int r = 0; r < sd; r++)
+                    st[std::size_t(r)] += d[std::size_t(r)];
+                key += delta_key[std::size_t(axis)];
+                t += delta_t[std::size_t(axis)];
+            }
+        }
+        left -= batch;
+    }
+    result.scheduleLength = max_time - min_time + 1;
+
+    for (auto &w : wires) {
+        PeWire wire;
+        wire.tensor = w.conn.tensor;
+        wire.spaceDelta = w.delta.space;
+        wire.registers = w.delta.time;
+        wire.bundleSize = w.conn.bundled ? w.conn.bundleSize : 1;
+        wire.wireLength = vecL1(w.delta.space);
+        wire.instances = w.count;
+        result.wires.push_back(std::move(wire));
+    }
+
+    for (auto &s : ios) {
+        PePortClass port;
+        port.tensor = s.io->tensor;
+        port.externalTensor = s.io->externalTensor;
+        port.isInput = s.io->isInput;
+        port.perPoint = s.io->perPoint;
+        port.portCount = s.count;
+        for (auto per_cycle : s.perCycle)
+            port.maxPerCycle = std::max(port.maxPerCycle, per_cycle);
+        result.ports.push_back(std::move(port));
+    }
+    return result;
+}
+
 } // namespace
 
 SpatialArray
 applyTransform(const IterationSpace &space,
                const dataflow::SpaceTimeTransform &transform)
+{
+    require(transform.dims() == space.numIndices(),
+            "transform dimensionality must match the iteration space");
+    WalkGeometry g = walkGeometry(transform, space.bounds());
+    if (!g.dense)
+        return applyTransformNaive(space, transform);
+    FusedResult fused = applyTransformFused(space, transform, g);
+    SpatialArray array;
+    array.transform_ = transform;
+    array.pes_ = std::move(fused.pes);
+    array.wires_ = std::move(fused.wires);
+    array.ports_ = std::move(fused.ports);
+    array.scheduleLength_ = fused.scheduleLength;
+    return array;
+}
+
+SpatialArray
+applyTransformNaive(const IterationSpace &space,
+                    const dataflow::SpaceTimeTransform &transform)
 {
     require(transform.dims() == space.numIndices(),
             "transform dimensionality must match the iteration space");
@@ -194,8 +517,65 @@ mem::AccessOrder
 arrayAccessOrder(const IterationSpace &space,
                  const dataflow::SpaceTimeTransform &t, int external_tensor)
 {
-    std::map<std::int64_t, std::vector<IntVec>> by_time;
     const auto &bounds = space.bounds();
+    const auto &m = t.matrix();
+    int n = t.dims();
+
+    // Fast path: bucket requests into a dense per-timestep table using
+    // the analytic time range of the bounds box, and evaluate the time
+    // row directly instead of a full matrix apply per point.
+    bool saturated = false;
+    std::int64_t time_lo = 0;
+    std::int64_t time_hi = 0;
+    for (int c = 0; c < n; c++) {
+        std::int64_t reach = util::satMul(
+                m.at(n - 1, c), bounds[std::size_t(c)] - 1, &saturated);
+        if (reach < 0)
+            time_lo = util::satAdd(time_lo, reach, &saturated);
+        else
+            time_hi = util::satAdd(time_hi, reach, &saturated);
+    }
+    std::int64_t span = util::satAdd(
+            util::satAdd(time_hi, -time_lo, &saturated), 1, &saturated);
+    if (!saturated && span <= kDenseKeyLimit) {
+        std::vector<std::vector<IntVec>> steps(
+                static_cast<std::size_t>(span));
+        auto time_of = [&](const IntVec &p) {
+            std::int64_t time = 0;
+            for (int c = 0; c < n; c++)
+                time += m.at(n - 1, c) * p[std::size_t(c)];
+            return time;
+        };
+        for (const auto &io : space.ioConns()) {
+            if (io.externalTensor != external_tensor)
+                continue;
+            forEachIoPoint(space, io, [&](const IntVec &p) {
+                IntVec coords;
+                coords.reserve(io.externalCoords.size());
+                for (const auto &expr : io.externalCoords)
+                    coords.push_back(expr.evaluate(p, bounds));
+                steps[std::size_t(time_of(p) - time_lo)].push_back(
+                        std::move(coords));
+            });
+        }
+        mem::AccessOrder order;
+        std::size_t first = steps.size();
+        std::size_t last = 0;
+        for (std::size_t s = 0; s < steps.size(); s++) {
+            if (steps[s].empty())
+                continue;
+            first = std::min(first, s);
+            last = std::max(last, s);
+        }
+        if (first == steps.size())
+            return order;
+        for (std::size_t s = first; s <= last; s++)
+            order.addStep(std::move(steps[s]));
+        return order;
+    }
+
+    // Fallback for degenerate geometry: the original ordered-map path.
+    std::map<std::int64_t, std::vector<IntVec>> by_time;
     for (const auto &io : space.ioConns()) {
         if (io.externalTensor != external_tensor)
             continue;

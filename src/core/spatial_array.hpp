@@ -93,6 +93,9 @@ class SpatialArray
     friend SpatialArray applyTransform(
             const IterationSpace &space,
             const dataflow::SpaceTimeTransform &transform);
+    friend SpatialArray applyTransformNaive(
+            const IterationSpace &space,
+            const dataflow::SpaceTimeTransform &transform);
 
     dataflow::SpaceTimeTransform transform_;
     std::vector<ProcessingElement> pes_;
@@ -101,9 +104,29 @@ class SpatialArray
     std::int64_t scheduleLength_ = 0;
 };
 
-/** Map a pruned IterationSpace through a space-time transform. */
+/**
+ * Map a pruned IterationSpace through a space-time transform.
+ *
+ * This is the fused fast path the DSE scores candidates through: one
+ * pass over the iteration space computes PE folding, per-wire source
+ * sets, and per-port cycle histograms together, indexing flat scratch
+ * tables by a mixed-radix int64 encoding of the (bounded) spatial
+ * position instead of allocating IntVec keys into std::map/std::set.
+ * Falls back to applyTransformNaive when the spatial image box is too
+ * large (or overflows) to index densely; both paths produce
+ * byte-identical arrays.
+ */
 SpatialArray applyTransform(const IterationSpace &space,
                             const dataflow::SpaceTimeTransform &transform);
+
+/**
+ * Reference implementation of applyTransform: one full walk per
+ * concern, ordered containers, no scratch reuse. Kept as the oracle for
+ * the fused fast path's property tests (and as the fallback when the
+ * spatial image box cannot be densely indexed).
+ */
+SpatialArray applyTransformNaive(const IterationSpace &space,
+                                 const dataflow::SpaceTimeTransform &transform);
 
 /**
  * The order in which a spatial array consumes an input tensor or produces

@@ -1,12 +1,93 @@
 #include "dataflow/enumerate.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace stellar::dataflow
 {
+
+namespace
+{
+
+/** Below this many codes the sharded scan is not worth a pool. */
+constexpr std::int64_t kShardThreshold = 4096;
+
+/** A code that survived decode, invertibility, and causality checks. */
+struct RawCandidate
+{
+    IntMatrix matrix;
+    std::vector<std::int64_t> signature;
+};
+
+/**
+ * Decode one coefficient code and run the per-candidate filters;
+ * nullopt when rejected. Both the serial and the sharded scan call
+ * this, which is what keeps their outputs byte-identical.
+ */
+std::optional<RawCandidate>
+candidateAt(std::int64_t code, int n, std::int64_t min_coeff,
+            std::int64_t range,
+            const std::vector<func::Recurrence> &recurrences,
+            const EnumerateOptions &options)
+{
+    IntMatrix m(n, n);
+    std::int64_t rest = code;
+    for (int r = 0; r < n; r++) {
+        for (int c = 0; c < n; c++) {
+            m.at(r, c) = min_coeff + rest % range;
+            rest /= range;
+        }
+    }
+    if (!m.isInvertible())
+        return std::nullopt;
+
+    // Causality + wiring constraints over the recurrences.
+    std::vector<IntVec> displacements;
+    for (const auto &rec : recurrences) {
+        IntVec st = m * rec.diff;
+        std::int64_t dt = st.back();
+        if (dt < 0 || (dt == 0 && !options.allowBroadcast))
+            return std::nullopt;
+        std::int64_t hops = 0;
+        for (std::size_t axis = 0; axis + 1 < st.size(); axis++)
+            hops += st[axis] < 0 ? -st[axis] : st[axis];
+        if (hops > options.maxHopLength)
+            return std::nullopt;
+        displacements.push_back(std::move(st));
+    }
+
+    // Canonical signature modulo spatial-axis permutation and
+    // reflection: per-axis columns of |displacement|, sorted, plus
+    // the time displacements.
+    RawCandidate candidate;
+    candidate.matrix = std::move(m);
+    if (!displacements.empty()) {
+        std::size_t dims = displacements[0].size();
+        std::vector<IntVec> columns;
+        for (std::size_t axis = 0; axis + 1 < dims; axis++) {
+            IntVec column;
+            for (const auto &st : displacements) {
+                std::int64_t v = st[axis];
+                column.push_back(v < 0 ? -v : v);
+            }
+            columns.push_back(std::move(column));
+        }
+        std::sort(columns.begin(), columns.end());
+        for (const auto &column : columns)
+            candidate.signature.insert(candidate.signature.end(),
+                                       column.begin(), column.end());
+        for (const auto &st : displacements)
+            candidate.signature.push_back(st.back());
+    }
+    return candidate;
+}
+
+} // namespace
 
 std::vector<SpaceTimeTransform>
 enumerateTransforms(const func::FunctionalSpec &spec,
@@ -20,9 +101,6 @@ enumerateTransforms(const func::FunctionalSpec &spec,
 
     auto recurrences = spec.recurrences();
 
-    std::vector<SpaceTimeTransform> found;
-    std::set<std::vector<std::int64_t>> signatures;
-
     std::int64_t cells = std::int64_t(n) * n;
     std::int64_t total = 1;
     for (std::int64_t c = 0; c < cells; c++) {
@@ -33,69 +111,73 @@ enumerateTransforms(const func::FunctionalSpec &spec,
         }
     }
 
-    for (std::int64_t code = 0; code < total; code++) {
-        IntMatrix m(n, n);
-        std::int64_t rest = code;
-        for (int r = 0; r < n; r++) {
-            for (int c = 0; c < n; c++) {
-                m.at(r, c) = options.minCoeff + rest % range;
-                rest /= range;
-            }
-        }
-        if (!m.isInvertible())
-            continue;
+    std::size_t threads = options.threads;
+    if (threads == 0)
+        threads = std::max<std::size_t>(
+                1, std::thread::hardware_concurrency());
 
-        // Causality + wiring constraints over the recurrences.
-        bool ok = true;
-        std::vector<IntVec> displacements;
-        for (const auto &rec : recurrences) {
-            IntVec st = m * rec.diff;
-            std::int64_t dt = st.back();
-            if (dt < 0 || (dt == 0 && !options.allowBroadcast)) {
-                ok = false;
-                break;
-            }
-            std::int64_t hops = 0;
-            for (std::size_t axis = 0; axis + 1 < st.size(); axis++)
-                hops += st[axis] < 0 ? -st[axis] : st[axis];
-            if (hops > options.maxHopLength) {
-                ok = false;
-                break;
-            }
-            displacements.push_back(std::move(st));
-        }
-        if (!ok)
-            continue;
+    std::vector<SpaceTimeTransform> found;
+    std::set<std::vector<std::int64_t>> signatures;
 
-        // Canonical signature modulo spatial-axis permutation and
-        // reflection: per-axis columns of |displacement|, sorted, plus
-        // the time displacements.
-        std::vector<std::int64_t> signature;
-        if (!displacements.empty()) {
-            std::size_t dims = displacements[0].size();
-            std::vector<IntVec> columns;
-            for (std::size_t axis = 0; axis + 1 < dims; axis++) {
-                IntVec column;
-                for (const auto &st : displacements) {
-                    std::int64_t v = st[axis];
-                    column.push_back(v < 0 ? -v : v);
+    if (threads <= 1 || total < kShardThreshold) {
+        // Serial scan, with the early exit the sharded path cannot take.
+        for (std::int64_t code = 0; code < total; code++) {
+            auto candidate = candidateAt(code, n, options.minCoeff, range,
+                                         recurrences, options);
+            if (!candidate)
+                continue;
+            if (!signatures.insert(candidate->signature).second)
+                continue; // same displacement structure as before
+            found.emplace_back(std::move(candidate->matrix),
+                               "enumerated-" +
+                                       std::to_string(found.size()));
+            if (found.size() >= options.limit)
+                break;
+        }
+        return found;
+    }
+
+    // Sharded scan: contiguous code ranges, one survivor list per
+    // shard. Each shard dedups locally (keeping the first code of every
+    // signature, exactly what the global merge would keep), then the
+    // merge walks shards in code order against the global signature
+    // set, so names, dedup winners, and the result vector match the
+    // serial scan byte for byte.
+    std::size_t shard_count =
+            std::size_t(std::min<std::int64_t>(std::int64_t(threads) * 8,
+                                               total));
+    util::ThreadPool pool(threads);
+    auto shards = pool.parallelMap<std::vector<RawCandidate>>(
+            shard_count, [&](std::size_t shard) {
+                std::int64_t lo = total * std::int64_t(shard) /
+                                  std::int64_t(shard_count);
+                std::int64_t hi = total * (std::int64_t(shard) + 1) /
+                                  std::int64_t(shard_count);
+                std::vector<RawCandidate> survivors;
+                std::set<std::vector<std::int64_t>> local;
+                for (std::int64_t code = lo; code < hi; code++) {
+                    auto candidate = candidateAt(code, n, options.minCoeff,
+                                                 range, recurrences,
+                                                 options);
+                    if (!candidate)
+                        continue;
+                    if (!local.insert(candidate->signature).second)
+                        continue;
+                    survivors.push_back(std::move(*candidate));
                 }
-                columns.push_back(std::move(column));
-            }
-            std::sort(columns.begin(), columns.end());
-            for (const auto &column : columns)
-                signature.insert(signature.end(), column.begin(),
-                                 column.end());
-            for (const auto &st : displacements)
-                signature.push_back(st.back());
-        }
-        if (!signatures.insert(signature).second)
-            continue; // same displacement structure as a previous find
+                return survivors;
+            });
 
-        found.emplace_back(std::move(m),
-                           "enumerated-" + std::to_string(found.size()));
-        if (found.size() >= options.limit)
-            break;
+    for (auto &shard : shards) {
+        for (auto &candidate : shard) {
+            if (!signatures.insert(candidate.signature).second)
+                continue;
+            found.emplace_back(std::move(candidate.matrix),
+                               "enumerated-" +
+                                       std::to_string(found.size()));
+            if (found.size() >= options.limit)
+                return found;
+        }
     }
     return found;
 }

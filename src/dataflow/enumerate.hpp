@@ -39,6 +39,17 @@ struct EnumerateOptions
 
     /** Cap on results (the space grows as (range)^(n^2)). */
     std::size_t limit = 4096;
+
+    /**
+     * Worker threads for the coefficient-code scan: 0 = hardware
+     * concurrency, 1 = serial. The scan is sharded by contiguous code
+     * ranges and the shards are merged in code order, so the output
+     * vector — matrices, dedup decisions, and names — is byte-identical
+     * to the serial scan at every thread count. (Small scans run
+     * serially regardless; with a small `limit` the sharded scan may
+     * inspect codes the serial early-exit would skip.)
+     */
+    std::size_t threads = 0;
 };
 
 /**

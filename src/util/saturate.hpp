@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Saturating 64-bit integer arithmetic.
+ *
+ * Analytic candidate scoring multiplies per-axis extents that are
+ * themselves products of transform coefficients and elaboration bounds;
+ * at extreme coefficients those products exceed the int64 range. A
+ * wrapped product silently turns an astronomically large design into a
+ * small (or negative) one and corrupts pruning decisions, so the
+ * geometry helpers clamp to the representable range instead and let
+ * callers observe the clamp through the optional `saturated` flag.
+ */
+
+#ifndef STELLAR_UTIL_SATURATE_HPP
+#define STELLAR_UTIL_SATURATE_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace stellar::util
+{
+
+/** a + b, clamped to the int64 range; *saturated set on clamp. */
+inline std::int64_t
+satAdd(std::int64_t a, std::int64_t b, bool *saturated = nullptr)
+{
+    std::int64_t out = 0;
+    if (!__builtin_add_overflow(a, b, &out))
+        return out;
+    if (saturated != nullptr)
+        *saturated = true;
+    // Addition only overflows when both operands share a sign.
+    return a < 0 ? std::numeric_limits<std::int64_t>::min()
+                 : std::numeric_limits<std::int64_t>::max();
+}
+
+/** a * b, clamped to the int64 range; *saturated set on clamp. */
+inline std::int64_t
+satMul(std::int64_t a, std::int64_t b, bool *saturated = nullptr)
+{
+    std::int64_t out = 0;
+    if (!__builtin_mul_overflow(a, b, &out))
+        return out;
+    if (saturated != nullptr)
+        *saturated = true;
+    return (a < 0) == (b < 0)
+                   ? std::numeric_limits<std::int64_t>::max()
+                   : std::numeric_limits<std::int64_t>::min();
+}
+
+} // namespace stellar::util
+
+#endif // STELLAR_UTIL_SATURATE_HPP

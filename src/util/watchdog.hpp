@@ -44,6 +44,17 @@ class Watchdog
     std::int64_t stepsExecuted() const { return steps_; }
     bool enabled() const { return budget_ > 0; }
 
+    /**
+     * Steps left before the budget expires (0 when exhausted). Batched
+     * loops use this to charge K points with a single tick and still
+     * expire at exactly the same step the per-point tick would.
+     */
+    std::int64_t
+    remaining() const
+    {
+        return budget_ > steps_ ? budget_ - steps_ : 0;
+    }
+
     /** Charge `steps` units of work; throws TimeoutError on expiry. */
     void
     tick(std::int64_t steps = 1)
