@@ -9,6 +9,7 @@
 #include "bench_common.hpp"
 
 #include "sim/outerspace.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
 
 namespace
@@ -31,12 +32,24 @@ report()
     auto wiki = sparse::synthesize(
             sparse::scaleProfile(sparse::profileByName("wiki-Vote"),
                                  80000), 1);
-    for (int rate : {1, 2, 4, 8, 16, 32}) {
-        sim::OuterSpaceConfig config;
-        config.dma = sim::DmaConfig::withRate(rate);
-        auto a = sim::simulateOuterSpace(config, poisson);
-        auto b = sim::simulateOuterSpace(config, wiki);
-        bench::row({std::to_string(rate),
+    const std::vector<int> rates = {1, 2, 4, 8, 16, 32};
+    struct RatePoint
+    {
+        sim::OuterSpaceResult poisson, wiki;
+    };
+    auto points = sim::runMany(
+            rates.size(), bench::threads(), [&](std::size_t i) {
+                sim::OuterSpaceConfig config;
+                config.dma = sim::DmaConfig::withRate(rates[i]);
+                RatePoint point;
+                point.poisson = sim::simulateOuterSpace(config, poisson);
+                point.wiki = sim::simulateOuterSpace(config, wiki);
+                return point;
+            });
+    for (std::size_t i = 0; i < rates.size(); i++) {
+        const auto &a = points[i].poisson;
+        const auto &b = points[i].wiki;
+        bench::row({std::to_string(rates[i]),
                     formatDouble(a.gflops(1.5), 2),
                     formatDouble(b.gflops(1.5), 2),
                     std::to_string(a.pointerStallCycles +

@@ -12,6 +12,7 @@
 
 #include "sim/balance.hpp"
 #include "sim/outerspace.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/suitesparse.hpp"
 
@@ -28,43 +29,65 @@ report()
     bench::row({"Matrix", "pattern", "util unbal.", "util bal.",
                 "compute cyc unb", "compute cyc bal", "shifts"}, 14);
     bench::rule(7, 14);
-    for (const char *name : {"poisson3Da", "filter3D", "cop20k_A",
-                             "wiki-Vote", "email-Enron", "web-Google",
-                             "scircuit"}) {
-        auto profile = sparse::scaleProfile(sparse::profileByName(name),
-                                            80000);
-        auto matrix = sparse::synthesize(profile, 1);
+    const std::vector<const char *> names = {
+            "poisson3Da", "filter3D",    "cop20k_A", "wiki-Vote",
+            "email-Enron", "web-Google", "scircuit"};
+    struct MatrixPoint
+    {
+        bool mesh = false;
+        sim::OuterSpaceResult unbalanced, balanced;
+        std::int64_t computeUnbalanced = 0, computeBalanced = 0;
+    };
+    auto points = sim::runMany(
+            names.size(), bench::threads(), [&](std::size_t i) {
+                auto profile = sparse::scaleProfile(
+                        sparse::profileByName(names[i]), 80000);
+                auto matrix = sparse::synthesize(profile, 1);
+                MatrixPoint point;
+                point.mesh =
+                        profile.pattern == sparse::MatrixPattern::Mesh;
 
-        sim::OuterSpaceConfig unbalanced;
-        unbalanced.dma = sim::DmaConfig::withRate(16);
-        unbalanced.loadBalanced = false;
-        auto u = sim::simulateOuterSpace(unbalanced, matrix);
+                sim::OuterSpaceConfig unbalanced;
+                unbalanced.dma = sim::DmaConfig::withRate(16);
+                unbalanced.loadBalanced = false;
+                point.unbalanced =
+                        sim::simulateOuterSpace(unbalanced, matrix);
 
-        sim::OuterSpaceConfig balanced = unbalanced;
-        balanced.loadBalanced = true;
-        auto b = sim::simulateOuterSpace(balanced, matrix);
+                sim::OuterSpaceConfig balanced = unbalanced;
+                balanced.loadBalanced = true;
+                point.balanced =
+                        sim::simulateOuterSpace(balanced, matrix);
 
-        // Isolate the compute side: the PE-array cycles each schedule
-        // needs, independent of the memory system.
-        auto csc = sparse::csrToCsc(matrix);
-        std::vector<std::int64_t> column_work;
-        for (std::int64_t k = 0; k < matrix.cols(); k++) {
-            std::int64_t products = csc.colNnz(k) * matrix.rowNnz(k);
-            if (products > 0)
-                column_work.push_back((products + 15) / 16);
-        }
-        auto cu = sim::simulateRowWaves(column_work, 16, false);
-        auto cb = sim::simulateRowWaves(column_work, 16, true);
-
-        bench::row({name,
-                    profile.pattern == sparse::MatrixPattern::Mesh
-                            ? "mesh"
-                            : "power-law",
-                    formatDouble(100.0 * u.multiplyUtilization, 1) + "%",
-                    formatDouble(100.0 * b.multiplyUtilization, 1) + "%",
-                    std::to_string(cu.cycles),
-                    std::to_string(cb.cycles),
-                    std::to_string(b.balancerShifts)},
+                // Isolate the compute side: the PE-array cycles each
+                // schedule needs, independent of the memory system.
+                auto csc = sparse::csrToCsc(matrix);
+                std::vector<std::int64_t> column_work;
+                for (std::int64_t k = 0; k < matrix.cols(); k++) {
+                    std::int64_t products =
+                            csc.colNnz(k) * matrix.rowNnz(k);
+                    if (products > 0)
+                        column_work.push_back((products + 15) / 16);
+                }
+                point.computeUnbalanced =
+                        sim::simulateRowWaves(column_work, 16, false)
+                                .cycles;
+                point.computeBalanced =
+                        sim::simulateRowWaves(column_work, 16, true)
+                                .cycles;
+                return point;
+            });
+    for (std::size_t i = 0; i < names.size(); i++) {
+        const auto &point = points[i];
+        bench::row({names[i], point.mesh ? "mesh" : "power-law",
+                    formatDouble(100.0 * point.unbalanced
+                                                 .multiplyUtilization,
+                                 1) + "%",
+                    formatDouble(100.0 * point.balanced
+                                                 .multiplyUtilization,
+                                 1) + "%",
+                    std::to_string(point.computeUnbalanced),
+                    std::to_string(point.computeBalanced),
+                    std::to_string(point.balanced.balancerShifts)},
                    14);
     }
     std::printf("\npower-law matrices (imbalanced column work) gain the "

@@ -10,6 +10,7 @@
 
 #include "model/area.hpp"
 #include "sim/merger.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
 
 namespace
@@ -64,10 +65,20 @@ report()
     auto partials = stellar::sparse::outerProductPartials(
             stellar::sparse::csrToCsc(matrix), matrix);
     stellar::sim::MergerConfig merger_config;
-    auto pairwise = stellar::sim::runMergeSchedule(
-            merger_config, stellar::sim::MergerKind::Flattened, partials);
-    auto tree = stellar::sim::runHierarchicalMerge(merger_config, partials,
-                                                   64);
+    // The two schedules are independent simulation points; sweep them
+    // through the parallel driver like the figure benches.
+    auto schedules = stellar::sim::runMany(
+            2, stellar::bench::threads(), [&](std::size_t i) {
+                return i == 0 ? stellar::sim::runMergeSchedule(
+                                        merger_config,
+                                        stellar::sim::MergerKind::
+                                                Flattened,
+                                        partials)
+                              : stellar::sim::runHierarchicalMerge(
+                                        merger_config, partials, 64);
+            });
+    const auto &pairwise = schedules[0];
+    const auto &tree = schedules[1];
     bench::row({"schedule", "cycles", "merged elements"}, 18);
     bench::rule(3, 18);
     bench::row({"pairwise", std::to_string(pairwise.cycles),

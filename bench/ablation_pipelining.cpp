@@ -14,6 +14,7 @@
 #include "model/area.hpp"
 #include "model/timing.hpp"
 #include "rtl/generate.hpp"
+#include "sim/run_many.hpp"
 
 namespace
 {
@@ -43,17 +44,35 @@ report()
 
     model::AreaParams area_params;
     model::TimingParams timing_params;
-    for (std::int64_t extra : {0, 1, 2, 3}) {
-        auto generated = generateWith(extra, 16);
-        auto timing = model::timingOf(timing_params, generated, false);
-        double area = model::arrayArea(area_params, generated, 8, 8, true);
-        auto design = rtl::lowerToVerilog(generated);
-        bench::row({std::to_string(extra),
-                    std::to_string(generated.spec.transform.pipelineDepth(
-                            {0, 1, 0})),
-                    formatDouble(timing.fmaxMhz(), 0),
-                    formatDouble(area / 1e3, 0) + "K",
-                    std::to_string(rtl::countRegisters(design))},
+    const std::vector<std::int64_t> extras = {0, 1, 2, 3};
+    struct SweepPoint
+    {
+        std::int64_t regsPerHop = 0;
+        double fmaxMhz = 0.0;
+        double area = 0.0;
+        std::int64_t ffBits = 0;
+    };
+    auto points = sim::runMany(
+            extras.size(), bench::threads(), [&](std::size_t i) {
+                auto generated = generateWith(extras[i], 16);
+                auto timing =
+                        model::timingOf(timing_params, generated, false);
+                auto design = rtl::lowerToVerilog(generated);
+                SweepPoint point;
+                point.regsPerHop =
+                        generated.spec.transform.pipelineDepth({0, 1, 0});
+                point.fmaxMhz = timing.fmaxMhz();
+                point.area = model::arrayArea(area_params, generated, 8,
+                                              8, true);
+                point.ffBits = rtl::countRegisters(design);
+                return point;
+            });
+    for (std::size_t i = 0; i < extras.size(); i++) {
+        bench::row({std::to_string(extras[i]),
+                    std::to_string(points[i].regsPerHop),
+                    formatDouble(points[i].fmaxMhz, 0),
+                    formatDouble(points[i].area / 1e3, 0) + "K",
+                    std::to_string(points[i].ffBits)},
                    15);
     }
     std::printf("\npaper (Fig 3): larger time-row entries mean more "

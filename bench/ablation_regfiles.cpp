@@ -11,6 +11,7 @@
 #include "core/regfile_opt.hpp"
 #include "mem/access_order.hpp"
 #include "model/area.hpp"
+#include "sim/run_many.hpp"
 
 namespace
 {
@@ -25,16 +26,29 @@ report()
                   "ports, 8-bit data)");
     bench::row({"Kind", "Comparators", "Muxes", "Area (um^2)"}, 18);
     bench::rule(4, 18);
-    for (auto kind : {core::RegfileKind::FeedForward,
-                      core::RegfileKind::Transposing,
-                      core::RegfileKind::EdgeIO,
-                      core::RegfileKind::FullyAssociative}) {
-        auto config = core::configForKind(kind, 256, 16, 16);
-        bench::row({core::regfileKindName(kind),
-                    std::to_string(config.comparators),
-                    std::to_string(config.muxes),
-                    formatDouble(model::regfileArea(params, config, 8, 16),
-                                 0)},
+    const std::vector<core::RegfileKind> kinds = {
+            core::RegfileKind::FeedForward,
+            core::RegfileKind::Transposing,
+            core::RegfileKind::EdgeIO,
+            core::RegfileKind::FullyAssociative};
+    struct KindPoint
+    {
+        core::RegfileConfig config;
+        double area = 0.0;
+    };
+    auto points = sim::runMany(
+            kinds.size(), bench::threads(), [&](std::size_t i) {
+                KindPoint point;
+                point.config = core::configForKind(kinds[i], 256, 16, 16);
+                point.area =
+                        model::regfileArea(params, point.config, 8, 16);
+                return point;
+            });
+    for (std::size_t i = 0; i < kinds.size(); i++) {
+        bench::row({core::regfileKindName(kinds[i]),
+                    std::to_string(points[i].config.comparators),
+                    std::to_string(points[i].config.muxes),
+                    formatDouble(points[i].area, 0)},
                    18);
     }
 

@@ -14,6 +14,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,47 @@
 
 namespace stellar::bench
 {
+
+/**
+ * Worker threads for the reproduction sweeps (sim::runMany). Set by
+ * `--threads N` (default 1, serial); results are byte-identical at any
+ * value, so threads only change wall-clock time.
+ */
+inline std::size_t &
+threadsRef()
+{
+    static std::size_t threads = 1;
+    return threads;
+}
+
+inline std::size_t
+threads()
+{
+    return threadsRef();
+}
+
+/**
+ * Consume `--threads N` / `--threads=N` from argv (before
+ * benchmark::Initialize sees and rejects it). Used by
+ * STELLAR_BENCH_MAIN.
+ */
+inline void
+parseThreads(int *argc, char **argv)
+{
+    int out = 1;
+    for (int i = 1; i < *argc; i++) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+            threadsRef() = std::size_t(std::atoi(argv[++i]));
+            continue;
+        }
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            threadsRef() = std::size_t(std::atoi(argv[i] + 10));
+            continue;
+        }
+        argv[out++] = argv[i];
+    }
+    *argc = out;
+}
 
 /** Print a section banner. */
 inline void
@@ -46,10 +89,14 @@ rule(std::size_t cells, std::size_t width = 16)
     std::printf("%s\n", std::string(cells * (width + 1), '-').c_str());
 }
 
-/** Standard main: print the reproduction report, then run benchmarks. */
+/**
+ * Standard main: parse `--threads`, print the reproduction report, then
+ * run benchmarks (which receive the remaining argv).
+ */
 #define STELLAR_BENCH_MAIN(report_fn)                                     \
     int main(int argc, char **argv)                                       \
     {                                                                      \
+        ::stellar::bench::parseThreads(&argc, argv);                       \
         report_fn();                                                       \
         ::benchmark::Initialize(&argc, argv);                              \
         ::benchmark::RunSpecifiedBenchmarks();                             \

@@ -7,6 +7,7 @@
 
 #include "bench_common.hpp"
 
+#include "sim/run_many.hpp"
 #include "sim/scnn.hpp"
 #include "workloads/alexnet.hpp"
 
@@ -27,14 +28,29 @@ report()
     sim::ScnnConfig generated;
     generated.stellarGenerated = true;
 
+    struct LayerPoint
+    {
+        sim::ScnnResult hand, gen;
+    };
+    const auto &layers = workloads::alexnetConvLayers();
+    auto points = sim::runMany(
+            layers.size(), bench::threads(), [&](std::size_t i) {
+                LayerPoint point;
+                point.hand =
+                        sim::simulateScnnLayer(handwritten, layers[i], 1);
+                point.gen =
+                        sim::simulateScnnLayer(generated, layers[i], 1);
+                return point;
+            });
+
     double worst = 1.0, best = 0.0;
-    for (const auto &layer : workloads::alexnetConvLayers()) {
-        auto hand = sim::simulateScnnLayer(handwritten, layer, 1);
-        auto gen = sim::simulateScnnLayer(generated, layer, 1);
+    for (std::size_t i = 0; i < layers.size(); i++) {
+        const auto &hand = points[i].hand;
+        const auto &gen = points[i].gen;
         double relative = gen.utilization / hand.utilization;
         worst = std::min(worst, relative);
         best = std::max(best, relative);
-        bench::row({layer.name,
+        bench::row({layers[i].name,
                     formatDouble(100.0 * hand.utilization, 1) + "%",
                     formatDouble(100.0 * gen.utilization, 1) + "%",
                     formatDouble(100.0 * relative, 1) + "%",

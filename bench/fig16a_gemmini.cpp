@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 
+#include "sim/run_many.hpp"
 #include "sim/systolic.hpp"
 #include "workloads/resnet.hpp"
 
@@ -28,12 +29,27 @@ report()
     sim::SystolicConfig generated;
     generated.stellarGenerated = true;
 
+    struct LayerPoint
+    {
+        sim::SystolicResult hand, gen;
+    };
+    const auto &layers = workloads::resnet50Layers();
+    auto points = sim::runMany(
+            layers.size(), bench::threads(), [&](std::size_t i) {
+                LayerPoint point;
+                point.hand = sim::simulateSystolicMatmul(
+                        handwritten, layers[i].m, layers[i].n,
+                        layers[i].k);
+                point.gen = sim::simulateSystolicMatmul(
+                        generated, layers[i].m, layers[i].n, layers[i].k);
+                return point;
+            });
+
     std::int64_t hand_cycles = 0, gen_cycles = 0, total_macs = 0;
-    for (const auto &layer : workloads::resnet50Layers()) {
-        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
-                                                layer.n, layer.k);
-        auto gen = sim::simulateSystolicMatmul(generated, layer.m, layer.n,
-                                               layer.k);
+    for (std::size_t i = 0; i < layers.size(); i++) {
+        const auto &layer = layers[i];
+        const auto &hand = points[i].hand;
+        const auto &gen = points[i].gen;
         hand_cycles += hand.cycles;
         gen_cycles += gen.cycles;
         total_macs += layer.macs();

@@ -14,6 +14,7 @@
 #include "bench_common.hpp"
 
 #include "sim/outerspace.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
 
 namespace
@@ -39,19 +40,33 @@ report()
     sim::OuterSpaceConfig improved;
     improved.dma = sim::DmaConfig::withRate(16);
 
+    struct MatrixPoint
+    {
+        std::int64_t nnz = 0;
+        sim::OuterSpaceResult slow, fast;
+    };
+    const auto &profiles = sparse::outerSpaceSuite();
+    auto points = sim::runMany(
+            profiles.size(), bench::threads(), [&](std::size_t i) {
+                auto scaled = sparse::scaleProfile(profiles[i],
+                                                   kNnzBudget);
+                auto matrix = sparse::synthesize(scaled, 1);
+                MatrixPoint point;
+                point.nnz = matrix.nnz();
+                point.slow = sim::simulateOuterSpace(initial, matrix);
+                point.fast = sim::simulateOuterSpace(improved, matrix);
+                return point;
+            });
+
     double initial_sum = 0.0, improved_sum = 0.0;
     int count = 0;
-    for (const auto &profile : sparse::outerSpaceSuite()) {
-        auto scaled = sparse::scaleProfile(profile, kNnzBudget);
-        auto matrix = sparse::synthesize(scaled, 1);
-        auto slow = sim::simulateOuterSpace(initial, matrix);
-        auto fast = sim::simulateOuterSpace(improved, matrix);
-        double gf_slow = slow.gflops(kFreqGhz);
-        double gf_fast = fast.gflops(kFreqGhz);
+    for (std::size_t i = 0; i < profiles.size(); i++) {
+        double gf_slow = points[i].slow.gflops(kFreqGhz);
+        double gf_fast = points[i].fast.gflops(kFreqGhz);
         initial_sum += gf_slow;
         improved_sum += gf_fast;
         count++;
-        bench::row({profile.name, std::to_string(matrix.nnz()),
+        bench::row({profiles[i].name, std::to_string(points[i].nnz),
                     formatDouble(gf_slow, 2), formatDouble(gf_fast, 2),
                     formatDouble(gf_fast / gf_slow, 2) + "x"},
                    15);

@@ -11,6 +11,7 @@
 #include "accel/designs.hpp"
 #include "model/area.hpp"
 #include "model/energy.hpp"
+#include "sim/run_many.hpp"
 #include "sim/systolic.hpp"
 #include "workloads/resnet.hpp"
 
@@ -58,20 +59,32 @@ report()
     sim::SystolicConfig generated;
     generated.stellarGenerated = true;
 
+    struct LayerPoint
+    {
+        sim::SystolicResult hand, gen;
+    };
+    const auto &layers = workloads::resnet50Representative();
+    auto points = sim::runMany(
+            layers.size(), bench::threads(), [&](std::size_t i) {
+                LayerPoint point;
+                point.hand = sim::simulateSystolicMatmul(
+                        handwritten, layers[i].m, layers[i].n,
+                        layers[i].k);
+                point.gen = sim::simulateSystolicMatmul(
+                        generated, layers[i].m, layers[i].n, layers[i].k);
+                return point;
+            });
+
     double worst = 0.0, best = 1e9;
-    for (const auto &layer : workloads::resnet50Representative()) {
-        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
-                                                layer.n, layer.k);
-        auto gen = sim::simulateSystolicMatmul(generated, layer.m, layer.n,
-                                               layer.k);
+    for (std::size_t i = 0; i < layers.size(); i++) {
         double hand_pj = model::energyPerMac(
-                energy_params, eventsOf(hand, hand_mm2, false));
+                energy_params, eventsOf(points[i].hand, hand_mm2, false));
         double gen_pj = model::energyPerMac(
-                energy_params, eventsOf(gen, gen_mm2, true));
+                energy_params, eventsOf(points[i].gen, gen_mm2, true));
         double overhead = gen_pj / hand_pj - 1.0;
         worst = std::max(worst, overhead);
         best = std::min(best, overhead);
-        bench::row({layer.name, formatDouble(hand_pj, 3),
+        bench::row({layers[i].name, formatDouble(hand_pj, 3),
                     formatDouble(gen_pj, 3),
                     formatDouble(100.0 * overhead, 1) + "%", "7-30%"},
                    14);

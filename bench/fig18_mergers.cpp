@@ -11,6 +11,7 @@
 #include "bench_common.hpp"
 
 #include "sim/merger.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/suitesparse.hpp"
 
@@ -40,25 +41,41 @@ report()
     bench::rule(5, 15);
 
     sim::MergerConfig config;
+    struct MatrixPoint
+    {
+        sim::MergerResult row, flat;
+    };
+    const auto &profiles = sparse::outerSpaceSuite();
+    auto points = sim::runMany(
+            profiles.size(), bench::threads(), [&](std::size_t i) {
+                auto scaled = sparse::scaleProfile(profiles[i],
+                                                   kNnzBudget);
+                auto matrix = sparse::synthesize(scaled, 2);
+                auto partials = partialsOf(matrix);
+                MatrixPoint point;
+                point.row = sim::runMergeSchedule(
+                        config, sim::MergerKind::RowPartitioned,
+                        partials);
+                point.flat = sim::runMergeSchedule(
+                        config, sim::MergerKind::Flattened, partials);
+                return point;
+            });
+
     int at_least_80 = 0, row_wins = 0, total = 0;
     std::vector<std::string> winners;
-    for (const auto &profile : sparse::outerSpaceSuite()) {
-        auto scaled = sparse::scaleProfile(profile, kNnzBudget);
-        auto matrix = sparse::synthesize(scaled, 2);
-        auto partials = partialsOf(matrix);
-        auto row = sim::runMergeSchedule(
-                config, sim::MergerKind::RowPartitioned, partials);
-        auto flat = sim::runMergeSchedule(
-                config, sim::MergerKind::Flattened, partials);
+    for (std::size_t i = 0; i < profiles.size(); i++) {
+        const auto &row = points[i].row;
+        const auto &flat = points[i].flat;
         double ratio = row.elementsPerCycle() / flat.elementsPerCycle();
         total++;
         if (ratio >= 0.8)
             at_least_80++;
         if (ratio > 1.0) {
             row_wins++;
-            winners.push_back(profile.name);
+            winners.push_back(profiles[i].name);
         }
-        bench::row({profile.name, formatDouble(row.elementsPerCycle(), 2),
+        bench::row({profiles[i].name,
+                    formatDouble(row.elementsPerCycle(), 2),
                     formatDouble(flat.elementsPerCycle(), 2),
                     formatDouble(ratio, 2),
                     ratio > 1.0 ? "row-partitioned" : "flattened"},

@@ -15,6 +15,7 @@
 #include "model/area.hpp"
 #include "rtl/generate.hpp"
 #include "rtl/lint.hpp"
+#include "sim/run_many.hpp"
 
 namespace
 {
@@ -48,19 +49,31 @@ report()
     bench::row({"Structure", "merge PEs", "64b comparators",
                 "pops/cycle", "area"}, 22);
     bench::rule(5, 22);
-    for (auto &row : rows) {
-        auto generated = core::generate(row.spec);
-        auto design = rtl::lowerToVerilog(generated);
-        auto issues = rtl::lintAll(design);
+    struct RowPoint
+    {
+        std::int64_t pes = 0;
+        std::size_t lintIssues = 0;
+    };
+    auto points = sim::runMany(
+            rows.size(), bench::threads(), [&](std::size_t i) {
+                auto generated = core::generate(rows[i].spec);
+                auto design = rtl::lowerToVerilog(generated);
+                RowPoint point;
+                point.pes = generated.array.numPes();
+                point.lintIssues = rtl::lintAll(design).size();
+                return point;
+            });
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const auto &row = rows[i];
         bench::row({row.label,
-                    std::to_string(generated.array.numPes() *
+                    std::to_string(points[i].pes *
                                    (row.spec.name == "gamma_merger" ? 32
                                                                     : 1)),
                     std::to_string(row.comparators), row.popsPerCycle,
                     formatDouble(row.mergerArea / 1e3, 1) + "K um^2"},
                    22);
-        if (!issues.empty())
-            std::printf("  !! %zu lint issues\n", issues.size());
+        if (points[i].lintIssues != 0)
+            std::printf("  !! %zu lint issues\n", points[i].lintIssues);
     }
     std::printf("\npaper (Fig 19 + Sec VI-D): the row-partitioned merger "
                 "assigns each row fiber\nto its own PE; the flattened "

@@ -9,6 +9,9 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "accel/designs.hpp"
 #include "core/accelerator.hpp"
@@ -16,6 +19,7 @@
 #include "rtl/generate.hpp"
 #include "rtl/lint.hpp"
 #include "sim/merger.hpp"
+#include "sim/run_many.hpp"
 #include "sparse/spgemm.hpp"
 #include "sparse/suitesparse.hpp"
 
@@ -24,7 +28,12 @@ using namespace stellar;
 namespace
 {
 
-void
+struct CompareResult
+{
+    sim::MergerResult row, flat;
+};
+
+CompareResult
 compareOn(const char *matrix_name)
 {
     auto profile = sparse::scaleProfile(
@@ -34,15 +43,23 @@ compareOn(const char *matrix_name)
             sparse::csrToCsc(matrix), matrix);
 
     sim::MergerConfig config; // 32 lanes vs flattened throughput 16
-    auto row = sim::runMergeSchedule(
+    CompareResult result;
+    result.row = sim::runMergeSchedule(
             config, sim::MergerKind::RowPartitioned, partials);
-    auto flat = sim::runMergeSchedule(config, sim::MergerKind::Flattened,
-                                      partials);
+    result.flat = sim::runMergeSchedule(
+            config, sim::MergerKind::Flattened, partials);
+    return result;
+}
+
+void
+printComparison(const char *matrix_name, const CompareResult &result)
+{
     std::printf("%s: row-partitioned %.2f e/c, flattened %.2f e/c -> "
                 "%s wins\n",
-                matrix_name, row.elementsPerCycle(),
-                flat.elementsPerCycle(),
-                row.elementsPerCycle() > flat.elementsPerCycle()
+                matrix_name, result.row.elementsPerCycle(),
+                result.flat.elementsPerCycle(),
+                result.row.elementsPerCycle() >
+                                result.flat.elementsPerCycle()
                         ? "row-partitioned"
                         : "flattened");
 }
@@ -50,8 +67,12 @@ compareOn(const char *matrix_name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::size_t threads = 1; // --threads N: parallel merge sims
+    for (int i = 1; i < argc; i++)
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::size_t(std::atoi(argv[++i]));
     // Both merger designs pass through the same generator pipeline.
     for (auto build : {accel::gammaMergerSpec(32),
                        accel::spArchMergerSpec(16)}) {
@@ -72,9 +93,16 @@ main()
                 "%.1fK um^2 -> %.1fx (paper: 13x)\n\n", row_area / 1e3,
                 flat_area / 1e3, flat_area / row_area);
 
-    // Performance on the two workload families.
-    compareOn("poisson3Da"); // mesh: balanced rows
-    compareOn("web-Google"); // power-law: imbalanced rows
+    // Performance on the two workload families: mesh (balanced rows)
+    // vs power-law graph (imbalanced rows), simulated in parallel and
+    // printed in index order so output is thread-count-independent.
+    const std::vector<const char *> matrices = {"poisson3Da",
+                                                "web-Google"};
+    auto comparisons = sim::runMany(
+            matrices.size(), threads,
+            [&](std::size_t i) { return compareOn(matrices[i]); });
+    for (std::size_t i = 0; i < matrices.size(); i++)
+        printComparison(matrices[i], comparisons[i]);
     std::printf("\nArchitects with area budgets and poisson3Da-like "
                 "workloads should prefer\nthe cheap row-partitioned "
                 "merger; graph-like workloads justify the 13x\nflattened "

@@ -12,11 +12,19 @@
  * generating a fixed design:
  *
  *   stellar_cli dse [--dim N] [--threads T] [--topk K] [--max-pes P]
+ *
+ * The `sim` command sweeps a cycle-level simulator over its workload
+ * suite through the parallel driver (results are byte-identical at any
+ * thread count; budgets apply per workload point):
+ *
+ *   stellar_cli sim [--workload scnn|outerspace] [--threads T]
+ *                   [--step-budget B] [--time-budget MS]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "accel/designs.hpp"
@@ -31,6 +39,12 @@
 #include "rtl/lint.hpp"
 #include "rtl/soc.hpp"
 #include "rtl/testbench.hpp"
+#include "sim/outerspace.hpp"
+#include "sim/run_many.hpp"
+#include "sim/scnn.hpp"
+#include "sparse/suitesparse.hpp"
+#include "util/watchdog.hpp"
+#include "workloads/alexnet.hpp"
 
 using namespace stellar;
 
@@ -43,7 +57,7 @@ usage()
     std::printf(
             "usage: stellar_cli <design> [options]\n"
             "  designs: gemmini scnn outerspace gamma sparch a100 "
-            "pipeline dse\n"
+            "pipeline dse sim\n"
             "  --dim N           array dimension (default 8)\n"
             "  --out FILE        write Verilog to FILE\n"
             "  --report          print the architect's design report\n"
@@ -66,7 +80,89 @@ usage()
             "timeout failures\n"
             "  --fail-fast       rethrow the first candidate failure "
             "instead of\n"
-            "                    recording it and continuing\n");
+            "                    recording it and continuing\n"
+            "  sim options:\n"
+            "  --workload W      scnn (pruned AlexNet) or outerspace "
+            "(SuiteSparse suite)\n"
+            "  --threads T       sweep workers (0 = hardware "
+            "concurrency); results are\n"
+            "                    byte-identical at any value\n"
+            "  --step-budget B   per-point watchdog step budget "
+            "(0 = unlimited)\n"
+            "  --time-budget MS  per-point wall-clock deadline in ms "
+            "(0 = none)\n");
+}
+
+int
+runSim(const std::string &workload, std::size_t threads,
+       std::int64_t step_budget, std::int64_t time_budget_ms)
+{
+    // The scope is cloned per workload point by sim::runMany, so both
+    // budgets bound each point independently at every thread count.
+    std::optional<util::WatchdogScope> scope;
+    if (step_budget > 0 || time_budget_ms > 0)
+        scope.emplace("cli.sim", step_budget, time_budget_ms);
+
+    if (workload == "scnn") {
+        sim::ScnnConfig handwritten;
+        sim::ScnnConfig generated;
+        generated.stellarGenerated = true;
+        const auto &layers = workloads::alexnetConvLayers();
+        struct Point
+        {
+            sim::ScnnResult hand, gen;
+        };
+        auto points = sim::runMany(
+                layers.size(), threads, [&](std::size_t i) {
+                    Point point;
+                    point.hand = sim::simulateScnnLayer(handwritten,
+                                                        layers[i], 1);
+                    point.gen = sim::simulateScnnLayer(generated,
+                                                       layers[i], 1);
+                    return point;
+                });
+        std::printf("layer    handwritten  stellar-gen  relative\n");
+        for (std::size_t i = 0; i < layers.size(); i++) {
+            double hand = points[i].hand.utilization;
+            double gen = points[i].gen.utilization;
+            std::printf("%-8s %10.1f%% %11.1f%% %8.1f%%\n",
+                        layers[i].name, 100.0 * hand,
+                        100.0 * gen, 100.0 * gen / hand);
+        }
+        return 0;
+    }
+    if (workload == "outerspace") {
+        sim::OuterSpaceConfig config;
+        config.dma = sim::DmaConfig::withRate(16);
+        const auto &profiles = sparse::outerSpaceSuite();
+        struct Point
+        {
+            std::int64_t nnz = 0;
+            sim::OuterSpaceResult result;
+        };
+        auto points = sim::runMany(
+                profiles.size(), threads, [&](std::size_t i) {
+                    auto matrix = sparse::synthesize(
+                            sparse::scaleProfile(profiles[i], 60000), 1);
+                    Point point;
+                    point.nnz = matrix.nnz();
+                    point.result = sim::simulateOuterSpace(config, matrix);
+                    return point;
+                });
+        std::printf("matrix           nnz      cycles       GF/s@1.5GHz\n");
+        for (std::size_t i = 0; i < profiles.size(); i++) {
+            const auto &result = points[i].result;
+            std::printf("%-14s %7lld %11lld %10.2f\n",
+                        profiles[i].name.c_str(),
+                        (long long)points[i].nnz,
+                        (long long)result.cycles,
+                        result.gflops(1.5));
+        }
+        return 0;
+    }
+    std::fprintf(stderr, "unknown sim workload '%s' (scnn | outerspace)\n",
+                 workload.c_str());
+    return 1;
 }
 
 int
@@ -110,6 +206,9 @@ main(int argc, char **argv)
     bool want_selftest = false;
     rtl::RtlOptions rtl_options;
     accel::DseOptions dse_options;
+    std::string sim_workload = "scnn";
+    std::size_t sim_threads = 1;
+    std::int64_t sim_time_budget = 0;
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -133,8 +232,15 @@ main(int argc, char **argv)
             want_selftest = true;
         else if (arg == "--dma-inflight")
             rtl_options.dmaMaxInflight = std::atoi(next());
-        else if (arg == "--threads")
-            dse_options.threads = std::size_t(std::max(0, std::atoi(next())));
+        else if (arg == "--threads") {
+            std::size_t threads =
+                    std::size_t(std::max(0, std::atoi(next())));
+            dse_options.threads = threads;
+            sim_threads = threads;
+        } else if (arg == "--workload")
+            sim_workload = next();
+        else if (arg == "--time-budget")
+            sim_time_budget = std::max<std::int64_t>(0, std::atoll(next()));
         else if (arg == "--topk")
             dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--max-pes")
@@ -156,6 +262,9 @@ main(int argc, char **argv)
     try {
         if (design_name == "dse")
             return runDse(dim, dse_options);
+        if (design_name == "sim")
+            return runSim(sim_workload, sim_threads,
+                          dse_options.stepBudget, sim_time_budget);
         rtl::Design design;
         if (design_name == "pipeline") {
             auto pipeline = accel::generatePipeline(

@@ -114,6 +114,13 @@ class IterationSpace
         while (left > 0) {
             std::int64_t batch = std::min(kWatchdogBatch, left);
             if (dog != nullptr) {
+                // Wall-clock deadlines are checked once per batch, like
+                // the simulators' WatchdogBatcher boundaries.
+                dog->checkDeadline([&]() {
+                    return "iteration-space walk, last point " +
+                           vecToString(point) + " of bounds " +
+                           vecToString(bounds_);
+                });
                 if (dog->enabled()) {
                     std::int64_t allowance = dog->remaining();
                     if (allowance == 0) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
 
@@ -61,12 +62,15 @@ simulateTransfer(const DmaConfig &dma, DramModel &dram,
         return next_chunk >= chunks.size() && pending.empty();
     };
 
+    // One watchdog step per simulated wave, batched: a transfer that
+    // stops making progress (livelocked arbitration, a DRAM that never
+    // accepts) expires the budget with its queue state instead of
+    // spinning forever.
+    util::WatchdogBatcher dog;
     while (!all_done()) {
-        // One watchdog step per simulated wave: a transfer that stops
-        // making progress (livelocked arbitration, a DRAM that never
-        // accepts) expires the budget with its queue state instead of
-        // spinning forever.
-        util::watchdogTick(1, [&]() {
+        if (util::fault::armed())
+            util::fault::checkpoint("sim.dram.wave");
+        dog.step([&]() {
             return "dram transfer at cycle " + std::to_string(now) +
                    ", chunk " + std::to_string(next_chunk) + "/" +
                    std::to_string(chunks.size()) + ", " +

@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
 
@@ -113,11 +114,13 @@ runMergeSchedule(const MergerConfig &config, MergerKind kind,
         return total;
     // SpArch's execution order: merge neighbouring partial matrices
     // pairwise, round after round, until one remains.
+    util::WatchdogBatcher dog; // one step per merged pair, batched
     while (partials.size() > 1) {
         std::vector<sparse::PartialMatrix> next;
         for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
-            // One watchdog step per merged pair.
-            util::watchdogTick(1, [&]() {
+            if (util::fault::armed())
+                util::fault::checkpoint("sim.merger.pair");
+            dog.step([&]() {
                 return "merge round with " +
                        std::to_string(partials.size()) +
                        " partial matrices, pair at " +
@@ -160,9 +163,11 @@ runHierarchicalMerge(const MergerConfig &config,
     // through the pipelined tree: output elements emerge at the
     // flattened throughput once the tree fills.
     std::size_t group_start = 0;
+    util::WatchdogBatcher dog; // one step per merge-tree group
     while (group_start < partials.size()) {
-        // One watchdog step per merge-tree group.
-        util::watchdogTick(1, [&]() {
+        if (util::fault::armed())
+            util::fault::checkpoint("sim.merger.group");
+        dog.step([&]() {
             return "hierarchical merge group at " +
                    std::to_string(group_start) + "/" +
                    std::to_string(partials.size());

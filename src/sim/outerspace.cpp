@@ -5,6 +5,7 @@
 
 #include "sim/balance.hpp"
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
 
@@ -63,9 +64,11 @@ simulateOuterSpace(const OuterSpaceConfig &config,
     // across the PE groups; imbalanced columns strand groups unless the
     // Listing 3-style balancer shifts work between waves (Fig 6).
     std::vector<std::int64_t> column_work;
+    util::WatchdogBatcher dog; // one step per outer-product column
     for (std::int64_t k = 0; k < a.cols(); k++) {
-        // One watchdog step per outer-product column.
-        util::watchdogTick(1, [&]() {
+        if (util::fault::armed())
+            util::fault::checkpoint("sim.outerspace.column");
+        dog.step([&]() {
             return "outerspace column " + std::to_string(k) + "/" +
                    std::to_string(a.cols()) + ", " +
                    std::to_string(scatter.size()) +

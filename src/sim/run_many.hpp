@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Parallel driver for independent simulation points.
+ *
+ * Every figure bench sweeps the same shape of loop: N independent
+ * workload points (network layers, SuiteSparse matrices, sweep
+ * configurations), each simulated in isolation, reduced in index order
+ * into a printed table. runMany evaluates the points on a
+ * util::ThreadPool and returns results slotted by index, so any
+ * reduction that walks the vector front to back is byte-identical to
+ * the serial loop at every thread count (tests/sim_parallel_test.cpp
+ * holds every simulator and a figure-style reduction to that).
+ *
+ * Watchdogs: if the calling thread has a WatchdogScope installed, each
+ * point runs under a *fresh* scope with the same stage, step budget,
+ * and wall-clock deadline — on the caller's thread and on workers
+ * alike. Budgets are therefore per-point in both modes, which is what
+ * makes expiry behavior independent of the thread count (a shared
+ * serial budget would expire at a point that depends on how much the
+ * earlier points consumed, which no parallel schedule could
+ * reproduce).
+ *
+ * Failures: every point runs to completion even if another throws
+ * (ThreadPool::parallelMapIsolated); the lowest-index exception is
+ * rethrown, so the surfaced error is the same one the serial loop
+ * would hit first, at any thread count.
+ */
+
+#ifndef STELLAR_SIM_RUN_MANY_HPP
+#define STELLAR_SIM_RUN_MANY_HPP
+
+#include <cstddef>
+#include <exception>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/watchdog.hpp"
+
+namespace stellar::sim
+{
+
+/**
+ * Evaluate fn(i) for i in [0, n) on `threads` workers (<= 1 runs on the
+ * calling thread; 0 is reserved for "hardware concurrency" to match
+ * DseOptions::threads) and return the results in index order. T must be
+ * default-constructible and movable.
+ */
+template <typename Fn>
+auto
+runMany(std::size_t n, std::size_t threads, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using T = std::invoke_result_t<Fn &, std::size_t>;
+
+    // Clone the ambient watchdog configuration (if any) around every
+    // point, so budgets are per-point and thread-count-independent.
+    bool scoped = false;
+    std::string stage;
+    std::int64_t step_budget = 0, millis_budget = 0;
+    if (util::Watchdog *dog = util::currentWatchdog()) {
+        scoped = true;
+        stage = dog->stage();
+        step_budget = dog->budget();
+        millis_budget = dog->millisBudget();
+    }
+    auto run_one = [&](std::size_t i) -> T {
+        if (scoped) {
+            util::WatchdogScope scope(stage, step_budget, millis_budget);
+            return fn(i);
+        }
+        return fn(i);
+    };
+
+    if (threads == 1 || n <= 1) {
+        std::vector<T> results;
+        results.reserve(n);
+        for (std::size_t i = 0; i < n; i++)
+            results.push_back(run_one(i));
+        return results;
+    }
+
+    util::ThreadPool pool(threads);
+    std::vector<std::exception_ptr> errors;
+    std::vector<T> results =
+            pool.parallelMapIsolated<T>(n, run_one, errors);
+    for (const auto &error : errors)
+        if (error)
+            std::rethrow_exception(error);
+    return results;
+}
+
+} // namespace stellar::sim
+
+#endif // STELLAR_SIM_RUN_MANY_HPP

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
 
@@ -46,9 +47,11 @@ simulateScnnLayer(const ScnnConfig &config, const ScnnLayer &layer,
     std::int64_t weights_per_channel = layer.outChannels * layer.kernel *
                                        layer.kernel;
 
+    util::WatchdogBatcher dog; // one step per input channel, batched
     for (std::int64_t c = 0; c < layer.inChannels; c++) {
-        // One watchdog step per input channel.
-        util::watchdogTick(1, [&]() {
+        if (util::fault::armed())
+            util::fault::checkpoint("sim.scnn.channel");
+        dog.step([&]() {
             return "scnn channel " + std::to_string(c) + "/" +
                    std::to_string(layer.inChannels) + ", " +
                    std::to_string(result.cycles) + " cycles so far";

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "util/fault_inject.hpp"
 #include "util/logging.hpp"
 #include "util/watchdog.hpp"
 
@@ -32,10 +33,12 @@ simulateSystolicMatmul(const SystolicConfig &config, std::int64_t m,
             config.stellarGenerated ? config.stellarTileOverhead
                                     : config.handwrittenTileOverhead;
     std::int64_t compute = 0;
+    util::WatchdogBatcher dog; // one step per weight tile, batched
     for (std::int64_t tk = 0; tk < tiles_k; tk++) {
         for (std::int64_t tn = 0; tn < tiles_n; tn++) {
-            // One watchdog step per weight tile.
-            util::watchdogTick(1, [&]() {
+            if (util::fault::armed())
+                util::fault::checkpoint("sim.systolic.tile");
+            dog.step([&]() {
                 return "systolic tile (" + std::to_string(tk) + ", " +
                        std::to_string(tn) + ") of " +
                        std::to_string(tiles_k) + "x" +

@@ -28,6 +28,24 @@ TimeoutError::TimeoutError(const std::string &stage, std::int64_t steps,
       diagnostic_(diagnostic)
 {}
 
+TimeoutError
+TimeoutError::wallClock(const std::string &stage, std::int64_t elapsed_ms,
+                        std::int64_t budget_ms, std::int64_t steps,
+                        const std::string &diagnostic)
+{
+    TimeoutError error(
+            "stage '" + stage + "' exceeded its wall-clock deadline (" +
+                    std::to_string(elapsed_ms) + " ms, deadline " +
+                    std::to_string(budget_ms) + " ms, " +
+                    std::to_string(steps) + " steps)" +
+                    (diagnostic.empty() ? "" : "; " + diagnostic),
+            stage, steps, diagnostic);
+    error.wallClock_ = true;
+    error.elapsedMillis_ = elapsed_ms;
+    error.millisBudget_ = budget_ms;
+    return error;
+}
+
 std::string
 Failure::toString() const
 {

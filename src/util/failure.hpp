@@ -52,16 +52,43 @@ class TimeoutError : public std::runtime_error
     TimeoutError(const std::string &stage, std::int64_t steps,
                  std::int64_t budget, const std::string &diagnostic);
 
+    /**
+     * A wall-clock deadline expiry (WatchdogScope's max_millis): the
+     * stage ran for `elapsed_ms` against a `budget_ms` deadline, having
+     * executed `steps` counted units of work. Classified identically to
+     * a step-budget expiry (FailureKind::Timeout).
+     */
+    static TimeoutError wallClock(const std::string &stage,
+                                  std::int64_t elapsed_ms,
+                                  std::int64_t budget_ms,
+                                  std::int64_t steps,
+                                  const std::string &diagnostic);
+
     const std::string &stage() const { return stage_; }
     std::int64_t steps() const { return steps_; }
     std::int64_t budget() const { return budget_; }
     const std::string &diagnostic() const { return diagnostic_; }
 
+    /** True when a wall-clock deadline, not the step budget, expired. */
+    bool isWallClock() const { return wallClock_; }
+    std::int64_t elapsedMillis() const { return elapsedMillis_; }
+    std::int64_t millisBudget() const { return millisBudget_; }
+
   private:
+    /** Raw constructor for the wallClock factory (budget unused: 0). */
+    TimeoutError(const std::string &message, const std::string &stage,
+                 std::int64_t steps, const std::string &diagnostic)
+        : std::runtime_error(message), stage_(stage), steps_(steps),
+          budget_(0), diagnostic_(diagnostic)
+    {}
+
     std::string stage_;
     std::int64_t steps_;
     std::int64_t budget_;
     std::string diagnostic_;
+    bool wallClock_ = false;
+    std::int64_t elapsedMillis_ = 0;
+    std::int64_t millisBudget_ = 0;
 };
 
 /** Thrown when a candidate exceeds an explicit resource cap. */

@@ -1,7 +1,9 @@
 #include "util/fault_inject.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/failure.hpp"
@@ -20,11 +22,18 @@ std::vector<InjectionSpec> g_specs;
 
 thread_local std::uint64_t t_context = kNoContext;
 
-[[noreturn]] void
+void
 fire(const InjectionSpec &spec, const std::string &stage,
      std::uint64_t context)
 {
     g_fired.fetch_add(1, std::memory_order_relaxed);
+    if (spec.cls == FaultClass::Stall) {
+        // A slow checkpoint, not a failing one: burn wall-clock time so
+        // deadline watchdogs have something real to catch.
+        std::this_thread::sleep_for(
+                std::chrono::microseconds(spec.stallMicros));
+        return;
+    }
     std::string who = context == kNoContext
                               ? std::string("unscoped")
                               : "candidate " + std::to_string(context);
@@ -38,8 +47,9 @@ fire(const InjectionSpec &spec, const std::string &stage,
         throw TimeoutError(stage, 0, 0, msg);
       case FaultClass::Budget:
         throw ResourceBudgetError(msg);
+      case FaultClass::Stall:
+        break; // handled above
     }
-    throw PanicError(msg); // unreachable
 }
 
 } // namespace

@@ -39,6 +39,9 @@ enum class FaultClass
     Panic,   //!< PanicError (internal invariant)
     Timeout, //!< TimeoutError (watchdog expiry)
     Budget,  //!< ResourceBudgetError (resource cap)
+    Stall,   //!< no exception: sleep stallMicros at the checkpoint,
+             //!< simulating a pathologically slow input so wall-clock
+             //!< watchdog deadlines can be exercised deterministically
 };
 
 /** One armed injection. */
@@ -46,6 +49,9 @@ struct InjectionSpec
 {
     std::string stage; //!< checkpoint name to fire at
     FaultClass cls = FaultClass::Panic;
+
+    /** Sleep per matched checkpoint for FaultClass::Stall. */
+    std::int64_t stallMicros = 500;
 
     /** Candidate contexts to fail; empty + allContexts fails every one. */
     std::set<std::uint64_t> contexts;

@@ -7,6 +7,7 @@ namespace
 {
 
 thread_local Watchdog *t_current = nullptr;
+thread_local std::int64_t t_batch_override = 0;
 
 } // namespace
 
@@ -16,8 +17,10 @@ currentWatchdog()
     return t_current;
 }
 
-WatchdogScope::WatchdogScope(std::string stage, std::int64_t max_steps)
-    : watchdog_(std::move(stage), max_steps), previous_(t_current)
+WatchdogScope::WatchdogScope(std::string stage, std::int64_t max_steps,
+                             std::int64_t max_millis)
+    : watchdog_(std::move(stage), max_steps, max_millis),
+      previous_(t_current)
 {
     t_current = &watchdog_;
 }
@@ -25,6 +28,23 @@ WatchdogScope::WatchdogScope(std::string stage, std::int64_t max_steps)
 WatchdogScope::~WatchdogScope()
 {
     t_current = previous_;
+}
+
+std::int64_t
+watchdogBatchOverride()
+{
+    return t_batch_override;
+}
+
+WatchdogBatchOverride::WatchdogBatchOverride(std::int64_t batch)
+    : previous_(t_batch_override)
+{
+    t_batch_override = batch;
+}
+
+WatchdogBatchOverride::~WatchdogBatchOverride()
+{
+    t_batch_override = previous_;
 }
 
 } // namespace stellar::util

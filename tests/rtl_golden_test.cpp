@@ -6,11 +6,28 @@
  * are pinned against recorded goldens. DSE- or template-driven
  * refactors that change the emitted hardware must show up here as an
  * explicit golden update, never as a silent drift.
+ *
+ * Two layers of pinning:
+ *  - structural counts (modules/ports/instances/connections/assigns/
+ *    regs), which localize *what kind* of thing changed;
+ *  - per-module FNV-1a hashes of the emitted Verilog text, which catch
+ *    *any* textual drift (an operator swap, a renamed wire, a changed
+ *    literal) the counts cannot see.
+ *
+ * Regenerating the hash goldens after an intentional emitter change:
+ *   STELLAR_REGEN_RTL_HASHES=1 ./tests/rtl_golden_test \
+ *       --gtest_filter='RtlGolden.*Hashes*'
+ * prints ready-to-paste golden tables; copy them over the ones below
+ * and explain the change in the commit message.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "accel/designs.hpp"
 #include "core/accelerator.hpp"
@@ -94,6 +111,118 @@ TEST(RtlGolden, OuterSpaceLikeStructureIsPinned)
 {
     auto got = fingerprint("outerspace", accel::outerSpaceLikeSpec(8));
     expectGolden(got, {"outerspace", 12, 296, 185, 1124, 24, 414});
+}
+
+// ---------------------------------------------------------------------
+// Per-module emitted-text hashes
+
+/** FNV-1a 64-bit over the exact emitted Verilog text of one module. */
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (unsigned char byte : text) {
+        hash ^= byte;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+struct ModuleHash
+{
+    std::string module;
+    std::uint64_t hash = 0;
+};
+
+std::vector<ModuleHash>
+moduleHashes(const core::AcceleratorSpec &spec)
+{
+    auto design = lowerToVerilog(core::generate(spec));
+    std::vector<ModuleHash> hashes;
+    for (const auto &module : design.modules())
+        hashes.push_back({module.name(), fnv1a(module.emit())});
+    return hashes;
+}
+
+void
+expectModuleHashes(const std::string &design_name,
+                   const core::AcceleratorSpec &spec,
+                   const std::vector<ModuleHash> &want)
+{
+    auto got = moduleHashes(spec);
+    if (std::getenv("STELLAR_REGEN_RTL_HASHES") != nullptr) {
+        // Print a paste-able golden table instead of failing; see the
+        // file header for the regeneration workflow.
+        std::printf("    expectModuleHashes(\"%s\", ..., {\n",
+                    design_name.c_str());
+        for (const auto &entry : got)
+            std::printf("            {\"%s\", 0x%016llxULL},\n",
+                        entry.module.c_str(),
+                        (unsigned long long)entry.hash);
+        std::printf("    });\n");
+        return;
+    }
+    ASSERT_EQ(got.size(), want.size()) << design_name;
+    for (std::size_t i = 0; i < want.size(); i++) {
+        SCOPED_TRACE(design_name + "." + want[i].module);
+        EXPECT_EQ(got[i].module, want[i].module);
+        EXPECT_EQ(got[i].hash, want[i].hash)
+                << "emitted Verilog for module '" << got[i].module
+                << "' drifted; if intentional, regenerate with "
+                   "STELLAR_REGEN_RTL_HASHES=1";
+    }
+}
+
+TEST(RtlGolden, GemminiModuleHashesArePinned)
+{
+    expectModuleHashes("gemmini", accel::gemminiLikeSpec(8), {
+            {"stellar_pe_gemmini_like", 0x6e6ba7af7ea8e49dULL},
+            {"stellar_array_gemmini_like", 0x1213a1d768221d3dULL},
+            {"stellar_pipereg_w32_d1", 0x6ef8836c95cc4bf1ULL},
+            {"stellar_rf_gemmini_like_A", 0x7e8ce727756f1e4cULL},
+            {"stellar_rf_gemmini_like_B", 0x352d0a67e2a7bd34ULL},
+            {"stellar_rf_gemmini_like_C", 0xfacb226ab3c46818ULL},
+            {"stellar_mem_gemmini_like_SPAD_A", 0x3a3482546d7e20aeULL},
+            {"stellar_mem_gemmini_like_SPAD_B", 0x65db806a70a4bc27ULL},
+            {"stellar_mem_gemmini_like_ACC_C", 0xf47147e347f6c8e7ULL},
+            {"stellar_dma_gemmini_like", 0xd50fb405f4506c34ULL},
+            {"stellar_top_gemmini_like", 0xd501627747aafa59ULL},
+    });
+}
+
+TEST(RtlGolden, ScnnModuleHashesArePinned)
+{
+    expectModuleHashes("scnn", accel::scnnLikeSpec(), {
+            {"stellar_pe_scnn_like", 0x3ef309f54469d091ULL},
+            {"stellar_array_scnn_like", 0x66d3751310f6743bULL},
+            {"stellar_pipereg_w32_d1", 0x6ef8836c95cc4bf1ULL},
+            {"stellar_rf_scnn_like_A", 0x1e8cdc178003ec30ULL},
+            {"stellar_rf_scnn_like_B", 0xd276e0a15db10376ULL},
+            {"stellar_rf_scnn_like_C", 0x9ae3657d4c230876ULL},
+            {"stellar_mem_scnn_like_WEIGHT_FIFO", 0x4e9ee563e80c17f4ULL},
+            {"stellar_mem_scnn_like_ACT_RAM", 0x175bcc41c7207ebcULL},
+            {"stellar_mem_scnn_like_ACC_RAM", 0x7dc13b0e4c07309fULL},
+            {"stellar_dma_scnn_like", 0x967e784811181764ULL},
+            {"stellar_top_scnn_like", 0x339bbea811dfa253ULL},
+    });
+}
+
+TEST(RtlGolden, OuterSpaceModuleHashesArePinned)
+{
+    expectModuleHashes("outerspace", accel::outerSpaceLikeSpec(8), {
+            {"stellar_pe_outerspace_like", 0xda3664cbdfe19894ULL},
+            {"stellar_array_outerspace_like", 0x16aacfecac4a5f7cULL},
+            {"stellar_pipereg_w32_d1", 0x6ef8836c95cc4bf1ULL},
+            {"stellar_rf_outerspace_like_A", 0xfe09cb0e521dd937ULL},
+            {"stellar_rf_outerspace_like_B", 0x4f7af14947e46ee9ULL},
+            {"stellar_rf_outerspace_like_C", 0xcdd613a750cfb3dbULL},
+            {"stellar_mem_outerspace_like_SRAM_A", 0x6c6fd3c4ee435ce1ULL},
+            {"stellar_mem_outerspace_like_SRAM_B", 0xab56942a36999e3aULL},
+            {"stellar_mem_outerspace_like_PARTIALS", 0xdbf9f5220c90480fULL},
+            {"stellar_dma_outerspace_like", 0x14551b6596926ac7ULL},
+            {"stellar_balancer_outerspace_like", 0x47c1cc9b42712f7dULL},
+            {"stellar_top_outerspace_like", 0x98c9f714ac014735ULL},
+    });
 }
 
 TEST(RtlGolden, FingerprintsAreReproducible)
