@@ -11,6 +11,7 @@
 #include "sim/outerspace.hpp"
 #include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -26,10 +27,10 @@ report()
                 "ptr stall cycles"}, 18);
     bench::rule(4, 18);
 
-    auto poisson = sparse::synthesize(
+    auto poisson = workloads::cachedSuiteSparse(
             sparse::scaleProfile(sparse::profileByName("poisson3Da"),
                                  80000), 1);
-    auto wiki = sparse::synthesize(
+    auto wiki = workloads::cachedSuiteSparse(
             sparse::scaleProfile(sparse::profileByName("wiki-Vote"),
                                  80000), 1);
     const std::vector<int> rates = {1, 2, 4, 8, 16, 32};
@@ -42,8 +43,8 @@ report()
                 sim::OuterSpaceConfig config;
                 config.dma = sim::DmaConfig::withRate(rates[i]);
                 RatePoint point;
-                point.poisson = sim::simulateOuterSpace(config, poisson);
-                point.wiki = sim::simulateOuterSpace(config, wiki);
+                point.poisson = sim::simulateOuterSpace(config, *poisson);
+                point.wiki = sim::simulateOuterSpace(config, *wiki);
                 return point;
             });
     for (std::size_t i = 0; i < rates.size(); i++) {
@@ -64,13 +65,13 @@ report()
 void
 BM_OuterSpaceRate(benchmark::State &state)
 {
-    auto matrix = sparse::synthesize(
+    auto matrix = workloads::cachedSuiteSparse(
             sparse::scaleProfile(sparse::profileByName("wiki-Vote"),
                                  30000), 1);
     sim::OuterSpaceConfig config;
     config.dma = sim::DmaConfig::withRate(int(state.range(0)));
     for (auto _ : state) {
-        auto result = sim::simulateOuterSpace(config, matrix);
+        auto result = sim::simulateOuterSpace(config, *matrix);
         benchmark::DoNotOptimize(result);
     }
 }

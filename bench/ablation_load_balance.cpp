@@ -15,6 +15,7 @@
 #include "sim/run_many.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -42,7 +43,8 @@ report()
             names.size(), bench::threads(), [&](std::size_t i) {
                 auto profile = sparse::scaleProfile(
                         sparse::profileByName(names[i]), 80000);
-                auto matrix = sparse::synthesize(profile, 1);
+                auto cached = workloads::cachedSuiteSparse(profile, 1);
+                const sparse::CsrMatrix &matrix = *cached;
                 MatrixPoint point;
                 point.mesh =
                         profile.pattern == sparse::MatrixPattern::Mesh;
@@ -101,13 +103,13 @@ report()
 void
 BM_BalancedVsUnbalanced(benchmark::State &state)
 {
-    auto matrix = sparse::synthesize(
+    auto matrix = workloads::cachedSuiteSparse(
             sparse::scaleProfile(sparse::profileByName("wiki-Vote"),
                                  30000), 1);
     sim::OuterSpaceConfig config;
     config.loadBalanced = state.range(0) != 0;
     for (auto _ : state) {
-        auto result = sim::simulateOuterSpace(config, matrix);
+        auto result = sim::simulateOuterSpace(config, *matrix);
         benchmark::DoNotOptimize(result);
     }
 }

@@ -12,6 +12,7 @@
 #include "sim/merger.hpp"
 #include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -61,9 +62,7 @@ report()
                   "merging");
     auto profile = stellar::sparse::scaleProfile(
             stellar::sparse::profileByName("poisson3Da"), 30000);
-    auto matrix = stellar::sparse::synthesize(profile, 5);
-    auto partials = stellar::sparse::outerProductPartials(
-            stellar::sparse::csrToCsc(matrix), matrix);
+    auto partials = stellar::workloads::cachedOuterPartials(profile, 5);
     stellar::sim::MergerConfig merger_config;
     // The two schedules are independent simulation points; sweep them
     // through the parallel driver like the figure benches.
@@ -73,9 +72,9 @@ report()
                                         merger_config,
                                         stellar::sim::MergerKind::
                                                 Flattened,
-                                        partials)
+                                        *partials)
                               : stellar::sim::runHierarchicalMerge(
-                                        merger_config, partials, 64);
+                                        merger_config, *partials, 64);
             });
     const auto &pairwise = schedules[0];
     const auto &tree = schedules[1];

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/strings.hpp"
+#include "workloads/cache.hpp"
 
 namespace stellar::bench
 {
@@ -42,13 +43,27 @@ threads()
     return threadsRef();
 }
 
+/** Set by `--cache-stats`: print workload-cache counters at exit. */
+inline bool &
+cacheStatsRef()
+{
+    static bool requested = false;
+    return requested;
+}
+
 /**
- * Consume `--threads N` / `--threads=N` from argv (before
- * benchmark::Initialize sees and rejects it). Used by
- * STELLAR_BENCH_MAIN.
+ * Consume the sweep flags shared by every bench binary (before
+ * benchmark::Initialize sees and rejects them). Used by
+ * STELLAR_BENCH_MAIN:
+ *  - `--threads N` / `--threads=N`: sim::runMany workers;
+ *  - `--no-cache`: disable the workload cache (every sweep point
+ *    synthesizes privately; output must stay byte-identical);
+ *  - `--cache-stats`: print cache counters to *stderr* after the
+ *    report (stderr, because hit/miss splits depend on thread timing
+ *    and stdout is held byte-identical across all configurations).
  */
 inline void
-parseThreads(int *argc, char **argv)
+parseSweepFlags(int *argc, char **argv)
 {
     int out = 1;
     for (int i = 1; i < *argc; i++) {
@@ -60,9 +75,36 @@ parseThreads(int *argc, char **argv)
             threadsRef() = std::size_t(std::atoi(argv[i] + 10));
             continue;
         }
+        if (std::strcmp(argv[i], "--no-cache") == 0) {
+            workloads::Cache::global().setEnabled(false);
+            continue;
+        }
+        if (std::strcmp(argv[i], "--cache-stats") == 0) {
+            cacheStatsRef() = true;
+            continue;
+        }
         argv[out++] = argv[i];
     }
     *argc = out;
+}
+
+/** Backwards-compatible alias for parseSweepFlags. */
+inline void
+parseThreads(int *argc, char **argv)
+{
+    parseSweepFlags(argc, argv);
+}
+
+/** Print cache counters to stderr when `--cache-stats` was given. */
+inline void
+reportCacheStats()
+{
+    if (!cacheStatsRef())
+        return;
+    std::fprintf(stderr, "%s\n",
+                 workloads::cacheStatsReport(
+                         workloads::Cache::global().stats())
+                         .c_str());
 }
 
 /** Print a section banner. */
@@ -96,8 +138,9 @@ rule(std::size_t cells, std::size_t width = 16)
 #define STELLAR_BENCH_MAIN(report_fn)                                     \
     int main(int argc, char **argv)                                       \
     {                                                                      \
-        ::stellar::bench::parseThreads(&argc, argv);                       \
+        ::stellar::bench::parseSweepFlags(&argc, argv);                    \
         report_fn();                                                       \
+        ::stellar::bench::reportCacheStats();                              \
         ::benchmark::Initialize(&argc, argv);                              \
         ::benchmark::RunSpecifiedBenchmarks();                             \
         return 0;                                                          \

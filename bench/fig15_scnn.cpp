@@ -10,6 +10,7 @@
 #include "sim/run_many.hpp"
 #include "sim/scnn.hpp"
 #include "workloads/alexnet.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -32,7 +33,8 @@ report()
     {
         sim::ScnnResult hand, gen;
     };
-    const auto &layers = workloads::alexnetConvLayers();
+    const auto layers_ptr = workloads::cachedAlexnetLayers();
+    const auto &layers = *layers_ptr;
     auto points = sim::runMany(
             layers.size(), bench::threads(), [&](std::size_t i) {
                 LayerPoint point;
@@ -65,7 +67,8 @@ BM_ScnnConv3(benchmark::State &state)
 {
     sim::ScnnConfig config;
     config.stellarGenerated = state.range(0) != 0;
-    const auto &layer = workloads::alexnetConvLayers()[2];
+    const auto layers_ptr = workloads::cachedAlexnetLayers();
+    const auto &layer = (*layers_ptr)[2];
     for (auto _ : state) {
         auto result = sim::simulateScnnLayer(config, layer, 1);
         benchmark::DoNotOptimize(result);

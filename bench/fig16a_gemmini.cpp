@@ -10,6 +10,7 @@
 
 #include "sim/run_many.hpp"
 #include "sim/systolic.hpp"
+#include "workloads/cache.hpp"
 #include "workloads/resnet.hpp"
 
 namespace
@@ -33,7 +34,8 @@ report()
     {
         sim::SystolicResult hand, gen;
     };
-    const auto &layers = workloads::resnet50Layers();
+    const auto layers_ptr = workloads::cachedResnetLayers(false);
+    const auto &layers = *layers_ptr;
     auto points = sim::runMany(
             layers.size(), bench::threads(), [&](std::size_t i) {
                 LayerPoint point;
@@ -54,7 +56,7 @@ report()
         gen_cycles += gen.cycles;
         total_macs += layer.macs();
         bool representative = false;
-        for (const auto &rep : workloads::resnet50Representative())
+        for (const auto &rep : *workloads::cachedResnetLayers(true))
             if (rep.name == layer.name)
                 representative = true;
         if (representative) {

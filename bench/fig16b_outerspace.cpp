@@ -16,6 +16,7 @@
 #include "sim/outerspace.hpp"
 #include "sim/run_many.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -50,11 +51,11 @@ report()
             profiles.size(), bench::threads(), [&](std::size_t i) {
                 auto scaled = sparse::scaleProfile(profiles[i],
                                                    kNnzBudget);
-                auto matrix = sparse::synthesize(scaled, 1);
+                auto matrix = workloads::cachedSuiteSparse(scaled, 1);
                 MatrixPoint point;
-                point.nnz = matrix.nnz();
-                point.slow = sim::simulateOuterSpace(initial, matrix);
-                point.fast = sim::simulateOuterSpace(improved, matrix);
+                point.nnz = matrix->nnz();
+                point.slow = sim::simulateOuterSpace(initial, *matrix);
+                point.fast = sim::simulateOuterSpace(improved, *matrix);
                 return point;
             });
 
@@ -88,11 +89,11 @@ BM_OuterSpacePoisson(benchmark::State &state)
 {
     auto profile = sparse::scaleProfile(
             sparse::profileByName("poisson3Da"), 40000);
-    auto matrix = sparse::synthesize(profile, 1);
+    auto matrix = workloads::cachedSuiteSparse(profile, 1);
     sim::OuterSpaceConfig config;
     config.dma = sim::DmaConfig::withRate(int(state.range(0)));
     for (auto _ : state) {
-        auto result = sim::simulateOuterSpace(config, matrix);
+        auto result = sim::simulateOuterSpace(config, *matrix);
         benchmark::DoNotOptimize(result);
     }
 }

@@ -13,6 +13,7 @@
 #include "model/energy.hpp"
 #include "sim/run_many.hpp"
 #include "sim/systolic.hpp"
+#include "workloads/cache.hpp"
 #include "workloads/resnet.hpp"
 
 namespace
@@ -63,7 +64,8 @@ report()
     {
         sim::SystolicResult hand, gen;
     };
-    const auto &layers = workloads::resnet50Representative();
+    const auto layers_ptr = workloads::cachedResnetLayers(true);
+    const auto &layers = *layers_ptr;
     auto points = sim::runMany(
             layers.size(), bench::threads(), [&](std::size_t i) {
                 LayerPoint point;

@@ -14,6 +14,7 @@
 #include "sim/run_many.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 namespace
 {
@@ -21,12 +22,6 @@ namespace
 using namespace stellar;
 
 constexpr std::int64_t kNnzBudget = 60000;
-
-std::vector<sparse::PartialMatrix>
-partialsOf(const sparse::CsrMatrix &matrix)
-{
-    return sparse::outerProductPartials(sparse::csrToCsc(matrix), matrix);
-}
 
 void
 report()
@@ -50,14 +45,13 @@ report()
             profiles.size(), bench::threads(), [&](std::size_t i) {
                 auto scaled = sparse::scaleProfile(profiles[i],
                                                    kNnzBudget);
-                auto matrix = sparse::synthesize(scaled, 2);
-                auto partials = partialsOf(matrix);
+                auto partials = workloads::cachedOuterPartials(scaled, 2);
                 MatrixPoint point;
                 point.row = sim::runMergeSchedule(
                         config, sim::MergerKind::RowPartitioned,
-                        partials);
+                        *partials);
                 point.flat = sim::runMergeSchedule(
-                        config, sim::MergerKind::Flattened, partials);
+                        config, sim::MergerKind::Flattened, *partials);
                 return point;
             });
 
@@ -96,13 +90,12 @@ BM_MergeSchedule(benchmark::State &state)
 {
     auto profile = sparse::scaleProfile(
             sparse::profileByName("poisson3Da"), 20000);
-    auto matrix = sparse::synthesize(profile, 2);
-    auto partials = partialsOf(matrix);
+    auto partials = workloads::cachedOuterPartials(profile, 2);
     sim::MergerConfig config;
     auto kind = state.range(0) == 0 ? sim::MergerKind::RowPartitioned
                                     : sim::MergerKind::Flattened;
     for (auto _ : state) {
-        auto result = sim::runMergeSchedule(config, kind, partials);
+        auto result = sim::runMergeSchedule(config, kind, *partials);
         benchmark::DoNotOptimize(result);
     }
 }

@@ -20,6 +20,7 @@
 #include "sim/systolic.hpp"
 #include "sparse/structured.hpp"
 #include "util/rng.hpp"
+#include "workloads/cache.hpp"
 
 using namespace stellar;
 
@@ -49,13 +50,12 @@ main()
     std::printf("wrote /tmp/a100_24.v\n\n");
 
     // The packed format round-trips losslessly.
-    Rng rng(3);
-    auto packed = sparse::generateStructured(rng, 16, 64, 2, 4);
-    auto dense = sparse::structuredToDense(packed);
+    auto packed = workloads::cachedStructured(16, 64, 2, 4, 3);
+    auto dense = sparse::structuredToDense(*packed);
     bool valid = sparse::isStructuredNM(dense, 2, 4);
     auto repacked = sparse::denseToStructured(dense, 2, 4);
     std::printf("generated 16x64 2:4 matrix: %lld nonzeros, N:M property "
-                "%s, round trip %s\n", (long long)packed.nnz(),
+                "%s, round trip %s\n", (long long)packed->nnz(),
                 valid ? "holds" : "VIOLATED",
                 sparse::structuredToDense(repacked) == dense ? "ok"
                                                              : "WRONG");

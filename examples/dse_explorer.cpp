@@ -7,12 +7,15 @@
  * than being special cases.
  *
  * usage: dse_explorer [--threads N] [--topk K] [--step-budget B]
- *                     [--max-pes P] [--prepass K]
+ *                     [--time-budget MS] [--max-pes P] [--prepass K]
  *   --threads N      evaluation workers (0 = hardware concurrency);
  *                    rankings are identical for every thread count
  *   --step-budget B  per-candidate watchdog step budget (0 = unlimited);
  *                    candidates that exceed it are recorded as timeout
  *                    failures and rank nowhere
+ *   --time-budget MS per-candidate wall-clock deadline in milliseconds
+ *                    (0 = none); expiry is recorded as a wall-clock
+ *                    timeout failure
  *   --max-pes P      drop candidates over P PEs before elaboration;
  *                    the analytic count is exact, so the prune is
  *                    lossless (0 = keep everything)
@@ -47,6 +50,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--step-budget") == 0 && i + 1 < argc)
             options.stepBudget =
                     std::max<std::int64_t>(0, std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--time-budget") == 0 && i + 1 < argc)
+            options.timeBudgetMillis =
+                    std::max<std::int64_t>(0, std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--max-pes") == 0 && i + 1 < argc)
             options.maxPes =
                     std::max<std::int64_t>(0, std::atoll(argv[++i]));
@@ -55,7 +61,8 @@ main(int argc, char **argv)
                     std::size_t(std::max(0, std::atoi(argv[++i])));
         else {
             std::printf("usage: dse_explorer [--threads N] [--topk K] "
-                        "[--step-budget B] [--max-pes P] [--prepass K]\n");
+                        "[--step-budget B] [--time-budget MS] "
+                        "[--max-pes P] [--prepass K]\n");
             return 1;
         }
     }

@@ -22,6 +22,7 @@
 #include "sim/run_many.hpp"
 #include "sparse/spgemm.hpp"
 #include "sparse/suitesparse.hpp"
+#include "workloads/cache.hpp"
 
 using namespace stellar;
 
@@ -38,16 +39,14 @@ compareOn(const char *matrix_name)
 {
     auto profile = sparse::scaleProfile(
             sparse::profileByName(matrix_name), 40000);
-    auto matrix = sparse::synthesize(profile, 3);
-    auto partials = sparse::outerProductPartials(
-            sparse::csrToCsc(matrix), matrix);
+    auto partials = workloads::cachedOuterPartials(profile, 3);
 
     sim::MergerConfig config; // 32 lanes vs flattened throughput 16
     CompareResult result;
     result.row = sim::runMergeSchedule(
-            config, sim::MergerKind::RowPartitioned, partials);
+            config, sim::MergerKind::RowPartitioned, *partials);
     result.flat = sim::runMergeSchedule(
-            config, sim::MergerKind::Flattened, partials);
+            config, sim::MergerKind::Flattened, *partials);
     return result;
 }
 
@@ -70,9 +69,15 @@ int
 main(int argc, char **argv)
 {
     std::size_t threads = 1; // --threads N: parallel merge sims
-    for (int i = 1; i < argc; i++)
+    bool cache_stats = false;
+    for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
             threads = std::size_t(std::atoi(argv[++i]));
+        else if (std::strcmp(argv[i], "--no-cache") == 0)
+            workloads::Cache::global().setEnabled(false);
+        else if (std::strcmp(argv[i], "--cache-stats") == 0)
+            cache_stats = true;
+    }
     // Both merger designs pass through the same generator pipeline.
     for (auto build : {accel::gammaMergerSpec(32),
                        accel::spArchMergerSpec(16)}) {
@@ -107,5 +112,10 @@ main(int argc, char **argv)
                 "workloads should prefer\nthe cheap row-partitioned "
                 "merger; graph-like workloads justify the 13x\nflattened "
                 "merger (Section VI-D).\n");
+    if (cache_stats)
+        std::fprintf(stderr, "%s\n",
+                     workloads::cacheStatsReport(
+                             workloads::Cache::global().stats())
+                             .c_str());
     return 0;
 }

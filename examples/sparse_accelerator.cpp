@@ -18,6 +18,7 @@
 #include "sim/balance.hpp"
 #include "sparse/suitesparse.hpp"
 #include "sparsity/skip.hpp"
+#include "workloads/cache.hpp"
 
 using namespace stellar;
 
@@ -81,10 +82,10 @@ main()
     // Fig 6: run an imbalanced workload with and without balancing.
     auto profile = sparse::scaleProfile(
             sparse::profileByName("wiki-Vote"), 20000);
-    auto matrix = sparse::synthesize(profile, 7);
+    auto matrix = workloads::cachedSuiteSparse(profile, 7);
     std::vector<std::int64_t> row_work;
-    for (std::int64_t r = 0; r < matrix.rows(); r++)
-        row_work.push_back(matrix.rowNnz(r));
+    for (std::int64_t r = 0; r < matrix->rows(); r++)
+        row_work.push_back(matrix->rowNnz(r));
 
     auto without = sim::simulateRowWaves(row_work, 16, false);
     auto with = sim::simulateRowWaves(row_work, 16, true);

@@ -19,6 +19,11 @@
  *
  *   stellar_cli sim [--workload scnn|outerspace] [--threads T]
  *                   [--step-budget B] [--time-budget MS]
+ *
+ * Both commands share the process-wide workload cache
+ * (workloads::Cache); `--no-cache` disables it and `--cache-stats`
+ * prints its counters to stderr (output on stdout is byte-identical
+ * either way).
  */
 
 #include <algorithm>
@@ -44,7 +49,7 @@
 #include "sim/scnn.hpp"
 #include "sparse/suitesparse.hpp"
 #include "util/watchdog.hpp"
-#include "workloads/alexnet.hpp"
+#include "workloads/cache.hpp"
 
 using namespace stellar;
 
@@ -78,6 +83,10 @@ usage()
             "(0 = unlimited);\n"
             "                    over-budget candidates are recorded as "
             "timeout failures\n"
+            "  --time-budget MS  per-candidate wall-clock deadline in "
+            "ms (0 = none);\n"
+            "                    expiry is recorded as a wall-clock "
+            "timeout failure\n"
             "  --fail-fast       rethrow the first candidate failure "
             "instead of\n"
             "                    recording it and continuing\n"
@@ -90,7 +99,12 @@ usage()
             "  --step-budget B   per-point watchdog step budget "
             "(0 = unlimited)\n"
             "  --time-budget MS  per-point wall-clock deadline in ms "
-            "(0 = none)\n");
+            "(0 = none)\n"
+            "  shared options:\n"
+            "  --no-cache        disable the workload cache (identical "
+            "output, no reuse)\n"
+            "  --cache-stats     print workload-cache counters to "
+            "stderr on exit\n");
 }
 
 int
@@ -107,7 +121,8 @@ runSim(const std::string &workload, std::size_t threads,
         sim::ScnnConfig handwritten;
         sim::ScnnConfig generated;
         generated.stellarGenerated = true;
-        const auto &layers = workloads::alexnetConvLayers();
+        const auto layers_ptr = workloads::cachedAlexnetLayers();
+        const auto &layers = *layers_ptr;
         struct Point
         {
             sim::ScnnResult hand, gen;
@@ -142,11 +157,12 @@ runSim(const std::string &workload, std::size_t threads,
         };
         auto points = sim::runMany(
                 profiles.size(), threads, [&](std::size_t i) {
-                    auto matrix = sparse::synthesize(
+                    auto matrix = workloads::cachedSuiteSparse(
                             sparse::scaleProfile(profiles[i], 60000), 1);
                     Point point;
-                    point.nnz = matrix.nnz();
-                    point.result = sim::simulateOuterSpace(config, matrix);
+                    point.nnz = matrix->nnz();
+                    point.result =
+                            sim::simulateOuterSpace(config, *matrix);
                     return point;
                 });
         std::printf("matrix           nnz      cycles       GF/s@1.5GHz\n");
@@ -209,6 +225,7 @@ main(int argc, char **argv)
     std::string sim_workload = "scnn";
     std::size_t sim_threads = 1;
     std::int64_t sim_time_budget = 0;
+    bool cache_stats = false;
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -239,8 +256,15 @@ main(int argc, char **argv)
             sim_threads = threads;
         } else if (arg == "--workload")
             sim_workload = next();
-        else if (arg == "--time-budget")
-            sim_time_budget = std::max<std::int64_t>(0, std::atoll(next()));
+        else if (arg == "--time-budget") {
+            std::int64_t millis =
+                    std::max<std::int64_t>(0, std::atoll(next()));
+            sim_time_budget = millis;
+            dse_options.timeBudgetMillis = millis;
+        } else if (arg == "--no-cache")
+            workloads::Cache::global().setEnabled(false);
+        else if (arg == "--cache-stats")
+            cache_stats = true;
         else if (arg == "--topk")
             dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--max-pes")
@@ -259,12 +283,27 @@ main(int argc, char **argv)
         }
     }
 
+    // stderr, not stdout: hit/miss splits depend on thread timing,
+    // and stdout stays byte-identical with the cache on and off.
+    auto report_cache = [&] {
+        if (cache_stats)
+            std::fprintf(stderr, "%s\n",
+                         workloads::cacheStatsReport(
+                                 workloads::Cache::global().stats())
+                                 .c_str());
+    };
     try {
-        if (design_name == "dse")
-            return runDse(dim, dse_options);
-        if (design_name == "sim")
-            return runSim(sim_workload, sim_threads,
-                          dse_options.stepBudget, sim_time_budget);
+        if (design_name == "dse") {
+            int rc = runDse(dim, dse_options);
+            report_cache();
+            return rc;
+        }
+        if (design_name == "sim") {
+            int rc = runSim(sim_workload, sim_threads,
+                            dse_options.stepBudget, sim_time_budget);
+            report_cache();
+            return rc;
+        }
         rtl::Design design;
         if (design_name == "pipeline") {
             auto pipeline = accel::generatePipeline(

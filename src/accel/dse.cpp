@@ -151,7 +151,8 @@ exploreDataflows(const func::FunctionalSpec &functional,
     // scheduling: the reduction below walks slots in worklist order.
     auto evaluate = [&](std::size_t i) {
         util::fault::ScopedContext context(worklist[i]);
-        util::WatchdogScope guard("dse.candidate", options.stepBudget);
+        util::WatchdogScope guard("dse.candidate", options.stepBudget,
+                                  options.timeBudgetMillis);
         return evaluateCandidate(transforms[worklist[i]], worklist[i],
                                  functional, bounds, options, area_params,
                                  timing_params);

@@ -91,6 +91,16 @@ struct DseOptions
     std::int64_t stepBudget = 0;
 
     /**
+     * Per-candidate wall-clock deadline in milliseconds (0 = none),
+     * checked at the same batch boundaries as the simulators' (see
+     * util/watchdog.hpp). Step budgets are the deterministic choice for
+     * trusted specs; the deadline exists for untrusted external inputs
+     * whose step counts cannot be bounded ahead of time. Expiry is
+     * recorded as a Timeout failure with TimeoutError::isWallClock set.
+     */
+    std::int64_t timeBudgetMillis = 0;
+
+    /**
      * When true (the default), a candidate whose evaluation throws is
      * recorded in DseStats::failures and exploration continues; failed
      * candidates rank nowhere and rankings stay byte-identical across

@@ -20,10 +20,12 @@
  * earlier points consumed, which no parallel schedule could
  * reproduce).
  *
- * Failures: every point runs to completion even if another throws
- * (ThreadPool::parallelMapIsolated); the lowest-index exception is
- * rethrown, so the surfaced error is the same one the serial loop
- * would hit first, at any thread count.
+ * Failures: every point runs to completion even if another throws —
+ * in the serial path and the pool path (ThreadPool::parallelMapIsolated)
+ * alike — and the lowest-index exception is rethrown afterwards, so
+ * the surfaced error is identical at any thread count and a throwing
+ * point never skips the per-point scope (and watchdog-credit refund)
+ * of the points after it.
  */
 
 #ifndef STELLAR_SIM_RUN_MANY_HPP
@@ -74,10 +76,18 @@ runMany(std::size_t n, std::size_t threads, Fn &&fn)
     };
 
     if (threads == 1 || n <= 1) {
-        std::vector<T> results;
-        results.reserve(n);
-        for (std::size_t i = 0; i < n; i++)
-            results.push_back(run_one(i));
+        std::vector<T> results(n);
+        std::exception_ptr first_error;
+        for (std::size_t i = 0; i < n; i++) {
+            try {
+                results[i] = run_one(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
         return results;
     }
 

@@ -30,6 +30,16 @@ WatchdogScope::~WatchdogScope()
     t_current = previous_;
 }
 
+WatchdogSuspend::WatchdogSuspend() : previous_(t_current)
+{
+    t_current = nullptr;
+}
+
+WatchdogSuspend::~WatchdogSuspend()
+{
+    t_current = previous_;
+}
+
 std::int64_t
 watchdogBatchOverride()
 {

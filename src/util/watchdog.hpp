@@ -188,6 +188,27 @@ class WatchdogScope
     Watchdog *previous_;
 };
 
+/**
+ * RAII: uninstalls the current thread's watchdog for the dynamic extent
+ * of the scope and restores it on destruction. Used around work done on
+ * behalf of *every* consumer — e.g. a workload-cache miss synthesizing
+ * a shared input: whether a given sweep point pays synthesis steps must
+ * not depend on which point happened to miss first, so the miss charges
+ * nobody (exactly like a hit).
+ */
+class WatchdogSuspend
+{
+  public:
+    WatchdogSuspend();
+    ~WatchdogSuspend();
+
+    WatchdogSuspend(const WatchdogSuspend &) = delete;
+    WatchdogSuspend &operator=(const WatchdogSuspend &) = delete;
+
+  private:
+    Watchdog *previous_;
+};
+
 /** Tick the installed watchdog, if any. */
 inline void
 watchdogTick(std::int64_t steps = 1)

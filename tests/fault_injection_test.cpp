@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -282,6 +283,17 @@ expectIdenticalRankings(const std::vector<DseCandidate> &a,
     }
 }
 
+/** Wall-clock timeout messages embed the *measured* elapsed time,
+ *  which legitimately differs between the serial and threaded runs of
+ *  the same exploration; mask every millisecond count so the
+ *  deterministic rest of the message is what gets compared. */
+std::string
+maskElapsedMillis(const std::string &message)
+{
+    static const std::regex millis("[0-9]+ ms");
+    return std::regex_replace(message, millis, "# ms");
+}
+
 void
 expectIdenticalFailures(const DseStats &a, const DseStats &b)
 {
@@ -292,8 +304,8 @@ expectIdenticalFailures(const DseStats &a, const DseStats &b)
         SCOPED_TRACE("failure " + std::to_string(i));
         EXPECT_EQ(a.failures[i].enumIndex, b.failures[i].enumIndex);
         EXPECT_EQ(a.failures[i].failure.kind, b.failures[i].failure.kind);
-        EXPECT_EQ(a.failures[i].failure.message,
-                  b.failures[i].failure.message);
+        EXPECT_EQ(maskElapsedMillis(a.failures[i].failure.message),
+                  maskElapsedMillis(b.failures[i].failure.message));
     }
 }
 
@@ -428,6 +440,58 @@ TEST(DseIsolation, StepBudgetExpiryIsARecordedTimeout)
     ASSERT_FALSE(stats.failures.empty());
     EXPECT_NE(stats.failures[0].failure.message.find("last point"),
               std::string::npos);
+}
+
+TEST(DseIsolation, TimeBudgetExpiryIsARecordedWallClockTimeout)
+{
+    // Mirror of the sim-side WallClock.StalledSimulatorHitsTheDeadline:
+    // a Stall fault makes exactly one candidate deterministically slow
+    // (60 ms sleep at its dse.evaluate checkpoint, far past the 25 ms
+    // per-candidate deadline), so --time-budget must record exactly
+    // that candidate as a wall-clock Timeout — identically serial and
+    // 4-threaded — while every other candidate survives.
+    InjectionSpec spec;
+    spec.stage = "dse.evaluate";
+    spec.cls = FaultClass::Stall;
+    spec.stallMicros = 60000;
+    spec.contexts = {1};
+    ScopedArm armed(spec);
+
+    auto options = smallDse(1);
+    options.timeBudgetMillis = 25;
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    exploreBothWays(func::matmulSpec(), {3, 3, 3}, options, stats,
+                    candidates);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::Timeout)], 1u);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].enumIndex, 1u);
+    // The recorded message is the TimeoutError's wall-clock form, with
+    // the per-candidate stage.
+    EXPECT_NE(stats.failures[0].failure.message.find("wall-clock"),
+              std::string::npos)
+            << stats.failures[0].failure.message;
+    EXPECT_NE(stats.failures[0].failure.message.find("dse.candidate"),
+              std::string::npos)
+            << stats.failures[0].failure.message;
+    EXPECT_FALSE(candidates.empty());
+    for (const auto &candidate : candidates)
+        EXPECT_NE(candidate.enumIndex, 1u);
+}
+
+TEST(DseIsolation, GenerousTimeBudgetFailsNothing)
+{
+    // The un-stalled half of the wall-clock contract: the same
+    // exploration under a generous deadline must record no failures.
+    auto options = smallDse(2);
+    options.timeBudgetMillis = 60000;
+    DseStats stats;
+    std::vector<DseCandidate> candidates;
+    exploreBothWays(func::matmulSpec(), {3, 3, 3}, options, stats,
+                    candidates);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_FALSE(candidates.empty());
 }
 
 TEST(DseIsolation, GenerousBudgetFailsNothing)

@@ -41,6 +41,7 @@
 #include "util/failure.hpp"
 #include "util/watchdog.hpp"
 #include "workloads/alexnet.hpp"
+#include "workloads/cache.hpp"
 
 namespace stellar
 {
@@ -399,6 +400,52 @@ TEST(WatchdogBatching, RefundKeepsStepAccountingExact)
             util::WatchdogBatcher first;
             for (int s = 0; s < 30; s++)
                 first.step([]() { return std::string(); });
+        }
+        EXPECT_EQ(scope.watchdog().stepsExecuted(), 30);
+        try {
+            util::WatchdogBatcher second;
+            for (int s = 0;; s++)
+                second.step([&]() {
+                    return "second loop step " + std::to_string(s);
+                });
+        } catch (const util::TimeoutError &err) {
+            return err.diagnostic() + " @" + std::to_string(err.steps());
+        }
+        return std::string("budget never expired");
+    };
+    const std::string oracle = run(1);
+    EXPECT_EQ(oracle, "second loop step 70 @101");
+    EXPECT_EQ(run(0), oracle);
+    EXPECT_EQ(run(17), oracle);
+}
+
+TEST(WatchdogBatching, ThrowAfterCacheHitStillRefundsCredit)
+{
+    // Same accounting contract as above, but the loop exits by
+    // *exception* right after a workload-cache hit instead of falling
+    // off the end: stack unwinding must still refund the batcher's
+    // unconsumed credit (and the hit itself must charge nothing), so a
+    // later loop on the same watchdog expires at exactly the per-step
+    // oracle's step.
+    auto profile = sparse::scaleProfile(
+            sparse::profileByName("poisson3Da"), 3000);
+    workloads::cachedSuiteSparse(profile, 9); // warm: the run below hits
+    auto run = [&](std::int64_t batch) {
+        util::WatchdogBatchOverride override_batch(batch);
+        util::WatchdogScope scope("seq", 100);
+        try {
+            util::WatchdogBatcher first;
+            for (int s = 0;; s++) {
+                first.step([]() { return std::string(); });
+                if (s == 29) {
+                    auto matrix =
+                            workloads::cachedSuiteSparse(profile, 9);
+                    throw std::runtime_error(
+                            "failed at nnz " +
+                            std::to_string(matrix->nnz()));
+                }
+            }
+        } catch (const std::runtime_error &) {
         }
         EXPECT_EQ(scope.watchdog().stepsExecuted(), 30);
         try {
