@@ -22,6 +22,9 @@
  *   --prepass K      two-phase mode: analytically probe everything and
  *                    full-elaborate only the best K candidates
  *                    (0 = single phase)
+ *   --retry-wall-clock  re-run a candidate whose wall-clock deadline
+ *                    expired exactly once (transient slowness recovers;
+ *                    deterministic step-budget timeouts never retry)
  */
 
 #include <algorithm>
@@ -59,10 +62,13 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--prepass") == 0 && i + 1 < argc)
             options.analyticPrepass =
                     std::size_t(std::max(0, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--retry-wall-clock") == 0)
+            options.retryWallClockTimeout = true;
         else {
             std::printf("usage: dse_explorer [--threads N] [--topk K] "
                         "[--step-budget B] [--time-budget MS] "
-                        "[--max-pes P] [--prepass K]\n");
+                        "[--max-pes P] [--prepass K] "
+                        "[--retry-wall-clock]\n");
             return 1;
         }
     }

@@ -90,6 +90,9 @@ usage()
             "  --fail-fast       rethrow the first candidate failure "
             "instead of\n"
             "                    recording it and continuing\n"
+            "  --retry-wall-clock  retry a wall-clock-timeout candidate "
+            "exactly once\n"
+            "                    (step-budget timeouts never retry)\n"
             "  sim options:\n"
             "  --workload W      scnn (pruned AlexNet) or outerspace "
             "(SuiteSparse suite)\n"
@@ -277,6 +280,8 @@ main(int argc, char **argv)
                     std::max<std::int64_t>(0, std::atoll(next()));
         else if (arg == "--fail-fast")
             dse_options.isolateFailures = false;
+        else if (arg == "--retry-wall-clock")
+            dse_options.retryWallClockTimeout = true;
         else {
             usage();
             return 1;

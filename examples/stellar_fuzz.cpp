@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Seeded fuzz/soak driver for the hostile-input invariant: every input
+ * either succeeds or degrades to a classified util::Failure — never a
+ * crash, a sanitizer report, or an unclassified throw. CI runs this in
+ * the ASan+UBSan tree (see .github/workflows/ci.yml `fuzz` and
+ * scripts/check_matrix.sh --fuzz-smoke); violations are minimized and
+ * dumped as repro files.
+ *
+ * usage: stellar_fuzz [--iterations N] [--seed S] [--domain D]
+ *                     [--step-budget B] [--time-budget MS]
+ *                     [--repro-dir DIR] [--no-minimize]
+ *   --iterations N   inputs to generate and replay (default 1000)
+ *   --seed S         base seed; iteration i of seed S is always the
+ *                    same input (default 1)
+ *   --domain D       restrict to one domain: spec, transform, mtx
+ *                    (default: round-robin over all three)
+ *   --step-budget B  watchdog step budget per replay (default 200000)
+ *   --time-budget MS watchdog wall-clock deadline per replay (0 = none)
+ *   --repro-dir DIR  dump violating inputs under DIR (default
+ *                    fuzz-repros when any violation occurs)
+ *   --no-minimize    keep violating inputs verbatim
+ *
+ * Exit status: 0 when the invariant held for every input, 1 otherwise.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/fuzz.hpp"
+
+using namespace stellar;
+
+int
+main(int argc, char **argv)
+{
+    util::fuzz::FuzzOptions options;
+    options.reproDir = "fuzz-repros";
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc)
+            options.iterations =
+                    std::size_t(std::max(0, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+            options.seed = std::uint64_t(std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--step-budget") == 0 && i + 1 < argc)
+            options.stepBudget =
+                    std::max<std::int64_t>(0, std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--time-budget") == 0 && i + 1 < argc)
+            options.timeBudgetMillis =
+                    std::max<std::int64_t>(0, std::atoll(argv[++i]));
+        else if (std::strcmp(argv[i], "--repro-dir") == 0 && i + 1 < argc)
+            options.reproDir = argv[++i];
+        else if (std::strcmp(argv[i], "--no-minimize") == 0)
+            options.minimize = false;
+        else if (std::strcmp(argv[i], "--domain") == 0 && i + 1 < argc) {
+            std::string domain = argv[++i];
+            if (domain == "spec")
+                options.domains = {util::fuzz::FuzzDomain::Spec};
+            else if (domain == "transform")
+                options.domains = {util::fuzz::FuzzDomain::Transform};
+            else if (domain == "mtx")
+                options.domains = {util::fuzz::FuzzDomain::MatrixMarket};
+            else {
+                std::fprintf(stderr, "unknown domain '%s' (want spec, "
+                                     "transform, or mtx)\n",
+                             domain.c_str());
+                return 1;
+            }
+        } else {
+            std::printf("usage: stellar_fuzz [--iterations N] [--seed S] "
+                        "[--domain spec|transform|mtx] [--step-budget B] "
+                        "[--time-budget MS] [--repro-dir DIR] "
+                        "[--no-minimize]\n");
+            return 1;
+        }
+    }
+
+    auto report = util::fuzz::runFuzz(options);
+    std::printf("%s\n", report.toString().c_str());
+    for (const auto &violation : report.violations) {
+        std::fprintf(stderr,
+                     "VIOLATION: domain %s iteration %zu seed %llx: %s\n",
+                     util::fuzz::fuzzDomainName(violation.domain),
+                     violation.iteration,
+                     (unsigned long long)violation.seed,
+                     violation.failure.toString().c_str());
+        if (!violation.reproPath.empty())
+            std::fprintf(stderr, "  repro dumped to %s\n",
+                         violation.reproPath.c_str());
+    }
+    return report.ok() ? 0 : 1;
+}

@@ -4,46 +4,92 @@
 # (STELLAR_TSAN). Each tree lives under build-matrix/<name> so the
 # matrix never disturbs an existing build/ directory.
 #
-# usage: scripts/check_matrix.sh [tree ...]
+# usage: scripts/check_matrix.sh [--fuzz-smoke] [tree ...]
 #   tree: any of plain, asan, tsan (default: all three)
+#   --fuzz-smoke: after the asan tree passes, replay a short
+#       stellar_fuzz soak (200 iterations, seed 1) inside it, so the
+#       hostile-input invariant is checked under ASan+UBSan on every
+#       matrix run (the long 2k-iteration soak lives in CI's fuzz job)
+#
+# Every requested tree runs even when an earlier one fails; the per-tree
+# statuses are reported at the end and the script exits nonzero if any
+# leg failed. (An earlier version relied on `set -e` aborting mid-loop,
+# which both hid the later trees' results and silently lost the failure
+# when the ctest subshell was the last command of an `if` leg.)
 #
 # The TSan tree runs only the "concurrency"-labelled tests (thread
 # pool, sharded enumeration, parallel DSE, fault isolation): TSan's
 # value is data-race detection, and restricting it keeps the matrix
 # fast enough to run before every push.
-set -euo pipefail
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+fuzz_smoke=0
 
 build_and_test() {
     local name="$1"
     shift
     local dir="build-matrix/${name}"
     echo "==== [${name}] configure + build ===="
-    cmake -B "${dir}" -S . "$@" >/dev/null
-    cmake --build "${dir}" -j "${jobs}"
+    cmake -B "${dir}" -S . "$@" >/dev/null || return 1
+    cmake --build "${dir}" -j "${jobs}" || return 1
     echo "==== [${name}] ctest ===="
     case "${name}" in
-    tsan) (cd "${dir}" && ctest -L concurrency --output-on-failure -j "${jobs}") ;;
-    *) (cd "${dir}" && ctest --output-on-failure -j "${jobs}") ;;
+    tsan)
+        (cd "${dir}" && ctest -L concurrency --output-on-failure -j "${jobs}") || return 1
+        ;;
+    *)
+        (cd "${dir}" && ctest --output-on-failure -j "${jobs}") || return 1
+        ;;
     esac
+    if [ "${name}" = asan ] && [ "${fuzz_smoke}" -eq 1 ]; then
+        echo "==== [${name}] fuzz smoke (200 iterations, seed 1) ===="
+        "${dir}/examples/stellar_fuzz" --iterations 200 --seed 1 \
+            --repro-dir "${dir}/fuzz-repros" || return 1
+    fi
+    return 0
 }
 
-trees=("$@")
+trees=()
+for arg in "$@"; do
+    case "${arg}" in
+    --fuzz-smoke) fuzz_smoke=1 ;;
+    plain | asan | tsan) trees+=("${arg}") ;;
+    *)
+        echo "unknown argument '${arg}' (expected --fuzz-smoke, plain, asan, or tsan)" >&2
+        exit 1
+        ;;
+    esac
+done
 if [ "${#trees[@]}" -eq 0 ]; then
     trees=(plain asan tsan)
 fi
 
+declare -A status
+failed=0
 for tree in "${trees[@]}"; do
     case "${tree}" in
     plain) build_and_test plain ;;
     asan) build_and_test asan -DSTELLAR_SANITIZE=ON ;;
     tsan) build_and_test tsan -DSTELLAR_TSAN=ON ;;
-    *)
-        echo "unknown tree '${tree}' (expected plain, asan, or tsan)" >&2
-        exit 1
-        ;;
     esac
+    rc=$?
+    if [ "${rc}" -eq 0 ]; then
+        status["${tree}"]=OK
+    else
+        status["${tree}"]="FAILED (exit ${rc})"
+        failed=1
+    fi
 done
+
+echo "==== matrix summary ===="
+for tree in "${trees[@]}"; do
+    echo "  ${tree}: ${status[${tree}]}"
+done
+if [ "${failed}" -ne 0 ]; then
+    echo "==== matrix FAILED ===="
+    exit 1
+fi
 echo "==== matrix OK: ${trees[*]} ===="

@@ -1,6 +1,7 @@
 #include "accel/dse.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 
@@ -149,13 +150,31 @@ exploreDataflows(const func::FunctionalSpec &functional,
     // its result slot empty and its exception in `errors`. Failure
     // isolation (and the failure *records*) therefore never depend on
     // scheduling: the reduction below walks slots in worklist order.
-    auto evaluate = [&](std::size_t i) {
-        util::fault::ScopedContext context(worklist[i]);
+    std::atomic<std::size_t> retried{0};
+    std::atomic<std::size_t> retry_succeeded{0};
+    auto evaluate_once = [&](std::size_t i) {
         util::WatchdogScope guard("dse.candidate", options.stepBudget,
                                   options.timeBudgetMillis);
         return evaluateCandidate(transforms[worklist[i]], worklist[i],
                                  functional, bounds, options, area_params,
                                  timing_params);
+    };
+    auto evaluate = [&](std::size_t i) {
+        util::fault::ScopedContext context(worklist[i]);
+        if (!options.retryWallClockTimeout)
+            return evaluate_once(i);
+        try {
+            return evaluate_once(i);
+        } catch (const util::TimeoutError &err) {
+            // Only wall-clock expiry can be transient; a step budget
+            // counts deterministic work and would fail identically.
+            if (!err.isWallClock())
+                throw;
+            retried.fetch_add(1, std::memory_order_relaxed);
+            auto candidate = evaluate_once(i); // fresh watchdog budget
+            retry_succeeded.fetch_add(1, std::memory_order_relaxed);
+            return candidate;
+        }
     };
     std::vector<DseCandidate> slots;
     std::vector<std::exception_ptr> errors;
@@ -203,6 +222,8 @@ exploreDataflows(const func::FunctionalSpec &functional,
         local.failures.push_back(std::move(failure));
     }
     local.evaluated = candidates.size();
+    local.retried = retried.load(std::memory_order_relaxed);
+    local.retrySucceeded = retry_succeeded.load(std::memory_order_relaxed);
     local.evaluateMs = msSince(evaluate_start);
 
     // Deterministic top-K reduction: each candidate's score is a pure

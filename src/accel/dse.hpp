@@ -101,6 +101,19 @@ struct DseOptions
     std::int64_t timeBudgetMillis = 0;
 
     /**
+     * Retry a candidate whose evaluation expired its *wall-clock*
+     * deadline (TimeoutError::isWallClock) exactly once, under a fresh
+     * watchdog. Wall-clock expiry is the one nondeterministic failure
+     * in the taxonomy — a noisy neighbour or cold cache can push a
+     * healthy candidate past the deadline — so one retry recovers
+     * transients without masking repeatable pathology. Step-budget
+     * timeouts are deterministic and are never retried. Counted in
+     * DseStats::{retried, retrySucceeded}; non-faulted rankings are
+     * unchanged by this option at every thread count.
+     */
+    bool retryWallClockTimeout = false;
+
+    /**
      * When true (the default), a candidate whose evaluation throws is
      * recorded in DseStats::failures and exploration continues; failed
      * candidates rank nowhere and rankings stay byte-identical across
@@ -129,6 +142,11 @@ struct DseStats
     /** Candidates dropped by the analyticPrepass proxy ranking. */
     std::size_t prepassFiltered = 0;
     std::size_t threadsUsed = 1;
+
+    /** Wall-clock-timeout candidates re-run once (retryWallClockTimeout). */
+    std::size_t retried = 0;
+    /** Retries whose second run completed (counted in `evaluated`). */
+    std::size_t retrySucceeded = 0;
 
     /** failed, broken down by util::FailureKind (indexed by the enum). */
     std::array<std::size_t, util::kFailureKindCount> failedByKind{};

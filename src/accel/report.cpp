@@ -121,6 +121,10 @@ dseStatsReport(const DseStats &stats)
        << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
        << formatDouble(stats.candidatesPerSecond(), 1)
        << " candidates/s)\n";
+    if (stats.retried > 0) {
+        os << "  wall-clock retries: " << stats.retried << " ("
+           << stats.retrySucceeded << " recovered)\n";
+    }
     if (stats.failed > 0) {
         os << "  failures:";
         for (std::size_t k = 0; k < util::kFailureKindCount; k++) {

@@ -1,0 +1,302 @@
+#include "model/calibration.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace stellar::model
+{
+
+namespace
+{
+
+/** %.17g: the shortest text that round-trips every finite double. */
+std::string
+jsonDouble(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    return buffer;
+}
+
+/**
+ * Minimal recursive-descent parser over exactly the JSON subset the
+ * serializer emits (objects, arrays, strings without escapes beyond
+ * \" \\ / \b \f \n \r \t, and strtod numbers), with byte offsets in
+ * every diagnostic so hand-damaged corpus files fail loudly.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    CalibrationRecord
+    parse()
+    {
+        CalibrationRecord record;
+        bool saw_version = false, saw_workload = false, saw_metrics = false;
+        expect('{');
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            if (key == "version") {
+                record.version = int(parseNumber());
+                saw_version = true;
+            } else if (key == "workload") {
+                record.workload = parseString();
+                saw_workload = true;
+            } else if (key == "metrics") {
+                parseMetrics(record.metrics);
+                saw_metrics = true;
+            } else {
+                fail("unknown key '" + key + "'");
+            }
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after record");
+        if (!saw_version || !saw_workload || !saw_metrics)
+            fail("record must carry version, workload, and metrics");
+        return record;
+    }
+
+  private:
+    void
+    parseMetrics(std::vector<CalibrationMetric> &metrics)
+    {
+        expect('[');
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return;
+        }
+        while (true) {
+            metrics.push_back(parseMetric());
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            break;
+        }
+        expect(']');
+    }
+
+    CalibrationMetric
+    parseMetric()
+    {
+        CalibrationMetric metric;
+        bool saw_name = false, saw_value = false;
+        expect('{');
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            if (key == "name") {
+                metric.name = parseString();
+                saw_name = true;
+            } else if (key == "value") {
+                metric.value = parseNumber();
+                saw_value = true;
+            } else if (key == "relTol") {
+                metric.relTol = parseNumber();
+            } else {
+                fail("unknown metric key '" + key + "'");
+            }
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        if (!saw_name || !saw_value)
+            fail("metric must carry name and value");
+        return metric;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              default:
+                fail(std::string("unsupported escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double value = std::strtod(begin, &end);
+        if (end == begin)
+            fail("expected a number");
+        if (!std::isfinite(value))
+            fail("number is not finite");
+        pos_ += std::size_t(end - begin);
+        return value;
+    }
+
+    char
+    peek()
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            pos_++;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        pos_++;
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw FatalError("calibration JSON: " + what + " at byte " +
+                         std::to_string(pos_));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const CalibrationMetric *
+CalibrationRecord::find(const std::string &name) const
+{
+    for (const auto &metric : metrics)
+        if (metric.name == name)
+            return &metric;
+    return nullptr;
+}
+
+std::string
+CalibrationViolation::toString() const
+{
+    std::ostringstream os;
+    os << "calibration drift: workload '" << workload << "' metric '"
+       << metric << "': reference " << jsonDouble(reference)
+       << ", measured " << jsonDouble(measured) << ", delta "
+       << (delta >= 0.0 ? "+" : "") << jsonDouble(delta)
+       << " exceeds band +/-" << jsonDouble(band);
+    return os.str();
+}
+
+std::string
+serializeCalibration(const CalibrationRecord &record)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"version\": " << record.version << ",\n";
+    os << "  \"workload\": \"" << record.workload << "\",\n";
+    os << "  \"metrics\": [";
+    for (std::size_t i = 0; i < record.metrics.size(); i++) {
+        const auto &metric = record.metrics[i];
+        os << (i == 0 ? "\n" : ",\n");
+        os << "    { \"name\": \"" << metric.name << "\", \"value\": "
+           << jsonDouble(metric.value) << ", \"relTol\": "
+           << jsonDouble(metric.relTol) << " }";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+CalibrationRecord
+parseCalibration(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+std::vector<CalibrationViolation>
+compareCalibration(const CalibrationRecord &reference,
+                   const CalibrationRecord &measured)
+{
+    require(reference.workload == measured.workload,
+            "calibration workload mismatch: reference '" +
+                    reference.workload + "' vs measured '" +
+                    measured.workload + "'");
+    std::vector<CalibrationViolation> violations;
+    auto violation = [&](const std::string &metric, double ref, double got,
+                         double band) {
+        CalibrationViolation v;
+        v.workload = reference.workload;
+        v.metric = metric;
+        v.reference = ref;
+        v.measured = got;
+        v.delta = got - ref;
+        v.band = band;
+        violations.push_back(std::move(v));
+    };
+    for (const auto &want : reference.metrics) {
+        const CalibrationMetric *got = measured.find(want.name);
+        double band = want.relTol * std::fabs(want.value);
+        if (got == nullptr) {
+            violation(want.name, want.value,
+                      std::numeric_limits<double>::quiet_NaN(), band);
+            continue;
+        }
+        double delta = got->value - want.value;
+        // relTol 0 demands bit-stable equality (NaN never passes).
+        if (!(std::fabs(delta) <= band))
+            violation(want.name, want.value, got->value, band);
+    }
+    for (const auto &extra : measured.metrics) {
+        // A metric the reference lacks means the collector changed
+        // without a regen; surface it instead of silently passing.
+        if (reference.find(extra.name) == nullptr)
+            violation(extra.name, 0.0, extra.value, 0.0);
+    }
+    return violations;
+}
+
+} // namespace stellar::model

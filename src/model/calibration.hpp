@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Calibration regression records: versioned JSON reference files that
+ * pin the analytic model and simulator outputs for every figure and
+ * ablation workload of the reproduction.
+ *
+ * The area/energy/timing models (model/params.hpp) and the cycle sims
+ * are calibrated against the paper's tables; nothing in tier-1 pins
+ * that calibration, so a refactor of model::area or a fused transform
+ * path could drift every figure while the structural tests still pass.
+ * Following Sparseloop's analytic-vs-measured validation methodology
+ * (and the Pyxis idea of an open per-workload profile corpus with
+ * tolerance bands), each record stores one workload's metric vector
+ * plus a per-metric relative tolerance band; tests/calibration_test.cpp
+ * replays the configurations and asserts every metric stays in band,
+ * failing with the exact metric, workload, and delta.
+ *
+ * Records are regenerated — never hand-edited — via the
+ * STELLAR_REGEN_CALIBRATION=1 path (mirroring STELLAR_REGEN_RTL_HASHES;
+ * see docs/CALIBRATION.md).
+ */
+
+#ifndef STELLAR_MODEL_CALIBRATION_HPP
+#define STELLAR_MODEL_CALIBRATION_HPP
+
+#include <string>
+#include <vector>
+
+namespace stellar::model
+{
+
+/** One pinned metric: a named scalar and its relative tolerance. */
+struct CalibrationMetric
+{
+    std::string name;
+    double value = 0.0;
+
+    /**
+     * Allowed relative drift: |measured - value| <= relTol * |value|.
+     * 0 pins the metric exactly (the right band for integer outputs
+     * such as cycle counts, which must be bit-stable).
+     */
+    double relTol = 0.0;
+};
+
+/** One workload's pinned metric vector. */
+struct CalibrationRecord
+{
+    /** Format version of the record file, bumped on schema changes. */
+    int version = 1;
+
+    /** Stable workload key, e.g. "fig15_scnn" or "ablation_regfiles". */
+    std::string workload;
+
+    std::vector<CalibrationMetric> metrics;
+
+    /** The metric with `name`, or nullptr. */
+    const CalibrationMetric *find(const std::string &name) const;
+};
+
+/** One out-of-band metric; toString() names workload, metric, delta. */
+struct CalibrationViolation
+{
+    std::string workload;
+    std::string metric;
+    double reference = 0.0;
+    double measured = 0.0;
+    double delta = 0.0; //!< measured - reference
+    double band = 0.0;  //!< allowed |delta| (relTol * |reference|)
+
+    std::string toString() const;
+};
+
+/**
+ * Serialize a record to its canonical JSON text (stable field order,
+ * %.17g doubles so values round-trip exactly, trailing newline).
+ */
+std::string serializeCalibration(const CalibrationRecord &record);
+
+/**
+ * Parse a record from JSON text. Accepts exactly the subset
+ * serializeCalibration emits (one object with version/workload/metrics)
+ * plus arbitrary whitespace; raises util FatalError on anything
+ * malformed, with a byte offset in the message.
+ */
+CalibrationRecord parseCalibration(const std::string &text);
+
+/**
+ * Compare `measured` against the pinned `reference`: every reference
+ * metric must be present and within its band, and `measured` must not
+ * carry metrics the reference lacks (a new metric requires a regen, so
+ * it is reviewed like any other calibration change). Violations carry
+ * workload, metric, and delta. Metrics are checked in reference order.
+ */
+std::vector<CalibrationViolation>
+compareCalibration(const CalibrationRecord &reference,
+                   const CalibrationRecord &measured);
+
+} // namespace stellar::model
+
+#endif // STELLAR_MODEL_CALIBRATION_HPP

@@ -67,6 +67,15 @@ readMatrixMarket(std::istream &in)
             at() + "size header out of range: " + std::to_string(rows) +
                     " x " + std::to_string(cols) + ", " +
                     std::to_string(entries) + " entries");
+    // A hostile size header must fail like any other malformed input,
+    // not take down the process with a giant CSR allocation. 2^28 rows
+    // comfortably covers the SuiteSparse collection (largest ~2.3e8).
+    constexpr std::int64_t kMaxDimension = std::int64_t(1) << 28;
+    require(rows <= kMaxDimension && cols <= kMaxDimension,
+            at() + "size header exceeds supported maximum (" +
+                    std::to_string(rows) + " x " + std::to_string(cols) +
+                    ", max dimension " + std::to_string(kMaxDimension) +
+                    ")");
 
     CooMatrix coo;
     coo.rows = rows;

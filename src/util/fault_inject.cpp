@@ -15,10 +15,17 @@ namespace stellar::util::fault
 namespace
 {
 
+/** An armed spec plus its fire count (for InjectionSpec::maxFires). */
+struct ArmedSpec
+{
+    InjectionSpec spec;
+    std::uint64_t fired = 0;
+};
+
 std::atomic<bool> g_armed{false};
 std::atomic<std::uint64_t> g_fired{0};
 std::mutex g_mutex;
-std::vector<InjectionSpec> g_specs;
+std::vector<ArmedSpec> g_specs;
 
 thread_local std::uint64_t t_context = kNoContext;
 
@@ -58,7 +65,7 @@ void
 arm(const InjectionSpec &spec)
 {
     std::lock_guard<std::mutex> lock(g_mutex);
-    g_specs.push_back(spec);
+    g_specs.push_back(ArmedSpec{spec, 0});
     g_armed.store(true, std::memory_order_release);
 }
 
@@ -91,12 +98,20 @@ checkpoint(const std::string &stage)
     bool matched = false;
     {
         std::lock_guard<std::mutex> lock(g_mutex);
-        for (const auto &spec : g_specs) {
-            if (spec.matches(stage, t_context)) {
-                hit = spec;
-                matched = true;
-                break;
-            }
+        for (auto &armed_spec : g_specs) {
+            const InjectionSpec &spec = armed_spec.spec;
+            if (!spec.matches(stage, t_context))
+                continue;
+            // Exhausted one-shot (or N-shot) specs stay armed but
+            // silent; the count mutates under the injector lock so
+            // concurrent checkpoints race for the remaining shots
+            // without double-firing.
+            if (spec.maxFires != 0 && armed_spec.fired >= spec.maxFires)
+                continue;
+            armed_spec.fired++;
+            hit = spec;
+            matched = true;
+            break;
         }
     }
     if (matched)

@@ -57,6 +57,14 @@ struct InjectionSpec
     std::set<std::uint64_t> contexts;
     bool allContexts = false;
 
+    /**
+     * Fire at most this many times (0 = unlimited). A one-shot Stall
+     * (maxFires = 1) models a *transient* slowdown: the first matching
+     * evaluation blows its wall-clock deadline, a retry runs clean.
+     * The count is kept on the armed copy, under the injector's lock.
+     */
+    std::uint64_t maxFires = 0;
+
     bool
     matches(const std::string &at, std::uint64_t context) const
     {

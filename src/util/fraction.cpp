@@ -1,23 +1,49 @@
 #include "util/fraction.hpp"
 
+#include <limits>
+
 #include "util/logging.hpp"
 
 namespace stellar
 {
 
-std::int64_t
-gcd64(std::int64_t a, std::int64_t b)
+namespace
 {
-    if (a < 0)
-        a = -a;
-    if (b < 0)
-        b = -b;
+
+/** |v| as an unsigned value; well-defined for INT64_MIN (2^63). */
+std::uint64_t
+magnitude(std::int64_t v)
+{
+    return v < 0 ? std::uint64_t(0) - std::uint64_t(v) : std::uint64_t(v);
+}
+
+std::uint64_t
+ugcd(std::uint64_t a, std::uint64_t b)
+{
     while (b != 0) {
-        std::int64_t t = a % b;
+        std::uint64_t t = a % b;
         a = b;
         b = t;
     }
     return a;
+}
+
+constexpr std::uint64_t kInt64MaxU =
+        std::uint64_t(std::numeric_limits<std::int64_t>::max());
+
+} // namespace
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    // Unsigned magnitudes: negating INT64_MIN in int64 arithmetic is UB.
+    std::uint64_t g = ugcd(magnitude(a), magnitude(b));
+    // gcd(INT64_MIN, 0) and gcd(INT64_MIN, INT64_MIN) are 2^63, which
+    // has no int64 representation; saturate rather than return a
+    // negative "gcd" (the pre-UB-fix wraparound behavior).
+    if (g > kInt64MaxU)
+        return std::numeric_limits<std::int64_t>::max();
+    return std::int64_t(g);
 }
 
 Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den)
@@ -29,17 +55,37 @@ Fraction::Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den)
 void
 Fraction::normalize()
 {
-    if (den_ < 0) {
-        num_ = -num_;
-        den_ = -den_;
-    }
-    std::int64_t g = gcd64(num_, den_);
-    if (g > 1) {
-        num_ /= g;
-        den_ /= g;
-    }
-    if (num_ == 0)
+    // All arithmetic on unsigned magnitudes: the textbook
+    // negate-then-reduce sequence is UB when num_ or den_ is INT64_MIN.
+    const bool negative = (num_ < 0) != (den_ < 0);
+    std::uint64_t un = magnitude(num_);
+    std::uint64_t ud = magnitude(den_);
+    if (un == 0) {
+        num_ = 0;
         den_ = 1;
+        return;
+    }
+    std::uint64_t g = ugcd(un, ud);
+    un /= g;
+    ud /= g;
+    // The canonical form needs a positive int64 denominator and an
+    // int64 numerator; reduction can leave a magnitude only INT64_MIN
+    // itself could carry (e.g. 1/INT64_MIN, INT64_MIN/-1).
+    require(ud <= kInt64MaxU,
+            "Fraction " + std::to_string(num_) + "/" +
+                    std::to_string(den_) +
+                    " has no canonical int64 form (denominator overflow)");
+    require(un <= kInt64MaxU + (negative ? 1 : 0),
+            "Fraction " + std::to_string(num_) + "/" +
+                    std::to_string(den_) +
+                    " has no canonical int64 form (numerator overflow)");
+    den_ = std::int64_t(ud);
+    if (!negative)
+        num_ = std::int64_t(un);
+    else if (un == kInt64MaxU + 1)
+        num_ = std::numeric_limits<std::int64_t>::min();
+    else
+        num_ = -std::int64_t(un);
 }
 
 std::int64_t
@@ -52,6 +98,8 @@ Fraction::toInteger() const
 Fraction
 Fraction::operator-() const
 {
+    require(num_ != std::numeric_limits<std::int64_t>::min(),
+            "Fraction negation of " + toString() + " overflows int64");
     Fraction r;
     r.num_ = -num_;
     r.den_ = den_;

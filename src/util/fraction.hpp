@@ -63,7 +63,13 @@ class Fraction
     std::int64_t den_;
 };
 
-/** Greatest common divisor of the absolute values; gcd(0, 0) == 0. */
+/**
+ * Greatest common divisor of the absolute values; gcd(0, 0) == 0.
+ * Well-defined for INT64_MIN operands (computed on unsigned
+ * magnitudes); the one unrepresentable result — gcd 2^63, reachable
+ * only from gcd(INT64_MIN, 0) or gcd(INT64_MIN, INT64_MIN) — saturates
+ * to INT64_MAX.
+ */
 std::int64_t gcd64(std::int64_t a, std::int64_t b);
 
 } // namespace stellar

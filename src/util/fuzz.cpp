@@ -1,0 +1,497 @@
+#include "util/fuzz.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "accel/pipeline.hpp"
+#include "core/accelerator.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "model/area.hpp"
+#include "model/params.hpp"
+#include "model/timing.hpp"
+#include "sim/outerspace.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/matrix_market.hpp"
+#include "util/fault_inject.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/watchdog.hpp"
+
+namespace stellar::util::fuzz
+{
+
+namespace
+{
+
+/** splitmix64-style mix: iteration i of seed s is always the same
+ *  input, so (domain, seed) alone reproduces any finding. */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t iteration)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (iteration + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Outcome of one replay: success, or a classified failure. */
+struct EvalOutcome
+{
+    bool ok = true;
+    Failure failure;
+};
+
+IntMatrix
+randomMatrix(Rng &rng, int rows, int cols, std::int64_t max_coeff)
+{
+    IntMatrix matrix(rows, cols);
+    for (int r = 0; r < rows; r++)
+        for (int c = 0; c < cols; c++)
+            matrix.at(r, c) = rng.nextRange(-max_coeff, max_coeff);
+    return matrix;
+}
+
+func::FunctionalSpec
+randomFunctional(Rng &rng, std::string &label)
+{
+    switch (rng.nextBounded(4)) {
+      case 0:
+        label = "matmul";
+        return func::matmulSpec();
+      case 1:
+        label = "matadd";
+        return func::matAddSpec();
+      case 2: {
+        std::int64_t kh = rng.nextRange(1, 3);
+        std::int64_t kw = rng.nextRange(1, 3);
+        label = "conv" + std::to_string(kh) + "x" + std::to_string(kw);
+        return func::convSpec(kh, kw);
+      }
+      default:
+        label = "merge";
+        return func::mergeSpec();
+    }
+}
+
+IntVec
+randomBounds(Rng &rng, int index_count)
+{
+    // Mostly well-formed; sometimes the wrong arity, zero, negative, or
+    // oversized — exactly the shapes a hostile caller can hand in.
+    std::size_t len = std::size_t(index_count);
+    if (rng.nextBool(0.1))
+        len = std::size_t(rng.nextBounded(7));
+    IntVec bounds(len);
+    for (auto &bound : bounds) {
+        if (rng.nextBool(0.08))
+            bound = 0;
+        else if (rng.nextBool(0.08))
+            bound = rng.nextRange(-4, -1);
+        else if (rng.nextBool(0.05))
+            bound = rng.nextRange(7, 12);
+        else
+            bound = rng.nextRange(1, 6);
+    }
+    return bounds;
+}
+
+EvalOutcome
+evaluateSpecInput(Rng &rng, const FuzzOptions &options, std::string &input)
+{
+    std::string label;
+    auto functional = randomFunctional(rng, label);
+    int indices = functional.numIndices();
+    int rows = indices, cols = indices;
+    if (rng.nextBool(0.05))
+        rows = int(rng.nextBounded(std::uint64_t(indices) + 2));
+    if (rng.nextBool(0.05))
+        cols = int(rng.nextBounded(std::uint64_t(indices) + 2));
+    IntMatrix matrix = randomMatrix(rng, rows, cols, 3);
+    IntVec bounds = randomBounds(rng, indices);
+    input = "spec " + label + "\nbounds " + vecToString(bounds) +
+            "\ntransform\n" + matrix.toString();
+
+    WatchdogScope guard("fuzz.spec", options.stepBudget,
+                        options.timeBudgetMillis);
+    dataflow::SpaceTimeTransform transform(std::move(matrix), "fuzz");
+    core::AcceleratorSpec spec;
+    spec.name = "fuzz";
+    spec.functional = functional;
+    spec.transform = transform;
+    spec.elaborationBounds = bounds;
+    accel::PipelineSpec pipeline;
+    pipeline.name = "fuzz";
+    pipeline.stages.push_back(spec);
+    auto result = accel::generatePipelineIsolated(pipeline,
+                                                  options.stepBudget);
+    if (!result.ok()) {
+        EvalOutcome outcome;
+        outcome.ok = false;
+        outcome.failure = result.failures.front().failure;
+        return outcome;
+    }
+    // The generated stages must also survive the analytic models.
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    for (const auto &stage : result.pipeline.stages) {
+        double area = model::arrayArea(area_params, stage, 8, 8, true);
+        auto timing = model::timingOf(timing_params, stage, false);
+        if (!(area >= 0.0) || !(timing.fmaxMhz() > 0.0))
+            throw std::logic_error(
+                    "fuzz property violated: non-physical model output "
+                    "(area " + std::to_string(area) + ", fmax " +
+                    std::to_string(timing.fmaxMhz()) + " MHz)");
+    }
+    return {};
+}
+
+EvalOutcome
+evaluateTransformInput(Rng &rng, const FuzzOptions &options,
+                       std::string &input)
+{
+    int n = 1 + int(rng.nextBounded(4));
+    int rows = n, cols = n;
+    if (rng.nextBool(0.15))
+        rows = int(rng.nextBounded(5));
+    if (rng.nextBool(0.15))
+        cols = int(rng.nextBounded(5));
+    std::int64_t max_coeff = rng.nextBool(0.1) ? 9 : 3;
+    IntMatrix matrix = randomMatrix(rng, rows, cols, max_coeff);
+    input = "transform\n" + matrix.toString();
+
+    WatchdogScope guard("fuzz.transform", options.stepBudget,
+                        options.timeBudgetMillis);
+    dataflow::SpaceTimeTransform transform(matrix, "fuzz");
+    // Survived validation: the algebra must now be self-consistent.
+    // Property breaches throw std::logic_error deliberately — an
+    // *unclassified* kind — so they surface as violations, not as
+    // silently tolerated "classified" outcomes.
+    if (!matrix.isInvertible())
+        throw std::logic_error("fuzz property violated: transform "
+                               "accepted a singular matrix");
+    IntVec point(std::size_t(matrix.cols()));
+    for (auto &x : point)
+        x = rng.nextRange(-5, 5);
+    IntVec space_time = matrix * point;
+    auto recovered = transform.invert(space_time);
+    if (!recovered.has_value() || *recovered != point)
+        throw std::logic_error("fuzz property violated: T^-1(T(x)) != x "
+                               "for " + vecToString(point));
+    return {};
+}
+
+std::string
+randomMatrixMarketText(Rng &rng)
+{
+    sparse::CooMatrix coo;
+    coo.rows = std::int64_t(1 + rng.nextBounded(24));
+    coo.cols = std::int64_t(1 + rng.nextBounded(24));
+    std::size_t entries = std::size_t(rng.nextBounded(40));
+    for (std::size_t e = 0; e < entries; e++) {
+        sparse::CooEntry entry;
+        entry.row = std::int64_t(rng.nextBounded(std::uint64_t(coo.rows)));
+        entry.col = std::int64_t(rng.nextBounded(std::uint64_t(coo.cols)));
+        entry.value = rng.nextGaussian(0.0, 4.0);
+        coo.entries.push_back(entry);
+    }
+    coo.canonicalize();
+    std::ostringstream os;
+    sparse::writeMatrixMarket(os, sparse::cooToCsr(coo));
+    return os.str();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(current);
+    return lines;
+}
+
+std::string
+joinLines(const std::vector<std::string> &lines)
+{
+    std::string out;
+    for (const auto &line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+/** One structured or raw mutation of a Matrix Market text. */
+std::string
+mutateMatrixMarketText(Rng &rng, std::string text)
+{
+    std::uint64_t which = rng.nextBounded(12);
+    if (which < 5)
+        return fault::corruptMatrixMarket(text,
+                                          fault::MtxCorruption(which));
+    std::vector<std::string> lines = splitLines(text);
+    switch (which) {
+      case 5: // flip one byte to a random printable character
+        if (!text.empty()) {
+            std::size_t at = std::size_t(rng.nextBounded(text.size()));
+            text[at] = char(' ' + rng.nextBounded(95));
+        }
+        return text;
+      case 6: { // splice a hostile token into a random line
+        static const char *kTokens[] = {
+                "nan", "inf", "-inf", "1e308", "-1e308",
+                "999999999999999999999", "-7", "0x10", "1.5.5",
+        };
+        if (lines.empty())
+            return text;
+        std::size_t at = std::size_t(rng.nextBounded(lines.size()));
+        lines[at] += ' ';
+        lines[at] += kTokens[rng.nextBounded(std::size(kTokens))];
+        return joinLines(lines);
+      }
+      case 7: // duplicate a line
+        if (!lines.empty()) {
+            std::size_t at = std::size_t(rng.nextBounded(lines.size()));
+            lines.insert(lines.begin() + std::ptrdiff_t(at), lines[at]);
+        }
+        return joinLines(lines);
+      case 8: // delete a line
+        if (!lines.empty())
+            lines.erase(lines.begin() +
+                        std::ptrdiff_t(rng.nextBounded(lines.size())));
+        return joinLines(lines);
+      case 9: // claim symmetry the entries may not satisfy
+        for (auto &line : lines) {
+            auto at = line.find("general");
+            if (at != std::string::npos) {
+                line.replace(at, 7, "symmetric");
+                break;
+            }
+        }
+        return joinLines(lines);
+      case 10: // truncate mid-byte
+        return text.substr(0, rng.nextBounded(text.size() + 1));
+      default: // oversized (but representable) size header
+        for (std::size_t i = 1; i < lines.size(); i++) {
+            if (!lines[i].empty() && lines[i][0] != '%') {
+                lines[i] = std::to_string(rng.nextRange(1, 999999)) + " " +
+                           std::to_string(rng.nextRange(1, 999999)) + " 2";
+                break;
+            }
+        }
+        return joinLines(lines);
+    }
+}
+
+/** Default MatrixMarket replay: parse, convert, simulate — bounded. */
+void
+defaultMtxOracle(const std::string &text)
+{
+    std::istringstream in(text);
+    sparse::CsrMatrix csr = sparse::readMatrixMarket(in);
+    if (csr.rows() > 4096 || csr.cols() > 4096 || csr.nnz() > 4096)
+        return; // parsed fine; skip heavyweight downstream consumption
+    auto csc = sparse::csrToCsc(csr);
+    if (csc.nnz() != csr.nnz())
+        throw std::logic_error("fuzz property violated: csrToCsc changed "
+                               "nnz");
+    if (csr.rows() == csr.cols() && csr.rows() <= 512 &&
+        csr.nnz() <= 512) {
+        sim::OuterSpaceConfig config;
+        config.multipliers = 16;
+        config.mergeLanes = 8;
+        config.workGroups = 4;
+        auto result = sim::simulateOuterSpace(config, csr);
+        if (result.cycles < 0 || result.multiplies < 0)
+            throw std::logic_error("fuzz property violated: negative "
+                                   "simulated cycle/multiply count");
+    }
+}
+
+void
+evaluateMtxText(const FuzzOptions &options, const std::string &text)
+{
+    WatchdogScope guard("fuzz.mtx", options.stepBudget,
+                        options.timeBudgetMillis);
+    if (options.mtxOracle)
+        options.mtxOracle(text);
+    else
+        defaultMtxOracle(text);
+}
+
+/** True when `text` still classifies to Unknown (the minimizer oracle). */
+bool
+mtxStillUnknown(const FuzzOptions &options, const std::string &text)
+{
+    try {
+        evaluateMtxText(options, text);
+        return false;
+    } catch (...) {
+        return classifyException(std::current_exception()).kind ==
+               FailureKind::Unknown;
+    }
+}
+
+std::string
+dumpRepro(const std::string &repro_dir, const FuzzViolation &violation)
+{
+    std::filesystem::create_directories(repro_dir);
+    std::ostringstream name;
+    name << "fuzz-" << fuzzDomainName(violation.domain) << "-iter"
+         << violation.iteration << "-seed" << std::hex << violation.seed
+         << (violation.domain == FuzzDomain::MatrixMarket ? ".mtx"
+                                                          : ".txt");
+    std::filesystem::path path =
+            std::filesystem::path(repro_dir) / name.str();
+    std::ofstream out(path);
+    require(out.good(),
+            "fuzz: cannot open repro file " + path.string());
+    // Verbatim: a .mtx repro must reparse byte-for-byte (no metadata
+    // header — the banner has to stay on line 1). Domain, iteration,
+    // and seed live in the file name and the report.
+    out << violation.input;
+    require(bool(out.flush()),
+            "fuzz: failed writing repro file " + path.string());
+    return path.string();
+}
+
+} // namespace
+
+const char *
+fuzzDomainName(FuzzDomain domain)
+{
+    switch (domain) {
+      case FuzzDomain::Spec: return "spec";
+      case FuzzDomain::Transform: return "transform";
+      case FuzzDomain::MatrixMarket: return "mtx";
+    }
+    return "unknown";
+}
+
+std::string
+FuzzReport::toString() const
+{
+    std::ostringstream os;
+    os << "fuzz: " << iterations << " iterations, " << succeeded << " ok";
+    for (std::size_t k = 0; k < kFailureKindCount; k++)
+        os << ", " << outcomes[k] << " "
+           << failureKindName(FailureKind(k));
+    os << ", " << violations.size()
+       << (violations.size() == 1 ? " violation" : " violations");
+    return os.str();
+}
+
+std::string
+minimizeLines(const std::string &input,
+              const std::function<bool(const std::string &)> &still_fails)
+{
+    std::vector<std::string> lines = splitLines(input);
+    // Greedy ddmin over line chunks with a hard oracle-call cap, so a
+    // pathological oracle can never wedge the harness.
+    std::size_t calls_left = 512;
+    std::size_t chunk = std::max<std::size_t>(1, lines.size() / 2);
+    while (calls_left > 0) {
+        bool removed = false;
+        for (std::size_t start = 0;
+             start < lines.size() && calls_left > 0;) {
+            std::size_t len = std::min(chunk, lines.size() - start);
+            std::vector<std::string> candidate;
+            candidate.reserve(lines.size() - len);
+            candidate.insert(candidate.end(), lines.begin(),
+                             lines.begin() + std::ptrdiff_t(start));
+            candidate.insert(candidate.end(),
+                             lines.begin() + std::ptrdiff_t(start + len),
+                             lines.end());
+            calls_left--;
+            if (still_fails(joinLines(candidate))) {
+                lines = std::move(candidate);
+                removed = true;
+            } else {
+                start += len;
+            }
+        }
+        if (chunk > 1)
+            chunk /= 2;
+        else if (!removed)
+            break;
+    }
+    return joinLines(lines);
+}
+
+FuzzReport
+runFuzz(const FuzzOptions &options)
+{
+    FuzzOptions opt = options;
+    if (opt.domains.empty())
+        opt.domains = {FuzzDomain::Spec, FuzzDomain::Transform,
+                       FuzzDomain::MatrixMarket};
+    FuzzReport report;
+    report.iterations = opt.iterations;
+    for (std::size_t i = 0; i < opt.iterations; i++) {
+        FuzzDomain domain = opt.domains[i % opt.domains.size()];
+        std::uint64_t iter_seed = mixSeed(opt.seed, i);
+        Rng rng(iter_seed);
+        std::string input;
+        EvalOutcome outcome;
+        try {
+            switch (domain) {
+              case FuzzDomain::Spec:
+                outcome = evaluateSpecInput(rng, opt, input);
+                break;
+              case FuzzDomain::Transform:
+                outcome = evaluateTransformInput(rng, opt, input);
+                break;
+              case FuzzDomain::MatrixMarket:
+                input = mutateMatrixMarketText(
+                        rng, randomMatrixMarketText(rng));
+                evaluateMtxText(opt, input);
+                break;
+            }
+        } catch (...) {
+            outcome.ok = false;
+            outcome.failure = classifyException(
+                    std::current_exception(),
+                    std::string("fuzz.") + fuzzDomainName(domain),
+                    "iter#" + std::to_string(i));
+        }
+        if (outcome.ok) {
+            report.succeeded++;
+            continue;
+        }
+        report.outcomes[std::size_t(outcome.failure.kind)]++;
+        if (outcome.failure.kind != FailureKind::Unknown)
+            continue; // classified: an acceptable outcome by contract
+        FuzzViolation violation;
+        violation.domain = domain;
+        violation.iteration = i;
+        violation.seed = iter_seed;
+        violation.failure = outcome.failure;
+        violation.input = input;
+        if (domain == FuzzDomain::MatrixMarket && opt.minimize &&
+            !input.empty())
+            violation.input = minimizeLines(
+                    input, [&](const std::string &candidate) {
+                        return mtxStillUnknown(opt, candidate);
+                    });
+        if (!opt.reproDir.empty())
+            violation.reproPath = dumpRepro(opt.reproDir, violation);
+        report.violations.push_back(std::move(violation));
+    }
+    return report;
+}
+
+} // namespace stellar::util::fuzz

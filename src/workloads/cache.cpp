@@ -112,15 +112,22 @@ WorkloadKey::hash() const
     return util::fnv1a(canonical());
 }
 
+bool
+cacheEnabledFromEnv(const char *value)
+{
+    if (value == nullptr)
+        return true;
+    return !(value[0] == '0' && value[1] == '\0');
+}
+
 Cache &
 Cache::global()
 {
     // Leaked intentionally: sweep workers may hold payloads at exit.
     static Cache *cache = [] {
         auto *instance = new Cache();
-        if (const char *env = std::getenv("STELLAR_WORKLOAD_CACHE"))
-            if (env[0] == '0' && env[1] == '\0')
-                instance->setEnabled(false);
+        instance->setEnabled(
+                cacheEnabledFromEnv(std::getenv("STELLAR_WORKLOAD_CACHE")));
         return instance;
     }();
     return *cache;

@@ -109,8 +109,18 @@ class Cache
      *  bounded, so long-lived processes cannot grow without limit. */
     static constexpr std::uint64_t kDefaultByteBudget = 256ull << 20;
 
+    /** Budget value meaning "never evict". */
+    static constexpr std::uint64_t kUnlimitedByteBudget = ~0ull;
+
+    /**
+     * A zero byte budget is a real (degenerate) configuration: nothing
+     * is ever resident, every lookup is a counted miss, and every call
+     * synthesizes privately — unlike setEnabled(false), the counters
+     * still run, so tests can assert lookups == misses exactly.
+     */
     explicit Cache(std::uint64_t byte_budget = kDefaultByteBudget)
-        : memo_(byte_budget)
+        : memo_(byte_budget == kUnlimitedByteBudget ? 0 : byte_budget),
+          zeroBudget_(byte_budget == 0)
     {
     }
 
@@ -129,7 +139,18 @@ class Cache
         enabled_.store(on, std::memory_order_relaxed);
     }
 
-    void setByteBudget(std::uint64_t bytes) { memo_.setByteBudget(bytes); }
+    /** Change the byte budget. 0 switches to the zero-residency mode
+     *  (and drops current contents); kUnlimitedByteBudget disables
+     *  eviction. */
+    void
+    setByteBudget(std::uint64_t bytes)
+    {
+        zeroBudget_.store(bytes == 0, std::memory_order_relaxed);
+        memo_.setByteBudget(bytes == kUnlimitedByteBudget ? 0 : bytes);
+        if (bytes == 0)
+            memo_.clear();
+    }
+
     void clear() { memo_.clear(); }
 
     /** Clear contents *and* counters (test isolation). */
@@ -176,6 +197,8 @@ class Cache
             util::WatchdogSuspend suspend;
             made = std::make_shared<T>(make());
         }
+        if (zeroBudget_.load(std::memory_order_relaxed))
+            return made; // zero residency: counted miss, never inserted
         util::fault::checkpoint("cache.insert");
         auto resident = memo_.insert(canonical, hash,
                                      std::shared_ptr<const void>(made),
@@ -186,7 +209,17 @@ class Cache
   private:
     util::MemoCache memo_;
     std::atomic<bool> enabled_{true};
+    std::atomic<bool> zeroBudget_{false};
 };
+
+/**
+ * Decide cache enablement from a STELLAR_WORKLOAD_CACHE value. Only the
+ * exact string "0" disables; nullptr (unset) and any other value —
+ * including garbage like "", "00", "false", "off" — leave the cache
+ * enabled, so a typo degrades to the safe default instead of silently
+ * changing sweep behavior.
+ */
+bool cacheEnabledFromEnv(const char *value);
 
 /** Key for a SuiteSparse-profile synthesis (all profile fields + seed). */
 WorkloadKey suiteSparseKey(const sparse::MatrixProfile &profile,

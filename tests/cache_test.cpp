@@ -453,7 +453,7 @@ TEST(CacheKey, DistinctKeysGetDistinctEntriesEvenOnShardCollisions)
     // Residency is decided on the canonical string, not the hash: even
     // keys that land in the same shard (guaranteed, with 10k keys over
     // 16 shards) must each get their own payload.
-    workloads::Cache cache(0); // unlimited budget
+    workloads::Cache cache(workloads::Cache::kUnlimitedByteBudget);
     Rng rng(77);
     std::vector<RandomKey> keys;
     std::set<std::string> seen;
@@ -481,7 +481,7 @@ TEST(CacheKey, DistinctKeysGetDistinctEntriesEvenOnShardCollisions)
 
 TEST(CacheKey, SameParamsAlwaysHitWithPointerEquality)
 {
-    workloads::Cache cache(0);
+    workloads::Cache cache(workloads::Cache::kUnlimitedByteBudget);
     auto build = []() {
         workloads::WorkloadKey key("suitesparse", 3);
         key.set("name", std::string("poisson3Da"));
@@ -637,13 +637,114 @@ TEST(CacheConcurrency, StressKeepsCountersExactAndPayloadsStable)
 // ---------------------------------------------------------------------
 // Watchdog neutrality and runMany interaction
 
+// ---------------------------------------------------------------------
+// Negative paths: hostile configuration never corrupts the accounting
+
+TEST(CacheNegative, UnknownWorkloadKindIsJustADistinctKey)
+{
+    // The cache does not validate `kind`: an unknown or misspelled one
+    // synthesizes fine and lives under its own key, never colliding
+    // with (or poisoning) a known workload family.
+    workloads::Cache cache(workloads::Cache::kUnlimitedByteBudget);
+    workloads::WorkloadKey known("suitesparse", 1);
+    workloads::WorkloadKey unknown("no-such-kind", 1);
+
+    auto a = cache.getOrCreate<int>(
+            known, []() { return 10; }, [](int) { return 4; });
+    auto b = cache.getOrCreate<int>(
+            unknown, []() { return 20; }, [](int) { return 4; });
+    EXPECT_EQ(*a, 10);
+    EXPECT_EQ(*b, 20);
+    EXPECT_NE(known.canonical(), unknown.canonical());
+
+    // Both entries are resident and re-lookups hit the right payloads.
+    auto a2 = cache.getOrCreate<int>(
+            known, []() { return -1; }, [](int) { return 4; });
+    auto b2 = cache.getOrCreate<int>(
+            unknown, []() { return -1; }, [](int) { return 4; });
+    EXPECT_EQ(a2.get(), a.get());
+    EXPECT_EQ(b2.get(), b.get());
+    workloads::CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 4u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(CacheNegative, ZeroByteBudgetCountsEveryLookupAsAMiss)
+{
+    // Budget 0 is the degenerate zero-residency configuration: unlike
+    // setEnabled(false) the counters still run, so every lookup is a
+    // counted miss, nothing is ever resident, and synthesis runs every
+    // single time.
+    workloads::Cache cache(0);
+    workloads::WorkloadKey key("suitesparse", 1);
+    int synthesized = 0;
+    for (int i = 0; i < 5; i++) {
+        auto payload = cache.getOrCreate<int>(
+                key,
+                [&]() {
+                    synthesized++;
+                    return 42;
+                },
+                [](int) { return 4; });
+        ASSERT_TRUE(payload);
+        EXPECT_EQ(*payload, 42);
+    }
+    EXPECT_EQ(synthesized, 5);
+    workloads::CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.lookups, 5u);
+    EXPECT_EQ(stats.misses, 5u);
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(CacheNegative, DroppingTheBudgetToZeroEvictsAndStopsResidency)
+{
+    workloads::Cache cache(workloads::Cache::kUnlimitedByteBudget);
+    workloads::WorkloadKey key("resident", 0);
+    auto first = cache.getOrCreate<int>(
+            key, []() { return 1; }, [](int) { return 4; });
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    cache.setByteBudget(0);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    // The held payload survives (shared_ptr semantics)...
+    EXPECT_EQ(*first, 1);
+    // ...and new lookups go back to counted misses.
+    auto second = cache.getOrCreate<int>(
+            key, []() { return 2; }, [](int) { return 4; });
+    EXPECT_EQ(*second, 2);
+    EXPECT_NE(second.get(), first.get());
+}
+
+TEST(CacheNegative, EnvSwitchOnlyDisablesOnExactZero)
+{
+    // STELLAR_WORKLOAD_CACHE parsing must degrade safely: garbage never
+    // crashes and never silently disables a cache the user meant to
+    // keep. Only the exact string "0" disables.
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv(nullptr));
+    EXPECT_FALSE(workloads::cacheEnabledFromEnv("0"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv(""));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("00"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("0 "));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv(" 0"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("1"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("false"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("off"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("no"));
+    EXPECT_TRUE(workloads::cacheEnabledFromEnv("\t"));
+}
+
 TEST(CacheWatchdog, HitMissAndDisabledChargeTheBudgetIdentically)
 {
     // The factory below ticks 500 steps — five times the ambient
     // budget. A miss must charge none of it (synthesis runs under
     // WatchdogSuspend), so hit, miss, and disabled paths all leave the
     // per-point accounting at exactly the loop's own 50 steps.
-    workloads::Cache cache(0);
+    workloads::Cache cache(workloads::Cache::kUnlimitedByteBudget);
     workloads::WorkloadKey key("ticking", 5);
     key.set("n", 1);
     auto point = [&](bool enabled, bool prewarm) {

@@ -1,0 +1,726 @@
+/**
+ * @file
+ * Calibration regression corpus: replays every figure and ablation
+ * configuration of the paper reproduction through the analytic
+ * area/energy/timing models and the cycle simulators, and asserts each
+ * metric stays inside the tolerance band pinned in its reference record
+ * under tests/calibration/. A drift failure names the exact metric,
+ * workload, and delta.
+ *
+ * The workloads mirror the bench/ executables (fig15..fig19 and the
+ * Section VI ablations) with scaled-down input budgets so the whole
+ * corpus replays in seconds. Records are regenerated — never hand
+ * edited — by running this binary with STELLAR_REGEN_CALIBRATION=1
+ * (mirroring the STELLAR_REGEN_RTL_HASHES flow of rtl_golden_test);
+ * see docs/CALIBRATION.md for the band-widening policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/designs.hpp"
+#include "core/accelerator.hpp"
+#include "core/regfile_opt.hpp"
+#include "dataflow/transform.hpp"
+#include "func/library.hpp"
+#include "mem/access_order.hpp"
+#include "model/area.hpp"
+#include "model/calibration.hpp"
+#include "model/energy.hpp"
+#include "model/timing.hpp"
+#include "rtl/generate.hpp"
+#include "rtl/lint.hpp"
+#include "sim/balance.hpp"
+#include "sim/merger.hpp"
+#include "sim/outerspace.hpp"
+#include "sim/scnn.hpp"
+#include "sim/systolic.hpp"
+#include "sparse/matrix.hpp"
+#include "sparse/suitesparse.hpp"
+#include "util/logging.hpp"
+#include "workloads/cache.hpp"
+
+namespace
+{
+
+using namespace stellar;
+
+/** Band for floating-point metrics: the models are deterministic, so
+ *  this only absorbs libm/compiler variation across platforms. Any
+ *  intentional model-constant change lands far outside it. */
+constexpr double kFloatBand = 1e-6;
+
+/** Integer-valued metrics (cycle counts, structure inventories) must
+ *  be bit-stable: band zero. */
+constexpr double kExactBand = 0.0;
+
+void
+metric(model::CalibrationRecord &record, const std::string &name,
+       double value, double rel_tol = kFloatBand)
+{
+    record.metrics.push_back({name, value, rel_tol});
+}
+
+/* ------------------------------------------------------------------ */
+/* Collectors: one per figure/ablation workload, mirroring bench/.    */
+/* ------------------------------------------------------------------ */
+
+/** Fig 15: SCNN PE utilization, handwritten vs Stellar-generated. */
+model::CalibrationRecord
+collectFig15Scnn()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig15_scnn";
+
+    sim::ScnnConfig handwritten;
+    sim::ScnnConfig generated;
+    generated.stellarGenerated = true;
+
+    const auto layers_ptr = workloads::cachedAlexnetLayers();
+    const auto &layers = *layers_ptr;
+    double worst = 1.0, best = 0.0, hand_sum = 0.0, gen_sum = 0.0;
+    std::int64_t cycles_total = 0;
+    for (const auto &layer : layers) {
+        auto hand = sim::simulateScnnLayer(handwritten, layer, 1);
+        auto gen = sim::simulateScnnLayer(generated, layer, 1);
+        double relative = gen.utilization / hand.utilization;
+        worst = std::min(worst, relative);
+        best = std::max(best, relative);
+        hand_sum += hand.utilization;
+        gen_sum += gen.utilization;
+        cycles_total += hand.cycles + gen.cycles;
+    }
+    metric(record, "layers", double(layers.size()), kExactBand);
+    metric(record, "relative_worst", worst);
+    metric(record, "relative_best", best);
+    metric(record, "hand_utilization_mean", hand_sum / layers.size());
+    metric(record, "gen_utilization_mean", gen_sum / layers.size());
+    metric(record, "cycles_total", double(cycles_total), kExactBand);
+    return record;
+}
+
+/** Fig 16a: Gemmini utilization on the representative ResNet50 layers. */
+model::CalibrationRecord
+collectFig16aGemmini()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig16a_gemmini";
+
+    sim::SystolicConfig handwritten;
+    sim::SystolicConfig generated;
+    generated.stellarGenerated = true;
+
+    const auto layers_ptr = workloads::cachedResnetLayers(true);
+    const auto &layers = *layers_ptr;
+    std::int64_t hand_cycles = 0, gen_cycles = 0, total_macs = 0;
+    for (const auto &layer : layers) {
+        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
+                                                layer.n, layer.k);
+        auto gen = sim::simulateSystolicMatmul(generated, layer.m,
+                                               layer.n, layer.k);
+        hand_cycles += hand.cycles;
+        gen_cycles += gen.cycles;
+        total_macs += layer.macs();
+    }
+    double peak = 256.0;
+    double hand_util = double(total_macs) / (double(hand_cycles) * peak);
+    double gen_util = double(total_macs) / (double(gen_cycles) * peak);
+    metric(record, "layers", double(layers.size()), kExactBand);
+    metric(record, "hand_cycles_total", double(hand_cycles), kExactBand);
+    metric(record, "gen_cycles_total", double(gen_cycles), kExactBand);
+    metric(record, "hand_utilization", hand_util);
+    metric(record, "gen_utilization", gen_util);
+    metric(record, "relative_utilization", gen_util / hand_util);
+    return record;
+}
+
+/** Fig 16b: OuterSPACE SpGEMM throughput, initial vs improved DMA. */
+model::CalibrationRecord
+collectFig16bOuterspace()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig16b_outerspace";
+
+    constexpr std::int64_t kNnzBudget = 30000;
+    constexpr double kFreqGhz = 1.5;
+    const auto &profiles = sparse::outerSpaceSuite();
+    double initial_sum = 0.0, improved_sum = 0.0;
+    std::int64_t dram_total = 0, multiplies_total = 0;
+    for (const auto &profile : profiles) {
+        auto scaled = sparse::scaleProfile(profile, kNnzBudget);
+        auto matrix = workloads::cachedSuiteSparse(scaled, 1);
+
+        sim::OuterSpaceConfig initial;
+        initial.dma = sim::DmaConfig::withRate(1);
+        auto a = sim::simulateOuterSpace(initial, *matrix);
+
+        sim::OuterSpaceConfig improved;
+        improved.dma = sim::DmaConfig::withRate(16);
+        auto b = sim::simulateOuterSpace(improved, *matrix);
+
+        initial_sum += a.gflops(kFreqGhz);
+        improved_sum += b.gflops(kFreqGhz);
+        dram_total += a.dramBytes + b.dramBytes;
+        multiplies_total += b.multiplies;
+    }
+    metric(record, "matrices", double(profiles.size()), kExactBand);
+    metric(record, "initial_gflops_mean", initial_sum / profiles.size());
+    metric(record, "improved_gflops_mean", improved_sum / profiles.size());
+    metric(record, "dram_bytes_total", double(dram_total), kExactBand);
+    metric(record, "multiplies_total", double(multiplies_total),
+           kExactBand);
+    return record;
+}
+
+/** Fig 17: energy per MAC on representative ResNet50 layers. */
+model::CalibrationRecord
+collectFig17Energy()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig17_energy";
+
+    model::AreaParams area_params;
+    model::EnergyParams energy_params;
+    double hand_mm2 =
+            accel::gemminiAreaBreakdown(area_params, false).total() / 1e6;
+    double gen_mm2 =
+            accel::gemminiAreaBreakdown(area_params, true).total() / 1e6;
+
+    sim::SystolicConfig handwritten;
+    sim::SystolicConfig generated;
+    generated.stellarGenerated = true;
+
+    auto events_of = [](const sim::SystolicResult &result, double mm2,
+                        bool stellar_generated) {
+        model::EnergyEvents events;
+        events.macs = result.macs;
+        events.macBits = 8;
+        events.sramReadBytes = result.spadReadBytes;
+        events.sramWriteBytes = result.spadWriteBytes;
+        events.regfileBytes = result.regfileBytes;
+        events.dramBytes = result.dramBytes;
+        events.cycles = result.cycles;
+        events.areaMm2 = mm2;
+        if (stellar_generated)
+            events.peToggleEvents = result.cycles * 256;
+        return events;
+    };
+
+    const auto layers_ptr = workloads::cachedResnetLayers(true);
+    const auto &layers = *layers_ptr;
+    double worst = 0.0, best = 1e9, hand_sum = 0.0, gen_sum = 0.0;
+    for (const auto &layer : layers) {
+        auto hand = sim::simulateSystolicMatmul(handwritten, layer.m,
+                                                layer.n, layer.k);
+        auto gen = sim::simulateSystolicMatmul(generated, layer.m,
+                                               layer.n, layer.k);
+        double hand_pj = model::energyPerMac(
+                energy_params, events_of(hand, hand_mm2, false));
+        double gen_pj = model::energyPerMac(
+                energy_params, events_of(gen, gen_mm2, true));
+        double overhead = gen_pj / hand_pj - 1.0;
+        worst = std::max(worst, overhead);
+        best = std::min(best, overhead);
+        hand_sum += hand_pj;
+        gen_sum += gen_pj;
+    }
+    metric(record, "hand_area_mm2", hand_mm2);
+    metric(record, "gen_area_mm2", gen_mm2);
+    metric(record, "overhead_best", best);
+    metric(record, "overhead_worst", worst);
+    metric(record, "hand_pj_per_mac_mean", hand_sum / layers.size());
+    metric(record, "gen_pj_per_mac_mean", gen_sum / layers.size());
+    return record;
+}
+
+/** Fig 18: row-partitioned vs flattened merge throughput. */
+model::CalibrationRecord
+collectFig18Mergers()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig18_mergers";
+
+    constexpr std::int64_t kNnzBudget = 20000;
+    sim::MergerConfig config;
+    const auto &profiles = sparse::outerSpaceSuite();
+    double row_sum = 0.0, flat_sum = 0.0, ratio_sum = 0.0;
+    std::int64_t at_least_80 = 0, row_wins = 0, merged_total = 0;
+    for (const auto &profile : profiles) {
+        auto scaled = sparse::scaleProfile(profile, kNnzBudget);
+        auto partials = workloads::cachedOuterPartials(scaled, 2);
+        auto row = sim::runMergeSchedule(
+                config, sim::MergerKind::RowPartitioned, *partials);
+        auto flat = sim::runMergeSchedule(
+                config, sim::MergerKind::Flattened, *partials);
+        double ratio = row.elementsPerCycle() / flat.elementsPerCycle();
+        row_sum += row.elementsPerCycle();
+        flat_sum += flat.elementsPerCycle();
+        ratio_sum += ratio;
+        if (ratio >= 0.8)
+            at_least_80++;
+        if (ratio > 1.0)
+            row_wins++;
+        merged_total += row.mergedElements + flat.mergedElements;
+    }
+    metric(record, "matrices", double(profiles.size()), kExactBand);
+    metric(record, "row_elements_per_cycle_mean",
+           row_sum / profiles.size());
+    metric(record, "flat_elements_per_cycle_mean",
+           flat_sum / profiles.size());
+    metric(record, "ratio_mean", ratio_sum / profiles.size());
+    metric(record, "at_least_80", double(at_least_80), kExactBand);
+    metric(record, "row_wins", double(row_wins), kExactBand);
+    metric(record, "merged_elements_total", double(merged_total),
+           kExactBand);
+    return record;
+}
+
+/** Fig 19: the two merger structures through the full pipeline. */
+model::CalibrationRecord
+collectFig19MergerStructures()
+{
+    model::CalibrationRecord record;
+    record.workload = "fig19_merger_structures";
+
+    model::AreaParams params;
+    auto gamma = core::generate(accel::gammaMergerSpec(32));
+    auto sparch = core::generate(accel::spArchMergerSpec(16));
+    auto gamma_design = rtl::lowerToVerilog(gamma);
+    auto sparch_design = rtl::lowerToVerilog(sparch);
+
+    double row32 = model::rowPartitionedMergerArea(params, 32);
+    double flat16 = model::flattenedMergerArea(params, 16);
+    metric(record, "gamma_pes", double(gamma.array.numPes()), kExactBand);
+    metric(record, "sparch_pes", double(sparch.array.numPes()),
+           kExactBand);
+    metric(record, "lint_issues",
+           double(rtl::lintAll(gamma_design).size() +
+                  rtl::lintAll(sparch_design).size()),
+           kExactBand);
+    metric(record, "row_partitioned_32_area", row32);
+    metric(record, "flattened_16_area", flat16);
+    metric(record, "area_ratio", flat16 / row32);
+    return record;
+}
+
+/** Section VI-C ablation: DMA request-rate sweep. */
+model::CalibrationRecord
+collectAblationDmaReqs()
+{
+    model::CalibrationRecord record;
+    record.workload = "ablation_dma_reqs";
+
+    constexpr std::int64_t kNnzBudget = 30000;
+    auto poisson = workloads::cachedSuiteSparse(
+            sparse::scaleProfile(sparse::profileByName("poisson3Da"),
+                                 kNnzBudget), 1);
+    auto wiki = workloads::cachedSuiteSparse(
+            sparse::scaleProfile(sparse::profileByName("wiki-Vote"),
+                                 kNnzBudget), 1);
+    for (int rate : {1, 4, 16}) {
+        sim::OuterSpaceConfig config;
+        config.dma = sim::DmaConfig::withRate(rate);
+        auto a = sim::simulateOuterSpace(config, *poisson);
+        auto b = sim::simulateOuterSpace(config, *wiki);
+        std::string suffix = "_r" + std::to_string(rate);
+        metric(record, "poisson_gflops" + suffix, a.gflops(1.5));
+        metric(record, "wiki_gflops" + suffix, b.gflops(1.5));
+        metric(record, "stall_cycles" + suffix,
+               double(a.pointerStallCycles + b.pointerStallCycles),
+               kExactBand);
+    }
+    return record;
+}
+
+/** Section III-D ablation: load balancing on mesh vs power-law. */
+model::CalibrationRecord
+collectAblationLoadBalance()
+{
+    model::CalibrationRecord record;
+    record.workload = "ablation_load_balance";
+
+    constexpr std::int64_t kNnzBudget = 30000;
+    for (const char *name : {"poisson3Da", "wiki-Vote"}) {
+        auto profile = sparse::scaleProfile(sparse::profileByName(name),
+                                            kNnzBudget);
+        auto cached = workloads::cachedSuiteSparse(profile, 1);
+        const sparse::CsrMatrix &matrix = *cached;
+
+        sim::OuterSpaceConfig unbalanced;
+        unbalanced.dma = sim::DmaConfig::withRate(16);
+        unbalanced.loadBalanced = false;
+        auto unbal = sim::simulateOuterSpace(unbalanced, matrix);
+
+        sim::OuterSpaceConfig balanced = unbalanced;
+        balanced.loadBalanced = true;
+        auto bal = sim::simulateOuterSpace(balanced, matrix);
+
+        auto csc = sparse::csrToCsc(matrix);
+        std::vector<std::int64_t> column_work;
+        for (std::int64_t k = 0; k < matrix.cols(); k++) {
+            std::int64_t products = csc.colNnz(k) * matrix.rowNnz(k);
+            if (products > 0)
+                column_work.push_back((products + 15) / 16);
+        }
+        std::string prefix =
+                std::string(name) == "poisson3Da" ? "mesh_" : "powerlaw_";
+        metric(record, prefix + "util_unbalanced",
+               unbal.multiplyUtilization);
+        metric(record, prefix + "util_balanced", bal.multiplyUtilization);
+        metric(record, prefix + "compute_cycles_unbalanced",
+               double(sim::simulateRowWaves(column_work, 16, false)
+                              .cycles),
+               kExactBand);
+        metric(record, prefix + "compute_cycles_balanced",
+               double(sim::simulateRowWaves(column_work, 16, true)
+                              .cycles),
+               kExactBand);
+        metric(record, prefix + "balancer_shifts",
+               double(bal.balancerShifts), kExactBand);
+    }
+    return record;
+}
+
+/** Section IV-F / VI-D ablation: merger area model. Parameterized so
+ *  the drift-detection test can replay it with perturbed constants. */
+model::CalibrationRecord
+collectAblationMergerArea(const model::AreaParams &params)
+{
+    model::CalibrationRecord record;
+    record.workload = "ablation_merger_area";
+    metric(record, "row_partitioned_8",
+           model::rowPartitionedMergerArea(params, 8));
+    metric(record, "row_partitioned_32",
+           model::rowPartitionedMergerArea(params, 32));
+    metric(record, "row_partitioned_64",
+           model::rowPartitionedMergerArea(params, 64));
+    metric(record, "flattened_8", model::flattenedMergerArea(params, 8));
+    metric(record, "flattened_16", model::flattenedMergerArea(params, 16));
+    metric(record, "flattened_32", model::flattenedMergerArea(params, 32));
+    metric(record, "hierarchical_16_64",
+           model::hierarchicalMergerArea(params, 16, 64));
+    metric(record, "sparch_ratio",
+           model::flattenedMergerArea(params, 16) /
+                   model::rowPartitionedMergerArea(params, 32));
+    return record;
+}
+
+/** Fig 3 ablation: time-row pipelining of the input-stationary array. */
+model::CalibrationRecord
+collectAblationPipelining()
+{
+    model::CalibrationRecord record;
+    record.workload = "ablation_pipelining";
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    for (std::int64_t extra : {std::int64_t(0), std::int64_t(2)}) {
+        core::AcceleratorSpec spec;
+        spec.name = "pipelining_" + std::to_string(extra);
+        spec.functional = func::matmulSpec();
+        spec.transform =
+                dataflow::dataflows::inputStationaryPipelined(extra);
+        spec.elaborationBounds = {8, 8, 8};
+        auto generated = core::generate(spec);
+        auto timing = model::timingOf(timing_params, generated, false);
+        auto design = rtl::lowerToVerilog(generated);
+        std::string suffix = "_t" + std::to_string(extra);
+        metric(record, "regs_per_hop" + suffix,
+               double(generated.spec.transform.pipelineDepth({0, 1, 0})),
+               kExactBand);
+        metric(record, "fmax_mhz" + suffix, timing.fmaxMhz());
+        metric(record, "array_area" + suffix,
+               model::arrayArea(area_params, generated, 8, 8, true));
+        metric(record, "ff_bits" + suffix,
+               double(rtl::countRegisters(design)), kExactBand);
+    }
+    return record;
+}
+
+/** Fig 14 ablation: regfile kinds and optimizer selections. */
+model::CalibrationRecord
+collectAblationRegfiles()
+{
+    model::CalibrationRecord record;
+    record.workload = "ablation_regfiles";
+
+    model::AreaParams params;
+    const std::vector<core::RegfileKind> kinds = {
+            core::RegfileKind::FeedForward,
+            core::RegfileKind::Transposing,
+            core::RegfileKind::EdgeIO,
+            core::RegfileKind::FullyAssociative};
+    for (auto kind : kinds) {
+        auto config = core::configForKind(kind, 256, 16, 16);
+        std::string name = core::regfileKindName(kind);
+        metric(record, name + "_comparators", double(config.comparators),
+               kExactBand);
+        metric(record, name + "_muxes", double(config.muxes), kExactBand);
+        metric(record, name + "_area",
+               model::regfileArea(params, config, 8, 16));
+    }
+
+    auto matched = core::optimizeRegfile(mem::skewedOrder(16, 16),
+                                         mem::skewedOrder(16, 16), 256);
+    auto row_major = mem::rowMajorOrder({16, 16}, 16);
+    mem::AccessOrder col_major;
+    for (std::int64_t c = 0; c < 16; c++) {
+        std::vector<IntVec> step;
+        for (std::int64_t r = 0; r < 16; r++)
+            step.push_back({r, c});
+        col_major.addStep(step);
+    }
+    auto transposed = core::optimizeRegfile(row_major, col_major, 256);
+    auto edge = core::optimizeRegfile(row_major, mem::skewedOrder(16, 16),
+                                      256);
+    mem::AccessOrder unknown;
+    unknown.addStep({{5, 9}});
+    unknown.addStep({{0, 0}});
+    auto fallback = core::optimizeRegfile(row_major, unknown, 256);
+    metric(record, "selected_matched", double(int(matched.kind)),
+           kExactBand);
+    metric(record, "selected_transposed", double(int(transposed.kind)),
+           kExactBand);
+    metric(record, "selected_edge", double(int(edge.kind)), kExactBand);
+    metric(record, "selected_fallback", double(int(fallback.kind)),
+           kExactBand);
+    return record;
+}
+
+/* ------------------------------------------------------------------ */
+/* Harness                                                            */
+/* ------------------------------------------------------------------ */
+
+std::string
+recordPath(const std::string &workload)
+{
+    return std::string(STELLAR_CALIBRATION_DIR) + "/" + workload +
+           ".json";
+}
+
+bool
+regenRequested()
+{
+    return std::getenv("STELLAR_REGEN_CALIBRATION") != nullptr;
+}
+
+/** Regen path: rewrite the reference record. Normal path: load the
+ *  reference and assert every metric is in band. */
+void
+runCalibration(const model::CalibrationRecord &measured)
+{
+    const std::string path = recordPath(measured.workload);
+    if (regenRequested()) {
+        std::filesystem::create_directories(STELLAR_CALIBRATION_DIR);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good())
+                << "cannot write calibration record " << path;
+        out << model::serializeCalibration(measured);
+        out.close();
+        ASSERT_TRUE(out.good())
+                << "short write on calibration record " << path;
+        std::printf("regenerated %s\n", path.c_str());
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+            << "missing calibration record " << path
+            << "; run calibration_test with STELLAR_REGEN_CALIBRATION=1 "
+               "to (re)generate the corpus, then review the diff";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+
+    model::CalibrationRecord reference;
+    try {
+        reference = model::parseCalibration(buffer.str());
+    } catch (const FatalError &err) {
+        FAIL() << "unparseable calibration record " << path << ": "
+               << err.what();
+    }
+    EXPECT_EQ(reference.version, 1) << path;
+
+    auto violations = model::compareCalibration(reference, measured);
+    for (const auto &violation : violations)
+        ADD_FAILURE() << violation.toString()
+                      << " (if the change is intentional, regenerate "
+                         "with STELLAR_REGEN_CALIBRATION=1 and review "
+                         "the corpus diff)";
+}
+
+TEST(Calibration, Fig15Scnn) { runCalibration(collectFig15Scnn()); }
+TEST(Calibration, Fig16aGemmini) { runCalibration(collectFig16aGemmini()); }
+TEST(Calibration, Fig16bOuterspace)
+{
+    runCalibration(collectFig16bOuterspace());
+}
+TEST(Calibration, Fig17Energy) { runCalibration(collectFig17Energy()); }
+TEST(Calibration, Fig18Mergers) { runCalibration(collectFig18Mergers()); }
+TEST(Calibration, Fig19MergerStructures)
+{
+    runCalibration(collectFig19MergerStructures());
+}
+TEST(Calibration, AblationDmaReqs)
+{
+    runCalibration(collectAblationDmaReqs());
+}
+TEST(Calibration, AblationLoadBalance)
+{
+    runCalibration(collectAblationLoadBalance());
+}
+TEST(Calibration, AblationMergerArea)
+{
+    runCalibration(collectAblationMergerArea(model::AreaParams{}));
+}
+TEST(Calibration, AblationPipelining)
+{
+    runCalibration(collectAblationPipelining());
+}
+TEST(Calibration, AblationRegfiles)
+{
+    runCalibration(collectAblationRegfiles());
+}
+
+/* ------------------------------------------------------------------ */
+/* Drift detection: the corpus actually catches constant changes.     */
+/* ------------------------------------------------------------------ */
+
+/** A 2% perturbation of one model constant must be flagged, and the
+ *  violation must name the metric, workload, and delta. */
+TEST(Calibration, DetectsModelConstantDrift)
+{
+    if (regenRequested())
+        GTEST_SKIP() << "regen run";
+    std::ifstream in(recordPath("ablation_merger_area"),
+                     std::ios::binary);
+    ASSERT_TRUE(in.good()) << "corpus missing; regen first";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto reference = model::parseCalibration(buffer.str());
+
+    model::AreaParams drifted;
+    drifted.cmp64 *= 1.02;
+    auto violations = model::compareCalibration(
+            reference, collectAblationMergerArea(drifted));
+    ASSERT_FALSE(violations.empty())
+            << "a 2% cmp64 drift produced no violation";
+    // Every merger-area metric depends on cmp64, so all should drift.
+    const auto &first = violations.front();
+    EXPECT_EQ(first.workload, "ablation_merger_area");
+    EXPECT_FALSE(first.metric.empty());
+    EXPECT_NE(first.delta, 0.0);
+    EXPECT_GT(std::fabs(first.delta), first.band);
+    auto text = first.toString();
+    EXPECT_NE(text.find("ablation_merger_area"), std::string::npos);
+    EXPECT_NE(text.find(first.metric), std::string::npos);
+    EXPECT_NE(text.find("delta"), std::string::npos);
+}
+
+/** An unperturbed replay of the same collector is violation-free —
+ *  the in-band comparison itself, independent of the corpus files. */
+TEST(Calibration, IdenticalReplayIsInBand)
+{
+    auto reference = collectAblationMergerArea(model::AreaParams{});
+    auto measured = collectAblationMergerArea(model::AreaParams{});
+    EXPECT_TRUE(model::compareCalibration(reference, measured).empty());
+}
+
+/* ------------------------------------------------------------------ */
+/* Record format: round-trip and malformed-input behaviour.           */
+/* ------------------------------------------------------------------ */
+
+TEST(CalibrationFormat, SerializeParseRoundTripIsExact)
+{
+    model::CalibrationRecord record;
+    record.workload = "round_trip";
+    metric(record, "pi_ish", 3.141592653589793, 1e-9);
+    metric(record, "tiny", 4.9e-324, 0.0);
+    metric(record, "negative", -12345.678901234567, 1e-6);
+    metric(record, "integer", 1234567890.0, 0.0);
+
+    auto text = model::serializeCalibration(record);
+    auto parsed = model::parseCalibration(text);
+    EXPECT_EQ(parsed.version, record.version);
+    EXPECT_EQ(parsed.workload, record.workload);
+    ASSERT_EQ(parsed.metrics.size(), record.metrics.size());
+    for (std::size_t i = 0; i < record.metrics.size(); i++) {
+        EXPECT_EQ(parsed.metrics[i].name, record.metrics[i].name);
+        EXPECT_EQ(parsed.metrics[i].value, record.metrics[i].value);
+        EXPECT_EQ(parsed.metrics[i].relTol, record.metrics[i].relTol);
+    }
+    // Canonical text is a fixed point of serialize(parse(.)).
+    EXPECT_EQ(model::serializeCalibration(parsed), text);
+}
+
+TEST(CalibrationFormat, MalformedRecordsRaiseFatalErrors)
+{
+    EXPECT_THROW(model::parseCalibration(""), FatalError);
+    EXPECT_THROW(model::parseCalibration("[]"), FatalError);
+    EXPECT_THROW(model::parseCalibration("{\"version\": 1"),
+                 FatalError);
+    EXPECT_THROW(model::parseCalibration(
+                         "{\"version\": 1, \"workload\": \"w\", "
+                         "\"metrics\": []} trailing"),
+                 FatalError);
+    EXPECT_THROW(model::parseCalibration(
+                         "{\"version\": 1, \"workload\": \"w\", "
+                         "\"metrics\": [], \"surprise\": 0}"),
+                 FatalError);
+    // Required fields cannot be omitted.
+    EXPECT_THROW(model::parseCalibration("{\"version\": 1}"),
+                 FatalError);
+}
+
+TEST(CalibrationFormat, CompareFlagsMissingExtraAndNaN)
+{
+    model::CalibrationRecord reference;
+    reference.workload = "w";
+    metric(reference, "a", 100.0, 0.01);
+    metric(reference, "b", 50.0, 0.01);
+
+    // Missing metric: violation with NaN measured.
+    model::CalibrationRecord missing;
+    missing.workload = "w";
+    metric(missing, "a", 100.0);
+    auto v1 = model::compareCalibration(reference, missing);
+    ASSERT_EQ(v1.size(), 1u);
+    EXPECT_EQ(v1[0].metric, "b");
+    EXPECT_TRUE(std::isnan(v1[0].measured));
+
+    // Extra measured metric: also a violation (requires a regen).
+    model::CalibrationRecord extra;
+    extra.workload = "w";
+    metric(extra, "a", 100.0);
+    metric(extra, "b", 50.0);
+    metric(extra, "c", 1.0);
+    auto v2 = model::compareCalibration(reference, extra);
+    ASSERT_EQ(v2.size(), 1u);
+    EXPECT_EQ(v2[0].metric, "c");
+
+    // NaN measured value never passes a band check.
+    model::CalibrationRecord nan_measured;
+    nan_measured.workload = "w";
+    metric(nan_measured, "a",
+           std::numeric_limits<double>::quiet_NaN());
+    metric(nan_measured, "b", 50.0);
+    auto v3 = model::compareCalibration(reference, nan_measured);
+    ASSERT_EQ(v3.size(), 1u);
+    EXPECT_EQ(v3[0].metric, "a");
+
+    // In-band drift passes.
+    model::CalibrationRecord in_band;
+    in_band.workload = "w";
+    metric(in_band, "a", 100.5);
+    metric(in_band, "b", 49.9);
+    EXPECT_TRUE(model::compareCalibration(reference, in_band).empty());
+}
+
+} // namespace

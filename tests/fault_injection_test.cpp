@@ -641,6 +641,151 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FaultyDseDeterminism,
                          ::testing::Range(0, 10));
 
 // ---------------------------------------------------------------------
+// Wall-clock retry-once (DseOptions::retryWallClockTimeout)
+
+/** One full exploration with fixed thread count; fresh fault arming is
+ *  the caller's job (a one-shot Stall is consumed by a single run). */
+std::vector<DseCandidate>
+exploreOnce(DseOptions options, std::size_t threads, DseStats &stats)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    options.threads = threads;
+    return accel::exploreDataflows(func::matmulSpec(), {3, 3, 3}, options,
+                                   area_params, timing_params, &stats);
+}
+
+TEST(DseRetry, TransientWallClockStallIsRetriedOnceAndRecovers)
+{
+    // A one-shot Stall (maxFires = 1) models a transient slowdown: the
+    // first evaluation of candidate 1 sleeps 60 ms past the 25 ms
+    // deadline, the retry runs clean. The candidate must end up
+    // *evaluated* — not failed — with the retry counted.
+    InjectionSpec spec;
+    spec.stage = "dse.evaluate";
+    spec.cls = FaultClass::Stall;
+    spec.stallMicros = 60000;
+    spec.contexts = {1};
+    spec.maxFires = 1;
+    ScopedArm armed(spec);
+
+    auto options = smallDse(1);
+    options.timeBudgetMillis = 25;
+    options.retryWallClockTimeout = true;
+    DseStats stats;
+    auto candidates = exploreOnce(options, 1, stats);
+
+    EXPECT_EQ(stats.retried, 1u);
+    EXPECT_EQ(stats.retrySucceeded, 1u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.evaluated, stats.enumerated);
+    bool candidate_1_ranked = false;
+    for (const auto &candidate : candidates)
+        candidate_1_ranked |= candidate.enumIndex == 1u;
+    EXPECT_TRUE(candidate_1_ranked)
+            << "the recovered candidate must rank normally";
+
+    // The stats report names the retry.
+    auto text = accel::dseStatsReport(stats);
+    EXPECT_NE(text.find("wall-clock retries: 1 (1 recovered)"),
+              std::string::npos)
+            << text;
+}
+
+TEST(DseRetry, PersistentWallClockStallIsRetriedExactlyOnce)
+{
+    // An unlimited Stall keeps firing: the retry times out too. The
+    // candidate must be retried exactly once — then recorded as a
+    // wall-clock timeout failure, not retried forever.
+    InjectionSpec spec;
+    spec.stage = "dse.evaluate";
+    spec.cls = FaultClass::Stall;
+    spec.stallMicros = 60000;
+    spec.contexts = {1};
+    ScopedArm armed(spec);
+
+    auto options = smallDse(1);
+    options.timeBudgetMillis = 25;
+    options.retryWallClockTimeout = true;
+    DseStats stats;
+    auto candidates = exploreOnce(options, 1, stats);
+
+    EXPECT_EQ(stats.retried, 1u);
+    EXPECT_EQ(stats.retrySucceeded, 0u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::Timeout)], 1u);
+    ASSERT_EQ(stats.failures.size(), 1u);
+    EXPECT_EQ(stats.failures[0].enumIndex, 1u);
+    EXPECT_NE(stats.failures[0].failure.message.find("wall-clock"),
+              std::string::npos)
+            << stats.failures[0].failure.message;
+    for (const auto &candidate : candidates)
+        EXPECT_NE(candidate.enumIndex, 1u);
+}
+
+TEST(DseRetry, StepBudgetTimeoutIsNeverRetried)
+{
+    // Deterministic step-budget expiry re-runs identically, so retrying
+    // is pure waste; retry must stay off for it even when enabled.
+    auto options = smallDse(1);
+    options.stepBudget = 10;
+    options.retryWallClockTimeout = true;
+    DseStats stats;
+    auto candidates = exploreOnce(options, 1, stats);
+    EXPECT_TRUE(candidates.empty());
+    EXPECT_EQ(stats.retried, 0u);
+    EXPECT_EQ(stats.retrySucceeded, 0u);
+    EXPECT_EQ(stats.failed, stats.enumerated);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::Timeout)],
+              stats.failed);
+}
+
+TEST(DseRetry, InjectedStepTimeoutIsNeverRetried)
+{
+    // FaultClass::Timeout raises the non-wall-clock TimeoutError form —
+    // the injected twin of a step-budget expiry. Same contract.
+    InjectionSpec spec;
+    spec.stage = "dse.evaluate";
+    spec.cls = FaultClass::Timeout;
+    spec.contexts = {1};
+    ScopedArm armed(spec);
+
+    auto options = smallDse(1);
+    options.retryWallClockTimeout = true;
+    DseStats stats;
+    exploreOnce(options, 1, stats);
+    EXPECT_EQ(stats.retried, 0u);
+    EXPECT_EQ(stats.failed, 1u);
+    EXPECT_EQ(stats.failedByKind[std::size_t(FailureKind::Timeout)], 1u);
+}
+
+TEST(DseRetry, RankingsAreIdenticalAcrossThreadsAndRetryMode)
+{
+    // Clean exploration: enabling retry must be a pure no-op on the
+    // results, and the rankings must stay byte-identical at 1, 2, and
+    // 4 threads either way.
+    DseStats baseline_stats;
+    auto baseline = exploreOnce(smallDse(1), 1, baseline_stats);
+    ASSERT_FALSE(baseline.empty());
+    for (bool retry : {false, true}) {
+        for (std::size_t threads : {std::size_t(1), std::size_t(2),
+                                    std::size_t(4)}) {
+            SCOPED_TRACE("retry " + std::to_string(retry) + " threads " +
+                         std::to_string(threads));
+            auto options = smallDse(threads);
+            options.retryWallClockTimeout = retry;
+            DseStats stats;
+            auto candidates = exploreOnce(options, threads, stats);
+            expectIdenticalRankings(baseline, candidates);
+            EXPECT_EQ(stats.retried, 0u);
+            EXPECT_EQ(stats.retrySucceeded, 0u);
+            EXPECT_EQ(stats.evaluated, baseline_stats.evaluated);
+            EXPECT_EQ(stats.failed, 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Injector bookkeeping
 
 TEST(FaultInjector, DisarmedCheckpointsAreFree)
@@ -679,6 +824,22 @@ TEST(FaultInjector, ContextScopingNestsAndCounts)
         EXPECT_THROW(util::fault::checkpoint("test.point"), FatalError);
     }
     EXPECT_EQ(util::fault::firedCount(), fired_before + 1);
+}
+
+TEST(FaultInjector, MaxFiresBoundsHowOftenASpecFires)
+{
+    InjectionSpec spec;
+    spec.stage = "test.burst";
+    spec.cls = FaultClass::Fatal;
+    spec.allContexts = true;
+    spec.maxFires = 2;
+    ScopedArm armed(spec);
+
+    EXPECT_THROW(util::fault::checkpoint("test.burst"), FatalError);
+    EXPECT_THROW(util::fault::checkpoint("test.burst"), FatalError);
+    // Exhausted: further checkpoints are no-ops.
+    EXPECT_NO_THROW(util::fault::checkpoint("test.burst"));
+    EXPECT_NO_THROW(util::fault::checkpoint("test.burst"));
 }
 
 } // namespace

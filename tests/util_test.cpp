@@ -6,8 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "util/failure.hpp"
 #include "util/fraction.hpp"
 #include "util/int_matrix.hpp"
+#include "util/saturate.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -69,6 +74,135 @@ TEST(Fraction, DivisionByZeroThrows)
 {
     EXPECT_THROW(Fraction(1, 0), FatalError);
     EXPECT_THROW(Fraction(1) / Fraction(0), FatalError);
+}
+
+TEST(Fraction, DivisionByZeroClassifiesAsUserSpec)
+{
+    // Downstream failure accounting depends on a zero denominator
+    // surfacing as a user-spec failure, not an internal panic.
+    try {
+        Fraction(1) / Fraction(0);
+        FAIL() << "division by zero did not throw";
+    } catch (...) {
+        auto failure = util::classifyException(std::current_exception(),
+                                               "transform.algebra", "c0");
+        EXPECT_EQ(failure.kind, util::FailureKind::UserSpec);
+        EXPECT_EQ(failure.stage, "transform.algebra");
+    }
+}
+
+TEST(Fraction, Int64MinNormalizesWithoutOverflow)
+{
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+    // -2^63 / -2^63 reduces to 1 — the naive |gcd| path would negate
+    // INT64_MIN (UB) before ever dividing.
+    Fraction whole(kMin, kMin);
+    EXPECT_EQ(whole.num(), 1);
+    EXPECT_EQ(whole.den(), 1);
+
+    // -2^63 / 2 reduces to -2^62 / 1.
+    Fraction halved(kMin, 2);
+    EXPECT_EQ(halved.num(), kMin / 2);
+    EXPECT_EQ(halved.den(), 1);
+
+    // An even denominator shares a factor of 2 with -2^63.
+    Fraction shared(kMin, 6);
+    EXPECT_EQ(shared.num(), kMin / 2);
+    EXPECT_EQ(shared.den(), 3);
+
+    // -2^63 / -1 canonicalizes to 2^63 / 1, which is unrepresentable:
+    // a FatalError, not a silent wrap.
+    EXPECT_THROW(Fraction(kMin, -1), FatalError);
+
+    // 1 / -2^63 needs denominator 2^63 after the sign move — likewise
+    // unrepresentable.
+    EXPECT_THROW(Fraction(1, kMin), FatalError);
+
+    // An odd numerator over -2^63 shares no factor: same overflow.
+    EXPECT_THROW(Fraction(3, kMin), FatalError);
+
+    // But an even one reduces below the limit first.
+    Fraction reduced(2, kMin);
+    EXPECT_EQ(reduced.num(), -1);
+    EXPECT_EQ(reduced.den(), kMin / -2);
+}
+
+TEST(Fraction, NegatingInt64MinThrows)
+{
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    Fraction f(kMin, 1);
+    EXPECT_EQ(f.num(), kMin);
+    EXPECT_THROW(-f, FatalError);
+    // The nearest representable value negates fine: -(kMin+1) == kMax.
+    EXPECT_EQ(-Fraction(kMin + 1, 1),
+              Fraction(std::numeric_limits<std::int64_t>::max(), 1));
+}
+
+TEST(Fraction, Gcd64SaturatesAtTheInt64Edge)
+{
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    // gcd(-2^63, -2^63) is 2^63, unrepresentable: saturates to INT64_MAX
+    // rather than wrapping negative.
+    EXPECT_EQ(gcd64(kMin, kMin), kMax);
+    EXPECT_EQ(gcd64(kMin, 0), kMax);
+    // Mixed-magnitude calls stay exact.
+    EXPECT_EQ(gcd64(kMin, 2), 2);
+    EXPECT_EQ(gcd64(kMin, 3), 1);
+    EXPECT_EQ(gcd64(-12, 18), 6);
+    EXPECT_EQ(gcd64(0, -7), 7);
+}
+
+TEST(Saturate, AddClampsAtBothBoundaries)
+{
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+    bool saturated = false;
+    EXPECT_EQ(util::satAdd(kMax, 1, &saturated), kMax);
+    EXPECT_TRUE(saturated);
+
+    saturated = false;
+    EXPECT_EQ(util::satAdd(kMin, -1, &saturated), kMin);
+    EXPECT_TRUE(saturated);
+
+    // Exact boundary arithmetic does not clamp.
+    saturated = false;
+    EXPECT_EQ(util::satAdd(kMin, kMax, &saturated), -1);
+    EXPECT_EQ(util::satAdd(kMax, kMin, &saturated), -1);
+    EXPECT_EQ(util::satAdd(kMin + 1, -1, &saturated), kMin);
+    EXPECT_FALSE(saturated);
+}
+
+TEST(Saturate, MulClampsWithTheRightSign)
+{
+    constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+    bool saturated = false;
+    // -2^63 * -1 is the classic wrap-to-itself case: must clamp to max.
+    EXPECT_EQ(util::satMul(kMin, -1, &saturated), kMax);
+    EXPECT_TRUE(saturated);
+
+    saturated = false;
+    EXPECT_EQ(util::satMul(kMin, 2, &saturated), kMin);
+    EXPECT_TRUE(saturated);
+
+    saturated = false;
+    EXPECT_EQ(util::satMul(kMax, kMax, &saturated), kMax);
+    EXPECT_TRUE(saturated);
+
+    saturated = false;
+    EXPECT_EQ(util::satMul(kMax, -2, &saturated), kMin);
+    EXPECT_TRUE(saturated);
+
+    // In-range products pass through untouched.
+    saturated = false;
+    EXPECT_EQ(util::satMul(kMin, 1, &saturated), kMin);
+    EXPECT_EQ(util::satMul(kMin / 2, 2, &saturated), kMin);
+    EXPECT_EQ(util::satMul(-3, 7, &saturated), -21);
+    EXPECT_FALSE(saturated);
 }
 
 TEST(IntMatrix, IdentityAndMultiply)
