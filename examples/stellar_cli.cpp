@@ -33,22 +33,16 @@
 #include <string>
 
 #include "accel/designs.hpp"
-#include "accel/dse.hpp"
 #include "accel/pipeline.hpp"
 #include "accel/report.hpp"
 #include "core/accelerator.hpp"
 #include "core/selftest.hpp"
 #include "func/diagnose.hpp"
-#include "func/library.hpp"
 #include "rtl/generate.hpp"
 #include "rtl/lint.hpp"
 #include "rtl/soc.hpp"
 #include "rtl/testbench.hpp"
-#include "sim/outerspace.hpp"
-#include "sim/run_many.hpp"
-#include "sim/scnn.hpp"
-#include "sparse/suitesparse.hpp"
-#include "util/watchdog.hpp"
+#include "serve/commands.hpp"
 #include "workloads/cache.hpp"
 
 using namespace stellar;
@@ -93,6 +87,10 @@ usage()
             "  --retry-wall-clock  retry a wall-clock-timeout candidate "
             "exactly once\n"
             "                    (step-budget timeouts never retry)\n"
+            "  --no-timings      omit the wall-time line of the DSE "
+            "stats report\n"
+            "                    (deterministic, byte-comparable "
+            "output)\n"
             "  sim options:\n"
             "  --workload W      scnn (pruned AlexNet) or outerspace "
             "(SuiteSparse suite)\n"
@@ -110,104 +108,9 @@ usage()
             "stderr on exit\n");
 }
 
-int
-runSim(const std::string &workload, std::size_t threads,
-       std::int64_t step_budget, std::int64_t time_budget_ms)
-{
-    // The scope is cloned per workload point by sim::runMany, so both
-    // budgets bound each point independently at every thread count.
-    std::optional<util::WatchdogScope> scope;
-    if (step_budget > 0 || time_budget_ms > 0)
-        scope.emplace("cli.sim", step_budget, time_budget_ms);
-
-    if (workload == "scnn") {
-        sim::ScnnConfig handwritten;
-        sim::ScnnConfig generated;
-        generated.stellarGenerated = true;
-        const auto layers_ptr = workloads::cachedAlexnetLayers();
-        const auto &layers = *layers_ptr;
-        struct Point
-        {
-            sim::ScnnResult hand, gen;
-        };
-        auto points = sim::runMany(
-                layers.size(), threads, [&](std::size_t i) {
-                    Point point;
-                    point.hand = sim::simulateScnnLayer(handwritten,
-                                                        layers[i], 1);
-                    point.gen = sim::simulateScnnLayer(generated,
-                                                       layers[i], 1);
-                    return point;
-                });
-        std::printf("layer    handwritten  stellar-gen  relative\n");
-        for (std::size_t i = 0; i < layers.size(); i++) {
-            double hand = points[i].hand.utilization;
-            double gen = points[i].gen.utilization;
-            std::printf("%-8s %10.1f%% %11.1f%% %8.1f%%\n",
-                        layers[i].name, 100.0 * hand,
-                        100.0 * gen, 100.0 * gen / hand);
-        }
-        return 0;
-    }
-    if (workload == "outerspace") {
-        sim::OuterSpaceConfig config;
-        config.dma = sim::DmaConfig::withRate(16);
-        const auto &profiles = sparse::outerSpaceSuite();
-        struct Point
-        {
-            std::int64_t nnz = 0;
-            sim::OuterSpaceResult result;
-        };
-        auto points = sim::runMany(
-                profiles.size(), threads, [&](std::size_t i) {
-                    auto matrix = workloads::cachedSuiteSparse(
-                            sparse::scaleProfile(profiles[i], 60000), 1);
-                    Point point;
-                    point.nnz = matrix->nnz();
-                    point.result =
-                            sim::simulateOuterSpace(config, *matrix);
-                    return point;
-                });
-        std::printf("matrix           nnz      cycles       GF/s@1.5GHz\n");
-        for (std::size_t i = 0; i < profiles.size(); i++) {
-            const auto &result = points[i].result;
-            std::printf("%-14s %7lld %11lld %10.2f\n",
-                        profiles[i].name.c_str(),
-                        (long long)points[i].nnz,
-                        (long long)result.cycles,
-                        result.gflops(1.5));
-        }
-        return 0;
-    }
-    std::fprintf(stderr, "unknown sim workload '%s' (scnn | outerspace)\n",
-                 workload.c_str());
-    return 1;
-}
-
-int
-runDse(int dim, const accel::DseOptions &options)
-{
-    model::AreaParams area_params;
-    model::TimingParams timing_params;
-    accel::DseStats stats;
-    auto candidates = accel::exploreDataflows(
-            func::matmulSpec(), {dim, dim, dim}, options, area_params,
-            timing_params, &stats);
-    std::printf("rank  PEs     steps   score      transform (rows)\n");
-    int rank = 1;
-    for (const auto &candidate : candidates) {
-        std::string rows;
-        const auto &m = candidate.transform.matrix();
-        for (int r = 0; r < m.rows(); r++)
-            rows += vecToString(m.row(r)) + (r + 1 < m.rows() ? " " : "");
-        std::printf("%-5d %-7lld %-7lld %-10.4g %s\n", rank++,
-                    (long long)candidate.pes,
-                    (long long)candidate.scheduleLength, candidate.score,
-                    rows.c_str());
-    }
-    std::printf("%s", accel::dseStatsReport(stats).c_str());
-    return candidates.empty() ? 1 : 0;
-}
+// The sim/dse implementations live in serve/commands.{hpp,cpp}: the
+// serve daemon returns the same renderer's string as a response, which
+// is what keeps served-vs-CLI byte-identity true by construction.
 
 } // namespace
 
@@ -224,10 +127,10 @@ main(int argc, char **argv)
     bool want_report = false, want_soc = false, want_tb = false;
     bool want_selftest = false;
     rtl::RtlOptions rtl_options;
-    accel::DseOptions dse_options;
-    std::string sim_workload = "scnn";
-    std::size_t sim_threads = 1;
-    std::int64_t sim_time_budget = 0;
+    serve::SimRequest sim_request;
+    serve::DseRequest dse_request;
+    dse_request.threads = 0; // CLI default: hardware concurrency
+    dse_request.timings = true;
     bool cache_stats = false;
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
@@ -255,33 +158,37 @@ main(int argc, char **argv)
         else if (arg == "--threads") {
             std::size_t threads =
                     std::size_t(std::max(0, std::atoi(next())));
-            dse_options.threads = threads;
-            sim_threads = threads;
+            dse_request.threads = threads;
+            sim_request.threads = threads;
         } else if (arg == "--workload")
-            sim_workload = next();
+            sim_request.workload = next();
         else if (arg == "--time-budget") {
             std::int64_t millis =
                     std::max<std::int64_t>(0, std::atoll(next()));
-            sim_time_budget = millis;
-            dse_options.timeBudgetMillis = millis;
+            sim_request.timeBudgetMillis = millis;
+            dse_request.timeBudgetMillis = millis;
         } else if (arg == "--no-cache")
             workloads::Cache::global().setEnabled(false);
         else if (arg == "--cache-stats")
             cache_stats = true;
         else if (arg == "--topk")
-            dse_options.topK = std::size_t(std::max(1, std::atoi(next())));
+            dse_request.topK = std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--max-pes")
-            dse_options.maxPes = std::max<std::int64_t>(0, std::atoll(next()));
+            dse_request.maxPes = std::max<std::int64_t>(0, std::atoll(next()));
         else if (arg == "--prepass")
-            dse_options.analyticPrepass =
+            dse_request.prepass =
                     std::size_t(std::max(0, std::atoi(next())));
-        else if (arg == "--step-budget")
-            dse_options.stepBudget =
+        else if (arg == "--step-budget") {
+            std::int64_t steps =
                     std::max<std::int64_t>(0, std::atoll(next()));
-        else if (arg == "--fail-fast")
-            dse_options.isolateFailures = false;
+            sim_request.stepBudget = steps;
+            dse_request.stepBudget = steps;
+        } else if (arg == "--fail-fast")
+            dse_request.failFast = true;
         else if (arg == "--retry-wall-clock")
-            dse_options.retryWallClockTimeout = true;
+            dse_request.retryWallClock = true;
+        else if (arg == "--no-timings")
+            dse_request.timings = false;
         else {
             usage();
             return 1;
@@ -299,15 +206,17 @@ main(int argc, char **argv)
     };
     try {
         if (design_name == "dse") {
-            int rc = runDse(dim, dse_options);
+            dse_request.dim = dim;
+            auto rendered = serve::renderDse(dse_request);
+            std::printf("%s", rendered.output.c_str());
             report_cache();
-            return rc;
+            return rendered.exitCode;
         }
         if (design_name == "sim") {
-            int rc = runSim(sim_workload, sim_threads,
-                            dse_options.stepBudget, sim_time_budget);
+            auto rendered = serve::renderSim(sim_request);
+            std::printf("%s", rendered.output.c_str());
             report_cache();
-            return rc;
+            return rendered.exitCode;
         }
         rtl::Design design;
         if (design_name == "pipeline") {

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A one-shot stellar_serve client.
+ *
+ *   stellar_client --socket PATH '<json request>'
+ *   stellar_client --socket PATH --raw '<bytes>'   (skip local checks)
+ *
+ * Sends one request, prints the `ok` output to stdout (byte-identical
+ * to stellar_cli for the same flags), and exits with the served
+ * exit_code. Error/overloaded/shutting_down responses print to stderr
+ * and exit 2/3/4 respectively. --raw sends arbitrary bytes unmodified
+ * (the hostile-input path used by the smoke scripts).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/socket.hpp"
+
+using namespace stellar;
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string request;
+    bool have_request = false;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--socket" && i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (arg == "--raw") {
+            // the next argument is the request, unvalidated
+        } else {
+            request = arg;
+            have_request = true;
+        }
+    }
+    if (socket_path.empty() || !have_request) {
+        std::fprintf(stderr,
+                     "usage: stellar_client --socket PATH [--raw] "
+                     "'<json request>'\n");
+        return 1;
+    }
+
+    try {
+        auto conn = util::LocalSocket::connectTo(socket_path);
+        conn.setTimeouts(60000);
+        if (!conn.writeAll(request)) {
+            std::fprintf(stderr, "stellar_client: send failed\n");
+            return 1;
+        }
+        conn.shutdownWrite();
+        std::string reply;
+        if (conn.readAll(reply, 64 << 20) !=
+            util::SocketReadStatus::Eof) {
+            std::fprintf(stderr, "stellar_client: short read\n");
+            return 1;
+        }
+        serve::Response response = serve::parseResponse(reply);
+        switch (response.status) {
+          case serve::Status::Ok:
+            std::fputs(response.output.c_str(), stdout);
+            return response.exitCode;
+          case serve::Status::Error:
+            std::fprintf(stderr, "stellar_client: error: %s\n",
+                         response.failure.toString().c_str());
+            return 2;
+          case serve::Status::Overloaded:
+            std::fprintf(stderr,
+                         "stellar_client: overloaded (retry in %lld "
+                         "ms)\n",
+                         (long long)response.retryAfterMillis);
+            return 3;
+          case serve::Status::ShuttingDown:
+            std::fprintf(stderr, "stellar_client: shutting down\n");
+            return 4;
+        }
+        return 1;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "stellar_client: %s\n", err.what());
+        return 1;
+    }
+}

@@ -10,33 +10,163 @@
  * usage: stellar_fuzz [--iterations N] [--seed S] [--domain D]
  *                     [--step-budget B] [--time-budget MS]
  *                     [--repro-dir DIR] [--no-minimize]
+ *                     [--soak SOCKET] [--soak-threads N]
  *   --iterations N   inputs to generate and replay (default 1000)
  *   --seed S         base seed; iteration i of seed S is always the
  *                    same input (default 1)
- *   --domain D       restrict to one domain: spec, transform, mtx
- *                    (default: round-robin over all three)
+ *   --domain D       restrict to one domain: spec, transform, mtx,
+ *                    request (default: round-robin over all four)
  *   --step-budget B  watchdog step budget per replay (default 200000)
  *   --time-budget MS watchdog wall-clock deadline per replay (0 = none)
  *   --repro-dir DIR  dump violating inputs under DIR (default
  *                    fuzz-repros when any violation occurs)
  *   --no-minimize    keep violating inputs verbatim
+ *   --soak SOCKET    soak mode: fire the request generator at a live
+ *                    stellar_serve daemon on SOCKET from --soak-threads
+ *                    concurrent connections (default 4) instead of the
+ *                    in-process domains. The invariant hardens to the
+ *                    wire: every request must draw a parseable response
+ *                    with a known status and no `unknown` failure kind,
+ *                    and the daemon must outlive the storm. ~5% of
+ *                    connections hang up without reading the reply.
  *
  * Exit status: 0 when the invariant held for every input, 1 otherwise.
  */
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "serve/protocol.hpp"
 #include "util/fuzz.hpp"
+#include "util/socket.hpp"
 
 using namespace stellar;
+
+namespace
+{
+
+/** Wire-level soak tallies (one atomic per closed response class). */
+struct SoakTally
+{
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> overloaded{0};
+    std::atomic<std::uint64_t> shuttingDown{0};
+    std::atomic<std::uint64_t> dropped{0}; //!< hung up before the reply
+    std::atomic<std::uint64_t> violations{0};
+};
+
+/** One soak worker: its own seeded generator, one request per
+ *  connection, every reply validated against the closed response set. */
+void
+soakWorker(const std::string &socket_path, std::uint64_t seed,
+           std::size_t thread_index, std::size_t count, SoakTally &tally,
+           std::mutex &log_mutex)
+{
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * (thread_index + 1));
+    auto violation = [&](const std::string &what,
+                         const std::string &request) {
+        tally.violations.fetch_add(1);
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr,
+                     "VIOLATION: soak thread %zu: %s\n  request: %.200s\n",
+                     thread_index, what.c_str(), request.c_str());
+    };
+    for (std::size_t i = 0; i < count; i++) {
+        // Never `shutdown`: the target must stay up for the whole storm.
+        std::string request = util::fuzz::randomServeRequestText(
+                rng, /*allow_shutdown=*/false);
+        try {
+            auto conn = util::LocalSocket::connectTo(socket_path);
+            conn.setTimeouts(120000);
+            // A failed send is not conclusive (the daemon sheds without
+            // reading, so a large request can die on EPIPE mid-write);
+            // the reply that provoked it is still waiting to be read.
+            bool sent = conn.writeAll(request);
+            conn.shutdownWrite();
+            if (sent && rng.nextBool(0.05)) {
+                tally.dropped.fetch_add(1);
+                continue; // vanish before the reply: the daemon copes
+            }
+            std::string reply;
+            if (conn.readAll(reply, 64 << 20) !=
+                util::SocketReadStatus::Eof) {
+                violation("no complete reply on the wire", request);
+                continue;
+            }
+            serve::Response response = serve::parseResponse(reply);
+            switch (response.status) {
+              case serve::Status::Ok:
+                tally.ok.fetch_add(1);
+                break;
+              case serve::Status::Error:
+                if (response.failure.kind == util::FailureKind::Unknown) {
+                    violation("response classified Unknown: " +
+                                      response.failure.toString(),
+                              request);
+                } else {
+                    tally.errors.fetch_add(1);
+                }
+                break;
+              case serve::Status::Overloaded:
+                tally.overloaded.fetch_add(1);
+                break;
+              case serve::Status::ShuttingDown:
+                tally.shuttingDown.fetch_add(1);
+                break;
+            }
+        } catch (const std::exception &err) {
+            // connectTo / parseResponse raising here means the daemon
+            // is gone or spoke gibberish — both are invariant breaches.
+            violation(err.what(), request);
+        }
+    }
+}
+
+int
+runSoak(const std::string &socket_path, std::size_t threads,
+        std::size_t iterations, std::uint64_t seed)
+{
+    threads = std::max<std::size_t>(1, threads);
+    SoakTally tally;
+    std::mutex log_mutex;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; t++) {
+        std::size_t count = iterations / threads +
+                            (t < iterations % threads ? 1 : 0);
+        pool.emplace_back(soakWorker, socket_path, seed, t, count,
+                          std::ref(tally), std::ref(log_mutex));
+    }
+    for (auto &worker : pool)
+        worker.join();
+    std::printf("soak: %zu requests over %zu threads: %llu ok, %llu "
+                "error, %llu overloaded, %llu shutting-down, %llu "
+                "dropped, %llu violations\n",
+                iterations, threads,
+                (unsigned long long)tally.ok.load(),
+                (unsigned long long)tally.errors.load(),
+                (unsigned long long)tally.overloaded.load(),
+                (unsigned long long)tally.shuttingDown.load(),
+                (unsigned long long)tally.dropped.load(),
+                (unsigned long long)tally.violations.load());
+    return tally.violations.load() == 0 ? 0 : 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     util::fuzz::FuzzOptions options;
     options.reproDir = "fuzz-repros";
+    std::string soak_socket;
+    std::size_t soak_threads = 4;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc)
             options.iterations =
@@ -53,6 +183,11 @@ main(int argc, char **argv)
             options.reproDir = argv[++i];
         else if (std::strcmp(argv[i], "--no-minimize") == 0)
             options.minimize = false;
+        else if (std::strcmp(argv[i], "--soak") == 0 && i + 1 < argc)
+            soak_socket = argv[++i];
+        else if (std::strcmp(argv[i], "--soak-threads") == 0 &&
+                 i + 1 < argc)
+            soak_threads = std::size_t(std::max(1, std::atoi(argv[++i])));
         else if (std::strcmp(argv[i], "--domain") == 0 && i + 1 < argc) {
             std::string domain = argv[++i];
             if (domain == "spec")
@@ -61,20 +196,27 @@ main(int argc, char **argv)
                 options.domains = {util::fuzz::FuzzDomain::Transform};
             else if (domain == "mtx")
                 options.domains = {util::fuzz::FuzzDomain::MatrixMarket};
+            else if (domain == "request")
+                options.domains = {util::fuzz::FuzzDomain::Request};
             else {
                 std::fprintf(stderr, "unknown domain '%s' (want spec, "
-                                     "transform, or mtx)\n",
+                                     "transform, mtx, or request)\n",
                              domain.c_str());
                 return 1;
             }
         } else {
             std::printf("usage: stellar_fuzz [--iterations N] [--seed S] "
-                        "[--domain spec|transform|mtx] [--step-budget B] "
-                        "[--time-budget MS] [--repro-dir DIR] "
-                        "[--no-minimize]\n");
+                        "[--domain spec|transform|mtx|request] "
+                        "[--step-budget B] [--time-budget MS] "
+                        "[--repro-dir DIR] [--no-minimize] "
+                        "[--soak SOCKET] [--soak-threads N]\n");
             return 1;
         }
     }
+
+    if (!soak_socket.empty())
+        return runSoak(soak_socket, soak_threads, options.iterations,
+                       options.seed);
 
     auto report = util::fuzz::runFuzz(options);
     std::printf("%s\n", report.toString().c_str());

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The stellar_serve daemon entry point.
+ *
+ *   stellar_serve --socket PATH [--workers N] [--queue-depth N]
+ *                 [--max-step-budget B] [--max-time-budget MS]
+ *                 [--snapshot FILE] [--io-timeout MS]
+ *                 [--max-request-bytes N] [--no-retry]
+ *
+ * Serves concurrent sim/dse JSON requests (see docs/SERVE.md for the
+ * protocol) until SIGTERM/SIGINT, then drains gracefully: in-flight
+ * requests finish, queued ones get `shutting_down`, and the design
+ * memo is snapshotted for the next warm start.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage()
+{
+    std::fprintf(
+            stderr,
+            "usage: stellar_serve --socket PATH [options]\n"
+            "  --workers N           worker threads (default 2)\n"
+            "  --queue-depth N       queued requests beyond the workers "
+            "before\n"
+            "                        shedding `overloaded` (default 16)\n"
+            "  --max-step-budget B   clamp per-request step budgets to B\n"
+            "  --max-time-budget MS  clamp per-request wall budgets to "
+            "MS\n"
+            "  --snapshot FILE       design-memo warm-start/snapshot "
+            "file\n"
+            "  --io-timeout MS       per-connection socket timeout "
+            "(default 2000)\n"
+            "  --max-request-bytes N request size cap (default 1 MiB)\n"
+            "  --no-retry            disable the wall-clock-timeout "
+            "single retry\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    stellar::serve::ServeOptions options;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            options.socketPath = next();
+        else if (arg == "--workers")
+            options.workers = std::size_t(std::atoi(next()));
+        else if (arg == "--queue-depth")
+            options.maxQueueDepth = std::size_t(std::atoi(next()));
+        else if (arg == "--max-step-budget")
+            options.maxStepBudget = std::atoll(next());
+        else if (arg == "--max-time-budget")
+            options.maxTimeBudgetMillis = std::atoll(next());
+        else if (arg == "--snapshot")
+            options.snapshotPath = next();
+        else if (arg == "--io-timeout")
+            options.ioTimeoutMillis = std::atoi(next());
+        else if (arg == "--max-request-bytes")
+            options.limits.maxBytes = std::size_t(std::atoll(next()));
+        else if (arg == "--no-retry")
+            options.retryWallClock = false;
+        else {
+            usage();
+            return 1;
+        }
+    }
+    if (options.socketPath.empty()) {
+        usage();
+        return 1;
+    }
+    options.drainPoll = [] { return g_stop != 0; };
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    try {
+        stellar::serve::Server server(options);
+        std::fprintf(stderr, "stellar_serve: listening on %s\n",
+                     options.socketPath.c_str());
+        int rc = server.serve();
+        std::fprintf(stderr, "stellar_serve: drained\n");
+        return rc;
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "stellar_serve: fatal: %s\n", err.what());
+        return 1;
+    }
+}

@@ -4,12 +4,17 @@
 # (STELLAR_TSAN). Each tree lives under build-matrix/<name> so the
 # matrix never disturbs an existing build/ directory.
 #
-# usage: scripts/check_matrix.sh [--fuzz-smoke] [tree ...]
+# usage: scripts/check_matrix.sh [--fuzz-smoke] [--serve-smoke] [tree ...]
 #   tree: any of plain, asan, tsan (default: all three)
 #   --fuzz-smoke: after the asan tree passes, replay a short
 #       stellar_fuzz soak (200 iterations, seed 1) inside it, so the
 #       hostile-input invariant is checked under ASan+UBSan on every
 #       matrix run (the long 2k-iteration soak lives in CI's fuzz job)
+#   --serve-smoke: after the asan tree passes, boot a live stellar_serve
+#       daemon inside it, answer a client request, soak it with ~200
+#       hostile wire requests, then SIGTERM it and require a clean
+#       drained exit (the long 2k-request soak lives in CI's serve-soak
+#       job)
 #
 # Every requested tree runs even when an earlier one fails; the per-tree
 # statuses are reported at the end and the script exits nonzero if any
@@ -27,6 +32,61 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 fuzz_smoke=0
+serve_smoke=0
+
+# Boot the daemon from an already-built tree, drive it over the wire,
+# and require a graceful SIGTERM drain. Everything a robustness bug
+# could corrupt is checked end to end: the socket answers, the soak
+# finds no invariant violations, and the drained exit code is 0.
+serve_smoke_run() {
+    local dir="$1"
+    local sock="${dir}/serve-smoke.sock"
+    local log="${dir}/serve-smoke.log"
+    rm -f "${sock}"
+    "${dir}/examples/stellar_serve" --socket "${sock}" --workers 2 \
+        >"${log}" 2>&1 &
+    local pid=$!
+    local bound=0
+    for _ in $(seq 1 100); do
+        if [ -S "${sock}" ]; then
+            bound=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "${bound}" -ne 1 ]; then
+        echo "serve smoke: daemon never bound ${sock}" >&2
+        kill -KILL "${pid}" 2>/dev/null
+        cat "${log}" >&2
+        return 1
+    fi
+    if ! "${dir}/examples/stellar_client" --socket "${sock}" \
+        '{"command":"dse","dim":3}' >/dev/null; then
+        echo "serve smoke: client request failed" >&2
+        kill -KILL "${pid}" 2>/dev/null
+        return 1
+    fi
+    if ! "${dir}/examples/stellar_fuzz" --soak "${sock}" \
+        --soak-threads 4 --iterations 200 --seed 1; then
+        echo "serve smoke: soak reported violations" >&2
+        kill -KILL "${pid}" 2>/dev/null
+        return 1
+    fi
+    kill -TERM "${pid}"
+    wait "${pid}"
+    local rc=$?
+    if [ "${rc}" -ne 0 ]; then
+        echo "serve smoke: daemon exited ${rc} on SIGTERM (want 0)" >&2
+        cat "${log}" >&2
+        return 1
+    fi
+    if ! grep -q "drained" "${log}"; then
+        echo "serve smoke: no drain message in daemon log" >&2
+        cat "${log}" >&2
+        return 1
+    fi
+    return 0
+}
 
 build_and_test() {
     local name="$1"
@@ -49,6 +109,10 @@ build_and_test() {
         "${dir}/examples/stellar_fuzz" --iterations 200 --seed 1 \
             --repro-dir "${dir}/fuzz-repros" || return 1
     fi
+    if [ "${name}" = asan ] && [ "${serve_smoke}" -eq 1 ]; then
+        echo "==== [${name}] serve smoke (live daemon, 200-request soak) ===="
+        serve_smoke_run "${dir}" || return 1
+    fi
     return 0
 }
 
@@ -56,9 +120,10 @@ trees=()
 for arg in "$@"; do
     case "${arg}" in
     --fuzz-smoke) fuzz_smoke=1 ;;
+    --serve-smoke) serve_smoke=1 ;;
     plain | asan | tsan) trees+=("${arg}") ;;
     *)
-        echo "unknown argument '${arg}' (expected --fuzz-smoke, plain, asan, or tsan)" >&2
+        echo "unknown argument '${arg}' (expected --fuzz-smoke, --serve-smoke, plain, asan, or tsan)" >&2
         exit 1
         ;;
     esac

@@ -66,7 +66,63 @@ evaluateCandidate(const dataflow::SpaceTimeTransform &transform,
     return candidate;
 }
 
+/** Resident-size estimate for a memoized candidate (LRU accounting). */
+std::uint64_t
+candidateBytes(const DseCandidate &candidate)
+{
+    const auto &matrix = candidate.transform.matrix();
+    return sizeof(DseCandidate) +
+           std::uint64_t(matrix.rows()) * std::uint64_t(matrix.cols()) *
+                   sizeof(std::int64_t) +
+           candidate.transform.name().size();
+}
+
 } // namespace
+
+std::string
+DesignPointMemo::candidateKey(const std::string &spec_key,
+                              const IntVec &bounds, int data_width,
+                              int mac_bits,
+                              const dataflow::SpaceTimeTransform &transform)
+{
+    std::string key = spec_key;
+    key += "|b=";
+    key += vecToString(bounds);
+    key += "|w=";
+    key += std::to_string(data_width);
+    key += "/";
+    key += std::to_string(mac_bits);
+    key += "|T=";
+    const IntMatrix &matrix = transform.matrix();
+    key += std::to_string(matrix.rows());
+    key += "x";
+    key += std::to_string(matrix.cols());
+    key += ":";
+    for (int r = 0; r < matrix.rows(); r++)
+        for (int c = 0; c < matrix.cols(); c++) {
+            key += std::to_string(matrix.at(r, c));
+            key += ",";
+        }
+    key += transform.name();
+    return key;
+}
+
+std::shared_ptr<const DseCandidate>
+DesignPointMemo::lookup(const std::string &key)
+{
+    return std::static_pointer_cast<const DseCandidate>(
+            cache_.lookup(key, util::fnv1a(key)));
+}
+
+std::shared_ptr<const DseCandidate>
+DesignPointMemo::insert(const std::string &key, DseCandidate candidate)
+{
+    std::uint64_t bytes = candidateBytes(candidate);
+    auto payload = std::make_shared<const DseCandidate>(
+            std::move(candidate));
+    return std::static_pointer_cast<const DseCandidate>(cache_.insert(
+            key, util::fnv1a(key), std::move(payload), bytes));
+}
 
 double
 DseStats::candidatesPerSecond() const
@@ -152,12 +208,31 @@ exploreDataflows(const func::FunctionalSpec &functional,
     // scheduling: the reduction below walks slots in worklist order.
     std::atomic<std::size_t> retried{0};
     std::atomic<std::size_t> retry_succeeded{0};
+    const bool use_memo =
+            options.memo != nullptr && !options.memoSpecKey.empty();
     auto evaluate_once = [&](std::size_t i) {
         util::WatchdogScope guard("dse.candidate", options.stepBudget,
                                   options.timeBudgetMillis);
-        return evaluateCandidate(transforms[worklist[i]], worklist[i],
-                                 functional, bounds, options, area_params,
-                                 timing_params);
+        if (!use_memo)
+            return evaluateCandidate(transforms[worklist[i]], worklist[i],
+                                     functional, bounds, options,
+                                     area_params, timing_params);
+        std::string key = DesignPointMemo::candidateKey(
+                options.memoSpecKey, bounds, options.dataWidth,
+                options.macBits, transforms[worklist[i]]);
+        if (auto hit = options.memo->lookup(key)) {
+            // The payload's enumIndex belongs to whichever call
+            // populated it; rebind to this enumeration so ranking
+            // tie-breaks are identical warm or cold.
+            DseCandidate candidate = *hit;
+            candidate.enumIndex = worklist[i];
+            return candidate;
+        }
+        auto candidate = evaluateCandidate(
+                transforms[worklist[i]], worklist[i], functional, bounds,
+                options, area_params, timing_params);
+        options.memo->insert(key, candidate);
+        return candidate;
     };
     auto evaluate = [&](std::size_t i) {
         util::fault::ScopedContext context(worklist[i]);

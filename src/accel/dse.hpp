@@ -12,12 +12,15 @@
 
 #include <array>
 #include <cstddef>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
 #include "dataflow/enumerate.hpp"
 #include "model/params.hpp"
 #include "util/failure.hpp"
+#include "util/memo.hpp"
 
 namespace stellar::accel
 {
@@ -39,6 +42,74 @@ struct DseCandidate
 
     /** Execution time x area; lower is better. */
     double score = 0.0;
+};
+
+/**
+ * Cross-call memo of elaborated design points (the declared next rung
+ * of the workload cache): key = canonical spec identity + elaboration
+ * bounds + model widths + transform, payload = the scored candidate.
+ * A repeat exploration of the same space — a serve daemon answering
+ * the same query twice, or a sweep revisiting a transform — skips
+ * `core::generate` entirely and replays the score.
+ *
+ * Only *successful* evaluations are memoized: failures must re-run so
+ * per-request budgets and fault injection keep their meaning, and a
+ * candidate that timed out under one budget is not poisoned for a
+ * caller with a larger one.
+ *
+ * Thread-safe (backed by util::MemoCache); share one instance across
+ * concurrent exploreDataflows calls freely.
+ */
+class DesignPointMemo
+{
+  public:
+    /** `byte_budget` of 0 means unlimited. */
+    explicit DesignPointMemo(std::uint64_t byte_budget = 0)
+        : cache_(byte_budget)
+    {
+    }
+
+    /**
+     * The canonical key for one candidate. `spec_key` is the caller's
+     * canonical identity for everything that determines a score besides
+     * the transform and bounds: the functional spec, sparsity,
+     * balancing, and area/timing params (FunctionalSpec has no
+     * canonical serializer, so the caller owns this). Keys also fold in
+     * dataWidth/macBits and the full transform matrix, so distinct
+     * design points can never alias.
+     */
+    static std::string candidateKey(
+            const std::string &spec_key, const IntVec &bounds,
+            int data_width, int mac_bits,
+            const dataflow::SpaceTimeTransform &transform);
+
+    /** The memoized candidate for `key`, or nullptr. */
+    std::shared_ptr<const DseCandidate> lookup(const std::string &key);
+
+    /** Memoize a (successful) candidate; returns the resident payload
+     *  (the incumbent wins if another thread inserted first). */
+    std::shared_ptr<const DseCandidate> insert(const std::string &key,
+                                               DseCandidate candidate);
+
+    /** Visit every resident entry as fn(key, candidate) in the stable
+     *  snapshot order of MemoCache::forEach. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        cache_.forEach([&](const std::string &key,
+                           const std::shared_ptr<const void> &payload,
+                           std::uint64_t) {
+            fn(key,
+               *std::static_pointer_cast<const DseCandidate>(payload));
+        });
+    }
+
+    util::MemoStats stats() const { return cache_.stats(); }
+    void clear() { cache_.clear(); }
+
+  private:
+    util::MemoCache cache_;
 };
 
 /** Exploration settings. */
@@ -121,6 +192,20 @@ struct DseOptions
      * order) is rethrown to the caller.
      */
     bool isolateFailures = true;
+
+    /**
+     * Optional cross-call design-point memo, consulted per candidate
+     * before elaboration and fed every successful score. Ignored unless
+     * `memoSpecKey` is also nonempty. Memo hits replay the identical
+     * scored candidate (enumIndex rebound to this call's enumeration),
+     * so rankings are byte-identical warm or cold.
+     */
+    DesignPointMemo *memo = nullptr;
+
+    /** Canonical spec identity for memo keys — see
+     *  DesignPointMemo::candidateKey for what it must cover. Empty
+     *  disables the memo. */
+    std::string memoSpecKey;
 };
 
 /** One candidate whose evaluation failed, with the classified cause. */

@@ -104,7 +104,7 @@ designReport(const core::GeneratedAccelerator &accel,
 }
 
 std::string
-dseStatsReport(const DseStats &stats)
+dseStatsReport(const DseStats &stats, bool include_timings)
 {
     std::ostringstream os;
     os << "explored " << stats.enumerated << " dataflows ("
@@ -114,13 +114,17 @@ dseStatsReport(const DseStats &stats)
     os << stats.evaluated << " evaluated, " << stats.failed
        << " failed) on " << stats.threadsUsed
        << (stats.threadsUsed == 1 ? " thread" : " threads") << "\n";
-    os << "  enumerate " << formatDouble(stats.enumerateMs, 1) << " ms, ";
-    if (stats.prepassFiltered > 0 || stats.prepassMs > 0.0)
-        os << "prepass " << formatDouble(stats.prepassMs, 2) << " ms, ";
-    os << "evaluate " << formatDouble(stats.evaluateMs, 1)
-       << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
-       << formatDouble(stats.candidatesPerSecond(), 1)
-       << " candidates/s)\n";
+    if (include_timings) {
+        os << "  enumerate " << formatDouble(stats.enumerateMs, 1)
+           << " ms, ";
+        if (stats.prepassFiltered > 0 || stats.prepassMs > 0.0)
+            os << "prepass " << formatDouble(stats.prepassMs, 2)
+               << " ms, ";
+        os << "evaluate " << formatDouble(stats.evaluateMs, 1)
+           << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
+           << formatDouble(stats.candidatesPerSecond(), 1)
+           << " candidates/s)\n";
+    }
     if (stats.retried > 0) {
         os << "  wall-clock retries: " << stats.retried << " ("
            << stats.retrySucceeded << " recovered)\n";

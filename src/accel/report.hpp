@@ -44,8 +44,14 @@ std::string designReport(const core::GeneratedAccelerator &accel,
  * One-paragraph summary of a DSE run: candidates enumerated, pruned
  * early, evaluated, per-phase wall time, and evaluation throughput.
  * Benches and the CLI print this after each exploration.
+ *
+ * `include_timings` = false drops the wall-time/throughput line — the
+ * one nondeterministic line in the report — so outputs that must be
+ * byte-identical across runs (the serve daemon's responses, and the
+ * CLI under --no-timings) can use the same renderer unfiltered.
  */
-std::string dseStatsReport(const DseStats &stats);
+std::string dseStatsReport(const DseStats &stats,
+                           bool include_timings = true);
 
 } // namespace stellar::accel
 

@@ -1,11 +1,10 @@
 #include "model/calibration.hpp"
 
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <sstream>
 
+#include "util/json.hpp"
 #include "util/logging.hpp"
 
 namespace stellar::model
@@ -18,196 +17,61 @@ namespace
 std::string
 jsonDouble(double value)
 {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
+    return util::json::serializeDouble(value);
 }
 
-/**
- * Minimal recursive-descent parser over exactly the JSON subset the
- * serializer emits (objects, arrays, strings without escapes beyond
- * \" \\ / \b \f \n \r \t, and strtod numbers), with byte offsets in
- * every diagnostic so hand-damaged corpus files fail loudly.
- */
-class Parser
+// Syntax lives in the shared util::json parser (one hardened parser
+// for corpus files and serve requests alike); this walker owns the
+// calibration schema: required keys, unknown-key rejection, and typed
+// field extraction, all still with byte offsets in every diagnostic.
+
+[[noreturn]] void
+fail(const std::string &what, std::size_t offset)
 {
-  public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    throw FatalError("calibration JSON: " + what + " at byte " +
+                     std::to_string(offset));
+}
 
-    CalibrationRecord
-    parse()
-    {
-        CalibrationRecord record;
-        bool saw_version = false, saw_workload = false, saw_metrics = false;
-        expect('{');
-        while (true) {
-            std::string key = parseString();
-            expect(':');
-            if (key == "version") {
-                record.version = int(parseNumber());
-                saw_version = true;
-            } else if (key == "workload") {
-                record.workload = parseString();
-                saw_workload = true;
-            } else if (key == "metrics") {
-                parseMetrics(record.metrics);
-                saw_metrics = true;
-            } else {
-                fail("unknown key '" + key + "'");
-            }
-            skipWs();
-            if (peek() == ',') {
-                pos_++;
-                continue;
-            }
-            break;
-        }
-        expect('}');
-        skipWs();
-        if (pos_ != text_.size())
-            fail("trailing content after record");
-        if (!saw_version || !saw_workload || !saw_metrics)
-            fail("record must carry version, workload, and metrics");
-        return record;
-    }
+const util::json::Value &
+typedField(const util::json::Value &value, const std::string &key,
+           util::json::Value::Kind kind, const char *kind_name)
+{
+    if (value.kind != kind)
+        fail("'" + key + "' must be " + kind_name, value.offset);
+    return value;
+}
 
-  private:
-    void
-    parseMetrics(std::vector<CalibrationMetric> &metrics)
-    {
-        expect('[');
-        skipWs();
-        if (peek() == ']') {
-            pos_++;
-            return;
-        }
-        while (true) {
-            metrics.push_back(parseMetric());
-            skipWs();
-            if (peek() == ',') {
-                pos_++;
-                continue;
-            }
-            break;
-        }
-        expect(']');
-    }
-
-    CalibrationMetric
-    parseMetric()
-    {
-        CalibrationMetric metric;
-        bool saw_name = false, saw_value = false;
-        expect('{');
-        while (true) {
-            std::string key = parseString();
-            expect(':');
-            if (key == "name") {
-                metric.name = parseString();
-                saw_name = true;
-            } else if (key == "value") {
-                metric.value = parseNumber();
-                saw_value = true;
-            } else if (key == "relTol") {
-                metric.relTol = parseNumber();
-            } else {
-                fail("unknown metric key '" + key + "'");
-            }
-            skipWs();
-            if (peek() == ',') {
-                pos_++;
-                continue;
-            }
-            break;
-        }
-        expect('}');
-        if (!saw_name || !saw_value)
-            fail("metric must carry name and value");
-        return metric;
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        while (true) {
-            if (pos_ >= text_.size())
-                fail("unterminated string");
-            char c = text_[pos_++];
-            if (c == '"')
-                return out;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                fail("unterminated escape");
-            char esc = text_[pos_++];
-            switch (esc) {
-              case '"': out += '"'; break;
-              case '\\': out += '\\'; break;
-              case '/': out += '/'; break;
-              case 'b': out += '\b'; break;
-              case 'f': out += '\f'; break;
-              case 'n': out += '\n'; break;
-              case 'r': out += '\r'; break;
-              case 't': out += '\t'; break;
-              default:
-                fail(std::string("unsupported escape '\\") + esc + "'");
-            }
+CalibrationMetric
+parseMetric(const util::json::Value &value)
+{
+    using util::json::Value;
+    if (!value.isObject())
+        fail("metric must be an object", value.offset);
+    CalibrationMetric metric;
+    bool saw_name = false, saw_value = false;
+    for (const auto &[key, field] : value.object) {
+        if (key == "name") {
+            metric.name =
+                    typedField(field, key, Value::Kind::String, "a string")
+                            .string;
+            saw_name = true;
+        } else if (key == "value") {
+            metric.value =
+                    typedField(field, key, Value::Kind::Number, "a number")
+                            .number;
+            saw_value = true;
+        } else if (key == "relTol") {
+            metric.relTol =
+                    typedField(field, key, Value::Kind::Number, "a number")
+                            .number;
+        } else {
+            fail("unknown metric key '" + key + "'", field.offset);
         }
     }
-
-    double
-    parseNumber()
-    {
-        skipWs();
-        const char *begin = text_.c_str() + pos_;
-        char *end = nullptr;
-        double value = std::strtod(begin, &end);
-        if (end == begin)
-            fail("expected a number");
-        if (!std::isfinite(value))
-            fail("number is not finite");
-        pos_ += std::size_t(end - begin);
-        return value;
-    }
-
-    char
-    peek()
-    {
-        return pos_ < text_.size() ? text_[pos_] : '\0';
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-                text_[pos_] == '\n' || text_[pos_] == '\r'))
-            pos_++;
-    }
-
-    void
-    expect(char c)
-    {
-        skipWs();
-        if (peek() != c)
-            fail(std::string("expected '") + c + "'");
-        pos_++;
-    }
-
-    [[noreturn]] void
-    fail(const std::string &what)
-    {
-        throw FatalError("calibration JSON: " + what + " at byte " +
-                         std::to_string(pos_));
-    }
-
-    const std::string &text_;
-    std::size_t pos_ = 0;
-};
+    if (!saw_name || !saw_value)
+        fail("metric must carry name and value", value.offset);
+    return metric;
+}
 
 } // namespace
 
@@ -254,7 +118,36 @@ serializeCalibration(const CalibrationRecord &record)
 CalibrationRecord
 parseCalibration(const std::string &text)
 {
-    return Parser(text).parse();
+    using util::json::Value;
+    Value root = util::json::parse(text, "calibration JSON");
+    if (!root.isObject())
+        fail("record must be an object", root.offset);
+    CalibrationRecord record;
+    bool saw_version = false, saw_workload = false, saw_metrics = false;
+    for (const auto &[key, field] : root.object) {
+        if (key == "version") {
+            record.version = int(util::json::toInt64(
+                    field, "calibration JSON: 'version'"));
+            saw_version = true;
+        } else if (key == "workload") {
+            record.workload =
+                    typedField(field, key, Value::Kind::String, "a string")
+                            .string;
+            saw_workload = true;
+        } else if (key == "metrics") {
+            if (!field.isArray())
+                fail("'metrics' must be an array", field.offset);
+            for (const auto &item : field.array)
+                record.metrics.push_back(parseMetric(item));
+            saw_metrics = true;
+        } else {
+            fail("unknown key '" + key + "'", field.offset);
+        }
+    }
+    if (!saw_version || !saw_workload || !saw_metrics)
+        fail("record must carry version, workload, and metrics",
+             root.offset);
+    return record;
 }
 
 std::vector<CalibrationViolation>

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The sim/dse command implementations shared by stellar_cli and the
+ * serve daemon.
+ *
+ * Byte-identity of a served response versus the one-shot CLI is the
+ * serve correctness contract; the only way to keep that contract
+ * trivially true is for both front ends to call the *same* renderer
+ * and treat its string as the output. stellar_cli printf()s it to
+ * stdout; the daemon ships it inside an `ok` response.
+ *
+ * Renderers throw on invalid inputs (FatalError) and on budget expiry
+ * (TimeoutError out of the watchdogs); the CLI's top-level catch turns
+ * that into `error: ...` on stderr, the server classifies it into a
+ * structured error response.
+ */
+
+#ifndef STELLAR_SERVE_COMMANDS_HPP
+#define STELLAR_SERVE_COMMANDS_HPP
+
+#include <string>
+
+#include "accel/dse.hpp"
+#include "serve/protocol.hpp"
+
+namespace stellar::serve
+{
+
+/** A rendered command: the CLI exit code and its exact stdout bytes. */
+struct RenderResult
+{
+    int exitCode = 0;
+    std::string output;
+
+    /** The exploration counters (dse only), for the stats endpoint. */
+    accel::DseStats dseStats;
+};
+
+/**
+ * `stellar_cli sim`: sweep a cycle simulator over its workload suite
+ * through sim::runMany. Synthesis goes through workloads::Cache, so a
+ * warm daemon skips it; output is byte-identical warm or cold.
+ * FatalError on an unknown workload.
+ */
+RenderResult renderSim(const SimRequest &request);
+
+/**
+ * `stellar_cli dse`: explore matmul dataflows at the requested dim.
+ * When `memo` is non-null every scored candidate round-trips through
+ * the cross-call design-point memo (rankings byte-identical warm or
+ * cold). Exit code 1 when nothing was evaluated, as the CLI does.
+ */
+RenderResult renderDse(const DseRequest &request,
+                       accel::DesignPointMemo *memo = nullptr);
+
+/** The DseOptions a DseRequest maps to (exposed for differential
+ *  tests that call exploreDataflows directly). */
+accel::DseOptions dseOptionsFor(const DseRequest &request,
+                                accel::DesignPointMemo *memo);
+
+} // namespace stellar::serve
+
+#endif // STELLAR_SERVE_COMMANDS_HPP

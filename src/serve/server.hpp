@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The stellar_serve daemon: a fault-isolated DSE/sim service.
+ *
+ * A long-lived process answering concurrent sim/dse requests on a
+ * local socket, batching work onto util::ThreadPool and keeping
+ * workloads::Cache plus the cross-call DesignPointMemo warm, with
+ * snapshot/warm-start so restarts don't re-pay synthesis.
+ *
+ * Robustness contract (what the hostile-request soak pins):
+ *  - *isolation*: every request runs under its own WatchdogScope and
+ *    catch-all; any failure is classified via util::classifyException
+ *    into a structured `error` response. No request input — malformed,
+ *    oversized, budget-exhausting, or cache-poisoning — kills the
+ *    daemon, and no failure ever classifies as Unknown.
+ *  - *admission control*: at most workers + maxQueueDepth requests are
+ *    in flight; beyond that, connections are shed immediately with an
+ *    `overloaded` response and a retry-after hint, so latency stays
+ *    bounded instead of queues growing without limit.
+ *  - *graceful degradation*: a transient wall-clock timeout is retried
+ *    once (the DseOptions::retryWallClockTimeout semantics lifted to
+ *    the request level); budgets are clamped to server-wide caps.
+ *  - *graceful drain*: on SIGTERM (via drainPoll) or a `shutdown`
+ *    request, in-flight requests finish, queued ones get
+ *    `shutting_down`, the memo is snapshotted, and serve() returns.
+ */
+
+#ifndef STELLAR_SERVE_SERVER_HPP
+#define STELLAR_SERVE_SERVER_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "accel/dse.hpp"
+#include "serve/protocol.hpp"
+
+namespace stellar::util
+{
+class LocalSocket;
+}
+
+namespace stellar::serve
+{
+
+/** Daemon configuration. */
+struct ServeOptions
+{
+    /** Filesystem path of the AF_UNIX listening socket. */
+    std::string socketPath;
+
+    /** Worker threads executing requests. */
+    std::size_t workers = 2;
+
+    /** Requests allowed to queue beyond the workers; one more and the
+     *  connection is shed with `overloaded`. */
+    std::size_t maxQueueDepth = 16;
+
+    /**
+     * Server-wide watchdog caps. When nonzero, a request's budget is
+     * clamped: asking for 0 (unlimited) or more than the cap runs
+     * under the cap instead. 0 = requests budget themselves.
+     */
+    std::int64_t maxStepBudget = 0;
+    std::int64_t maxTimeBudgetMillis = 0;
+
+    /** Retry a request whose execution died on a *wall-clock* timeout
+     *  exactly once (deterministic step-budget expiry never retries). */
+    bool retryWallClock = true;
+
+    /** Memo snapshot file: loaded on serve() start (corrupt files are
+     *  rejected and logged, the daemon starts cold), written on
+     *  graceful drain. Empty = no persistence. */
+    std::string snapshotPath;
+
+    /** Backoff hint carried in `overloaded` responses. */
+    std::int64_t retryAfterMillis = 50;
+
+    /** Receive/send timeout per connection; a slow-loris peer costs a
+     *  worker at most this long. */
+    int ioTimeoutMillis = 2000;
+
+    /** Wire-format validation caps (size, dim, threads, topk). */
+    RequestLimits limits;
+
+    /** Polled between accepts; returning true starts a drain (the
+     *  SIGTERM hook — signal handlers set a flag, this reads it). */
+    std::function<bool()> drainPoll;
+};
+
+/** Operational counters (the `stats` endpoint payload). */
+struct ServeStats
+{
+    std::uint64_t accepted = 0;  //!< connections accepted
+    std::uint64_t completed = 0; //!< requests answered `ok`
+    std::uint64_t errors = 0;    //!< requests answered `error`
+    std::uint64_t shed = 0;      //!< connections shed `overloaded`
+    std::uint64_t drained = 0;   //!< answered `shutting_down`
+    std::uint64_t writeFailures = 0; //!< peers gone before the reply
+
+    std::uint64_t simRequests = 0;
+    std::uint64_t dseRequests = 0;
+    std::uint64_t statsRequests = 0;
+
+    /** errors, broken down by util::FailureKind. */
+    std::array<std::uint64_t, util::kFailureKindCount> errorsByKind{};
+
+    /** Request-level wall-clock retries (ServeOptions::retryWallClock). */
+    std::uint64_t retried = 0;
+    std::uint64_t retrySucceeded = 0;
+
+    /** DseStats totals accumulated across every dse request. */
+    std::uint64_t dseEnumerated = 0;
+    std::uint64_t dseEvaluated = 0;
+    std::uint64_t dseFailed = 0;
+    std::uint64_t dseCandidateRetries = 0;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions options = {});
+
+    /**
+     * Parse, execute, and serialize one request — the whole lifecycle
+     * minus the socket. Never throws: every failure becomes a
+     * classified `error` response; after a drain begins, non-stats
+     * requests get `shutting_down`. Exposed directly so tests and the
+     * request-domain fuzzer can hammer it in-process.
+     */
+    std::string handleRequestText(const std::string &text);
+
+    /**
+     * Run the daemon: listen on socketPath, warm-start the memo, and
+     * serve until drained. Returns 0 after a graceful drain; throws
+     * FatalError only for startup failures (unusable socket path).
+     */
+    int serve();
+
+    /** Begin a graceful drain (thread-safe, idempotent). */
+    void requestDrain() { draining_.store(true); }
+    bool draining() const { return draining_.load(); }
+
+    ServeStats stats() const;
+
+    /** The stats endpoint body: serve counters + design-memo and
+     *  workload-cache counters as one JSON document. */
+    std::string statsJson() const;
+
+    accel::DesignPointMemo &memo() { return memo_; }
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    Response execute(const Request &request);
+    Response executeOnce(const Request &request);
+    void handleConnection(util::LocalSocket &conn);
+    void bumpError(const util::Failure &failure);
+
+    ServeOptions options_;
+    accel::DesignPointMemo memo_;
+    std::atomic<bool> draining_{false};
+
+    mutable std::mutex statsMutex_;
+    ServeStats stats_;
+};
+
+} // namespace stellar::serve
+
+#endif // STELLAR_SERVE_SERVER_HPP

@@ -55,10 +55,29 @@ outerSpaceSuite()
     return suite;
 }
 
+const std::vector<MatrixProfile> &
+pyxisSuite()
+{
+    // Dimensions and nonzero counts follow the published SuiteSparse
+    // metadata for three matrices in the Pyxis dataset's input set,
+    // chosen to bracket the density range the dataset covers.
+    static const std::vector<MatrixProfile> suite = {
+        {"mouse_gene", 45101, 45101, 28967291, MatrixPattern::PowerLaw,
+         1.0},
+        {"nasasrb", 54870, 54870, 2677324, MatrixPattern::Mesh, 0.2},
+        {"rajat21", 411676, 411676, 1876011, MatrixPattern::PowerLaw,
+         1.2},
+    };
+    return suite;
+}
+
 const MatrixProfile &
 profileByName(const std::string &name)
 {
     for (const auto &profile : outerSpaceSuite())
+        if (profile.name == name)
+            return profile;
+    for (const auto &profile : pyxisSuite())
         if (profile.name == name)
             return profile;
     fatal("unknown SuiteSparse profile: " + name);

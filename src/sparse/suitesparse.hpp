@@ -53,7 +53,18 @@ struct MatrixProfile
 /** The matrices OuterSPACE (and SpArch) were evaluated on. */
 const std::vector<MatrixProfile> &outerSpaceSuite();
 
-/** Look up a profile by name; fatal when unknown. */
+/**
+ * Three matrices shaped like the Pyxis performance dataset's SuiteSparse
+ * inputs (PAPERS.md): a near-dense power-law gene network, an FEM shell
+ * mesh, and a large, very sparse circuit. They stress corners the
+ * OuterSPACE suite under-samples — extreme row density, stiff regular
+ * meshes, and hub-dominated circuits — and back the `pyxis_*`
+ * calibration records.
+ */
+const std::vector<MatrixProfile> &pyxisSuite();
+
+/** Look up a profile by name in any built-in suite; fatal when
+ *  unknown. */
 const MatrixProfile &profileByName(const std::string &name);
 
 /**

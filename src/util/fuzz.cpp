@@ -4,6 +4,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +15,8 @@
 #include "model/area.hpp"
 #include "model/params.hpp"
 #include "model/timing.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "sim/outerspace.hpp"
 #include "sparse/matrix.hpp"
 #include "sparse/matrix_market.hpp"
@@ -346,6 +349,50 @@ mtxStillUnknown(const FuzzOptions &options, const std::string &text)
     }
 }
 
+/**
+ * Bounded private server for the Request domain: hostile requests may
+ * *ask* for anything, but parse-time caps and server-side budget clamps
+ * keep each admitted one small enough for a single fuzz iteration.
+ */
+serve::ServeOptions
+fuzzServeOptions(const FuzzOptions &options)
+{
+    serve::ServeOptions sopt;
+    sopt.maxStepBudget = options.stepBudget;
+    sopt.maxTimeBudgetMillis = options.timeBudgetMillis;
+    sopt.limits.maxBytes = 64 << 10;
+    sopt.limits.maxDim = 5;
+    sopt.limits.maxThreads = 4;
+    sopt.limits.maxTopK = 64;
+    return sopt;
+}
+
+EvalOutcome
+evaluateRequestInput(serve::Server &server, const FuzzOptions &options,
+                     Rng &rng, std::string &input)
+{
+    input = randomServeRequestText(rng, /*allow_shutdown=*/false);
+    std::string reply = options.requestOracle
+                                ? options.requestOracle(input)
+                                : server.handleRequestText(input);
+    serve::Response response;
+    try {
+        response = serve::parseResponse(reply);
+    } catch (const std::exception &err) {
+        // Deliberately unclassified: an unparseable response is itself
+        // the invariant breach, so it must surface as a violation.
+        throw std::logic_error(
+                "fuzz property violated: unparseable serve response (" +
+                std::string(err.what()) + ")");
+    }
+    if (response.status != serve::Status::Error)
+        return {}; // ok / overloaded / shutting_down: all well-formed
+    EvalOutcome outcome;
+    outcome.ok = false;
+    outcome.failure = response.failure;
+    return outcome;
+}
+
 std::string
 dumpRepro(const std::string &repro_dir, const FuzzViolation &violation)
 {
@@ -378,8 +425,128 @@ fuzzDomainName(FuzzDomain domain)
       case FuzzDomain::Spec: return "spec";
       case FuzzDomain::Transform: return "transform";
       case FuzzDomain::MatrixMarket: return "mtx";
+      case FuzzDomain::Request: return "request";
     }
     return "unknown";
+}
+
+std::string
+randomServeRequestText(Rng &rng, bool allow_shutdown)
+{
+    auto chooseInt = [&](std::initializer_list<std::int64_t> common,
+                         std::initializer_list<std::int64_t> hostile) {
+        const auto &list = rng.nextBool(0.2) ? hostile : common;
+        auto it = list.begin();
+        std::advance(it, std::ptrdiff_t(rng.nextBounded(list.size())));
+        return *it;
+    };
+    auto numField = [&](const char *name, std::int64_t value) {
+        return ",\"" + std::string(name) +
+               "\":" + std::to_string(value);
+    };
+
+    // A structured request first: mostly valid, with hostile values
+    // sprinkled in so the schema gauntlet sees realistic near-misses
+    // (absurd dims, zero budgets, unknown and wrong-typed fields).
+    std::string text;
+    std::uint64_t command = rng.nextBounded(10);
+    if (allow_shutdown && command == 9) {
+        text = "{\"command\":\"shutdown\"}";
+    } else if (command >= 7) {
+        text = "{\"command\":\"stats\"";
+        if (rng.nextBool(0.1))
+            text += ",\"threads\":1"; // unknown for stats: must reject
+        text += "}";
+    } else if (command >= 3) {
+        text = "{\"command\":\"dse\"";
+        if (rng.nextBool(0.9))
+            text += numField("dim",
+                             chooseInt({2, 3, 4, 5}, {0, -2, 64, 100000}));
+        if (rng.nextBool(0.6))
+            text += numField("threads", chooseInt({1, 2, 4}, {0, 999}));
+        if (rng.nextBool(0.5))
+            text += numField("topk", chooseInt({1, 5, 10}, {0, 1000000}));
+        if (rng.nextBool(0.3))
+            text += numField("max_pes", chooseInt({0, 64, 4096}, {-5}));
+        if (rng.nextBool(0.3))
+            text += numField("prepass", chooseInt({0, 4}, {-1, 1000000}));
+        if (rng.nextBool(0.5))
+            text += numField("step_budget",
+                             chooseInt({0, 200000},
+                                       {1, -7, 1000000000000000LL}));
+        if (rng.nextBool(0.4))
+            text += numField("time_budget_ms",
+                             chooseInt({0, 1000}, {1, -3}));
+        if (rng.nextBool(0.25))
+            text += ",\"retry_wall_clock\":true";
+        if (rng.nextBool(0.2))
+            text += ",\"fail_fast\":true";
+        if (rng.nextBool(0.2))
+            text += ",\"timings\":false";
+        if (rng.nextBool(0.08))
+            text += ",\"bogus\":1";
+        if (rng.nextBool(0.06))
+            text += ",\"dim\":\"eight\"";
+        text += "}";
+    } else {
+        text = "{\"command\":\"sim\"";
+        if (rng.nextBool(0.9)) {
+            static const char *kWorkloads[] = {"scnn", "scnn",
+                                               "outerspace", "bogus", ""};
+            text += ",\"workload\":\"" +
+                    std::string(kWorkloads[rng.nextBounded(
+                            std::size(kWorkloads))]) +
+                    "\"";
+        }
+        if (rng.nextBool(0.6))
+            text += numField("threads", chooseInt({1, 2, 4}, {0, 999}));
+        if (rng.nextBool(0.5))
+            text += numField("step_budget",
+                             chooseInt({0, 200000}, {1, -7}));
+        if (rng.nextBool(0.4))
+            text += numField("time_budget_ms",
+                             chooseInt({0, 1000}, {1, -3}));
+        if (rng.nextBool(0.08))
+            text += ",\"dim\":4"; // a dse-only field: must reject
+        text += "}";
+    }
+    if (!rng.nextBool(0.4))
+        return text;
+
+    // The rest are textual attacks on the wire format itself.
+    switch (rng.nextBounded(7)) {
+      case 0: // flip one byte to anything
+        if (!text.empty())
+            text[rng.nextBounded(text.size())] =
+                    char(rng.nextBounded(256));
+        return text;
+      case 1: // truncate mid-token
+        return text.substr(0, rng.nextBounded(text.size() + 1));
+      case 2: { // splice a hostile token at a random position
+        static const char *kTokens[] = {
+                "nan", "1e999", "0x10", "\"", "{", "}", "[", "]", ":",
+                ",", "\\u0041", "999999999999999999999999",
+        };
+        std::size_t at = rng.nextBounded(text.size() + 1);
+        return text.substr(0, at) + kTokens[rng.nextBounded(
+                                            std::size(kTokens))] +
+               text.substr(at);
+      }
+      case 3: { // raw garbage bytes (including NULs)
+        std::string garbage(1 + rng.nextBounded(48), '\0');
+        for (auto &c : garbage)
+            c = char(rng.nextBounded(256));
+        return garbage;
+      }
+      case 4: // deep nesting (the parser's depth cap)
+        return std::string(std::size_t(rng.nextRange(8, 300)), '[');
+      case 5: // oversize padding (the wire / parse byte caps)
+        return text + std::string(128 << 10, ' ');
+      default: // empty or whitespace-only
+        return rng.nextBool(0.5)
+                       ? std::string()
+                       : std::string(1 + rng.nextBounded(8), ' ');
+    }
 }
 
 std::string
@@ -438,7 +605,11 @@ runFuzz(const FuzzOptions &options)
     FuzzOptions opt = options;
     if (opt.domains.empty())
         opt.domains = {FuzzDomain::Spec, FuzzDomain::Transform,
-                       FuzzDomain::MatrixMarket};
+                       FuzzDomain::MatrixMarket, FuzzDomain::Request};
+    // The Request domain's target: one private in-process server shared
+    // across the run (so a state-poisoning request surfaces in later
+    // iterations), created lazily on first use.
+    std::unique_ptr<serve::Server> server;
     FuzzReport report;
     report.iterations = opt.iterations;
     for (std::size_t i = 0; i < opt.iterations; i++) {
@@ -459,6 +630,12 @@ runFuzz(const FuzzOptions &options)
                 input = mutateMatrixMarketText(
                         rng, randomMatrixMarketText(rng));
                 evaluateMtxText(opt, input);
+                break;
+              case FuzzDomain::Request:
+                if (!server)
+                    server = std::make_unique<serve::Server>(
+                            fuzzServeOptions(opt));
+                outcome = evaluateRequestInput(*server, opt, rng, input);
                 break;
             }
         } catch (...) {

@@ -6,10 +6,11 @@
  * functional spec, a singular transform, a hostile Matrix Market file —
  * either succeeds or degrades to a classified util::Failure; it must
  * never crash, trip a sanitizer, or leak an unclassified exception.
- * This harness generates seeded random inputs across three domains,
+ * This harness generates seeded random inputs across four domains,
  * replays them against generatePipelineIsolated, the transform algebra,
- * and the Matrix Market reader + sims under WatchdogScope budgets, and
- * records every outcome against that invariant. Classification to
+ * the Matrix Market reader + sims, and an in-process serve::Server
+ * under WatchdogScope budgets, and records every outcome against that
+ * invariant. Classification to
  * FailureKind::Unknown is the invariant breach: the offending input is
  * minimized (line-wise, for textual inputs) and dumped as a repro file.
  *
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "util/failure.hpp"
+#include "util/rng.hpp"
 
 namespace stellar::util::fuzz
 {
@@ -41,9 +43,10 @@ enum class FuzzDomain
     Spec,         //!< random functional specs + bounds through the pipeline
     Transform,    //!< random space-time transform matrices + probes
     MatrixMarket, //!< corrupted .mtx texts through the reader + sims
+    Request,      //!< hostile serve requests through serve::Server
 };
 
-/** Stable short name ("spec", "transform", "mtx"). */
+/** Stable short name ("spec", "transform", "mtx", "request"). */
 const char *fuzzDomainName(FuzzDomain domain);
 
 /** Harness settings. */
@@ -52,7 +55,7 @@ struct FuzzOptions
     std::uint64_t seed = 1;
     std::size_t iterations = 1000;
 
-    /** Domains to cycle through (round-robin); empty = all three. */
+    /** Domains to cycle through (round-robin); empty = all four. */
     std::vector<FuzzDomain> domains;
 
     /** Watchdog step budget per replay (0 = unlimited). */
@@ -75,6 +78,14 @@ struct FuzzOptions
      * run end to end. Production leaves this unset.
      */
     std::function<void(const std::string &)> mtxOracle;
+
+    /**
+     * Test hook for the Request domain: given one request text, return
+     * the raw response text. Unset, the harness routes requests through
+     * a private in-process serve::Server (shared across the run, so a
+     * request that poisons server state surfaces in later iterations).
+     */
+    std::function<std::string(const std::string &)> requestOracle;
 };
 
 /** One input that broke the fuzz invariant (classified Unknown). */
@@ -119,6 +130,18 @@ FuzzReport runFuzz(const FuzzOptions &options);
 std::string
 minimizeLines(const std::string &input,
               const std::function<bool(const std::string &)> &still_fails);
+
+/**
+ * One seeded serve-protocol request text: mostly structured sim / dse /
+ * stats requests with occasionally-hostile field values (absurd dims,
+ * zero budgets, unknown fields, wrong types), the rest textual attacks
+ * on a valid request (byte flips, truncation, garbage, deep nesting,
+ * oversize padding). `allow_shutdown` admits `{"command":"shutdown"}`
+ * into the mix — the live-daemon soak keeps it out so the target stays
+ * up for the whole storm. Shared by the Request fuzz domain and the
+ * `stellar_fuzz --soak` driver.
+ */
+std::string randomServeRequestText(Rng &rng, bool allow_shutdown);
 
 } // namespace stellar::util::fuzz
 

@@ -174,6 +174,25 @@ class MemoCache
         }
     }
 
+    /**
+     * Visit every resident entry as fn(key, payload, bytes). Shards are
+     * walked in index order and each shard least-recently-used first,
+     * so re-inserting a snapshot in visit order reproduces the LRU
+     * recency it was taken from. Each shard's mutex is held across its
+     * entries; `fn` must not call back into the cache.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (auto it = shard.lru.rbegin(); it != shard.lru.rend();
+                 ++it)
+                fn(it->key, it->payload, it->bytes);
+        }
+    }
+
     MemoStats
     stats() const
     {

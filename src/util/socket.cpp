@@ -1,0 +1,180 @@
+#include "util/socket.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace stellar::util
+{
+
+namespace
+{
+
+sockaddr_un
+addressFor(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(path.size() < sizeof(addr.sun_path),
+            "socket path too long (" + std::to_string(path.size()) +
+                    " bytes): " + path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+[[noreturn]] void
+failErrno(const std::string &what)
+{
+    throw FatalError(what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+LocalSocket &
+LocalSocket::operator=(LocalSocket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+LocalSocket
+LocalSocket::listenOn(const std::string &path, int backlog)
+{
+    sockaddr_un addr = addressFor(path);
+    LocalSocket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        failErrno("socket(AF_UNIX)");
+    // A previous daemon's socket file would make bind fail with
+    // EADDRINUSE; we own the path, so a stale file is just removed.
+    ::unlink(path.c_str());
+    if (::bind(sock.fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        failErrno("bind(" + path + ")");
+    if (::listen(sock.fd_, backlog) != 0)
+        failErrno("listen(" + path + ")");
+    return sock;
+}
+
+LocalSocket
+LocalSocket::connectTo(const std::string &path)
+{
+    sockaddr_un addr = addressFor(path);
+    LocalSocket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid())
+        failErrno("socket(AF_UNIX)");
+    if (::connect(sock.fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        failErrno("connect(" + path + ")");
+    return sock;
+}
+
+bool
+LocalSocket::waitReadable(int timeout_millis) const
+{
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, timeout_millis);
+    return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+LocalSocket
+LocalSocket::accept() const
+{
+    return LocalSocket(::accept(fd_, nullptr, nullptr));
+}
+
+void
+LocalSocket::setTimeouts(int millis) const
+{
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+SocketReadStatus
+LocalSocket::readAll(std::string &out, std::size_t max_bytes) const
+{
+    char buffer[4096];
+    while (true) {
+        ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (got == 0)
+            return SocketReadStatus::Eof;
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return SocketReadStatus::Timeout;
+            return SocketReadStatus::Error;
+        }
+        if (max_bytes != 0 &&
+            out.size() + std::size_t(got) > max_bytes) {
+            out.append(buffer, max_bytes - out.size());
+            return SocketReadStatus::Overflow;
+        }
+        out.append(buffer, std::size_t(got));
+    }
+}
+
+void
+LocalSocket::drainRead(std::size_t max_bytes) const
+{
+    char buffer[4096];
+    std::size_t drained = 0;
+    while (drained < max_bytes) {
+        std::size_t want = std::min(sizeof(buffer), max_bytes - drained);
+        ssize_t got = ::recv(fd_, buffer, want, 0);
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return; // EOF, timeout, or error: nothing left to absorb
+        drained += std::size_t(got);
+    }
+}
+
+bool
+LocalSocket::writeAll(std::string_view data) const
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t wrote = ::send(fd_, data.data() + sent,
+                               data.size() - sent, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += std::size_t(wrote);
+    }
+    return true;
+}
+
+void
+LocalSocket::shutdownWrite() const
+{
+    ::shutdown(fd_, SHUT_WR);
+}
+
+void
+LocalSocket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace stellar::util

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RAII AF_UNIX stream sockets for the serve daemon.
+ *
+ * A deliberately small wrapper: listen/connect/accept plus
+ * whole-message reads and writes with the hardening the daemon needs —
+ * bounded read sizes (a hostile client cannot balloon memory), receive
+ * timeouts (a slow-loris client cannot wedge a worker), and
+ * MSG_NOSIGNAL sends (a client that disconnects mid-response must not
+ * SIGPIPE the process). Message framing is connection-scoped: the
+ * client writes one request and shuts down its write side; the server
+ * reads to EOF, writes one response, and closes.
+ */
+
+#ifndef STELLAR_UTIL_SOCKET_HPP
+#define STELLAR_UTIL_SOCKET_HPP
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace stellar::util
+{
+
+/** Why a bounded read stopped (Eof is the success case). */
+enum class SocketReadStatus
+{
+    Eof,      //!< peer finished; the message is complete
+    Overflow, //!< more bytes arrived than the caller allows
+    Timeout,  //!< the receive timeout expired mid-message
+    Error,    //!< any other socket error (peer reset, bad fd, ...)
+};
+
+/** A connected or listening AF_UNIX stream socket (move-only). */
+class LocalSocket
+{
+  public:
+    LocalSocket() = default;
+    /** Adopt an already-open descriptor (-1 = invalid). */
+    explicit LocalSocket(int fd) : fd_(fd) {}
+    ~LocalSocket() { close(); }
+
+    LocalSocket(LocalSocket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    LocalSocket &operator=(LocalSocket &&other) noexcept;
+    LocalSocket(const LocalSocket &) = delete;
+    LocalSocket &operator=(const LocalSocket &) = delete;
+
+    /**
+     * Bind and listen on `path`, unlinking any stale socket file first.
+     * Raises FatalError (with errno text) when the path is unusable.
+     */
+    static LocalSocket listenOn(const std::string &path, int backlog = 64);
+
+    /** Connect to a listening socket; FatalError when nothing answers. */
+    static LocalSocket connectTo(const std::string &path);
+
+    /**
+     * Wait up to `timeout_millis` for the socket to become readable
+     * (for a listener: for a pending connection). False on timeout.
+     */
+    bool waitReadable(int timeout_millis) const;
+
+    /** Accept one connection; invalid socket on transient failure. */
+    LocalSocket accept() const;
+
+    /** Apply SO_RCVTIMEO/SO_SNDTIMEO (0 = no timeout). */
+    void setTimeouts(int millis) const;
+
+    /**
+     * Append bytes to `out` until EOF, `max_bytes` total (0 =
+     * unlimited), a receive timeout, or an error — in that order of
+     * precedence as the return value reports it. On Overflow the first
+     * `max_bytes` bytes are in `out` and the rest is unread.
+     */
+    SocketReadStatus readAll(std::string &out, std::size_t max_bytes) const;
+
+    /** Write the whole buffer (MSG_NOSIGNAL); false on any failure. */
+    bool writeAll(std::string_view data) const;
+
+    /**
+     * Read and discard up to `max_bytes` until EOF, a timeout, or an
+     * error. The server calls this before closing a connection whose
+     * request it answered *without* reading to EOF (shed, drain,
+     * overflow): Linux AF_UNIX turns unread bytes at close into an
+     * ECONNRESET for the peer, which would clobber the already-written
+     * reply's clean end-of-stream.
+     */
+    void drainRead(std::size_t max_bytes) const;
+
+    /** Half-close: signal end-of-message to the peer. */
+    void shutdownWrite() const;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace stellar::util
+
+#endif // STELLAR_UTIL_SOCKET_HPP

@@ -233,4 +233,18 @@ cacheStatsReport(const CacheStats &stats)
     return os.str();
 }
 
+std::string
+cacheStatsJson(const CacheStats &stats)
+{
+    std::string out = "{";
+    out += "\"lookups\":" + std::to_string(stats.lookups);
+    out += ",\"hits\":" + std::to_string(stats.hits);
+    out += ",\"misses\":" + std::to_string(stats.misses);
+    out += ",\"evictions\":" + std::to_string(stats.evictions);
+    out += ",\"bytes\":" + std::to_string(stats.bytes);
+    out += ",\"entries\":" + std::to_string(stats.entries);
+    out += "}";
+    return out;
+}
+
 } // namespace stellar::workloads

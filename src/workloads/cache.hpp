@@ -250,6 +250,10 @@ cachedResnetLayers(bool representative);
 /** One dseStatsReport-style summary line (no trailing newline). */
 std::string cacheStatsReport(const CacheStats &stats);
 
+/** The same counters as a compact JSON object (the serve daemon's
+ *  stats endpoint embeds this). */
+std::string cacheStatsJson(const CacheStats &stats);
+
 } // namespace stellar::workloads
 
 #endif // STELLAR_WORKLOADS_CACHE_HPP

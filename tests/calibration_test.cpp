@@ -1,7 +1,8 @@
 /**
  * @file
  * Calibration regression corpus: replays every figure and ablation
- * configuration of the paper reproduction through the analytic
+ * configuration of the paper reproduction — plus three Pyxis-shaped
+ * sparse workloads (sparse::pyxisSuite()) — through the analytic
  * area/energy/timing models and the cycle simulators, and asserts each
  * metric stays inside the tolerance band pinned in its reference record
  * under tests/calibration/. A drift failure names the exact metric,
@@ -495,6 +496,46 @@ collectAblationRegfiles()
     return record;
 }
 
+/** Pyxis-shaped workloads (PAPERS.md): one record per profile in
+ *  sparse::pyxisSuite(), replaying the OuterSPACE pipeline plus both
+ *  merger schedules on a matrix synthesized to the profile's published
+ *  shape. These extend the corpus past the figure/ablation configs into
+ *  the density corners the Pyxis dataset covers. */
+model::CalibrationRecord
+collectPyxisProfile(const sparse::MatrixProfile &profile)
+{
+    model::CalibrationRecord record;
+    record.workload = "pyxis_" + profile.name;
+
+    constexpr std::int64_t kNnzBudget = 30000;
+    auto scaled = sparse::scaleProfile(profile, kNnzBudget);
+    auto matrix = workloads::cachedSuiteSparse(scaled, 1);
+
+    metric(record, "rows", double(matrix->rows()), kExactBand);
+    metric(record, "nnz", double(matrix->nnz()), kExactBand);
+    metric(record, "avg_row_nnz", scaled.avgRowNnz());
+
+    sim::OuterSpaceConfig config;
+    config.dma = sim::DmaConfig::withRate(16);
+    auto spgemm = sim::simulateOuterSpace(config, *matrix);
+    metric(record, "gflops", spgemm.gflops(1.5));
+    metric(record, "multiplies", double(spgemm.multiplies), kExactBand);
+    metric(record, "dram_bytes", double(spgemm.dramBytes), kExactBand);
+    metric(record, "multiply_utilization", spgemm.multiplyUtilization);
+
+    sim::MergerConfig merger_config;
+    auto partials = workloads::cachedOuterPartials(scaled, 2);
+    auto row = sim::runMergeSchedule(
+            merger_config, sim::MergerKind::RowPartitioned, *partials);
+    auto flat = sim::runMergeSchedule(
+            merger_config, sim::MergerKind::Flattened, *partials);
+    metric(record, "row_elements_per_cycle", row.elementsPerCycle());
+    metric(record, "flat_elements_per_cycle", flat.elementsPerCycle());
+    metric(record, "merged_elements",
+           double(row.mergedElements + flat.mergedElements), kExactBand);
+    return record;
+}
+
 /* ------------------------------------------------------------------ */
 /* Harness                                                            */
 /* ------------------------------------------------------------------ */
@@ -587,6 +628,18 @@ TEST(Calibration, AblationPipelining)
 TEST(Calibration, AblationRegfiles)
 {
     runCalibration(collectAblationRegfiles());
+}
+TEST(Calibration, PyxisMouseGene)
+{
+    runCalibration(collectPyxisProfile(sparse::profileByName("mouse_gene")));
+}
+TEST(Calibration, PyxisNasasrb)
+{
+    runCalibration(collectPyxisProfile(sparse::profileByName("nasasrb")));
+}
+TEST(Calibration, PyxisRajat21)
+{
+    runCalibration(collectPyxisProfile(sparse::profileByName("rajat21")));
 }
 
 /* ------------------------------------------------------------------ */

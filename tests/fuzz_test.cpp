@@ -57,7 +57,7 @@ TEST(Fuzz, InvariantHoldsAcrossAllDomains)
 TEST(Fuzz, InvariantHoldsPerDomain)
 {
     for (auto domain : {FuzzDomain::Spec, FuzzDomain::Transform,
-                        FuzzDomain::MatrixMarket}) {
+                        FuzzDomain::MatrixMarket, FuzzDomain::Request}) {
         FuzzOptions options;
         options.iterations = 60;
         options.seed = 7;
@@ -187,6 +187,61 @@ TEST(Fuzz, OracleClassifiedFailureIsNotAViolation)
     EXPECT_EQ(report.outcomes[std::size_t(util::FailureKind::UserSpec)],
               5u);
     EXPECT_EQ(report.succeeded, 0u);
+}
+
+TEST(Fuzz, RequestOracleGibberishIsAViolation)
+{
+    // A reply that is not a parseable response is itself the invariant
+    // breach — the harness must surface it as an Unknown violation.
+    FuzzOptions options;
+    options.iterations = 3;
+    options.seed = 11;
+    options.domains = {FuzzDomain::Request};
+    options.requestOracle = [](const std::string &) {
+        return std::string("not a response");
+    };
+    auto report = util::fuzz::runFuzz(options);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.violations.size(), 3u);
+    EXPECT_EQ(report.outcomes[std::size_t(util::FailureKind::Unknown)],
+              3u);
+}
+
+TEST(Fuzz, RequestOracleUnknownKindIsAViolation)
+{
+    // A well-formed error response whose failure kind is `unknown` is
+    // the soak invariant's other breach mode.
+    FuzzOptions options;
+    options.iterations = 2;
+    options.seed = 12;
+    options.domains = {FuzzDomain::Request};
+    options.requestOracle = [](const std::string &) {
+        return std::string(
+                "{\"status\":\"error\",\"failure\":{\"kind\":"
+                "\"unknown\",\"stage\":\"s\",\"candidate\":\"\","
+                "\"message\":\"m\"}}");
+    };
+    auto report = util::fuzz::runFuzz(options);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.violations.size(), 2u);
+}
+
+TEST(Fuzz, RequestOracleClassifiedErrorIsNotAViolation)
+{
+    FuzzOptions options;
+    options.iterations = 4;
+    options.seed = 13;
+    options.domains = {FuzzDomain::Request};
+    options.requestOracle = [](const std::string &) {
+        return std::string(
+                "{\"status\":\"error\",\"failure\":{\"kind\":"
+                "\"user-spec\",\"stage\":\"serve.request\","
+                "\"candidate\":\"\",\"message\":\"rejected\"}}");
+    };
+    auto report = util::fuzz::runFuzz(options);
+    EXPECT_TRUE(report.ok()) << report.toString();
+    EXPECT_EQ(report.outcomes[std::size_t(util::FailureKind::UserSpec)],
+              4u);
 }
 
 TEST(Fuzz, ReportToStringNamesEveryBucket)
