@@ -103,7 +103,9 @@ main(int argc, char **argv)
 
     try {
         stellar::serve::Server server(options);
-        std::fprintf(stderr, "stellar_serve: listening on %s\n",
+        // serve() binds (and may refuse a live socket path) below, so
+        // this is "starting", not "listening".
+        std::fprintf(stderr, "stellar_serve: starting on %s\n",
                      options.socketPath.c_str());
         int rc = server.serve();
         std::fprintf(stderr, "stellar_serve: drained\n");

@@ -102,12 +102,14 @@ serializeCalibration(const CalibrationRecord &record)
     std::ostringstream os;
     os << "{\n";
     os << "  \"version\": " << record.version << ",\n";
-    os << "  \"workload\": \"" << record.workload << "\",\n";
+    os << "  \"workload\": " << util::json::quote(record.workload)
+       << ",\n";
     os << "  \"metrics\": [";
     for (std::size_t i = 0; i < record.metrics.size(); i++) {
         const auto &metric = record.metrics[i];
         os << (i == 0 ? "\n" : ",\n");
-        os << "    { \"name\": \"" << metric.name << "\", \"value\": "
+        os << "    { \"name\": " << util::json::quote(metric.name)
+           << ", \"value\": "
            << jsonDouble(metric.value) << ", \"relTol\": "
            << jsonDouble(metric.relTol) << " }";
     }

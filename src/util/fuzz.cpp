@@ -473,7 +473,9 @@ randomServeRequestText(Rng &rng, bool allow_shutdown)
         if (rng.nextBool(0.5))
             text += numField("step_budget",
                              chooseInt({0, 200000},
-                                       {1, -7, 1000000000000000LL}));
+                                       {1, -7, 1000000000000000LL,
+                                        9223372036854775807LL,
+                                        -9223372036854775807LL - 1}));
         if (rng.nextBool(0.4))
             text += numField("time_budget_ms",
                              chooseInt({0, 1000}, {1, -3}));
@@ -526,6 +528,10 @@ randomServeRequestText(Rng &rng, bool allow_shutdown)
         static const char *kTokens[] = {
                 "nan", "1e999", "0x10", "\"", "{", "}", "[", "]", ":",
                 ",", "\\u0041", "999999999999999999999999",
+                // int64 boundary: INT64_MAX strtod-rounds to exactly
+                // 2^63, which the parser must reject, never convert.
+                "9223372036854775807", "9223372036854775808",
+                "-9223372036854775808", "-9223372036854775809",
         };
         std::size_t at = rng.nextBounded(text.size() + 1);
         return text.substr(0, at) + kTokens[rng.nextBounded(

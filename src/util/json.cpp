@@ -377,8 +377,14 @@ toInt64(const Value &value, const std::string &what)
             what + " must be a number (at byte " +
                     std::to_string(value.offset) + ")");
     double d = value.number;
-    constexpr double kMax = 9223372036854775807.0;
-    require(d == std::floor(d) && d >= -kMax && d <= kMax,
+    // 2^63 is exactly representable as a double; INT64_MAX is not, and
+    // inputs like "9223372036854775807" strtod-round up to exactly 2^63.
+    // The upper bound must therefore be exclusive on 2^63 itself, or the
+    // float-to-int conversion below is out of range (undefined behavior).
+    // -2^63 is exact and equals INT64_MIN, so the lower bound stays
+    // inclusive.
+    constexpr double kLimit = 9223372036854775808.0; // 2^63
+    require(d == std::floor(d) && d >= -kLimit && d < kLimit,
             what + " must be an integer (at byte " +
                     std::to_string(value.offset) + ")");
     return std::int64_t(d);

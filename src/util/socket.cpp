@@ -55,9 +55,25 @@ LocalSocket::listenOn(const std::string &path, int backlog)
     LocalSocket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!sock.valid())
         failErrno("socket(AF_UNIX)");
-    // A previous daemon's socket file would make bind fail with
-    // EADDRINUSE; we own the path, so a stale file is just removed.
-    ::unlink(path.c_str());
+    // A leftover socket file makes bind fail with EADDRINUSE, but
+    // unlinking blindly would silently hijack a live daemon's socket:
+    // clients would be routed to this process with no diagnostic.
+    // Probe first — connect() succeeds only if someone is listening;
+    // a dead daemon's stale file refuses the connection and is safe
+    // to remove.
+    {
+        LocalSocket probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (probe.valid() &&
+            ::connect(probe.fd_,
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            throw FatalError("socket path " + path +
+                             " already has a live listener; refusing "
+                             "to replace it (stop the other daemon or "
+                             "use a different --socket path)");
+    }
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+        failErrno("unlink(" + path + ")");
     if (::bind(sock.fd_, reinterpret_cast<const sockaddr *>(&addr),
                sizeof(addr)) != 0)
         failErrno("bind(" + path + ")");

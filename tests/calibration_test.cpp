@@ -713,6 +713,24 @@ TEST(CalibrationFormat, SerializeParseRoundTripIsExact)
     EXPECT_EQ(model::serializeCalibration(parsed), text);
 }
 
+TEST(CalibrationFormat, SerializeEscapesHostileNames)
+{
+    // Quotes, backslashes, and control characters in workload or
+    // metric names must serialize to valid JSON that parses back
+    // verbatim — raw embedding would produce malformed (or
+    // structure-injecting) text the parser then rejects.
+    model::CalibrationRecord record;
+    record.workload = "evil\"name\\with\njunk";
+    metric(record, "a\"b\\c\td", 1.0, 0.0);
+
+    auto text = model::serializeCalibration(record);
+    auto parsed = model::parseCalibration(text);
+    EXPECT_EQ(parsed.workload, record.workload);
+    ASSERT_EQ(parsed.metrics.size(), 1u);
+    EXPECT_EQ(parsed.metrics[0].name, record.metrics[0].name);
+    EXPECT_EQ(model::serializeCalibration(parsed), text);
+}
+
 TEST(CalibrationFormat, MalformedRecordsRaiseFatalErrors)
 {
     EXPECT_THROW(model::parseCalibration(""), FatalError);

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/json.hpp"
 #include "util/logging.hpp"
 
@@ -141,6 +143,26 @@ TEST(JsonTest, ToInt64GuardsIntegerFields)
     EXPECT_THROW(json::toInt64(json::parse("1.5"), "f"), FatalError);
     EXPECT_THROW(json::toInt64(json::parse("1e300"), "f"), FatalError);
     EXPECT_THROW(json::toInt64(json::parse("\"3\""), "f"), FatalError);
+    // int64 boundary: -2^63 is exactly representable and is INT64_MIN.
+    EXPECT_EQ(json::toInt64(json::parse("-9223372036854775808"), "f"),
+              std::numeric_limits<std::int64_t>::min());
+    // INT64_MAX is NOT exactly representable; it (and 2^63 itself)
+    // strtod-round to exactly 2^63, which must be rejected rather than
+    // converted — the conversion would be out of range (UB).
+    EXPECT_THROW(json::toInt64(json::parse("9223372036854775807"), "f"),
+                 FatalError);
+    EXPECT_THROW(json::toInt64(json::parse("9223372036854775808"), "f"),
+                 FatalError);
+    // -2^63 - 1 rounds back UP to -2^63 (double spacing is 1024 at
+    // this magnitude), so it converts to INT64_MIN; the next double
+    // below, -2^63 - 1024, must throw.
+    EXPECT_EQ(json::toInt64(json::parse("-9223372036854775809"), "f"),
+              std::numeric_limits<std::int64_t>::min());
+    EXPECT_THROW(json::toInt64(json::parse("-9223372036854777856"), "f"),
+                 FatalError);
+    // The largest double below 2^63 (2^63 - 1024) still converts.
+    EXPECT_EQ(json::toInt64(json::parse("9223372036854774784"), "f"),
+              9223372036854774784LL);
 }
 
 } // namespace

@@ -29,6 +29,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/fault_inject.hpp"
+#include "util/logging.hpp"
 #include "util/socket.hpp"
 
 namespace
@@ -235,6 +236,29 @@ TEST(ServeDifferential, OversizedRequestIsRejectedAtTheSocket)
     EXPECT_EQ(response.failure.kind, util::FailureKind::UserSpec);
     EXPECT_EQ(response.failure.stage, "serve.read");
     EXPECT_EQ(fixture.shutdown(), 0);
+}
+
+TEST(ServeDifferential, ListenRefusesToStealALiveDaemonsSocket)
+{
+    ServerFixture fixture(serve::ServeOptions{});
+    // A second daemon pointed at the same --socket must fail loudly,
+    // not silently unlink the live listener and hijack its clients.
+    EXPECT_THROW(util::LocalSocket::listenOn(fixture.path()),
+                 FatalError);
+    // The original daemon is untouched and still serves.
+    Response after = fixture.request("{\"command\":\"stats\"}");
+    EXPECT_EQ(after.status, Status::Ok);
+    EXPECT_EQ(fixture.shutdown(), 0);
+
+    // Once the listener is gone the socket file is stale: a fresh
+    // daemon may reclaim the path (the fixture already unlinked it,
+    // so recreate a stale file the way a crashed daemon would).
+    {
+        auto stale = util::LocalSocket::listenOn(fixture.path());
+    } // listener closed; file left behind
+    auto reclaimed = util::LocalSocket::listenOn(fixture.path());
+    EXPECT_TRUE(reclaimed.valid());
+    std::remove(fixture.path().c_str());
 }
 
 TEST(ServeDifferential, AdmissionShedsWithRetryHintUnderStall)
