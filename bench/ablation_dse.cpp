@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 
+#include "accel/analytic_cost.hpp"
 #include "accel/dse.hpp"
 #include "accel/report.hpp"
 #include "func/library.hpp"
@@ -64,7 +65,7 @@ report()
                 "speedup"}, 12);
     bench::rule(6, 12);
     double full_ms = 0.0;
-    for (int mode = 0; mode < 3; mode++) {
+    for (int mode = 0; mode < 4; mode++) {
         accel::DseOptions options;
         options.topK = 6;
         options.threads = 1;
@@ -72,6 +73,8 @@ report()
             options.maxPes = 256;
         if (mode == 2)
             options.analyticPrepass = 24;
+        if (mode == 3)
+            options.analyticTopK = 24;
         accel::DseStats stats;
         auto candidates = accel::exploreDataflows(
                 func::matmulSpec(), {12, 12, 12}, options, area_params,
@@ -79,15 +82,55 @@ report()
         benchmark::DoNotOptimize(candidates);
         if (mode == 0)
             full_ms = stats.evaluateMs;
-        const char *labels[] = {"full", "maxPes=256", "prepass=24"};
-        double total_ms = stats.prepassMs + stats.evaluateMs;
+        const char *labels[] = {"full", "maxPes=256", "prepass=24",
+                                "analytic-k=24"};
+        double total_ms =
+                stats.prepassMs + stats.analyticMs + stats.evaluateMs;
         bench::row({labels[mode], std::to_string(stats.evaluated),
                     std::to_string(stats.prunedEarly +
-                                   stats.prepassFiltered),
+                                   stats.prepassFiltered +
+                                   stats.analyticFiltered),
                     formatDouble(total_ms, 1),
                     formatDouble(stats.candidatesPerSecond(), 1),
                     formatDouble(full_ms / total_ms, 2) + "x"},
                    12);
+    }
+
+    // The analytic tier's headline act: a hop-3, coefficient-[-2,2]
+    // space (thousands of candidates) that single-phase elaboration
+    // makes painful. The closed-form tier scores all of it and only the
+    // top-K survivors are elaborated; the exact scores mean the final
+    // table equals what the full run would produce. All counters below
+    // are deterministic; wall-derived values appear only on " ms"
+    // lines.
+    std::printf("\nhop-3 sweep (matmul 8x8x8, coeff [-2,2], "
+                "analytic-top-k 12)\n");
+    {
+        accel::DseOptions options;
+        options.topK = 6;
+        options.enumerate.maxHopLength = 3;
+        options.enumerate.minCoeff = -2;
+        options.enumerate.maxCoeff = 2;
+        options.enumerate.limit = 30000;
+        options.analyticTopK = 12;
+        accel::DseStats stats;
+        auto candidates = accel::exploreDataflows(
+                func::matmulSpec(), {8, 8, 8}, options, area_params,
+                timing_params, &stats);
+        std::printf("%s", accel::dseStatsReport(stats).c_str());
+        bench::row({"PEs", "wires", "wirelen", "steps", "Fmax", "area",
+                    "score"}, 10);
+        bench::rule(7, 10);
+        for (const auto &candidate : candidates) {
+            bench::row({std::to_string(candidate.pes),
+                        std::to_string(candidate.wires),
+                        std::to_string(candidate.wireLength),
+                        std::to_string(candidate.scheduleLength),
+                        formatDouble(candidate.fmaxMhz, 0),
+                        formatDouble(candidate.areaUm2 / 1e3, 0) + "K",
+                        formatDouble(candidate.score * 1e9, 2)},
+                       10);
+        }
     }
 
     // Failure surfacing: a starved step budget fails every candidate,
@@ -153,6 +196,33 @@ BENCHMARK(BM_ExploreMatmulDataflows)
         ->Arg(2)
         ->Arg(4)
         ->Unit(benchmark::kMillisecond);
+
+// Steady-state throughput of the closed-form scorer alone: one cost
+// model, every hop-2 matmul transform scored per iteration. This is
+// the per-candidate cost the analytic tier pays instead of
+// core::generate.
+void
+BM_AnalyticScoreOnly(benchmark::State &state)
+{
+    auto spec = stellar::func::matmulSpec();
+    stellar::IntVec bounds{8, 8, 8};
+    stellar::model::AreaParams area_params;
+    stellar::model::TimingParams timing_params;
+    stellar::accel::AnalyticCostModel model(spec, bounds, {}, 8, 8,
+                                            area_params, timing_params);
+    auto transforms = stellar::dataflow::enumerateTransforms(
+            spec, stellar::dataflow::EnumerateOptions{});
+    std::int64_t scored = 0;
+    for (auto _ : state) {
+        for (const auto &transform : transforms) {
+            auto score = model.score(transform);
+            benchmark::DoNotOptimize(score);
+        }
+        scored += std::int64_t(transforms.size());
+    }
+    state.SetItemsProcessed(scored);
+}
+BENCHMARK(BM_AnalyticScoreOnly)->Unit(benchmark::kMillisecond);
 
 void
 BM_EnumerateOnly(benchmark::State &state)

@@ -8,6 +8,7 @@
  *
  * usage: dse_explorer [--threads N] [--topk K] [--step-budget B]
  *                     [--time-budget MS] [--max-pes P] [--prepass K]
+ *                     [--analytic-top-k K] [--max-hop H]
  *   --threads N      evaluation workers (0 = hardware concurrency);
  *                    rankings are identical for every thread count
  *   --step-budget B  per-candidate watchdog step budget (0 = unlimited);
@@ -22,6 +23,13 @@
  *   --prepass K      two-phase mode: analytically probe everything and
  *                    full-elaborate only the best K candidates
  *                    (0 = single phase)
+ *   --analytic-top-k K  three-tier mode: closed-form score every
+ *                    candidate (no elaboration), full-elaborate only
+ *                    the best K — the exact same final ranking at a
+ *                    fraction of the cost (0 = disabled)
+ *   --max-hop H      admit wires up to H PEs per hop (default 2); 3
+ *                    opens the hop-3 spaces the analytic tier makes
+ *                    affordable
  *   --retry-wall-clock  re-run a candidate whose wall-clock deadline
  *                    expired exactly once (transient slowness recovers;
  *                    deterministic step-budget timeouts never retry)
@@ -62,12 +70,20 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--prepass") == 0 && i + 1 < argc)
             options.analyticPrepass =
                     std::size_t(std::max(0, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--analytic-top-k") == 0 &&
+                 i + 1 < argc)
+            options.analyticTopK =
+                    std::size_t(std::max(0, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--max-hop") == 0 && i + 1 < argc)
+            options.enumerate.maxHopLength =
+                    std::max<std::int64_t>(1, std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--retry-wall-clock") == 0)
             options.retryWallClockTimeout = true;
         else {
             std::printf("usage: dse_explorer [--threads N] [--topk K] "
                         "[--step-budget B] [--time-budget MS] "
                         "[--max-pes P] [--prepass K] "
+                        "[--analytic-top-k K] [--max-hop H] "
                         "[--retry-wall-clock]\n");
             return 1;
         }

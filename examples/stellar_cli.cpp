@@ -12,6 +12,8 @@
  * generating a fixed design:
  *
  *   stellar_cli dse [--dim N] [--threads T] [--topk K] [--max-pes P]
+ *                   [--analytic-top-k K] [--max-hop H] [--max-coeff C]
+ *                   [--enum-limit N]
  *
  * The `sim` command sweeps a cycle-level simulator over its workload
  * suite through the parallel driver (results are byte-identical at any
@@ -73,6 +75,17 @@ usage()
             "evaluate only\n"
             "                    the best K candidates (0 = single "
             "phase)\n"
+            "  --analytic-top-k K  closed-form score every candidate, "
+            "elaborate only\n"
+            "                    the best K (exact ranking, millions of "
+            "candidates/s;\n"
+            "                    0 = score everything by elaboration)\n"
+            "  --max-hop H       admit wires up to H PEs per hop "
+            "(default 2)\n"
+            "  --max-coeff C     enumerate coefficients in [-C, C] "
+            "(default 1)\n"
+            "  --enum-limit N    cap enumerated candidates (default "
+            "4096)\n"
             "  --step-budget B   per-candidate watchdog step budget "
             "(0 = unlimited);\n"
             "                    over-budget candidates are recorded as "
@@ -178,6 +191,16 @@ main(int argc, char **argv)
         else if (arg == "--prepass")
             dse_request.prepass =
                     std::size_t(std::max(0, std::atoi(next())));
+        else if (arg == "--analytic-top-k")
+            dse_request.analyticTopK =
+                    std::size_t(std::max(0, std::atoi(next())));
+        else if (arg == "--max-hop")
+            dse_request.maxHop = std::max(1, std::atoi(next()));
+        else if (arg == "--max-coeff")
+            dse_request.maxCoeff = std::max(1, std::atoi(next()));
+        else if (arg == "--enum-limit")
+            dse_request.enumLimit =
+                    std::size_t(std::max(1, std::atoi(next())));
         else if (arg == "--step-budget") {
             std::int64_t steps =
                     std::max<std::int64_t>(0, std::atoll(next()));

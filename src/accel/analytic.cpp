@@ -1,6 +1,7 @@
 #include "accel/analytic.hpp"
 
 #include <cstdlib>
+#include <limits>
 #include <numeric>
 
 #include "util/logging.hpp"
@@ -9,54 +10,109 @@
 namespace stellar::accel
 {
 
-namespace
+namespace detail
 {
 
+std::int64_t
+satDeterminant(const IntMatrix &m, bool *saturated)
+{
+    int n = m.rows();
+    if (n == 0)
+        return 1;
+    if (n == 1)
+        return m.at(0, 0);
+    if (n == 2) {
+        return util::satAdd(
+                util::satMul(m.at(0, 0), m.at(1, 1), saturated),
+                -util::satMul(m.at(0, 1), m.at(1, 0), saturated),
+                saturated);
+    }
+    // General cofactor expansion along the first row. Matrices here are
+    // tiny (the spec's index count), so the recursion depth is shallow;
+    // only n >= 4 allocates, and only off the DSE hot path.
+    std::int64_t det = 0;
+    IntMatrix minor(n - 1, n - 1);
+    for (int skip = 0; skip < n; skip++) {
+        for (int r = 1; r < n; r++) {
+            int mc = 0;
+            for (int c = 0; c < n; c++) {
+                if (c == skip)
+                    continue;
+                minor.at(r - 1, mc++) = m.at(r, c);
+            }
+        }
+        std::int64_t term = util::satMul(
+                m.at(0, skip), satDeterminant(minor, saturated), saturated);
+        det = util::satAdd(det, (skip % 2 == 0) ? term : -term, saturated);
+    }
+    return det;
+}
+
 /**
- * Primitive generator of the integer kernel of the spatial submatrix.
- *
  * The spatial rows of an invertible (d x d) transform form a rank d-1
  * map, so its rational kernel is one-dimensional and its integer points
  * are the multiples of a single primitive vector v. Two iteration
  * points fold onto the same PE exactly when they differ by a multiple
- * of v, which reduces every distinct-image count below to box-overlap
+ * of v, which reduces every distinct-image count to box-overlap
  * arithmetic. v comes from the generalized cross product (signed
  * (d-1)-minors of the spatial rows), normalized by the gcd.
  */
-IntVec
-spatialKernel(const IntMatrix &m)
+bool
+spatialKernelInto(const IntMatrix &m, IntVec &out, bool *saturated)
 {
     int d = m.cols();
     int sd = m.rows() - 1;
-    IntVec v(std::size_t(d), 0);
+    out.assign(std::size_t(d), 0);
+    bool local_saturated = false;
     std::int64_t g = 0;
     for (int skip = 0; skip < d; skip++) {
-        IntMatrix minor(sd, sd);
-        for (int r = 0; r < sd; r++) {
-            int mc = 0;
-            for (int c = 0; c < d; c++) {
-                if (c == skip)
-                    continue;
-                minor.at(r, mc++) = m.at(r, c);
+        std::int64_t det = 0;
+        if (sd == 1) {
+            det = m.at(0, skip == 0 ? 1 : 0);
+        } else if (sd == 2) {
+            // The dominant DSE case (3-index specs): the 2x2 minor over
+            // the two columns != skip, computed without allocating.
+            int c0 = skip == 0 ? 1 : 0;
+            int c1 = skip == 2 ? 1 : 2;
+            det = util::satAdd(
+                    util::satMul(m.at(0, c0), m.at(1, c1), &local_saturated),
+                    -util::satMul(m.at(0, c1), m.at(1, c0),
+                                  &local_saturated),
+                    &local_saturated);
+        } else {
+            IntMatrix minor(sd, sd);
+            for (int r = 0; r < sd; r++) {
+                int mc = 0;
+                for (int c = 0; c < d; c++) {
+                    if (c == skip)
+                        continue;
+                    minor.at(r, mc++) = m.at(r, c);
+                }
             }
+            det = satDeterminant(minor, &local_saturated);
         }
-        std::int64_t det = minor.determinant();
-        v[std::size_t(skip)] = (skip % 2 == 0) ? det : -det;
+        out[std::size_t(skip)] = (skip % 2 == 0) ? det : -det;
         g = std::gcd(g, std::llabs(det));
     }
-    require(g > 0, "spatial submatrix of an invertible transform must "
-                   "have a one-dimensional kernel");
-    for (auto &component : v)
+    if (local_saturated && saturated != nullptr)
+        *saturated = true;
+    if (g <= 0) {
+        // An invertible transform always has a rank d-1 spatial map, so
+        // an all-zero minor vector can only be a saturation artifact
+        // (clamped terms cancelling). Fall back to a deterministic unit
+        // kernel so callers get *a* count — flagged as saturated, it
+        // ranks after every honestly-counted candidate anyway.
+        if (saturated != nullptr)
+            *saturated = true;
+        out.assign(std::size_t(d), 0);
+        out[std::size_t(d - 1)] = 1;
+        return false;
+    }
+    for (auto &component : out)
         component /= g;
-    return v;
+    return true;
 }
 
-/**
- * Distinct spatial images of an axis-aligned box with the given
- * per-axis spans: |box| minus the overlap of the box with its translate
- * by the kernel vector (every point whose predecessor along the kernel
- * line is also inside the box is a duplicate image).
- */
 std::int64_t
 distinctImages(const IntVec &spans, const IntVec &kernel, bool *saturated)
 {
@@ -75,7 +131,7 @@ distinctImages(const IntVec &spans, const IntVec &kernel, bool *saturated)
     return total - overlap;
 }
 
-} // namespace
+} // namespace detail
 
 std::int64_t
 AnalyticProbe::totalWires() const
@@ -104,8 +160,10 @@ analyticPeCount(const dataflow::SpaceTimeTransform &transform,
     if (transform.spaceDims() == 0)
         return 1; // every point folds onto the single PE
     bool saturated = false;
-    IntVec kernel = spatialKernel(transform.matrix());
-    return distinctImages(bounds, kernel, &saturated);
+    IntVec kernel;
+    if (!detail::spatialKernelInto(transform.matrix(), kernel, &saturated))
+        return std::numeric_limits<std::int64_t>::max();
+    return detail::distinctImages(bounds, kernel, &saturated);
 }
 
 AnalyticProbe
@@ -152,8 +210,9 @@ analyticProbe(const dataflow::SpaceTimeTransform &transform,
         return probe; // no spatial axes: one PE, no wires
     }
 
-    IntVec kernel = spatialKernel(m);
-    probe.pes = distinctImages(bounds, kernel, &probe.saturated);
+    IntVec kernel;
+    detail::spatialKernelInto(m, kernel, &probe.saturated);
+    probe.pes = detail::distinctImages(bounds, kernel, &probe.saturated);
 
     // Dense wire-instance counts: a wire instance exists for every
     // distinct spatial image of a source point, and the sources of a
@@ -173,7 +232,8 @@ analyticProbe(const dataflow::SpaceTimeTransform &transform,
         wire.spaceDelta = delta.space;
         wire.registers = delta.time;
         wire.wireLength = vecL1(delta.space);
-        wire.instances = distinctImages(spans, kernel, &probe.saturated);
+        wire.instances =
+                detail::distinctImages(spans, kernel, &probe.saturated);
         probe.wires.push_back(std::move(wire));
     }
     return probe;

@@ -75,6 +75,38 @@ AnalyticProbe analyticProbe(const dataflow::SpaceTimeTransform &transform,
                             const IntVec &bounds,
                             const core::IterationSpace &space);
 
+namespace detail
+{
+
+/**
+ * Cofactor determinant with saturating arithmetic. Exact whenever no
+ * intermediate product or sum leaves the int64 range; otherwise clamped
+ * with `*saturated` set, which callers must treat as "astronomically
+ * large design", never as a usable magnitude.
+ */
+std::int64_t satDeterminant(const IntMatrix &m, bool *saturated);
+
+/**
+ * Primitive generator of the integer kernel of the spatial rows of an
+ * invertible transform matrix, written into `out` (resized to m.cols())
+ * without allocating on the hot path for the common sd <= 2 case.
+ * Returns false when saturation collapsed the minors so no generator
+ * could be derived — `out` is then the time-axis unit vector and
+ * `*saturated` is set; every count derived from it is a clamp artifact.
+ */
+bool spatialKernelInto(const IntMatrix &m, IntVec &out, bool *saturated);
+
+/**
+ * Distinct spatial images of an axis-aligned box with the given
+ * per-axis spans: |box| minus the overlap of the box with its translate
+ * by the kernel vector (every point whose predecessor along the kernel
+ * line is also inside the box is a duplicate image).
+ */
+std::int64_t distinctImages(const IntVec &spans, const IntVec &kernel,
+                            bool *saturated);
+
+} // namespace detail
+
 } // namespace stellar::accel
 
 #endif // STELLAR_ACCEL_ANALYTIC_HPP

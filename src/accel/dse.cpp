@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "accel/analytic.hpp"
+#include "accel/analytic_cost.hpp"
 #include "core/prune.hpp"
 #include "model/area.hpp"
 #include "model/timing.hpp"
@@ -132,6 +133,51 @@ DseStats::candidatesPerSecond() const
     return double(evaluated) / (evaluateMs / 1e3);
 }
 
+double
+DseStats::analyticCandidatesPerSecond() const
+{
+    if (analyticMs <= 0.0)
+        return 0.0;
+    return double(analyticRanked) / (analyticMs / 1e3);
+}
+
+std::vector<std::size_t>
+analyticPrepassSurvivors(
+        const std::vector<dataflow::SpaceTimeTransform> &transforms,
+        const std::vector<std::size_t> &worklist, const IntVec &bounds,
+        const core::IterationSpace &probe_space, std::size_t keep)
+{
+    struct Proxy
+    {
+        bool saturated;
+        double proxy;
+        std::size_t index;
+    };
+    std::vector<Proxy> proxies;
+    proxies.reserve(worklist.size());
+    for (std::size_t index : worklist) {
+        auto probe = analyticProbe(transforms[index], bounds, probe_space);
+        double proxy = double(probe.scheduleLength) * double(probe.pes);
+        proxies.push_back({probe.saturated, proxy, index});
+    }
+    std::sort(proxies.begin(), proxies.end(),
+              [](const Proxy &a, const Proxy &b) {
+                  if (a.saturated != b.saturated)
+                      return !a.saturated; // clamped counts rank last
+                  if (a.proxy != b.proxy)
+                      return a.proxy < b.proxy;
+                  return a.index < b.index;
+              });
+    if (proxies.size() > keep)
+        proxies.resize(keep);
+    std::vector<std::size_t> survivors;
+    survivors.reserve(proxies.size());
+    for (const auto &proxy : proxies)
+        survivors.push_back(proxy.index);
+    std::sort(survivors.begin(), survivors.end());
+    return survivors;
+}
+
 std::vector<DseCandidate>
 exploreDataflows(const func::FunctionalSpec &functional,
                  const IntVec &bounds, const DseOptions &options,
@@ -176,29 +222,66 @@ exploreDataflows(const func::FunctionalSpec &functional,
         core::IterationSpace probe_space =
                 core::elaborate(functional, bounds);
         core::applySparsity(probe_space, options.sparsity);
-        std::vector<std::pair<double, std::size_t>> proxies;
-        proxies.reserve(worklist.size());
-        for (std::size_t index : worklist) {
-            auto probe = analyticProbe(transforms[index], bounds,
-                                       probe_space);
-            double proxy = double(probe.scheduleLength) *
-                           double(probe.pes);
-            proxies.emplace_back(proxy, index);
-        }
-        std::sort(proxies.begin(), proxies.end(),
-                  [](const auto &a, const auto &b) {
-                      if (a.first != b.first)
-                          return a.first < b.first;
-                      return a.second < b.second;
-                  });
-        local.prepassFiltered =
-                worklist.size() - options.analyticPrepass;
-        proxies.resize(options.analyticPrepass);
-        worklist.clear();
-        for (const auto &[proxy, index] : proxies)
-            worklist.push_back(index);
-        std::sort(worklist.begin(), worklist.end());
+        local.prepassFiltered = worklist.size() - options.analyticPrepass;
+        worklist = analyticPrepassSurvivors(transforms, worklist, bounds,
+                                            probe_space,
+                                            options.analyticPrepass);
         local.prepassMs = msSince(prepass_start);
+    }
+
+    // Analytic top-K tier: score every surviving candidate with the
+    // closed-form cost model (no elaboration) and keep only the best
+    // analyticTopK for the exact evaluation below. The tier is scored
+    // serially in enumeration order and its heap is keyed (saturated,
+    // analytic score, enumIndex), so the survivor set — and therefore
+    // the final ranking — is byte-identical at any thread or
+    // enumeration-shard count; survivors are re-sorted back into
+    // enumeration order so the evaluate phase behaves exactly as in a
+    // single-phase run. With an empty balancing spec the analytic score
+    // equals the elaborated score bit-for-bit, making this filter
+    // lossless for the final top-K (see analytic_cost.hpp).
+    if (options.analyticTopK > 0 && worklist.size() > options.analyticTopK) {
+        auto analytic_start = Clock::now();
+        AnalyticCostModel cost_model(functional, bounds, options.sparsity,
+                                     options.dataWidth, options.macBits,
+                                     area_params, timing_params);
+        struct Ranked
+        {
+            bool saturated;
+            double score;
+            std::size_t index;
+        };
+        auto better = [](const Ranked &a, const Ranked &b) {
+            if (a.saturated != b.saturated)
+                return !a.saturated; // clamped scores rank last
+            if (a.score != b.score)
+                return a.score < b.score;
+            return a.index < b.index;
+        };
+        // Bounded heap of the best K seen so far. With the "better"
+        // ordering as the heap comparator, the front is the *worst*
+        // kept candidate — the eviction point.
+        std::vector<Ranked> heap;
+        heap.reserve(options.analyticTopK);
+        for (std::size_t index : worklist) {
+            auto analytic = cost_model.score(transforms[index]);
+            Ranked ranked{analytic.saturated, analytic.score, index};
+            if (heap.size() < options.analyticTopK) {
+                heap.push_back(ranked);
+                std::push_heap(heap.begin(), heap.end(), better);
+            } else if (better(ranked, heap.front())) {
+                std::pop_heap(heap.begin(), heap.end(), better);
+                heap.back() = ranked;
+                std::push_heap(heap.begin(), heap.end(), better);
+            }
+        }
+        local.analyticRanked = worklist.size();
+        local.analyticFiltered = worklist.size() - heap.size();
+        worklist.clear();
+        for (const auto &ranked : heap)
+            worklist.push_back(ranked.index);
+        std::sort(worklist.begin(), worklist.end());
+        local.analyticMs = msSince(analytic_start);
     }
 
     auto evaluate_start = Clock::now();

@@ -148,6 +148,25 @@ struct DseOptions
      */
     std::size_t analyticPrepass = 0;
 
+    /**
+     * Three-tier exploration: when nonzero, every candidate surviving
+     * the prunes above is scored by the closed-form AnalyticCostModel
+     * (no elaboration — millions of candidates per second), a
+     * deterministic top-K heap ordered by (saturated, analytic score,
+     * enumIndex) keeps the best `analyticTopK`, and only those
+     * survivors are fully elaborated and exactly re-scored. The rest
+     * are counted in DseStats::analyticFiltered.
+     *
+     * With an empty balancing spec the analytic score is bit-identical
+     * to the elaborated one, so the final ranking equals a full run's
+     * top-K exactly (the differential tests pin this). With balancing,
+     * the analytic score ignores the balance pruning and the tier is a
+     * heuristic filter — set this comfortably above topK. The tier is
+     * scored serially, so rankings stay byte-identical at any thread
+     * or enumeration-shard count. 0 disables the tier.
+     */
+    std::size_t analyticTopK = 0;
+
     /** Optional sparsity/balancing applied to every candidate, so the
      *  search sees the interactions between dataflow and the other
      *  concerns (pruned conns change both wiring and regfile cost). */
@@ -226,6 +245,11 @@ struct DseStats
 
     /** Candidates dropped by the analyticPrepass proxy ranking. */
     std::size_t prepassFiltered = 0;
+
+    /** Candidates scored by the analytic tier (DseOptions::analyticTopK). */
+    std::size_t analyticRanked = 0;
+    /** Candidates the analytic tier dropped (never elaborated). */
+    std::size_t analyticFiltered = 0;
     std::size_t threadsUsed = 1;
 
     /** Wall-clock-timeout candidates re-run once (retryWallClockTimeout). */
@@ -242,11 +266,15 @@ struct DseStats
 
     double enumerateMs = 0.0; //!< wall time enumerating transforms
     double prepassMs = 0.0;   //!< wall time in the analytic prepass
+    double analyticMs = 0.0;  //!< wall time in the analytic top-K tier
     double evaluateMs = 0.0;  //!< wall time elaborating + scoring
     double rankMs = 0.0;      //!< wall time in the top-K reduction
 
     /** Evaluation throughput over the evaluate phase. */
     double candidatesPerSecond() const;
+
+    /** Closed-form scoring throughput over the analytic tier. */
+    double analyticCandidatesPerSecond() const;
 };
 
 /**
@@ -255,7 +283,8 @@ struct DseStats
  * broken by enumeration index, so the ranking is deterministic across
  * runs and thread counts. When `stats` is non-null it receives the
  * counters for this call; `evaluated + prunedEarly + prepassFiltered +
- * failed == enumerated` always holds, and with the default isolateFailures a
+ * analyticFiltered + failed == enumerated` always holds, and with the
+ * default isolateFailures a
  * throwing candidate becomes a recorded CandidateFailure rather than
  * an exception out of this call.
  */
@@ -264,6 +293,25 @@ std::vector<DseCandidate> exploreDataflows(
         const DseOptions &options, const model::AreaParams &area_params,
         const model::TimingParams &timing_params,
         DseStats *stats = nullptr);
+
+/**
+ * The analyticPrepass proxy ranking used by exploreDataflows: probe
+ * every worklist candidate in closed form against `probe_space`, rank
+ * by (saturated, scheduleLength x PEs proxy, enumeration index), and
+ * return the best `keep` indices re-sorted into enumeration order.
+ *
+ * Saturated probes always rank after every unsaturated one. The flag —
+ * not the clamped magnitude — must be the primary key: a clamp rounds
+ * to double(INT64_MAX), which can compare *equal* to a legitimately
+ * huge unsaturated design's proxy, and a tie decided by enumeration
+ * index could then keep the saturated candidate. Exposed so the
+ * regression test can pin this with 2^62-coefficient transforms that
+ * enumeration never produces.
+ */
+std::vector<std::size_t> analyticPrepassSurvivors(
+        const std::vector<dataflow::SpaceTimeTransform> &transforms,
+        const std::vector<std::size_t> &worklist, const IntVec &bounds,
+        const core::IterationSpace &probe_space, std::size_t keep);
 
 } // namespace stellar::accel
 

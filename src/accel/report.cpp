@@ -111,6 +111,8 @@ dseStatsReport(const DseStats &stats, bool include_timings)
        << stats.prunedEarly << " pruned early, ";
     if (stats.prepassFiltered > 0)
         os << stats.prepassFiltered << " prepass-filtered, ";
+    if (stats.analyticFiltered > 0)
+        os << stats.analyticFiltered << " analytic-filtered, ";
     os << stats.evaluated << " evaluated, " << stats.failed
        << " failed) on " << stats.threadsUsed
        << (stats.threadsUsed == 1 ? " thread" : " threads") << "\n";
@@ -120,6 +122,11 @@ dseStatsReport(const DseStats &stats, bool include_timings)
         if (stats.prepassFiltered > 0 || stats.prepassMs > 0.0)
             os << "prepass " << formatDouble(stats.prepassMs, 2)
                << " ms, ";
+        if (stats.analyticRanked > 0)
+            os << "analytic " << formatDouble(stats.analyticMs, 2)
+               << " ms ("
+               << formatDouble(stats.analyticCandidatesPerSecond(), 1)
+               << " analytic candidates/s), ";
         os << "evaluate " << formatDouble(stats.evaluateMs, 1)
            << " ms, rank " << formatDouble(stats.rankMs, 2) << " ms ("
            << formatDouble(stats.candidatesPerSecond(), 1)

@@ -121,6 +121,11 @@ dseOptionsFor(const DseRequest &request, accel::DesignPointMemo *memo)
     options.topK = request.topK;
     options.maxPes = request.maxPes;
     options.analyticPrepass = request.prepass;
+    options.analyticTopK = request.analyticTopK;
+    options.enumerate.maxHopLength = request.maxHop;
+    options.enumerate.minCoeff = -request.maxCoeff;
+    options.enumerate.maxCoeff = request.maxCoeff;
+    options.enumerate.limit = request.enumLimit;
     options.stepBudget = request.stepBudget;
     options.timeBudgetMillis = request.timeBudgetMillis;
     options.retryWallClockTimeout = request.retryWallClock;

@@ -126,6 +126,28 @@ parseRequest(const std::string &text, const RequestLimits &limits)
                         intField(field, key, 0, kMaxBudget));
                 continue;
             }
+            if (key == "analytic_top_k") {
+                request.dse.analyticTopK = std::size_t(intField(
+                        field, key, 0,
+                        std::int64_t(limits.maxAnalyticTopK)));
+                continue;
+            }
+            if (key == "max_hop") {
+                request.dse.maxHop = int(intField(
+                        field, key, 1, std::int64_t(limits.maxHop)));
+                continue;
+            }
+            if (key == "max_coeff") {
+                request.dse.maxCoeff = int(intField(
+                        field, key, 1, std::int64_t(limits.maxCoeff)));
+                continue;
+            }
+            if (key == "enum_limit") {
+                request.dse.enumLimit = std::size_t(intField(
+                        field, key, 1,
+                        std::int64_t(limits.maxEnumerated)));
+                continue;
+            }
             if (key == "step_budget") {
                 request.dse.stepBudget =
                         intField(field, key, 0, kMaxBudget);

@@ -19,7 +19,8 @@
  *   {"command":"sim","workload":"scnn","threads":2,
  *    "step_budget":0,"time_budget_ms":0}
  *   {"command":"dse","dim":8,"threads":2,"topk":10,"max_pes":0,
- *    "prepass":0,"step_budget":0,"time_budget_ms":0,
+ *    "prepass":0,"analytic_top_k":0,"max_hop":2,"max_coeff":1,
+ *    "enum_limit":4096,"step_budget":0,"time_budget_ms":0,
  *    "retry_wall_clock":false,"fail_fast":false,"timings":false}
  *   {"command":"stats"}
  *   {"command":"shutdown"}
@@ -68,6 +69,16 @@ struct DseRequest
     std::size_t topK = 10;
     std::int64_t maxPes = 0;
     std::size_t prepass = 0;
+
+    /** DseOptions::analyticTopK: closed-form tier, 0 = disabled. */
+    std::size_t analyticTopK = 0;
+
+    /** Enumeration controls (EnumerateOptions defaults): hop budget,
+     *  symmetric coefficient range, and the candidate cap. These are
+     *  what open the hop-3 spaces the analytic tier exists for. */
+    int maxHop = 2;
+    int maxCoeff = 1;
+    std::size_t enumLimit = 4096;
     std::int64_t stepBudget = 0;
     std::int64_t timeBudgetMillis = 0;
     bool retryWallClock = false;
@@ -99,6 +110,17 @@ struct RequestLimits
     int maxDim = 64;
     std::size_t maxThreads = 64;
     std::size_t maxTopK = 4096;
+
+    /** Analytic-tier survivor cap: the tier itself is cheap, but every
+     *  survivor is a full elaboration, so this bounds admitted work the
+     *  same way maxTopK does. */
+    std::size_t maxAnalyticTopK = 1 << 16;
+
+    /** Enumeration caps: hop budget, coefficient magnitude, and the
+     *  enumerated-candidate ceiling a request may ask for. */
+    int maxHop = 6;
+    int maxCoeff = 4;
+    std::size_t maxEnumerated = 1 << 20;
 };
 
 /** Parse + validate one request. FatalError on any violation. */

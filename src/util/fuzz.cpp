@@ -8,8 +8,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "accel/analytic.hpp"
 #include "accel/pipeline.hpp"
 #include "core/accelerator.hpp"
+#include "core/spatial_array.hpp"
 #include "dataflow/transform.hpp"
 #include "func/library.hpp"
 #include "model/area.hpp"
@@ -186,6 +188,48 @@ evaluateTransformInput(Rng &rng, const FuzzOptions &options,
     if (!recovered.has_value() || *recovered != point)
         throw std::logic_error("fuzz property violated: T^-1(T(x)) != x "
                                "for " + vecToString(point));
+
+    // Analytic-tier oracle: for a square transform whose rank matches
+    // one of the library specs, the closed-form probe must agree with
+    // the elaborated array *exactly* — equal PE count and schedule
+    // length — or flag itself `saturated`. Any silent disagreement is
+    // the bug class the DSE's analytic tier cannot tolerate (a wrong
+    // closed form would rank the space against phantom designs), so it
+    // surfaces as an unclassified violation with a repro.
+    int d = transform.dims();
+    if (d >= 1 && d <= 4) {
+        auto library = [d]() -> std::pair<func::FunctionalSpec,
+                                          const char *> {
+            switch (d) {
+              case 1: return {func::mergeSpec(), "merge"};
+              case 2: return {func::matAddSpec(), "matadd"};
+              case 3: return {func::matmulSpec(), "matmul"};
+              default: return {func::convSpec(2, 2), "conv"};
+            }
+        };
+        auto [functional, label] = library();
+        IntVec bounds(std::size_t(d), 0);
+        for (auto &bound : bounds)
+            bound = rng.nextRange(2, 5);
+        input += "oracle " + std::string(label) + " bounds " +
+                 vecToString(bounds) + "\n";
+        core::IterationSpace space = core::elaborate(functional, bounds);
+        auto probe = accel::analyticProbe(transform, bounds, space);
+        if (!probe.saturated) {
+            core::SpatialArray array = core::applyTransform(space,
+                                                            transform);
+            if (array.numPes() != probe.pes ||
+                array.scheduleLength() != probe.scheduleLength) {
+                throw std::logic_error(
+                        "fuzz property violated: analytic probe "
+                        "disagrees with elaboration (pes " +
+                        std::to_string(probe.pes) + " vs " +
+                        std::to_string(array.numPes()) + ", steps " +
+                        std::to_string(probe.scheduleLength) + " vs " +
+                        std::to_string(array.scheduleLength()) + ")");
+            }
+        }
+    }
     return {};
 }
 

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Contract tests for the elaboration-free analytic scoring tier.
+ *
+ * The tier's whole value rests on two properties, and both are pinned
+ * here: (1) exactness — with an empty balancing spec the closed-form
+ * AnalyticCostModel score is BIT-identical to the elaborated score for
+ * every enumerated candidate, so the analytic-first top-K reproduces
+ * the full exploration's top-K (and in particular always contains the
+ * full-elaboration winner); (2) determinism — analytic-tier rankings
+ * are byte-identical at any evaluation thread count and any
+ * enumeration shard count, and saturated (clamped) analytic results
+ * always rank after every honestly-counted candidate, including in the
+ * older analyticPrepass proxy ordering (the 2^62-coefficient
+ * regression).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "accel/analytic.hpp"
+#include "accel/analytic_cost.hpp"
+#include "accel/dse.hpp"
+#include "core/iteration_space.hpp"
+#include "core/prune.hpp"
+#include "dataflow/enumerate.hpp"
+#include "func/library.hpp"
+#include "sparsity/skip.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+struct Scenario
+{
+    func::FunctionalSpec spec;
+    IntVec bounds;
+    sparsity::SparsitySpec sparsity;
+};
+
+/** Seeded spec + bounds (+ occasional sparsity) combinations. */
+std::vector<Scenario>
+scenarios(int seeds)
+{
+    std::vector<Scenario> result;
+    for (int seed = 0; seed < seeds; seed++) {
+        std::mt19937 rng(std::uint32_t(seed) * 9973u + 7u);
+        auto spec = seed % 3 == 0   ? func::matmulSpec()
+                    : seed % 3 == 1 ? func::matAddSpec()
+                                    : func::mergeSpec();
+        Scenario s{std::move(spec), {}, {}};
+        std::uniform_int_distribution<std::int64_t> bound(2, 5);
+        for (int i = 0; i < s.spec.numIndices(); i++)
+            s.bounds.push_back(bound(rng));
+        if (seed % 3 == 0 && seed % 2 == 1) {
+            // CSR B on matmul: pruned conns change both the wire set
+            // and the regfile floor, so the model must track them.
+            s.sparsity.add(sparsity::skipWhenZero(
+                    1, s.spec.tensorIdByName("B"),
+                    {func::makeIndexExpr(2), func::makeIndexExpr(1)}));
+        }
+        result.push_back(std::move(s));
+    }
+    return result;
+}
+
+accel::DseOptions
+baseOptions(const Scenario &scenario)
+{
+    accel::DseOptions options;
+    options.threads = 1;
+    options.enumerate.threads = 1;
+    options.enumerate.limit = 512;
+    options.sparsity = scenario.sparsity;
+    return options;
+}
+
+void
+expectSameCandidates(const std::vector<accel::DseCandidate> &a,
+                     const std::vector<accel::DseCandidate> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].enumIndex, b[i].enumIndex) << "rank " << i;
+        EXPECT_EQ(a[i].transform.matrix(), b[i].transform.matrix())
+                << "rank " << i;
+        EXPECT_EQ(a[i].pes, b[i].pes) << "rank " << i;
+        EXPECT_EQ(a[i].wires, b[i].wires) << "rank " << i;
+        EXPECT_EQ(a[i].wireLength, b[i].wireLength) << "rank " << i;
+        EXPECT_EQ(a[i].scheduleLength, b[i].scheduleLength) << "rank " << i;
+        EXPECT_EQ(a[i].fmaxMhz, b[i].fmaxMhz) << "rank " << i;
+        EXPECT_EQ(a[i].areaUm2, b[i].areaUm2) << "rank " << i;
+        EXPECT_EQ(a[i].score, b[i].score) << "rank " << i;
+    }
+}
+
+TEST(AnalyticCost, ScoreIsBitIdenticalToElaboratedScore)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    for (const auto &scenario : scenarios(12)) {
+        auto options = baseOptions(scenario);
+        options.topK = std::size_t(-1) / 2; // keep every candidate
+        accel::DseStats stats;
+        auto full = accel::exploreDataflows(scenario.spec, scenario.bounds,
+                                            options, area_params,
+                                            timing_params, &stats);
+        ASSERT_GT(full.size(), 0u);
+        EXPECT_EQ(stats.failed, 0u);
+
+        accel::AnalyticCostModel model(scenario.spec, scenario.bounds,
+                                       scenario.sparsity,
+                                       options.dataWidth, options.macBits,
+                                       area_params, timing_params);
+        auto transforms = dataflow::enumerateTransforms(scenario.spec,
+                                                        options.enumerate);
+        for (const auto &candidate : full) {
+            auto analytic =
+                    model.score(transforms[candidate.enumIndex]);
+            EXPECT_FALSE(analytic.saturated);
+            EXPECT_EQ(analytic.pes, candidate.pes);
+            EXPECT_EQ(analytic.wires, candidate.wires);
+            EXPECT_EQ(analytic.wireLength, candidate.wireLength);
+            EXPECT_EQ(analytic.scheduleLength, candidate.scheduleLength);
+            EXPECT_EQ(analytic.fmaxMhz, candidate.fmaxMhz);
+            EXPECT_EQ(analytic.areaUm2, candidate.areaUm2);
+            EXPECT_EQ(analytic.score, candidate.score);
+        }
+    }
+}
+
+TEST(AnalyticTier, TopKEqualsFullExplorationTopK)
+{
+    constexpr std::size_t kKeep = 16;
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    for (const auto &scenario : scenarios(12)) {
+        auto options = baseOptions(scenario);
+        options.topK = kKeep;
+        accel::DseStats full_stats;
+        auto full = accel::exploreDataflows(scenario.spec, scenario.bounds,
+                                            options, area_params,
+                                            timing_params, &full_stats);
+        ASSERT_GT(full.size(), 0u);
+
+        options.analyticTopK = kKeep;
+        accel::DseStats tier_stats;
+        auto tiered = accel::exploreDataflows(
+                scenario.spec, scenario.bounds, options, area_params,
+                timing_params, &tier_stats);
+
+        // Exact analytic scores make the filter lossless: the tiered
+        // ranking IS the full ranking, so in particular the top-K
+        // contains the full-elaboration winner.
+        expectSameCandidates(full, tiered);
+        ASSERT_GT(tiered.size(), 0u);
+        EXPECT_EQ(tiered.front().enumIndex, full.front().enumIndex);
+        EXPECT_EQ(tiered.front().score, full.front().score);
+
+        // Counter invariant with the analytic tier active.
+        EXPECT_EQ(tier_stats.evaluated + tier_stats.prunedEarly +
+                          tier_stats.prepassFiltered +
+                          tier_stats.analyticFiltered + tier_stats.failed,
+                  tier_stats.enumerated);
+        if (full_stats.enumerated > kKeep) {
+            EXPECT_EQ(tier_stats.analyticRanked, tier_stats.enumerated);
+            EXPECT_EQ(tier_stats.analyticFiltered,
+                      tier_stats.enumerated - kKeep);
+            EXPECT_EQ(tier_stats.evaluated + tier_stats.failed, kKeep);
+        } else {
+            EXPECT_EQ(tier_stats.analyticRanked, 0u);
+            EXPECT_EQ(tier_stats.analyticFiltered, 0u);
+        }
+    }
+}
+
+TEST(AnalyticTier, RankingsAreByteIdenticalAcrossThreadsAndShards)
+{
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    auto spec = func::matmulSpec();
+    IntVec bounds{6, 6, 6};
+
+    std::vector<accel::DseCandidate> baseline;
+    accel::DseStats baseline_stats;
+    for (std::size_t eval_threads : {1u, 2u, 4u}) {
+        for (std::size_t enum_threads : {1u, 2u, 4u}) {
+            accel::DseOptions options;
+            options.threads = eval_threads;
+            options.enumerate.threads = enum_threads;
+            options.analyticTopK = 16;
+            options.topK = 16;
+            accel::DseStats stats;
+            auto candidates = accel::exploreDataflows(
+                    spec, bounds, options, area_params, timing_params,
+                    &stats);
+            if (baseline.empty()) {
+                baseline = candidates;
+                baseline_stats = stats;
+                ASSERT_EQ(candidates.size(), 16u);
+                continue;
+            }
+            expectSameCandidates(baseline, candidates);
+            EXPECT_EQ(stats.enumerated, baseline_stats.enumerated);
+            EXPECT_EQ(stats.analyticRanked, baseline_stats.analyticRanked);
+            EXPECT_EQ(stats.analyticFiltered,
+                      baseline_stats.analyticFiltered);
+            EXPECT_EQ(stats.evaluated, baseline_stats.evaluated);
+            EXPECT_EQ(stats.failed, baseline_stats.failed);
+        }
+    }
+}
+
+TEST(AnalyticCost, ExtremeCoefficientsSaturateInsteadOfLying)
+{
+    auto spec = func::matmulSpec();
+    IntVec bounds{4, 4, 4};
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    accel::AnalyticCostModel model(spec, bounds, {}, 8, 8, area_params,
+                                   timing_params);
+
+    const std::int64_t huge = std::int64_t(1) << 62;
+    dataflow::SpaceTimeTransform saturated_transform(
+            IntMatrix{{1, 0, 0}, {0, 1, 0}, {huge, 0, 1}}, "saturated");
+    auto clamped = model.score(saturated_transform);
+    EXPECT_TRUE(clamped.saturated);
+
+    dataflow::SpaceTimeTransform benign(
+            IntMatrix{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}, "benign");
+    auto exact = model.score(benign);
+    EXPECT_FALSE(exact.saturated);
+    EXPECT_EQ(exact.pes, 16);
+    EXPECT_EQ(exact.scheduleLength, 4);
+}
+
+// The 2^62-coefficient regression: a saturated probe's proxy is
+// double(INT64_MAX) x PEs = 2^63 x PEs, and a legitimate design whose
+// schedule length rounds to 2^63 in double produces the *equal* proxy.
+// The old (proxy, index) ordering then kept whichever enumerated first
+// — possibly the saturated one. The (saturated, proxy, index) ordering
+// must keep the honest design regardless of index order.
+TEST(AnalyticPrepass, SaturatedProxiesRankAfterUnsaturatedOnes)
+{
+    auto spec = func::matmulSpec();
+    IntVec bounds{4, 4, 4};
+    core::IterationSpace probe_space = core::elaborate(spec, bounds);
+
+    const std::int64_t huge = std::int64_t(1) << 62;
+    // Time-row reach 3 x 2^62 overflows: scheduleLength clamps to
+    // INT64_MAX with the saturated flag set. PEs = 16.
+    dataflow::SpaceTimeTransform saturated_transform(
+            IntMatrix{{1, 0, 0}, {0, 1, 0}, {huge, 0, 1}}, "saturated");
+    // Largest representable unsaturated schedule: 3c + 4 = INT64_MAX
+    // exactly, which rounds to the same double(2^63). PEs = 16, so the
+    // proxies compare equal and only the flag separates them.
+    const std::int64_t c =
+            (std::numeric_limits<std::int64_t>::max() - 4) / 3;
+    ASSERT_EQ(3 * c + 4, std::numeric_limits<std::int64_t>::max());
+    dataflow::SpaceTimeTransform honest(
+            IntMatrix{{1, 0, 0}, {0, 1, 0}, {c, 0, 1}}, "honest");
+
+    {
+        auto clamped = accel::analyticProbe(saturated_transform, bounds,
+                                            probe_space);
+        auto exact = accel::analyticProbe(honest, bounds, probe_space);
+        ASSERT_TRUE(clamped.saturated);
+        ASSERT_FALSE(exact.saturated);
+        // The trap that motivates the flag-first ordering: the proxies
+        // really do compare equal in double.
+        ASSERT_EQ(double(clamped.scheduleLength) * double(clamped.pes),
+                  double(exact.scheduleLength) * double(exact.pes));
+    }
+
+    std::vector<dataflow::SpaceTimeTransform> transforms{
+            saturated_transform, honest};
+    std::vector<std::size_t> worklist{0, 1};
+    auto survivors = accel::analyticPrepassSurvivors(
+            transforms, worklist, bounds, probe_space, 1);
+    ASSERT_EQ(survivors.size(), 1u);
+    EXPECT_EQ(survivors[0], 1u) << "prepass kept the saturated candidate";
+
+    // And with room for both, the saturated one still comes along
+    // (filtered, not lost) — the ordering only demotes it.
+    auto both = accel::analyticPrepassSurvivors(transforms, worklist,
+                                                bounds, probe_space, 2);
+    EXPECT_EQ(both, (std::vector<std::size_t>{0, 1}));
+}
+
+} // namespace
+} // namespace stellar

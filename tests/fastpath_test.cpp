@@ -302,7 +302,8 @@ TEST(FastPath, AnalyticPrepassKeepsTheLeaders)
     EXPECT_EQ(stats.evaluated, 20u);
     EXPECT_EQ(stats.prepassFiltered, stats.enumerated - 20);
     EXPECT_EQ(stats.evaluated + stats.prunedEarly +
-                      stats.prepassFiltered + stats.failed,
+                      stats.prepassFiltered + stats.analyticFiltered +
+                      stats.failed,
               stats.enumerated);
 
     // Every survivor scores identically to its full-run counterpart.

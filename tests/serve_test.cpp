@@ -60,6 +60,29 @@ TEST(ServeProtocol, DseDefaultsMatchTheServedContract)
     EXPECT_FALSE(request.dse.failFast);
 }
 
+TEST(ServeProtocol, ParsesAnalyticTierAndEnumerationFields)
+{
+    Request request = serve::parseRequest(
+            "{\"command\":\"dse\",\"analytic_top_k\":32,\"max_hop\":3,"
+            "\"max_coeff\":2,\"enum_limit\":30000}");
+    EXPECT_EQ(request.dse.analyticTopK, 32u);
+    EXPECT_EQ(request.dse.maxHop, 3);
+    EXPECT_EQ(request.dse.maxCoeff, 2);
+    EXPECT_EQ(request.dse.enumLimit, 30000u);
+
+    // Omitted fields keep the CLI defaults (tier off, hop-2 space).
+    Request defaults = serve::parseRequest("{\"command\":\"dse\"}");
+    EXPECT_EQ(defaults.dse.analyticTopK, 0u);
+    EXPECT_EQ(defaults.dse.maxHop, 2);
+    EXPECT_EQ(defaults.dse.maxCoeff, 1);
+    EXPECT_EQ(defaults.dse.enumLimit, 4096u);
+
+    // A typo in the new fields must fail loudly like any other typo.
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"analytic_topk\":32}"),
+                 FatalError);
+}
+
 TEST(ServeProtocol, RejectsUnknownFieldWithCommandAndOffset)
 {
     try {
@@ -111,6 +134,10 @@ TEST(ServeProtocol, RejectsMalformedAndTruncatedRequests)
                  "{\"command\":\"dse\",\"dim\":0}",    // below range
                  "{\"command\":\"dse\",\"threads\":-1}",
                  "{\"command\":\"sim\",\"step_budget\":-5}",
+                 "{\"command\":\"dse\",\"analytic_top_k\":-1}",
+                 "{\"command\":\"dse\",\"max_hop\":0}",
+                 "{\"command\":\"dse\",\"max_coeff\":0}",
+                 "{\"command\":\"dse\",\"enum_limit\":0}",
          }) {
         EXPECT_THROW(serve::parseRequest(text), FatalError) << text;
     }
@@ -133,6 +160,32 @@ TEST(ServeProtocol, EnforcesProtocolCaps)
                  FatalError);
     EXPECT_THROW(serve::parseRequest(
                          "{\"command\":\"dse\",\"topk\":17}", limits),
+                 FatalError);
+
+    // The analytic tier and enumeration knobs carry their own caps:
+    // analytic K is allowed to exceed the final-ranking topK cap, and
+    // hop/coeff/limit bound the enumerated space a request can demand.
+    limits.maxAnalyticTopK = 64;
+    limits.maxHop = 3;
+    limits.maxCoeff = 2;
+    limits.maxEnumerated = 30000;
+    EXPECT_NO_THROW(serve::parseRequest(
+            "{\"command\":\"dse\",\"analytic_top_k\":64,\"max_hop\":3,"
+            "\"max_coeff\":2,\"enum_limit\":30000}",
+            limits));
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"analytic_top_k\":65}",
+                         limits),
+                 FatalError);
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"max_hop\":4}", limits),
+                 FatalError);
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"max_coeff\":3}", limits),
+                 FatalError);
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"enum_limit\":30001}",
+                         limits),
                  FatalError);
 }
 
@@ -234,6 +287,36 @@ TEST(ServeServer, DseRequestMatchesDirectRendererByteForByte)
     auto direct = serve::renderDse(reference);
     EXPECT_EQ(response.output, direct.output);
     EXPECT_EQ(response.exitCode, direct.exitCode);
+}
+
+TEST(ServeServer, AnalyticTopKServedMatchesDirectRendererByteForByte)
+{
+    // The analytic tier must not disturb served-vs-CLI byte-identity —
+    // and because its scores are exact, the served ranking with the
+    // tier on equals the served ranking with it off.
+    serve::Server server;
+    Response tiered = serve::parseResponse(server.handleRequestText(
+            "{\"command\":\"dse\",\"dim\":4,\"analytic_top_k\":8,"
+            "\"topk\":8}"));
+    ASSERT_EQ(tiered.status, Status::Ok);
+
+    serve::DseRequest reference;
+    reference.dim = 4;
+    reference.analyticTopK = 8;
+    reference.topK = 8;
+    auto direct = serve::renderDse(reference);
+    EXPECT_EQ(tiered.output, direct.output);
+    EXPECT_EQ(tiered.exitCode, direct.exitCode);
+
+    // Same request with the tier disabled: identical ranking table,
+    // differing only in the stats counters headline.
+    reference.analyticTopK = 0;
+    auto full = serve::renderDse(reference);
+    EXPECT_NE(tiered.output, full.output); // headline shows the filter
+    auto table = [](const std::string &text) {
+        return text.substr(0, text.find("\nexplored "));
+    };
+    EXPECT_EQ(table(tiered.output), table(full.output));
 }
 
 TEST(ServeServer, ServerBudgetCapClampsRequests)
