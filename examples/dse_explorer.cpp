@@ -33,6 +33,9 @@
  *   --retry-wall-clock  re-run a candidate whose wall-clock deadline
  *                    expired exactly once (transient slowness recovers;
  *                    deterministic step-budget timeouts never retry)
+ *   --no-stream      materialize the transform vector instead of
+ *                    fusing enumeration into the analytic tier
+ *                    (byte-identical output; streaming is the default)
  */
 
 #include <algorithm>
@@ -79,12 +82,14 @@ main(int argc, char **argv)
                     std::max<std::int64_t>(1, std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--retry-wall-clock") == 0)
             options.retryWallClockTimeout = true;
+        else if (std::strcmp(argv[i], "--no-stream") == 0)
+            options.streamEnumeration = false;
         else {
             std::printf("usage: dse_explorer [--threads N] [--topk K] "
                         "[--step-budget B] [--time-budget MS] "
                         "[--max-pes P] [--prepass K] "
                         "[--analytic-top-k K] [--max-hop H] "
-                        "[--retry-wall-clock]\n");
+                        "[--retry-wall-clock] [--no-stream]\n");
             return 1;
         }
     }

@@ -104,6 +104,12 @@ usage()
             "stats report\n"
             "                    (deterministic, byte-comparable "
             "output)\n"
+            "  --no-stream       materialize the transform vector "
+            "instead of fusing\n"
+            "                    enumeration into the analytic tier "
+            "(byte-identical\n"
+            "                    output; the streamed path is the "
+            "default)\n"
             "  sim options:\n"
             "  --workload W      scnn (pruned AlexNet) or outerspace "
             "(SuiteSparse suite)\n"
@@ -212,6 +218,8 @@ main(int argc, char **argv)
             dse_request.retryWallClock = true;
         else if (arg == "--no-timings")
             dse_request.timings = false;
+        else if (arg == "--no-stream")
+            dse_request.stream = false;
         else {
             usage();
             return 1;

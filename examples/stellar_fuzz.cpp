@@ -15,7 +15,8 @@
  *   --seed S         base seed; iteration i of seed S is always the
  *                    same input (default 1)
  *   --domain D       restrict to one domain: spec, transform, mtx,
- *                    request (default: round-robin over all four)
+ *                    request, enumerate (default: round-robin over all
+ *                    five)
  *   --step-budget B  watchdog step budget per replay (default 200000)
  *   --time-budget MS watchdog wall-clock deadline per replay (0 = none)
  *   --repro-dir DIR  dump violating inputs under DIR (default
@@ -29,17 +30,25 @@
  *                    with a known status and no `unknown` failure kind,
  *                    and the daemon must outlive the storm. ~5% of
  *                    connections hang up without reading the reply.
+ *   --soak-stats-ms N  while soaking, snapshot the daemon's `stats`
+ *                    endpoint every N ms and assert every counter is
+ *                    monotone non-decreasing across snapshots — the
+ *                    `bytes`/`entries` keys are exempt (cache gauges
+ *                    shrink on eviction). 0 disables (default 250).
  *
  * Exit status: 0 when the invariant held for every input, 1 otherwise.
  */
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "serve/protocol.hpp"
@@ -61,6 +70,130 @@ struct SoakTally
     std::atomic<std::uint64_t> dropped{0}; //!< hung up before the reply
     std::atomic<std::uint64_t> violations{0};
 };
+
+/**
+ * Flatten the stats endpoint's JSON into ("group.key", value) pairs.
+ * The document comes from our own serializer — flat nesting, numeric
+ * leaves, no arrays — so a tiny scanner suffices; anything it cannot
+ * digest simply yields fewer pairs (and the response already passed
+ * serve::parseResponse before reaching here).
+ */
+std::vector<std::pair<std::string, double>>
+flattenStatsJson(const std::string &text)
+{
+    std::vector<std::pair<std::string, double>> out;
+    std::vector<std::string> stack;
+    std::string pending;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (c == '"') {
+            std::size_t end = text.find('"', i + 1);
+            if (end == std::string::npos)
+                break;
+            pending = text.substr(i + 1, end - i - 1);
+            i = end + 1;
+        } else if (c == '{') {
+            stack.push_back(pending);
+            pending.clear();
+            i++;
+        } else if (c == '}') {
+            if (!stack.empty())
+                stack.pop_back();
+            i++;
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            char *end = nullptr;
+            double value = std::strtod(text.c_str() + i, &end);
+            std::string path;
+            for (const auto &group : stack)
+                if (!group.empty())
+                    path += group + ".";
+            path += pending;
+            out.emplace_back(std::move(path), value);
+            i = std::size_t(end - text.c_str());
+        } else {
+            i++;
+        }
+    }
+    return out;
+}
+
+/** Gauges exempt from the soak monotonicity invariant: cache byte and
+ *  entry counts legitimately shrink when evictions run. */
+bool
+statsKeyIsGauge(const std::string &key)
+{
+    return key.find("bytes") != std::string::npos ||
+           key.find("entries") != std::string::npos;
+}
+
+/**
+ * The soak stats monitor: periodically snapshot the daemon's `stats`
+ * endpoint and assert every counter is monotone non-decreasing across
+ * snapshots (a counter going backwards means lost or double-written
+ * accounting under concurrency — exactly what a data race on the stats
+ * mutex would look like from the wire). One final snapshot is taken
+ * after the storm ends so the last interval is covered too.
+ */
+void
+statsMonitor(const std::string &socket_path, std::int64_t interval_ms,
+             const std::atomic<bool> &stop, SoakTally &tally,
+             std::mutex &log_mutex, std::atomic<std::uint64_t> &snapshots)
+{
+    std::map<std::string, double> last;
+    auto violation = [&](const std::string &what) {
+        tally.violations.fetch_add(1);
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::fprintf(stderr, "VIOLATION: soak stats monitor: %s\n",
+                     what.c_str());
+    };
+    auto poll = [&] {
+        std::string reply;
+        try {
+            auto conn = util::LocalSocket::connectTo(socket_path);
+            conn.setTimeouts(120000);
+            conn.writeAll("{\"command\":\"stats\"}");
+            conn.shutdownWrite();
+            if (conn.readAll(reply, 64 << 20) !=
+                util::SocketReadStatus::Eof) {
+                violation("no complete stats reply on the wire");
+                return;
+            }
+        } catch (const std::exception &err) {
+            violation(std::string("stats connection failed: ") +
+                      err.what());
+            return;
+        }
+        serve::Response response;
+        try {
+            response = serve::parseResponse(reply);
+        } catch (const std::exception &err) {
+            violation(std::string("unparseable stats response: ") +
+                      err.what());
+            return;
+        }
+        if (response.status != serve::Status::Ok)
+            return; // overloaded / shutting down: no snapshot this tick
+        snapshots.fetch_add(1);
+        for (const auto &[key, value] : flattenStatsJson(response.output)) {
+            auto it = last.find(key);
+            if (it != last.end() && value < it->second &&
+                !statsKeyIsGauge(key))
+                violation("counter " + key + " went backwards (" +
+                          std::to_string(it->second) + " -> " +
+                          std::to_string(value) + ")");
+            last[key] = value;
+        }
+    };
+    while (!stop.load()) {
+        poll();
+        // Sleep in small slices so shutdown stays prompt.
+        for (std::int64_t slept = 0; slept < interval_ms && !stop.load();
+             slept += 20)
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    poll(); // cover the final interval after the workers finished
+}
 
 /** One soak worker: its own seeded generator, one request per
  *  connection, every reply validated against the closed response set. */
@@ -131,11 +264,20 @@ soakWorker(const std::string &socket_path, std::uint64_t seed,
 
 int
 runSoak(const std::string &socket_path, std::size_t threads,
-        std::size_t iterations, std::uint64_t seed)
+        std::size_t iterations, std::uint64_t seed,
+        std::int64_t stats_interval_ms)
 {
     threads = std::max<std::size_t>(1, threads);
     SoakTally tally;
     std::mutex log_mutex;
+    std::atomic<bool> monitor_stop{false};
+    std::atomic<std::uint64_t> snapshots{0};
+    std::thread monitor;
+    if (stats_interval_ms > 0)
+        monitor = std::thread(statsMonitor, socket_path,
+                              stats_interval_ms, std::cref(monitor_stop),
+                              std::ref(tally), std::ref(log_mutex),
+                              std::ref(snapshots));
     std::vector<std::thread> pool;
     for (std::size_t t = 0; t < threads; t++) {
         std::size_t count = iterations / threads +
@@ -145,6 +287,10 @@ runSoak(const std::string &socket_path, std::size_t threads,
     }
     for (auto &worker : pool)
         worker.join();
+    if (monitor.joinable()) {
+        monitor_stop.store(true);
+        monitor.join();
+    }
     std::printf("soak: %zu requests over %zu threads: %llu ok, %llu "
                 "error, %llu overloaded, %llu shutting-down, %llu "
                 "dropped, %llu violations\n",
@@ -155,6 +301,10 @@ runSoak(const std::string &socket_path, std::size_t threads,
                 (unsigned long long)tally.shuttingDown.load(),
                 (unsigned long long)tally.dropped.load(),
                 (unsigned long long)tally.violations.load());
+    if (stats_interval_ms > 0)
+        std::printf("soak-stats: %llu snapshots, every counter monotone "
+                    "non-decreasing\n",
+                    (unsigned long long)snapshots.load());
     return tally.violations.load() == 0 ? 0 : 1;
 }
 
@@ -167,6 +317,7 @@ main(int argc, char **argv)
     options.reproDir = "fuzz-repros";
     std::string soak_socket;
     std::size_t soak_threads = 4;
+    std::int64_t soak_stats_ms = 250;
     for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--iterations") == 0 && i + 1 < argc)
             options.iterations =
@@ -188,6 +339,9 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--soak-threads") == 0 &&
                  i + 1 < argc)
             soak_threads = std::size_t(std::max(1, std::atoi(argv[++i])));
+        else if (std::strcmp(argv[i], "--soak-stats-ms") == 0 &&
+                 i + 1 < argc)
+            soak_stats_ms = std::max<std::int64_t>(0, std::atoll(argv[++i]));
         else if (std::strcmp(argv[i], "--domain") == 0 && i + 1 < argc) {
             std::string domain = argv[++i];
             if (domain == "spec")
@@ -198,25 +352,29 @@ main(int argc, char **argv)
                 options.domains = {util::fuzz::FuzzDomain::MatrixMarket};
             else if (domain == "request")
                 options.domains = {util::fuzz::FuzzDomain::Request};
+            else if (domain == "enumerate")
+                options.domains = {util::fuzz::FuzzDomain::Enumerate};
             else {
                 std::fprintf(stderr, "unknown domain '%s' (want spec, "
-                                     "transform, mtx, or request)\n",
+                                     "transform, mtx, request, or "
+                                     "enumerate)\n",
                              domain.c_str());
                 return 1;
             }
         } else {
             std::printf("usage: stellar_fuzz [--iterations N] [--seed S] "
-                        "[--domain spec|transform|mtx|request] "
+                        "[--domain spec|transform|mtx|request|enumerate] "
                         "[--step-budget B] [--time-budget MS] "
                         "[--repro-dir DIR] [--no-minimize] "
-                        "[--soak SOCKET] [--soak-threads N]\n");
+                        "[--soak SOCKET] [--soak-threads N] "
+                        "[--soak-stats-ms MS]\n");
             return 1;
         }
     }
 
     if (!soak_socket.empty())
         return runSoak(soak_socket, soak_threads, options.iterations,
-                       options.seed);
+                       options.seed, soak_stats_ms);
 
     auto report = util::fuzz::runFuzz(options);
     std::printf("%s\n", report.toString().c_str());

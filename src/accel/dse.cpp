@@ -186,11 +186,97 @@ exploreDataflows(const func::FunctionalSpec &functional,
 {
     DseStats local;
 
+    // The evaluate phase below consumes (enumIndex, transform) pairs in
+    // enumeration order; both the fused-streaming and the materialized
+    // front halves produce exactly the same `work` sequence.
+    std::vector<std::pair<std::size_t, dataflow::SpaceTimeTransform>> work;
+
+    // Fused streaming front half: score candidates with the closed-form
+    // model as the coefficient scan streams them. The bounded top-K
+    // heap (keyed like the materialized tier: saturated, analytic
+    // score, enumIndex) is the only O(K) state — the transform vector
+    // is never materialized, which is what makes 1e8-code walks fit in
+    // memory. The streamed survivor sequence is byte-identical to the
+    // materialized scan, so the survivor set, counters, and final
+    // ranking are unchanged. Engages only when the analytic tier alone
+    // filters (a prepass needs the whole worklist at once).
+    const bool fused = options.streamEnumeration &&
+                       options.analyticTopK > 0 &&
+                       options.analyticPrepass == 0;
+    if (fused) {
+        auto enumerate_start = Clock::now();
+        AnalyticCostModel cost_model(functional, bounds, options.sparsity,
+                                     options.dataWidth, options.macBits,
+                                     area_params, timing_params);
+        struct Ranked
+        {
+            bool saturated;
+            double score;
+            std::size_t index;
+            dataflow::SpaceTimeTransform transform;
+        };
+        auto better = [](const Ranked &a, const Ranked &b) {
+            if (a.saturated != b.saturated)
+                return !a.saturated; // clamped scores rank last
+            if (a.score != b.score)
+                return a.score < b.score;
+            return a.index < b.index;
+        };
+        std::vector<Ranked> heap;
+        heap.reserve(std::min<std::size_t>(options.analyticTopK, 4096));
+        std::size_t scored = 0;
+        dataflow::forEachTransform(
+                functional, options.enumerate,
+                [&](const dataflow::EnumeratedTransform &item) {
+                    // Exact maxPes prune, same as the materialized path.
+                    if (options.maxPes > 0 &&
+                        analyticPeCount(item.transform, bounds) >
+                                options.maxPes) {
+                        local.prunedEarly++;
+                        return true;
+                    }
+                    auto analytic = cost_model.score(item.transform);
+                    scored++;
+                    Ranked ranked{analytic.saturated, analytic.score,
+                                  item.index, item.transform};
+                    if (heap.size() < options.analyticTopK) {
+                        heap.push_back(std::move(ranked));
+                        std::push_heap(heap.begin(), heap.end(), better);
+                    } else if (better(ranked, heap.front())) {
+                        std::pop_heap(heap.begin(), heap.end(), better);
+                        heap.back() = std::move(ranked);
+                        std::push_heap(heap.begin(), heap.end(), better);
+                    }
+                    return true;
+                },
+                &local.enumeration);
+        local.enumerated = std::size_t(local.enumeration.yielded);
+        local.orbitSkipped = std::size_t(local.enumeration.orbitSkipped);
+        if (scored > options.analyticTopK) {
+            local.analyticRanked = scored;
+            local.analyticFiltered = scored - heap.size();
+        }
+        // else: too few survivors for the tier to filter — counters
+        // stay 0, exactly as when the materialized tier is skipped.
+        std::sort(heap.begin(), heap.end(),
+                  [](const Ranked &a, const Ranked &b) {
+                      return a.index < b.index;
+                  });
+        work.reserve(heap.size());
+        for (auto &ranked : heap)
+            work.emplace_back(ranked.index, std::move(ranked.transform));
+        local.enumerateMs = msSince(enumerate_start);
+        // The tier is fused into the scan; report the same wall for
+        // both phases (comparisons filter timing lines anyway).
+        local.analyticMs = local.analyticRanked > 0 ? local.enumerateMs
+                                                    : 0.0;
+    } else {
     auto enumerate_start = Clock::now();
-    auto transforms =
-            dataflow::enumerateTransforms(functional, options.enumerate);
+    auto transforms = dataflow::enumerateTransforms(
+            functional, options.enumerate, &local.enumeration);
     local.enumerateMs = msSince(enumerate_start);
     local.enumerated = transforms.size();
+    local.orbitSkipped = std::size_t(local.enumeration.orbitSkipped);
 
     // Fix the work list (and each candidate's enumIndex) up front so the
     // ranking never depends on evaluation order. The maxPes prune is
@@ -262,7 +348,7 @@ exploreDataflows(const func::FunctionalSpec &functional,
         // ordering as the heap comparator, the front is the *worst*
         // kept candidate — the eviction point.
         std::vector<Ranked> heap;
-        heap.reserve(options.analyticTopK);
+        heap.reserve(std::min<std::size_t>(options.analyticTopK, 4096));
         for (std::size_t index : worklist) {
             auto analytic = cost_model.score(transforms[index]);
             Ranked ranked{analytic.saturated, analytic.score, index};
@@ -284,6 +370,11 @@ exploreDataflows(const func::FunctionalSpec &functional,
         local.analyticMs = msSince(analytic_start);
     }
 
+    work.reserve(worklist.size());
+    for (std::size_t index : worklist)
+        work.emplace_back(index, std::move(transforms[index]));
+    } // end materialized front half
+
     auto evaluate_start = Clock::now();
     // Each slot is evaluated independently; a throwing candidate leaves
     // its result slot empty and its exception in `errors`. Failure
@@ -297,28 +388,28 @@ exploreDataflows(const func::FunctionalSpec &functional,
         util::WatchdogScope guard("dse.candidate", options.stepBudget,
                                   options.timeBudgetMillis);
         if (!use_memo)
-            return evaluateCandidate(transforms[worklist[i]], worklist[i],
+            return evaluateCandidate(work[i].second, work[i].first,
                                      functional, bounds, options,
                                      area_params, timing_params);
         std::string key = DesignPointMemo::candidateKey(
                 options.memoSpecKey, bounds, options.dataWidth,
-                options.macBits, transforms[worklist[i]]);
+                options.macBits, work[i].second);
         if (auto hit = options.memo->lookup(key)) {
             // The payload's enumIndex belongs to whichever call
             // populated it; rebind to this enumeration so ranking
             // tie-breaks are identical warm or cold.
             DseCandidate candidate = *hit;
-            candidate.enumIndex = worklist[i];
+            candidate.enumIndex = work[i].first;
             return candidate;
         }
         auto candidate = evaluateCandidate(
-                transforms[worklist[i]], worklist[i], functional, bounds,
+                work[i].second, work[i].first, functional, bounds,
                 options, area_params, timing_params);
         options.memo->insert(key, candidate);
         return candidate;
     };
     auto evaluate = [&](std::size_t i) {
-        util::fault::ScopedContext context(worklist[i]);
+        util::fault::ScopedContext context(work[i].first);
         if (!options.retryWallClockTimeout)
             return evaluate_once(i);
         try {
@@ -340,11 +431,11 @@ exploreDataflows(const func::FunctionalSpec &functional,
     if (threads == 0)
         threads = std::max<std::size_t>(
                 1, std::thread::hardware_concurrency());
-    if (threads == 1 || worklist.size() <= 1) {
+    if (threads == 1 || work.size() <= 1) {
         local.threadsUsed = 1;
-        slots.resize(worklist.size());
-        errors.assign(worklist.size(), nullptr);
-        for (std::size_t i = 0; i < worklist.size(); i++) {
+        slots.resize(work.size());
+        errors.assign(work.size(), nullptr);
+        for (std::size_t i = 0; i < work.size(); i++) {
             try {
                 slots[i] = evaluate(i);
             } catch (...) {
@@ -354,16 +445,16 @@ exploreDataflows(const func::FunctionalSpec &functional,
     } else {
         util::ThreadPool pool(threads);
         local.threadsUsed = pool.size();
-        slots = pool.parallelMapIsolated<DseCandidate>(worklist.size(),
+        slots = pool.parallelMapIsolated<DseCandidate>(work.size(),
                                                        evaluate, errors);
     }
 
-    // Deterministic reduction: classify failures in worklist (i.e.
+    // Deterministic reduction: classify failures in work-list (i.e.
     // enumeration) order, so counts, kinds, and records are identical
     // at every thread count.
     std::vector<DseCandidate> candidates;
-    candidates.reserve(worklist.size());
-    for (std::size_t i = 0; i < worklist.size(); i++) {
+    candidates.reserve(work.size());
+    for (std::size_t i = 0; i < work.size(); i++) {
         if (!errors[i]) {
             candidates.push_back(std::move(slots[i]));
             continue;
@@ -371,10 +462,10 @@ exploreDataflows(const func::FunctionalSpec &functional,
         if (!options.isolateFailures)
             std::rethrow_exception(errors[i]);
         CandidateFailure failure;
-        failure.enumIndex = worklist[i];
+        failure.enumIndex = work[i].first;
         failure.failure = util::classifyException(
                 errors[i], "dse.candidate",
-                "enum#" + std::to_string(worklist[i]));
+                "enum#" + std::to_string(work[i].first));
         local.failed++;
         local.failedByKind[std::size_t(failure.failure.kind)]++;
         local.failures.push_back(std::move(failure));

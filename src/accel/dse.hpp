@@ -167,6 +167,21 @@ struct DseOptions
      */
     std::size_t analyticTopK = 0;
 
+    /**
+     * Fuse enumeration into the analytic tier: when true (the default)
+     * and `analyticTopK` is active (nonzero, and no analyticPrepass),
+     * candidates are scored by the closed-form model as the coefficient
+     * scan streams them, so the transform vector is never materialized
+     * and the bounded top-K heap is the only O(K) state — hop-4-scale
+     * walks (1e8 codes) become feasible under `enumerate.limit`. The
+     * streamed survivor sequence is byte-identical to the materialized
+     * scan, so rankings and counters are unchanged; `enumerateMs` then
+     * covers the fused enumerate+score phase and `analyticMs` mirrors
+     * it. Set false to force the materialized two-phase path (the
+     * differential tests compare both).
+     */
+    bool streamEnumeration = true;
+
     /** Optional sparsity/balancing applied to every candidate, so the
      *  search sees the interactions between dataflow and the other
      *  concerns (pruned conns change both wiring and regfile cost). */
@@ -251,6 +266,19 @@ struct DseStats
     /** Candidates the analytic tier dropped (never elaborated). */
     std::size_t analyticFiltered = 0;
     std::size_t threadsUsed = 1;
+
+    /**
+     * Coefficient codes the scan skipped by orbit canonicalization
+     * before decoding (codes, not transforms — they never reach
+     * `enumerated`, so the accounting invariant over `enumerated` is
+     * unchanged; consistency is pinned by `enumeration`'s own
+     * invariants: codesExamined == orbitSkipped + decoded and decoded
+     * == rejected + duplicates + yielded).
+     */
+    std::size_t orbitSkipped = 0;
+
+    /** Full accounting of the underlying coefficient-code scan. */
+    dataflow::EnumerateStats enumeration;
 
     /** Wall-clock-timeout candidates re-run once (retryWallClockTimeout). */
     std::size_t retried = 0;

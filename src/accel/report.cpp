@@ -107,8 +107,10 @@ std::string
 dseStatsReport(const DseStats &stats, bool include_timings)
 {
     std::ostringstream os;
-    os << "explored " << stats.enumerated << " dataflows ("
-       << stats.prunedEarly << " pruned early, ";
+    os << "explored " << stats.enumerated << " dataflows (";
+    if (stats.orbitSkipped > 0)
+        os << stats.orbitSkipped << " orbit-skipped codes, ";
+    os << stats.prunedEarly << " pruned early, ";
     if (stats.prepassFiltered > 0)
         os << stats.prepassFiltered << " prepass-filtered, ";
     if (stats.analyticFiltered > 0)

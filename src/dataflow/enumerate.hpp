@@ -10,12 +10,24 @@
  * space-time displacements they induce on the spec's recurrences (two
  * transforms that move every operand identically generate the same
  * array up to relabeling).
+ *
+ * The enumerator is a *stream*: `TransformStream` / `forEachTransform`
+ * yield `(code, matrix, signature)` survivors in code order without
+ * materializing the whole transform vector, so a DSE tier can score
+ * candidates as the scan produces them with O(K) live state. Most
+ * coefficient codes are sign/permutation-orbit duplicates of a smaller
+ * code; the scan rejects those from coefficient structure alone (before
+ * decode) and jumps whole non-canonical regions in O(1). See
+ * docs/PARALLEL_DSE.md for the byte-identity contract and the orbit
+ * argument.
  */
 
 #ifndef STELLAR_DATAFLOW_ENUMERATE_HPP
 #define STELLAR_DATAFLOW_ENUMERATE_HPP
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "dataflow/transform.hpp"
@@ -42,22 +54,138 @@ struct EnumerateOptions
 
     /**
      * Worker threads for the coefficient-code scan: 0 = hardware
-     * concurrency, 1 = serial. The scan is sharded by contiguous code
-     * ranges and the shards are merged in code order, so the output
-     * vector — matrices, dedup decisions, and names — is byte-identical
-     * to the serial scan at every thread count. (Small scans run
-     * serially regardless; with a small `limit` the sharded scan may
-     * inspect codes the serial early-exit would skip.)
+     * concurrency, 1 = serial. The scan walks a deterministic chunk
+     * schedule (independent of the thread count) and merges chunks in
+     * code order, so the stream — matrices, dedup decisions, names, and
+     * stats — is byte-identical to the serial scan at every thread
+     * count, including `limit` early exit. (Small scans run serially
+     * regardless.)
      */
     std::size_t threads = 0;
+
+    /**
+     * Skip coefficient codes that cannot be the smallest member of
+     * their sign/permutation orbit. Negating or permuting *spatial*
+     * rows of a transform preserves invertibility, causality, hop
+     * length, and the dedup signature, so every non-canonical code that
+     * would survive the filters is a signature duplicate of a smaller
+     * canonical code — skipping it never changes the output, only
+     * `EnumerateStats::orbitSkipped`. Sign canonicalization requires a
+     * symmetric coefficient range (minCoeff == -maxCoeff); asymmetric
+     * ranges canonicalize by row permutation only.
+     */
+    bool orbitCanonical = true;
 };
+
+/** Accounting for one enumeration scan (serial semantics at any thread
+ *  count). Invariants: codesExamined == orbitSkipped + decoded and
+ *  decoded == rejected + duplicates + yielded. */
+struct EnumerateStats
+{
+    std::int64_t codesTotal = 0;    //!< range^(n^2), the full space
+    std::int64_t codesExamined = 0; //!< codes covered before the stop
+    std::int64_t orbitSkipped = 0;  //!< skipped without decoding
+    std::int64_t decoded = 0;       //!< decoded and filtered
+    std::int64_t rejected = 0;      //!< failed invertibility/causality/hops
+    std::int64_t duplicates = 0;    //!< filtered by signature dedup
+    std::int64_t yielded = 0;       //!< survivors produced
+};
+
+/** One survivor of the coefficient-code scan. */
+struct EnumeratedTransform
+{
+    std::int64_t code = 0;  //!< the coefficient code it decodes from
+    std::size_t index = 0;  //!< 0-based yield order (the "enumerated-N" N)
+    SpaceTimeTransform transform;
+    std::vector<std::int64_t> signature;
+};
+
+/**
+ * Pull-style streaming enumerator. `next` yields survivors in code
+ * order, byte-identical to the serial scan at any `threads`, without
+ * materializing the transform vector. `stats()` is valid once `next`
+ * has returned false (exhaustion or `limit`) or after `stop()`.
+ */
+class TransformStream
+{
+  public:
+    TransformStream(const func::FunctionalSpec &spec,
+                    const EnumerateOptions &options);
+    ~TransformStream();
+    TransformStream(TransformStream &&) noexcept;
+    TransformStream &operator=(TransformStream &&) noexcept;
+
+    /** Produce the next survivor; false when done (stats finalized). */
+    bool next(EnumeratedTransform &out);
+
+    /** Abandon the scan, finalizing stats at the last yielded code. */
+    void stop();
+
+    const EnumerateStats &stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Return false from the sink to stop the scan early. */
+using TransformSink = std::function<bool(const EnumeratedTransform &)>;
+
+/**
+ * Push-style wrapper over TransformStream: invoke `sink` for each
+ * survivor in code order. When `stats` is non-null it receives the
+ * scan accounting (serial semantics at any thread count).
+ */
+void forEachTransform(const func::FunctionalSpec &spec,
+                      const EnumerateOptions &options,
+                      const TransformSink &sink,
+                      EnumerateStats *stats = nullptr);
 
 /**
  * Enumerate causal, invertible space-time transforms for a functional
  * spec, deduplicated by their recurrence displacement signatures.
+ * Materializing wrapper over the stream; keeps the historical cap on
+ * spaces too large to materialize.
  */
 std::vector<SpaceTimeTransform> enumerateTransforms(
+        const func::FunctionalSpec &spec, const EnumerateOptions &options,
+        EnumerateStats *stats = nullptr);
+
+namespace detail
+{
+
+/**
+ * The pre-streaming enumerator (serial early-exit scan + sharded scan),
+ * kept verbatim as the differential oracle for the stream. Ignores
+ * `options.orbitCanonical`; examines every code.
+ */
+std::vector<SpaceTimeTransform> enumerateTransformsOracle(
         const func::FunctionalSpec &spec, const EnumerateOptions &options);
+
+/**
+ * True when `code` is the canonical representative of its
+ * sign/permutation orbit under `options` (always true when orbit
+ * canonicalization is inactive for this spec/options combination).
+ */
+bool codeIsOrbitCanonical(const func::FunctionalSpec &spec,
+                          const EnumerateOptions &options,
+                          std::int64_t code);
+
+/**
+ * Decode one coefficient code and run the per-candidate filters.
+ * Returns true when the code survives; fills `matrix`/`signature` when
+ * non-null. Exposed for the fuzz harness's orbit oracle.
+ */
+bool decodeCandidate(const func::FunctionalSpec &spec,
+                     const EnumerateOptions &options, std::int64_t code,
+                     IntMatrix *matrix,
+                     std::vector<std::int64_t> *signature);
+
+/** range^(n^2) for this spec/options; fatal above the streaming cap. */
+std::int64_t codeSpaceSize(const func::FunctionalSpec &spec,
+                           const EnumerateOptions &options);
+
+} // namespace detail
 
 } // namespace stellar::dataflow
 

@@ -122,6 +122,7 @@ dseOptionsFor(const DseRequest &request, accel::DesignPointMemo *memo)
     options.maxPes = request.maxPes;
     options.analyticPrepass = request.prepass;
     options.analyticTopK = request.analyticTopK;
+    options.streamEnumeration = request.stream;
     options.enumerate.maxHopLength = request.maxHop;
     options.enumerate.minCoeff = -request.maxCoeff;
     options.enumerate.maxCoeff = request.maxCoeff;

@@ -170,11 +170,38 @@ parseRequest(const std::string &text, const RequestLimits &limits)
                 request.dse.timings = boolField(field, key);
                 continue;
             }
+            if (key == "stream") {
+                request.dse.stream = boolField(field, key);
+                continue;
+            }
         }
         // Unknown fields are rejected, never ignored: a typo like
         // "step_budgets" silently dropped would run with no budget.
         fail("unknown field '" + key + "' for command '" + name + "'",
              field.offset);
+    }
+
+    // Admission on the coefficient-code space a dse request would scan:
+    // the matmul spec has 3 iterators, so the scan walks
+    // (2*max_coeff+1)^9 codes. Reject oversized spaces at parse time
+    // instead of letting a worker discover the cap mid-request.
+    if (request.command == Command::Dse) {
+        std::int64_t range = 2 * std::int64_t(request.dse.maxCoeff) + 1;
+        std::int64_t codes = 1;
+        for (int c = 0; c < 9; c++) {
+            if (codes > limits.maxScanCodes / range) {
+                codes = limits.maxScanCodes + 1;
+                break;
+            }
+            codes *= range;
+        }
+        if (codes > limits.maxScanCodes)
+            fail("'max_coeff' of " +
+                         std::to_string(request.dse.maxCoeff) +
+                         " scans more than " +
+                         std::to_string(limits.maxScanCodes) +
+                         " coefficient codes",
+                 root.offset);
     }
     return request;
 }

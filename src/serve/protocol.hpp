@@ -88,6 +88,11 @@ struct DseRequest
      *  served requests default to false so responses are deterministic
      *  and byte-comparable. Matches `stellar_cli dse --no-timings`. */
     bool timings = false;
+
+    /** DseOptions::streamEnumeration: fuse the coefficient scan into
+     *  the analytic tier (byte-identical output; false forces the
+     *  materialized path, matching `stellar_cli dse --no-stream`). */
+    bool stream = true;
 };
 
 /** One parsed, validated request. */
@@ -121,6 +126,13 @@ struct RequestLimits
     int maxHop = 6;
     int maxCoeff = 4;
     std::size_t maxEnumerated = 1 << 20;
+
+    /** Cap on the coefficient-code space a dse request may scan
+     *  ((2*maxCoeff+1)^9 for the 3-iterator matmul spec). The orbit-
+     *  canonical scan walks ~1e8 codes in seconds, but admission stays
+     *  explicit: a request whose space exceeds this is rejected at
+     *  parse time instead of burning a worker. */
+    std::int64_t maxScanCodes = 100000000;
 };
 
 /** Parse + validate one request. FatalError on any violation. */

@@ -83,6 +83,7 @@ Server::executeOnce(const Request &request_in)
         stats_.dseEvaluated += rendered.dseStats.evaluated;
         stats_.dseFailed += rendered.dseStats.failed;
         stats_.dseCandidateRetries += rendered.dseStats.retried;
+        stats_.dseOrbitSkipped += rendered.dseStats.orbitSkipped;
         break;
       }
       case Command::Stats:
@@ -371,6 +372,7 @@ Server::statsJson() const
     out += ",\"failed\":" + std::to_string(s.dseFailed);
     out += ",\"candidate_retries\":" +
            std::to_string(s.dseCandidateRetries);
+    out += ",\"orbit_skipped\":" + std::to_string(s.dseOrbitSkipped);
     out += "}}";
     out += ",\"design_memo\":" + memoStatsJson(memo_.stats());
     out += ",\"workload_cache\":" +

@@ -117,6 +117,7 @@ struct ServeStats
     std::uint64_t dseEvaluated = 0;
     std::uint64_t dseFailed = 0;
     std::uint64_t dseCandidateRetries = 0;
+    std::uint64_t dseOrbitSkipped = 0;
 };
 
 class Server

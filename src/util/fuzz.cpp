@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,6 +13,7 @@
 #include "accel/pipeline.hpp"
 #include "core/accelerator.hpp"
 #include "core/spatial_array.hpp"
+#include "dataflow/enumerate.hpp"
 #include "dataflow/transform.hpp"
 #include "func/library.hpp"
 #include "model/area.hpp"
@@ -228,6 +230,129 @@ evaluateTransformInput(Rng &rng, const FuzzOptions &options,
                         std::to_string(probe.scheduleLength) + " vs " +
                         std::to_string(array.scheduleLength()) + ")");
             }
+        }
+    }
+    return {};
+}
+
+/**
+ * The Enumerate domain: hostile EnumerateOptions (degenerate and
+ * asymmetric coefficient windows, hop lengths from 0 to absurd, limits
+ * from 0 to 2^40, broadcast and orbit toggles, every thread count)
+ * against two oracles. First, the streamed scan must be byte-identical
+ * to the pre-streaming serial oracle — names, matrices, and its own
+ * stats accounting. Second, the orbit-canonicalization completeness
+ * property: every code the scan skips as non-canonical that *would*
+ * pass the filters must decode to a signature some retained canonical
+ * representative already yielded — i.e. skipping it lost nothing.
+ * Property breaches throw std::logic_error (deliberately unclassified)
+ * so they surface as violations with a seeded repro.
+ */
+EvalOutcome
+evaluateEnumerateInput(Rng &rng, const FuzzOptions &options,
+                       std::string &input)
+{
+    std::string label;
+    auto functional = randomFunctional(rng, label);
+    int n = functional.numIndices();
+
+    dataflow::EnumerateOptions eopt;
+    // Window sized so the examine-every-code oracle and the orbit
+    // completeness re-scan stay affordable: range^(n^2) caps near 64k.
+    std::int64_t max_range = n >= 4 ? 2 : (n == 3 ? 3 : 9);
+    std::int64_t range =
+            2 + std::int64_t(rng.nextBounded(std::uint64_t(max_range) - 1));
+    if (range % 2 == 1 && rng.nextBool(0.6))
+        eopt.minCoeff = -(range / 2); // symmetric: sign orbits active
+    else
+        eopt.minCoeff = rng.nextRange(-range, 1);
+    eopt.maxCoeff = eopt.minCoeff + range - 1;
+    if (rng.nextBool(0.05))
+        eopt.maxCoeff = eopt.minCoeff; // degenerate: must classify
+    eopt.maxHopLength = rng.nextBool(0.1) ? rng.nextRange(0, 1 << 20)
+                                          : rng.nextRange(1, 4);
+    eopt.allowBroadcast = rng.nextBool(0.5);
+    eopt.orbitCanonical = !rng.nextBool(0.15);
+    static const std::size_t kLimits[] = {0, 1, 2, 7, 100, 4096,
+                                          std::size_t(1) << 40};
+    eopt.limit = kLimits[rng.nextBounded(std::size(kLimits))];
+    eopt.threads = 1 + std::size_t(rng.nextBounded(4));
+    input = "enumerate " + label + " coeff [" +
+            std::to_string(eopt.minCoeff) + "," +
+            std::to_string(eopt.maxCoeff) + "] hop " +
+            std::to_string(eopt.maxHopLength) + " limit " +
+            std::to_string(eopt.limit) + " threads " +
+            std::to_string(eopt.threads) +
+            (eopt.allowBroadcast ? "" : " no-broadcast") +
+            (eopt.orbitCanonical ? "" : " no-orbit") + "\n";
+
+    WatchdogScope guard("fuzz.enumerate", options.stepBudget,
+                        options.timeBudgetMillis);
+    auto oracle_opt = eopt;
+    oracle_opt.threads = 1;
+    auto oracle = dataflow::detail::enumerateTransformsOracle(functional,
+                                                              oracle_opt);
+    dataflow::EnumerateStats stats;
+    auto streamed =
+            dataflow::enumerateTransforms(functional, eopt, &stats);
+    if (streamed.size() != oracle.size())
+        throw std::logic_error(
+                "fuzz property violated: streamed scan yielded " +
+                std::to_string(streamed.size()) + " transforms, oracle " +
+                std::to_string(oracle.size()));
+    for (std::size_t i = 0; i < streamed.size(); i++) {
+        if (streamed[i].name() != oracle[i].name() ||
+            streamed[i].matrix() != oracle[i].matrix())
+            throw std::logic_error(
+                    "fuzz property violated: streamed transform " +
+                    std::to_string(i) + " (" + streamed[i].name() +
+                    ") differs from the oracle's (" + oracle[i].name() +
+                    ")");
+    }
+    if (stats.codesExamined != stats.orbitSkipped + stats.decoded ||
+        stats.decoded !=
+                stats.rejected + stats.duplicates + stats.yielded ||
+        stats.yielded != std::int64_t(streamed.size()))
+        throw std::logic_error(
+                "fuzz property violated: enumeration stats do not "
+                "account for the scan (examined " +
+                std::to_string(stats.codesExamined) + ", orbit-skipped " +
+                std::to_string(stats.orbitSkipped) + ", decoded " +
+                std::to_string(stats.decoded) + ", rejected " +
+                std::to_string(stats.rejected) + ", duplicates " +
+                std::to_string(stats.duplicates) + ", yielded " +
+                std::to_string(stats.yielded) + ")");
+
+    // Orbit completeness, checked against the *unlimited* scan so the
+    // canonical-signature set is total, over every code in the space.
+    std::int64_t total =
+            dataflow::detail::codeSpaceSize(functional, eopt);
+    if (eopt.orbitCanonical && total <= 70000) {
+        auto full = eopt;
+        full.threads = 1;
+        full.limit = std::size_t(1) << 40;
+        std::set<std::vector<std::int64_t>> canonical;
+        dataflow::forEachTransform(
+                functional, full,
+                [&](const dataflow::EnumeratedTransform &item) {
+                    canonical.insert(item.signature);
+                    return true;
+                });
+        IntMatrix matrix(0, 0);
+        std::vector<std::int64_t> signature;
+        for (std::int64_t code = 0; code < total; code++) {
+            if (dataflow::detail::codeIsOrbitCanonical(functional, full,
+                                                       code))
+                continue;
+            if (!dataflow::detail::decodeCandidate(functional, full, code,
+                                                   &matrix, &signature))
+                continue;
+            if (!canonical.count(signature))
+                throw std::logic_error(
+                        "fuzz property violated: orbit-skipped code " +
+                        std::to_string(code) +
+                        " passes the filters but no retained canonical "
+                        "representative shares its signature");
         }
     }
     return {};
@@ -470,6 +595,7 @@ fuzzDomainName(FuzzDomain domain)
       case FuzzDomain::Transform: return "transform";
       case FuzzDomain::MatrixMarket: return "mtx";
       case FuzzDomain::Request: return "request";
+      case FuzzDomain::Enumerate: return "enumerate";
     }
     return "unknown";
 }
@@ -655,7 +781,8 @@ runFuzz(const FuzzOptions &options)
     FuzzOptions opt = options;
     if (opt.domains.empty())
         opt.domains = {FuzzDomain::Spec, FuzzDomain::Transform,
-                       FuzzDomain::MatrixMarket, FuzzDomain::Request};
+                       FuzzDomain::MatrixMarket, FuzzDomain::Request,
+                       FuzzDomain::Enumerate};
     // The Request domain's target: one private in-process server shared
     // across the run (so a state-poisoning request surfaces in later
     // iterations), created lazily on first use.
@@ -686,6 +813,9 @@ runFuzz(const FuzzOptions &options)
                     server = std::make_unique<serve::Server>(
                             fuzzServeOptions(opt));
                 outcome = evaluateRequestInput(*server, opt, rng, input);
+                break;
+              case FuzzDomain::Enumerate:
+                outcome = evaluateEnumerateInput(rng, opt, input);
                 break;
             }
         } catch (...) {

@@ -6,11 +6,12 @@
  * functional spec, a singular transform, a hostile Matrix Market file —
  * either succeeds or degrades to a classified util::Failure; it must
  * never crash, trip a sanitizer, or leak an unclassified exception.
- * This harness generates seeded random inputs across four domains,
+ * This harness generates seeded random inputs across five domains,
  * replays them against generatePipelineIsolated, the transform algebra,
- * the Matrix Market reader + sims, and an in-process serve::Server
- * under WatchdogScope budgets, and records every outcome against that
- * invariant. Classification to
+ * the Matrix Market reader + sims, an in-process serve::Server, and the
+ * streaming transform enumerator (differenced against its serial
+ * oracle) under WatchdogScope budgets, and records every outcome
+ * against that invariant. Classification to
  * FailureKind::Unknown is the invariant breach: the offending input is
  * minimized (line-wise, for textual inputs) and dumped as a repro file.
  *
@@ -44,9 +45,11 @@ enum class FuzzDomain
     Transform,    //!< random space-time transform matrices + probes
     MatrixMarket, //!< corrupted .mtx texts through the reader + sims
     Request,      //!< hostile serve requests through serve::Server
+    Enumerate,    //!< hostile enumeration options vs the serial oracle
 };
 
-/** Stable short name ("spec", "transform", "mtx", "request"). */
+/** Stable short name ("spec", "transform", "mtx", "request",
+ *  "enumerate"). */
 const char *fuzzDomainName(FuzzDomain domain);
 
 /** Harness settings. */
@@ -55,7 +58,7 @@ struct FuzzOptions
     std::uint64_t seed = 1;
     std::size_t iterations = 1000;
 
-    /** Domains to cycle through (round-robin); empty = all four. */
+    /** Domains to cycle through (round-robin); empty = all five. */
     std::vector<FuzzDomain> domains;
 
     /** Watchdog step budget per replay (0 = unlimited). */

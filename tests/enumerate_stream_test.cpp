@@ -1,0 +1,420 @@
+/**
+ * @file
+ * The enumeration contract, pinned differentially: the streaming,
+ * orbit-canonical coefficient scan must be byte-identical — matrices,
+ * signatures, `enumerated-N` names, dedup winners, stats — to the
+ * pre-streaming oracle's serial scan at every thread count, for every
+ * `limit` (the old sharded scan's small-limit wart), and with orbit
+ * skipping on or off. On top sits the tiered-DSE end-to-end check:
+ * streamed top-K == materialized top-K == full-elaboration top-K with
+ * the extended counter invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "accel/dse.hpp"
+#include "dataflow/enumerate.hpp"
+#include "func/library.hpp"
+#include "util/strings.hpp"
+
+namespace stellar
+{
+namespace
+{
+
+struct EnumScenario
+{
+    func::FunctionalSpec spec = func::matmulSpec();
+    dataflow::EnumerateOptions options;
+    std::string label;
+};
+
+/**
+ * 12 randomized spec/options combinations. Coefficient ranges are
+ * sized per spec so the examine-every-code oracle stays affordable
+ * (the conv spec has 16 cells, so only 2-value ranges are usable
+ * there), and both symmetric and asymmetric ranges appear — asymmetric
+ * ranges exercise the permutation-only canonicalization path.
+ */
+std::vector<EnumScenario>
+enumScenarios()
+{
+    std::vector<EnumScenario> out;
+    for (int seed = 0; seed < 12; seed++) {
+        std::mt19937 rng(std::uint32_t(seed) * 2654435761u + 97u);
+        EnumScenario s;
+        dataflow::EnumerateOptions &options = s.options;
+        options.threads = 1;
+        switch (seed % 4) {
+          case 0: {
+            s.spec = func::matmulSpec();
+            s.label = "matmul";
+            const std::int64_t ranges[][2] = {{-1, 1}, {-2, 2}, {-1, 2}};
+            const auto &range = ranges[seed / 4 % 3];
+            options.minCoeff = range[0];
+            options.maxCoeff = range[1];
+            break;
+          }
+          case 1: {
+            s.spec = func::matAddSpec();
+            s.label = "matadd";
+            const std::int64_t ranges[][2] = {{-3, 3}, {-1, 1}, {-2, 4}};
+            const auto &range = ranges[seed / 4 % 3];
+            options.minCoeff = range[0];
+            options.maxCoeff = range[1];
+            break;
+          }
+          case 2: {
+            s.spec = func::convSpec(1 + seed % 2, 2);
+            s.label = "conv";
+            options.minCoeff = (seed / 4 % 2 == 0) ? -1 : 0;
+            options.maxCoeff = options.minCoeff + 1;
+            break;
+          }
+          default: {
+            s.spec = func::mergeSpec();
+            s.label = "merge";
+            options.minCoeff = -2 - seed / 4;
+            options.maxCoeff = 2 + seed / 4;
+            break;
+          }
+        }
+        options.maxHopLength = 1 + seed % 3;
+        options.allowBroadcast = seed % 2 == 0;
+        std::uniform_int_distribution<std::size_t> limit_pick(0, 3);
+        const std::size_t limits[] = {4096, 7, 64, 1000};
+        options.limit = limits[limit_pick(rng)];
+        s.label += " coeff [" + std::to_string(options.minCoeff) + "," +
+                   std::to_string(options.maxCoeff) + "] hop " +
+                   std::to_string(options.maxHopLength) + " limit " +
+                   std::to_string(options.limit);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+expectSameTransforms(const std::vector<dataflow::SpaceTimeTransform> &got,
+                     const std::vector<dataflow::SpaceTimeTransform> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); i++) {
+        EXPECT_EQ(got[i].name(), want[i].name()) << "index " << i;
+        EXPECT_EQ(got[i].matrix(), want[i].matrix()) << "index " << i;
+    }
+}
+
+void
+expectSameStats(const dataflow::EnumerateStats &got,
+                const dataflow::EnumerateStats &want)
+{
+    EXPECT_EQ(got.codesTotal, want.codesTotal);
+    EXPECT_EQ(got.codesExamined, want.codesExamined);
+    EXPECT_EQ(got.orbitSkipped, want.orbitSkipped);
+    EXPECT_EQ(got.decoded, want.decoded);
+    EXPECT_EQ(got.rejected, want.rejected);
+    EXPECT_EQ(got.duplicates, want.duplicates);
+    EXPECT_EQ(got.yielded, want.yielded);
+}
+
+void
+expectStatsInvariants(const dataflow::EnumerateStats &stats,
+                      std::size_t yielded)
+{
+    EXPECT_EQ(stats.codesExamined, stats.orbitSkipped + stats.decoded);
+    EXPECT_EQ(stats.decoded,
+              stats.rejected + stats.duplicates + stats.yielded);
+    EXPECT_EQ(std::size_t(stats.yielded), yielded);
+    EXPECT_LE(stats.codesExamined, stats.codesTotal);
+}
+
+// The streaming scan (any thread count, orbit skipping on or off) must
+// reproduce the pre-streaming oracle's serial scan byte for byte:
+// matrices, names, dedup winners, and per-item signatures.
+TEST(EnumerateStream, MatchesOracleByteForByteAtEveryThreadCount)
+{
+    for (const auto &scenario : enumScenarios()) {
+        SCOPED_TRACE(scenario.label);
+        auto oracle_options = scenario.options;
+        oracle_options.threads = 1;
+        auto oracle = dataflow::detail::enumerateTransformsOracle(
+                scenario.spec, oracle_options);
+
+        dataflow::EnumerateStats serial_stats;
+        for (std::size_t threads : {1u, 2u, 4u}) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            for (bool orbit : {true, false}) {
+                auto options = scenario.options;
+                options.threads = threads;
+                options.orbitCanonical = orbit;
+                dataflow::EnumerateStats stats;
+                auto streamed = dataflow::enumerateTransforms(
+                        scenario.spec, options, &stats);
+                expectSameTransforms(streamed, oracle);
+                expectStatsInvariants(stats, streamed.size());
+                if (!orbit) {
+                    EXPECT_EQ(stats.orbitSkipped, 0);
+                } else if (threads == 1) {
+                    serial_stats = stats;
+                } else {
+                    expectSameStats(stats, serial_stats);
+                }
+            }
+        }
+    }
+}
+
+// The pull API itself: items arrive in code order with consistent
+// indices, names, and signatures, and every yielded item's signature
+// matches an independent re-decode of its code.
+TEST(EnumerateStream, PullStreamYieldsConsistentItems)
+{
+    auto spec = func::matmulSpec();
+    dataflow::EnumerateOptions options;
+    options.maxCoeff = 2;
+    options.minCoeff = -2;
+    options.threads = 2;
+    dataflow::TransformStream stream(spec, options);
+    dataflow::EnumeratedTransform item;
+    std::int64_t last_code = -1;
+    std::size_t count = 0;
+    while (stream.next(item)) {
+        EXPECT_GT(item.code, last_code);
+        last_code = item.code;
+        EXPECT_EQ(item.index, count);
+        EXPECT_EQ(item.transform.name(),
+                  "enumerated-" + std::to_string(count));
+        IntMatrix decoded(0, 0);
+        std::vector<std::int64_t> signature;
+        ASSERT_TRUE(dataflow::detail::decodeCandidate(
+                spec, options, item.code, &decoded, &signature));
+        EXPECT_EQ(decoded, item.transform.matrix());
+        EXPECT_EQ(signature, item.signature);
+        EXPECT_TRUE(dataflow::detail::codeIsOrbitCanonical(spec, options,
+                                                           item.code));
+        count++;
+    }
+    EXPECT_GT(count, 0u);
+    expectStatsInvariants(stream.stats(), count);
+    EXPECT_EQ(stream.stats().codesExamined, stream.stats().codesTotal);
+}
+
+// Aborting via the sink finalizes stats at the last yielded code.
+TEST(EnumerateStream, SinkAbortFinalizesStats)
+{
+    auto spec = func::matmulSpec();
+    dataflow::EnumerateOptions options;
+    options.threads = 2;
+    dataflow::EnumerateStats stats;
+    std::size_t seen = 0;
+    dataflow::forEachTransform(
+            spec, options,
+            [&](const dataflow::EnumeratedTransform &) {
+                return ++seen < 5;
+            },
+            &stats);
+    EXPECT_EQ(seen, 5u);
+    expectStatsInvariants(stats, 5);
+}
+
+// The small-limit wart, fixed: the scan must have exactly-serial limit
+// semantics (results AND stats) at every thread count, for limits
+// below, at, and above the survivor count.
+TEST(EnumerateStream, LimitSemanticsAreExactlySerialAtEveryThreadCount)
+{
+    auto spec = func::matmulSpec();
+    dataflow::EnumerateOptions base;
+    base.minCoeff = -2;
+    base.maxCoeff = 2;
+    base.maxHopLength = 2;
+    base.limit = 1u << 20;
+    base.threads = 1;
+    auto all = dataflow::detail::enumerateTransformsOracle(spec, base);
+    ASSERT_GT(all.size(), 8u);
+
+    const std::size_t limits[] = {1, 2, 7, all.size(), 1u << 20};
+    for (std::size_t limit : limits) {
+        SCOPED_TRACE("limit " + std::to_string(limit));
+        auto oracle_options = base;
+        oracle_options.limit = limit;
+        // The serial oracle yields in code order and early-exits at the
+        // limit, so its result is a prefix of the unlimited scan; only
+        // re-run it for the small limits, where the early exit makes it
+        // cheap, as a sanity check of that very claim.
+        std::vector<dataflow::SpaceTimeTransform> oracle(
+                all.begin(),
+                all.begin() +
+                        std::ptrdiff_t(std::min(limit, all.size())));
+        if (limit <= 7)
+            expectSameTransforms(dataflow::detail::enumerateTransformsOracle(
+                                         spec, oracle_options),
+                                 oracle);
+        EXPECT_EQ(oracle.size(), std::min(limit, all.size()));
+
+        dataflow::EnumerateStats serial_stats;
+        for (std::size_t threads : {1u, 2u, 4u}) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            auto options = oracle_options;
+            options.threads = threads;
+            dataflow::EnumerateStats stats;
+            auto streamed = dataflow::enumerateTransforms(spec, options,
+                                                          &stats);
+            expectSameTransforms(streamed, oracle);
+            expectStatsInvariants(stats, streamed.size());
+            if (threads == 1)
+                serial_stats = stats;
+            else
+                expectSameStats(stats, serial_stats);
+        }
+    }
+}
+
+void
+expectSameCandidates(const std::vector<accel::DseCandidate> &got,
+                     const std::vector<accel::DseCandidate> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); i++) {
+        EXPECT_EQ(got[i].enumIndex, want[i].enumIndex) << "rank " << i;
+        EXPECT_EQ(got[i].transform.name(), want[i].transform.name())
+                << "rank " << i;
+        EXPECT_EQ(got[i].transform.matrix(), want[i].transform.matrix())
+                << "rank " << i;
+        EXPECT_EQ(got[i].pes, want[i].pes) << "rank " << i;
+        EXPECT_EQ(got[i].scheduleLength, want[i].scheduleLength)
+                << "rank " << i;
+        EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;
+    }
+}
+
+void
+expectDseInvariants(const accel::DseStats &stats)
+{
+    EXPECT_EQ(stats.evaluated + stats.prunedEarly + stats.prepassFiltered +
+                      stats.analyticFiltered + stats.failed,
+              stats.enumerated);
+    EXPECT_EQ(stats.orbitSkipped,
+              std::size_t(stats.enumeration.orbitSkipped));
+    EXPECT_EQ(stats.enumeration.codesExamined,
+              stats.enumeration.orbitSkipped + stats.enumeration.decoded);
+    EXPECT_EQ(stats.enumeration.decoded,
+              stats.enumeration.rejected + stats.enumeration.duplicates +
+                      stats.enumeration.yielded);
+    EXPECT_EQ(stats.enumerated, std::size_t(stats.enumeration.yielded));
+}
+
+// Tiered DSE end to end: the fused streaming front half, the
+// materialized analytic tier, and brute-force full elaboration must
+// produce the same top-K, and the fused path's counters must equal the
+// materialized path's exactly — at 1 and 4 evaluation threads, with
+// and without a maxPes prune.
+TEST(EnumerateStream, TieredDseStreamedEqualsMaterializedEqualsFull)
+{
+    auto spec = func::matmulSpec();
+    IntVec bounds{4, 4, 4};
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+
+    for (std::int64_t max_pes : {0ll, 40ll}) {
+        SCOPED_TRACE("maxPes " + std::to_string(max_pes));
+        accel::DseOptions base;
+        base.topK = 6;
+        base.maxPes = max_pes;
+        base.enumerate.maxHopLength = 3;
+        base.enumerate.minCoeff = -2;
+        base.enumerate.maxCoeff = 2;
+        base.enumerate.limit = 1200;
+        base.threads = 1;
+
+        // Brute force: every survivor fully elaborated.
+        auto full_options = base;
+        full_options.streamEnumeration = false;
+        accel::DseStats full_stats;
+        auto full = accel::exploreDataflows(spec, bounds, full_options,
+                                            area_params, timing_params,
+                                            &full_stats);
+        expectDseInvariants(full_stats);
+
+        accel::DseStats streamed_serial_stats;
+        for (std::size_t threads : {1u, 4u}) {
+            SCOPED_TRACE("threads " + std::to_string(threads));
+            auto tier = base;
+            tier.threads = threads;
+            tier.analyticTopK = 12;
+
+            auto streamed_options = tier;
+            streamed_options.streamEnumeration = true;
+            accel::DseStats streamed_stats;
+            auto streamed = accel::exploreDataflows(
+                    spec, bounds, streamed_options, area_params,
+                    timing_params, &streamed_stats);
+
+            auto materialized_options = tier;
+            materialized_options.streamEnumeration = false;
+            accel::DseStats materialized_stats;
+            auto materialized = accel::exploreDataflows(
+                    spec, bounds, materialized_options, area_params,
+                    timing_params, &materialized_stats);
+
+            expectSameCandidates(streamed, materialized);
+            expectSameCandidates(streamed, full);
+            expectDseInvariants(streamed_stats);
+            expectDseInvariants(materialized_stats);
+
+            EXPECT_EQ(streamed_stats.enumerated,
+                      materialized_stats.enumerated);
+            EXPECT_EQ(streamed_stats.prunedEarly,
+                      materialized_stats.prunedEarly);
+            EXPECT_EQ(streamed_stats.analyticRanked,
+                      materialized_stats.analyticRanked);
+            EXPECT_EQ(streamed_stats.analyticFiltered,
+                      materialized_stats.analyticFiltered);
+            EXPECT_EQ(streamed_stats.evaluated,
+                      materialized_stats.evaluated);
+            EXPECT_EQ(streamed_stats.failed, materialized_stats.failed);
+            EXPECT_EQ(streamed_stats.orbitSkipped,
+                      materialized_stats.orbitSkipped);
+            expectSameStats(streamed_stats.enumeration,
+                            materialized_stats.enumeration);
+            if (threads == 1)
+                streamed_serial_stats = streamed_stats;
+            else {
+                EXPECT_EQ(streamed_stats.evaluated,
+                          streamed_serial_stats.evaluated);
+                expectSameStats(streamed_stats.enumeration,
+                                streamed_serial_stats.enumeration);
+            }
+        }
+    }
+}
+
+// The fused path with too few survivors for the tier to filter must
+// behave exactly like the materialized tier-skip: all survivors
+// elaborated, analytic counters zero.
+TEST(EnumerateStream, FusedTierSkipsWhenSurvivorsFitInK)
+{
+    auto spec = func::matmulSpec();
+    IntVec bounds{4, 4, 4};
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    accel::DseOptions options;
+    options.topK = 6;
+    options.threads = 1;
+    options.analyticTopK = 4096; // far above the hop-2 survivor count
+    options.streamEnumeration = true;
+    accel::DseStats stats;
+    auto candidates = accel::exploreDataflows(
+            spec, bounds, options, area_params, timing_params, &stats);
+    EXPECT_FALSE(candidates.empty());
+    expectDseInvariants(stats);
+    EXPECT_EQ(stats.analyticRanked, 0u);
+    EXPECT_EQ(stats.analyticFiltered, 0u);
+    EXPECT_EQ(stats.evaluated, stats.enumerated);
+}
+
+} // namespace
+} // namespace stellar

@@ -57,7 +57,8 @@ TEST(Fuzz, InvariantHoldsAcrossAllDomains)
 TEST(Fuzz, InvariantHoldsPerDomain)
 {
     for (auto domain : {FuzzDomain::Spec, FuzzDomain::Transform,
-                        FuzzDomain::MatrixMarket, FuzzDomain::Request}) {
+                        FuzzDomain::MatrixMarket, FuzzDomain::Request,
+                        FuzzDomain::Enumerate}) {
         FuzzOptions options;
         options.iterations = 60;
         options.seed = 7;

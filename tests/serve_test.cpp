@@ -189,6 +189,52 @@ TEST(ServeProtocol, EnforcesProtocolCaps)
                  FatalError);
 }
 
+TEST(ServeProtocol, ParsesStreamToggleAndDefaultsOn)
+{
+    // Streaming is the default (byte-identical to materialized, so the
+    // served contract is unchanged); "stream":false forces the
+    // materialized path — the differential tests' knob over the wire.
+    Request defaults = serve::parseRequest("{\"command\":\"dse\"}");
+    EXPECT_TRUE(defaults.dse.stream);
+    Request off = serve::parseRequest(
+            "{\"command\":\"dse\",\"stream\":false}");
+    EXPECT_FALSE(off.dse.stream);
+    Request on = serve::parseRequest(
+            "{\"command\":\"dse\",\"stream\":true}");
+    EXPECT_TRUE(on.dse.stream);
+    // sim has no stream field.
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"sim\",\"stream\":true}"),
+                 FatalError);
+}
+
+TEST(ServeProtocol, RejectsScansBeyondTheCodeBudget)
+{
+    // The per-field maxCoeff cap admits 4, but (2*4+1)^9 = 387M codes
+    // exceeds the 1e8 admission budget on scan size, so the request is
+    // rejected at parse time — before any enumeration work starts.
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"max_coeff\":4}"),
+                 FatalError);
+    // (2*3+1)^9 = 40.4M codes: admitted.
+    EXPECT_NO_THROW(serve::parseRequest(
+            "{\"command\":\"dse\",\"max_coeff\":3}"));
+    try {
+        serve::parseRequest("{\"command\":\"dse\",\"max_coeff\":4}");
+        FAIL() << "over-budget scan must be rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("coefficient codes"),
+                  std::string::npos)
+                << err.what();
+    }
+    // A tighter server budget bites even at small coefficient ranges.
+    RequestLimits limits;
+    limits.maxScanCodes = 10000;
+    EXPECT_THROW(serve::parseRequest(
+                         "{\"command\":\"dse\",\"max_coeff\":1}", limits),
+                 FatalError);
+}
+
 TEST(ServeProtocol, RejectsOversizedRequests)
 {
     RequestLimits limits;
