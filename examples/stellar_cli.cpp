@@ -25,14 +25,22 @@
  * Both commands share the process-wide workload cache
  * (workloads::Cache); `--no-cache` disables it and `--cache-stats`
  * prints its counters to stderr (output on stdout is byte-identical
- * either way).
+ * either way). `--spill-dir DIR` adds the disk-spill tier: LRU victims
+ * serialize to checksummed files under DIR and reload on miss.
+ *
+ * Distributed DSE: `dse --shard i/N --emit-records FILE` scans one
+ * contiguous slice of the candidate space into a versioned records
+ * file; `merge FILE...` folds the N shard files back into the exact
+ * single-process ranking (docs/DISTRIBUTED.md).
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "accel/designs.hpp"
 #include "accel/pipeline.hpp"
@@ -57,6 +65,8 @@ usage()
 {
     std::printf(
             "usage: stellar_cli <design> [options]\n"
+            "       stellar_cli merge FILE... [--threads T] "
+            "[--no-timings]\n"
             "  designs: gemmini scnn outerspace gamma sparch a100 "
             "pipeline dse sim\n"
             "  --dim N           array dimension (default 8)\n"
@@ -110,6 +120,19 @@ usage()
             "(byte-identical\n"
             "                    output; the streamed path is the "
             "default)\n"
+            "  --shard I/N       scan only shard I of N (a contiguous "
+            "slice of the\n"
+            "                    orbit-canonical code space); requires "
+            "--emit-records\n"
+            "                    and --analytic-top-k\n"
+            "  --emit-records F  write the shard's candidate records to "
+            "F instead of\n"
+            "                    printing a ranking (fold shards with "
+            "`merge`)\n"
+            "  merge options: FILE... plus --threads, --step-budget, "
+            "--time-budget,\n"
+            "                 --fail-fast, --retry-wall-clock, "
+            "--no-timings\n"
             "  sim options:\n"
             "  --workload W      scnn (pruned AlexNet) or outerspace "
             "(SuiteSparse suite)\n"
@@ -124,7 +147,15 @@ usage()
             "  --no-cache        disable the workload cache (identical "
             "output, no reuse)\n"
             "  --cache-stats     print workload-cache counters to "
-            "stderr on exit\n");
+            "stderr on exit\n"
+            "  --spill-dir DIR   spill workload-cache LRU victims to "
+            "checksummed files\n"
+            "                    under DIR and reload them on miss "
+            "(identical output;\n"
+            "                    corrupt files re-synthesize silently)\n"
+            "  --spill-budget B  cap the spill directory at B bytes "
+            "(0 = unbounded);\n"
+            "                    oldest spill files age out first\n");
 }
 
 // The sim/dse implementations live in serve/commands.{hpp,cpp}: the
@@ -151,6 +182,11 @@ main(int argc, char **argv)
     dse_request.threads = 0; // CLI default: hardware concurrency
     dse_request.timings = true;
     bool cache_stats = false;
+    std::int64_t shard_index = 0, shard_count = 0; // 0 = unsharded
+    std::string emit_records;
+    std::string spill_dir;
+    std::uint64_t spill_budget = 0;
+    std::vector<std::string> merge_inputs;
     for (int i = 2; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -220,11 +256,32 @@ main(int argc, char **argv)
             dse_request.timings = false;
         else if (arg == "--no-stream")
             dse_request.stream = false;
+        else if (arg == "--shard") {
+            long long index = 0, count = 0;
+            if (std::sscanf(next(), "%lld/%lld", &index, &count) != 2 ||
+                count < 1 || index < 0 || index >= count) {
+                std::fprintf(stderr,
+                             "error: --shard wants I/N with 0 <= I < N\n");
+                return 1;
+            }
+            shard_index = index;
+            shard_count = count;
+        } else if (arg == "--emit-records")
+            emit_records = next();
+        else if (arg == "--spill-dir")
+            spill_dir = next();
+        else if (arg == "--spill-budget")
+            spill_budget = std::uint64_t(
+                    std::max<std::int64_t>(0, std::atoll(next())));
+        else if (design_name == "merge" && !arg.empty() && arg[0] != '-')
+            merge_inputs.push_back(arg);
         else {
             usage();
             return 1;
         }
     }
+    if (!spill_dir.empty())
+        workloads::Cache::global().setSpill(spill_dir, spill_budget);
 
     // stderr, not stdout: hit/miss splits depend on thread timing,
     // and stdout stays byte-identical with the cache on and off.
@@ -238,7 +295,33 @@ main(int argc, char **argv)
     try {
         if (design_name == "dse") {
             dse_request.dim = dim;
+            if (shard_count > 0 || !emit_records.empty()) {
+                serve::ShardScanRequest shard_request;
+                shard_request.dse = dse_request;
+                shard_request.shardIndex = shard_index;
+                shard_request.shardCount =
+                        shard_count > 0 ? shard_count : 1;
+                shard_request.outPath = emit_records;
+                auto rendered = serve::renderShardScan(shard_request);
+                std::printf("%s", rendered.output.c_str());
+                report_cache();
+                return rendered.exitCode;
+            }
             auto rendered = serve::renderDse(dse_request);
+            std::printf("%s", rendered.output.c_str());
+            report_cache();
+            return rendered.exitCode;
+        }
+        if (design_name == "merge") {
+            serve::MergeRequest merge_request;
+            merge_request.inputs = merge_inputs;
+            merge_request.threads = dse_request.threads;
+            merge_request.stepBudget = dse_request.stepBudget;
+            merge_request.timeBudgetMillis = dse_request.timeBudgetMillis;
+            merge_request.retryWallClock = dse_request.retryWallClock;
+            merge_request.failFast = dse_request.failFast;
+            merge_request.timings = dse_request.timings;
+            auto rendered = serve::renderMerge(merge_request);
             std::printf("%s", rendered.output.c_str());
             report_cache();
             return rendered.exitCode;

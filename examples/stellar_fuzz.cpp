@@ -15,8 +15,8 @@
  *   --seed S         base seed; iteration i of seed S is always the
  *                    same input (default 1)
  *   --domain D       restrict to one domain: spec, transform, mtx,
- *                    request, enumerate (default: round-robin over all
- *                    five)
+ *                    request, enumerate, records (default: round-robin
+ *                    over all six)
  *   --step-budget B  watchdog step budget per replay (default 200000)
  *   --time-budget MS watchdog wall-clock deadline per replay (0 = none)
  *   --repro-dir DIR  dump violating inputs under DIR (default
@@ -354,16 +354,18 @@ main(int argc, char **argv)
                 options.domains = {util::fuzz::FuzzDomain::Request};
             else if (domain == "enumerate")
                 options.domains = {util::fuzz::FuzzDomain::Enumerate};
+            else if (domain == "records")
+                options.domains = {util::fuzz::FuzzDomain::Records};
             else {
                 std::fprintf(stderr, "unknown domain '%s' (want spec, "
-                                     "transform, mtx, request, or "
-                                     "enumerate)\n",
+                                     "transform, mtx, request, "
+                                     "enumerate, or records)\n",
                              domain.c_str());
                 return 1;
             }
         } else {
             std::printf("usage: stellar_fuzz [--iterations N] [--seed S] "
-                        "[--domain spec|transform|mtx|request|enumerate] "
+                        "[--domain spec|transform|mtx|request|enumerate|records] "
                         "[--step-budget B] [--time-budget MS] "
                         "[--repro-dir DIR] [--no-minimize] "
                         "[--soak SOCKET] [--soak-threads N] "

@@ -4,7 +4,8 @@
 # (STELLAR_TSAN). Each tree lives under build-matrix/<name> so the
 # matrix never disturbs an existing build/ directory.
 #
-# usage: scripts/check_matrix.sh [--fuzz-smoke] [--serve-smoke] [tree ...]
+# usage: scripts/check_matrix.sh [--fuzz-smoke] [--serve-smoke]
+#            [--shard-smoke] [tree ...]
 #   tree: any of plain, asan, tsan (default: all three)
 #   --fuzz-smoke: after the asan tree passes, replay a short
 #       stellar_fuzz soak (200 iterations, seed 1) inside it, so the
@@ -15,6 +16,11 @@
 #       hostile wire requests, then SIGTERM it and require a clean
 #       drained exit (the long 2k-request soak lives in CI's serve-soak
 #       job)
+#   --shard-smoke: after the asan tree passes, split a hop-2 DSE sweep
+#       into 4 shard-records files inside it and require the merge to
+#       be byte-identical to the single-process run, and an incomplete
+#       shard set to be rejected (the full hop-3 differential lives in
+#       CI's dse-shard job)
 #
 # Every requested tree runs even when an earlier one fails; the per-tree
 # statuses are reported at the end and the script exits nonzero if any
@@ -33,6 +39,42 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 
 fuzz_smoke=0
 serve_smoke=0
+shard_smoke=0
+
+# Split a small sweep across 4 shard scans in an already-built tree,
+# merge the records files, and require byte-identity with the
+# single-process run plus fail-closed rejection of an incomplete set.
+shard_smoke_run() {
+    local dir="$1"
+    local tmp="${dir}/shard-smoke"
+    local cli="${dir}/examples/stellar_cli"
+    rm -rf "${tmp}"
+    mkdir -p "${tmp}"
+    local sweep="--dim 8 --max-hop 2 --max-coeff 2 --topk 8 \
+        --analytic-top-k 12 --no-timings --threads 2"
+    # shellcheck disable=SC2086
+    "${cli}" dse ${sweep} >"${tmp}/single.out" || return 1
+    local i
+    for i in 0 1 2 3; do
+        # shellcheck disable=SC2086
+        "${cli}" dse ${sweep} --shard "${i}/4" \
+            --emit-records "${tmp}/shard${i}.records" >/dev/null ||
+            return 1
+    done
+    "${cli}" merge "${tmp}/shard0.records" "${tmp}/shard1.records" \
+        "${tmp}/shard2.records" "${tmp}/shard3.records" \
+        --no-timings --threads 2 >"${tmp}/merged.out" || return 1
+    if ! cmp "${tmp}/single.out" "${tmp}/merged.out"; then
+        echo "shard smoke: merged ranking diverged from single-process" >&2
+        return 1
+    fi
+    if "${cli}" merge "${tmp}/shard0.records" "${tmp}/shard1.records" \
+        "${tmp}/shard2.records" >/dev/null 2>&1; then
+        echo "shard smoke: merge accepted an incomplete shard set" >&2
+        return 1
+    fi
+    return 0
+}
 
 # Boot the daemon from an already-built tree, drive it over the wire,
 # and require a graceful SIGTERM drain. Everything a robustness bug
@@ -113,6 +155,10 @@ build_and_test() {
         echo "==== [${name}] serve smoke (live daemon, 200-request soak) ===="
         serve_smoke_run "${dir}" || return 1
     fi
+    if [ "${name}" = asan ] && [ "${shard_smoke}" -eq 1 ]; then
+        echo "==== [${name}] shard smoke (4-way split, bit-exact merge) ===="
+        shard_smoke_run "${dir}" || return 1
+    fi
     return 0
 }
 
@@ -121,9 +167,10 @@ for arg in "$@"; do
     case "${arg}" in
     --fuzz-smoke) fuzz_smoke=1 ;;
     --serve-smoke) serve_smoke=1 ;;
+    --shard-smoke) shard_smoke=1 ;;
     plain | asan | tsan) trees+=("${arg}") ;;
     *)
-        echo "unknown argument '${arg}' (expected --fuzz-smoke, --serve-smoke, plain, asan, or tsan)" >&2
+        echo "unknown argument '${arg}' (expected --fuzz-smoke, --serve-smoke, --shard-smoke, plain, asan, or tsan)" >&2
         exit 1
         ;;
     esac

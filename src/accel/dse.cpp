@@ -375,6 +375,23 @@ exploreDataflows(const func::FunctionalSpec &functional,
         work.emplace_back(index, std::move(transforms[index]));
     } // end materialized front half
 
+    auto candidates = evaluateAndRank(std::move(work), functional, bounds,
+                                      options, area_params, timing_params,
+                                      local);
+
+    if (stats)
+        *stats = local;
+    return candidates;
+}
+
+std::vector<DseCandidate>
+evaluateAndRank(
+        std::vector<std::pair<std::size_t, dataflow::SpaceTimeTransform>>
+                work,
+        const func::FunctionalSpec &functional, const IntVec &bounds,
+        const DseOptions &options, const model::AreaParams &area_params,
+        const model::TimingParams &timing_params, DseStats &local)
+{
     auto evaluate_start = Clock::now();
     // Each slot is evaluated independently; a throwing candidate leaves
     // its result slot empty and its exception in `errors`. Failure
@@ -488,9 +505,6 @@ exploreDataflows(const func::FunctionalSpec &functional,
     if (candidates.size() > options.topK)
         candidates.resize(options.topK);
     local.rankMs = msSince(rank_start);
-
-    if (stats)
-        *stats = local;
     return candidates;
 }
 

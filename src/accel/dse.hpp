@@ -323,6 +323,26 @@ std::vector<DseCandidate> exploreDataflows(
         DseStats *stats = nullptr);
 
 /**
+ * The evaluate + rank back half of exploreDataflows: elaborate and
+ * exactly score each `(enumIndex, transform)` work item (threaded per
+ * `options.threads`, failures isolated per `options.isolateFailures`,
+ * memo consulted per `options.memo`), classify failures in work order,
+ * then sort by (score, enumIndex) and truncate to `options.topK`.
+ * Fills the evaluate/rank fields of `stats` (evaluated, failed,
+ * failedByKind, failures, retried, retrySucceeded, threadsUsed,
+ * evaluateMs, rankMs). Exposed so the shard-merge path
+ * (src/accel/records.hpp) elaborates its folded survivor set through
+ * exactly this code, keeping merged output byte-identical to a
+ * single-process run.
+ */
+std::vector<DseCandidate> evaluateAndRank(
+        std::vector<std::pair<std::size_t, dataflow::SpaceTimeTransform>>
+                work,
+        const func::FunctionalSpec &functional, const IntVec &bounds,
+        const DseOptions &options, const model::AreaParams &area_params,
+        const model::TimingParams &timing_params, DseStats &stats);
+
+/**
  * The analyticPrepass proxy ranking used by exploreDataflows: probe
  * every worklist candidate in closed form against `probe_space`, rank
  * by (saturated, scheduleLength x PEs proxy, enumeration index), and

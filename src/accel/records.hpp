@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Versioned, checksummed per-shard candidate records — the transport
+ * layer that lifts the DSE's any-thread-count byte-identity contract
+ * one level, to *processes*.
+ *
+ * A shard scan (`scanShard`) owns one contiguous slice of the
+ * orbit-canonical coefficient-code space (the same `total*i/N` split
+ * the sharded oracle uses, via EnumerateOptions::{shardIndex,
+ * shardCount}) and records every locally-deduplicated survivor: its
+ * code, matrix, dedup signature, closed-form analytic score, and the
+ * serial-equivalent scan counters through that yield. The merge
+ * (`mergeShardRecords`) folds N shard files in code order against a
+ * global signature set — exactly the consuming walk TransformStream
+ * runs over its chunks, lifted to files — then elaborates the folded
+ * survivor set through the same `evaluateAndRank` back half a
+ * single-process run uses. The merged ranking and `DseStats` are
+ * therefore bit-for-bit what one process scanning the whole space
+ * would produce (tests/shard_merge_test.cpp pins this differentially).
+ *
+ * The on-disk format mirrors serve::snapshot: a `util::json` document
+ * carrying a version, a kind tag, and an FNV-1a checksum over the
+ * re-serialized payload, so any damaged byte is rejected as a
+ * classified FatalError before a single record is admitted. Mixed
+ * versions, overlapping or gapped ranges, and shuffled input order are
+ * all detected at merge time.
+ */
+
+#ifndef STELLAR_ACCEL_RECORDS_HPP
+#define STELLAR_ACCEL_RECORDS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/dse.hpp"
+#include "dataflow/enumerate.hpp"
+#include "model/params.hpp"
+
+namespace stellar::accel
+{
+
+/** Format version; a mismatch is a classified load error. */
+inline constexpr int kRecordsVersion = 1;
+
+/**
+ * The scan parameters every shard of one sweep must agree on. These
+ * mirror the serve-protocol DseRequest knobs that shape the candidate
+ * space; eval-side knobs (threads, budgets) deliberately stay out —
+ * they never change the ranking.
+ */
+struct ShardConfig
+{
+    std::int64_t dim = 8;        //!< cubic matmul elaboration bound
+    std::int64_t maxHop = 2;     //!< EnumerateOptions::maxHopLength
+    std::int64_t maxCoeff = 1;   //!< coefficient range is [-maxCoeff, maxCoeff]
+    std::int64_t topK = 10;      //!< final ranking depth
+    std::int64_t analyticTopK = 0; //!< analytic-tier survivors
+    std::int64_t enumLimit = 4096; //!< global survivor cap (merge-side)
+    std::int64_t maxPes = 0;     //!< exact PE-count prune (0 = off)
+};
+
+bool operator==(const ShardConfig &a, const ShardConfig &b);
+
+/** The contiguous code slice one shard file covers. */
+struct ShardRange
+{
+    std::int64_t shardIndex = 0;
+    std::int64_t shardCount = 1;
+    std::int64_t lo = 0; //!< first code owned (inclusive)
+    std::int64_t hi = 0; //!< first code not owned (exclusive)
+    std::int64_t codesTotal = 0; //!< the full space, range^(n^2)
+};
+
+/**
+ * One locally-deduplicated survivor of a shard scan. The `*After`
+ * counters are the serial-equivalent shard-relative scan accounting
+ * through this yield (EnumeratedTransform's snapshot fields), which is
+ * what lets the merge reproduce a `--enum-limit` stop's stats exactly
+ * even when the limit falls mid-shard.
+ */
+struct CandidateRecord
+{
+    std::int64_t code = 0;
+    std::int64_t localIndex = 0; //!< 0-based shard-local yield order
+    IntMatrix matrix;
+    std::vector<std::int64_t> signature;
+
+    /** Exact analytic PE count (the merge re-derives the maxPes prune
+     *  from this, never from a stored verdict). */
+    std::int64_t analyticPes = 0;
+
+    /** Closed-form analytic score; unset (0, unsaturated) when the
+     *  record was maxPes-pruned and never scored. */
+    bool saturated = false;
+    double score = 0.0;
+
+    std::int64_t examinedAfter = 0;
+    std::int64_t decodedAfter = 0;
+    std::int64_t rejectedAfter = 0;
+    std::int64_t duplicatesAfter = 0;
+};
+
+/** One shard file's worth of scan output. */
+struct ShardRecords
+{
+    ShardConfig config;
+    ShardRange range;
+
+    /** Full-slice scan accounting (codesTotal = whole space; the other
+     *  counters cover only [range.lo, range.hi)). */
+    dataflow::EnumerateStats stats;
+
+    std::vector<CandidateRecord> records;
+};
+
+/**
+ * Scan shard `shard_index` of `shard_count` and record every local
+ * survivor with its analytic score. The scan ignores
+ * `config.enumLimit` (the limit is a *global* property only the merge
+ * can apply) and records pruned survivors too, so the merge can fold
+ * counters exactly. `threads` is the scan thread count (0 = hardware
+ * concurrency; the records are byte-identical at any value).
+ */
+ShardRecords scanShard(const func::FunctionalSpec &functional,
+                       const IntVec &bounds, const ShardConfig &config,
+                       std::int64_t shard_index, std::int64_t shard_count,
+                       std::size_t threads,
+                       const model::AreaParams &area_params,
+                       const model::TimingParams &timing_params);
+
+/** Serialize to the versioned, checksummed JSON document. */
+std::string serializeShardRecords(const ShardRecords &shard);
+
+/**
+ * Parse and fully validate one shard document. Rejects wrong kind,
+ * version mismatch, checksum mismatch, malformed shapes, out-of-range
+ * or non-monotone codes, and counter-invariant violations — all as
+ * classified FatalError, never an unclassified throw.
+ */
+ShardRecords parseShardRecords(const std::string &text);
+
+/** Atomic (write-temp-then-rename) save of one shard file. */
+void saveShardRecordsFile(const ShardRecords &shard,
+                          const std::string &path);
+
+/** Load + parse one shard file; missing file is a classified error. */
+ShardRecords loadShardRecordsFile(const std::string &path);
+
+/** Eval-side knobs for the merge's elaboration pass (the knobs that
+ *  never change the ranking, so they live outside ShardConfig). */
+struct MergeEvalOptions
+{
+    std::size_t threads = 0;
+    std::int64_t stepBudget = 0;
+    std::int64_t timeBudgetMillis = 0;
+    bool retryWallClockTimeout = false;
+    bool isolateFailures = true;
+};
+
+/**
+ * Fold N shard files into the single-process ranking: validate that
+ * the shards form an exact partition of the code space under one
+ * config (any overlap, gap, duplicate index, or config mismatch is a
+ * classified error), replay the global consuming walk (signature
+ * dedup, maxPes prune, analytic top-K heap, `enumLimit` stop — in
+ * code order, so shuffled input-file order cannot change anything),
+ * then elaborate the survivors through `evaluateAndRank`. The
+ * returned candidates and `stats` match a single-process
+ * `exploreDataflows` run over the whole space bit-for-bit (timings
+ * excepted — they measure this process's walls).
+ */
+std::vector<DseCandidate> mergeShardRecords(
+        std::vector<ShardRecords> shards,
+        const func::FunctionalSpec &functional, const IntVec &bounds,
+        const MergeEvalOptions &eval,
+        const model::AreaParams &area_params,
+        const model::TimingParams &timing_params, DseStats *stats);
+
+/** Deterministic corruption modes for the gauntlet tests and the
+ *  records fuzz domain (mirrors serve::SnapshotCorruption). */
+enum class RecordsCorruption
+{
+    TruncateTail,    //!< cut the document in half
+    FlipByte,        //!< damage one payload digit (parses; checksum fails)
+    VersionBump,     //!< claim an unsupported version
+    ChecksumClobber, //!< damage the stored checksum itself
+    GarbageHeader,   //!< prepend non-JSON bytes
+};
+
+/** Apply one corruption mode to a serialized shard document. */
+std::string corruptShardRecords(std::string text, RecordsCorruption mode);
+
+} // namespace stellar::accel
+
+#endif // STELLAR_ACCEL_RECORDS_HPP

@@ -448,6 +448,33 @@ chunkBounds(std::int64_t total)
     return out;
 }
 
+/**
+ * Chunk schedule restricted to the options' shard slice: the bounds of
+ * `chunkBounds(hi - lo)` shifted by `lo`, where [lo, hi) is slice
+ * `shardIndex` of `shardCount` equal contiguous pieces of the full
+ * space — the same `total*i/N` arithmetic as the sharded oracle, so
+ * the N slices partition [0, total) exactly. The scan itself needs no
+ * other change: `nextCanonical` works from any starting code.
+ */
+std::vector<std::pair<std::int64_t, std::int64_t>>
+shardChunkBounds(const Geometry &g, const EnumerateOptions &options)
+{
+    if (options.shardCount <= 0)
+        return chunkBounds(g.total);
+    require(options.shardIndex >= 0 &&
+                    options.shardIndex < options.shardCount,
+            "enumeration shard index out of range");
+    std::int64_t lo = g.total * options.shardIndex / options.shardCount;
+    std::int64_t hi =
+            g.total * (options.shardIndex + 1) / options.shardCount;
+    auto out = chunkBounds(hi - lo);
+    for (auto &bounds : out) {
+        bounds.first += lo;
+        bounds.second += lo;
+    }
+    return out;
+}
+
 } // namespace
 
 struct TransformStream::Impl
@@ -490,7 +517,7 @@ struct TransformStream::Impl
         : options(opts),
           g(geometryFor(checkedIndices(spec), opts)),
           recurrences(spec.recurrences()),
-          chunks(chunkBounds(g.total)),
+          chunks(shardChunkBounds(g, opts)),
           scanner(g, recurrences, options)
     {
         stats.codesTotal = g.total;
@@ -568,6 +595,10 @@ struct TransformStream::Impl
                 lastRejected = priorRejected + s.rejectedAfter;
                 lastDuplicates = priorDuplicates + s.duplicatesAfter +
                                  mergeDuplicates;
+                out.examinedAfter = lastExamined;
+                out.decodedAfter = lastDecoded;
+                out.rejectedAfter = lastRejected;
+                out.duplicatesAfter = lastDuplicates;
                 if (std::uint64_t(stats.yielded) >=
                     std::uint64_t(options.limit))
                     finalizeAtLastYield();

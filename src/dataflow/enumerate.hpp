@@ -75,6 +75,19 @@ struct EnumerateOptions
      * ranges canonicalize by row permutation only.
      */
     bool orbitCanonical = true;
+
+    /**
+     * Restrict the scan to shard `shardIndex` of `shardCount` equal
+     * contiguous slices of the coefficient-code space (the same
+     * `total*i/N` split the sharded oracle uses). `shardCount == 0`
+     * means unsharded; `shardCount == 1` is byte-identical to
+     * unsharded. Stats are range-relative: `codesTotal` stays the full
+     * space, the other counters cover only this shard's slice, so
+     * shard record files can be folded back into the single-process
+     * accounting (src/accel/records.hpp).
+     */
+    std::int64_t shardIndex = 0;
+    std::int64_t shardCount = 0;
 };
 
 /** Accounting for one enumeration scan (serial semantics at any thread
@@ -98,6 +111,19 @@ struct EnumeratedTransform
     std::size_t index = 0;  //!< 0-based yield order (the "enumerated-N" N)
     SpaceTimeTransform transform;
     std::vector<std::int64_t> signature;
+
+    /**
+     * Serial-equivalent scan accounting through this survivor's code
+     * (range-relative when sharded). A consumer that stops at this
+     * yield — or a merge tool folding shard record files — can
+     * reconstruct exactly the stats the serial scan would report here.
+     * Invariant: examinedAfter == decodedAfter + orbit-skipped codes
+     * and decodedAfter == rejectedAfter + duplicatesAfter + yields.
+     */
+    std::int64_t examinedAfter = 0;
+    std::int64_t decodedAfter = 0;
+    std::int64_t rejectedAfter = 0;
+    std::int64_t duplicatesAfter = 0;
 };
 
 /**

@@ -36,6 +36,27 @@ appendf(std::string &out, const char *format, ...)
                                    : sizeof(buffer) - 1);
 }
 
+/** The ranked-candidate table shared by renderDse and renderMerge —
+ *  one renderer, so shard/merge byte-identity is structural. */
+std::string
+candidateTable(const std::vector<accel::DseCandidate> &candidates)
+{
+    std::string out;
+    appendf(out, "rank  PEs     steps   score      transform (rows)\n");
+    int rank = 1;
+    for (const auto &candidate : candidates) {
+        std::string rows;
+        const auto &m = candidate.transform.matrix();
+        for (int r = 0; r < m.rows(); r++)
+            rows += vecToString(m.row(r)) + (r + 1 < m.rows() ? " " : "");
+        appendf(out, "%-5d %-7lld %-7lld %-10.4g %s\n", rank++,
+                (long long)candidate.pes,
+                (long long)candidate.scheduleLength, candidate.score,
+                rows.c_str());
+    }
+    return out;
+}
+
 } // namespace
 
 RenderResult
@@ -153,19 +174,87 @@ renderDse(const DseRequest &request, accel::DesignPointMemo *memo)
     auto candidates = accel::exploreDataflows(
             func::matmulSpec(), {dim, dim, dim}, options, area_params,
             timing_params, &result.dseStats);
+    result.output += candidateTable(candidates);
+    result.output += accel::dseStatsReport(result.dseStats,
+                                           request.timings);
+    result.exitCode = candidates.empty() ? 1 : 0;
+    return result;
+}
+
+RenderResult
+renderShardScan(const ShardScanRequest &request)
+{
+    if (request.shardCount < 1)
+        throw FatalError("--shard: shard count must be >= 1");
+    if (request.shardIndex < 0 || request.shardIndex >= request.shardCount)
+        throw FatalError("--shard: shard index must be in [0, count)");
+    if (request.outPath.empty())
+        throw FatalError("--shard requires --emit-records FILE");
+    if (request.dse.analyticTopK == 0)
+        throw FatalError("--shard requires --analytic-top-k >= 1 "
+                         "(shard scans are analytic-tier scans)");
+    if (!request.dse.stream)
+        throw FatalError("--shard requires the streamed enumeration "
+                         "(drop --no-stream)");
+    if (request.dse.prepass != 0)
+        throw FatalError("--shard is incompatible with --prepass "
+                         "(the analytic tier subsumes it)");
+
+    accel::ShardConfig config;
+    config.dim = request.dse.dim;
+    config.maxHop = request.dse.maxHop;
+    config.maxCoeff = request.dse.maxCoeff;
+    config.topK = std::int64_t(request.dse.topK);
+    config.analyticTopK = std::int64_t(request.dse.analyticTopK);
+    config.enumLimit = std::int64_t(request.dse.enumLimit);
+    config.maxPes = request.dse.maxPes;
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    int dim = request.dse.dim;
+    auto shard = accel::scanShard(func::matmulSpec(), {dim, dim, dim},
+                                  config, request.shardIndex,
+                                  request.shardCount, request.dse.threads,
+                                  area_params, timing_params);
+    accel::saveShardRecordsFile(shard, request.outPath);
+
+    RenderResult result;
     appendf(result.output,
-            "rank  PEs     steps   score      transform (rows)\n");
-    int rank = 1;
-    for (const auto &candidate : candidates) {
-        std::string rows;
-        const auto &m = candidate.transform.matrix();
-        for (int r = 0; r < m.rows(); r++)
-            rows += vecToString(m.row(r)) + (r + 1 < m.rows() ? " " : "");
-        appendf(result.output, "%-5d %-7lld %-7lld %-10.4g %s\n", rank++,
-                (long long)candidate.pes,
-                (long long)candidate.scheduleLength, candidate.score,
-                rows.c_str());
-    }
+            "shard %lld/%lld: codes [%lld, %lld) of %lld, "
+            "%lld records -> %s\n",
+            (long long)shard.range.shardIndex,
+            (long long)shard.range.shardCount, (long long)shard.range.lo,
+            (long long)shard.range.hi, (long long)shard.range.codesTotal,
+            (long long)shard.records.size(), request.outPath.c_str());
+    return result;
+}
+
+RenderResult
+renderMerge(const MergeRequest &request)
+{
+    if (request.inputs.empty())
+        throw FatalError("merge: no shard records files given");
+
+    std::vector<accel::ShardRecords> shards;
+    shards.reserve(request.inputs.size());
+    for (const auto &path : request.inputs)
+        shards.push_back(accel::loadShardRecordsFile(path));
+
+    accel::MergeEvalOptions eval;
+    eval.threads = request.threads;
+    eval.stepBudget = request.stepBudget;
+    eval.timeBudgetMillis = request.timeBudgetMillis;
+    eval.retryWallClockTimeout = request.retryWallClock;
+    eval.isolateFailures = !request.failFast;
+
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    int dim = int(shards.front().config.dim);
+    RenderResult result;
+    auto candidates = accel::mergeShardRecords(
+            std::move(shards), func::matmulSpec(), {dim, dim, dim}, eval,
+            area_params, timing_params, &result.dseStats);
+    result.output += candidateTable(candidates);
     result.output += accel::dseStatsReport(result.dseStats,
                                            request.timings);
     result.exitCode = candidates.empty() ? 1 : 0;

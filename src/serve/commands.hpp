@@ -19,8 +19,10 @@
 #define STELLAR_SERVE_COMMANDS_HPP
 
 #include <string>
+#include <vector>
 
 #include "accel/dse.hpp"
+#include "accel/records.hpp"
 #include "serve/protocol.hpp"
 
 namespace stellar::serve
@@ -57,6 +59,42 @@ RenderResult renderDse(const DseRequest &request,
  *  tests that call exploreDataflows directly). */
 accel::DseOptions dseOptionsFor(const DseRequest &request,
                                 accel::DesignPointMemo *memo);
+
+/**
+ * `stellar_cli dse --shard i/N --emit-records FILE`: scan one shard of
+ * the candidate space and write its records file instead of a ranking.
+ * Sharding is an analytic-tier transport, so the request must have the
+ * streamed analytic tier on (`analyticTopK > 0`, `stream`, no legacy
+ * prepass) — anything else is a FatalError before any work runs.
+ */
+struct ShardScanRequest
+{
+    DseRequest dse;
+    std::int64_t shardIndex = 0;
+    std::int64_t shardCount = 1;
+    std::string outPath;
+};
+
+RenderResult renderShardScan(const ShardScanRequest &request);
+
+/**
+ * `stellar_cli merge FILE...`: fold shard records files into the
+ * single-process ranking + stats report (byte-identical to the
+ * `stellar_cli dse` run over the whole space, timings excepted).
+ * Exit code 1 when nothing was evaluated, as renderDse does.
+ */
+struct MergeRequest
+{
+    std::vector<std::string> inputs;
+    std::size_t threads = 0;
+    std::int64_t stepBudget = 0;
+    std::int64_t timeBudgetMillis = 0;
+    bool retryWallClock = false;
+    bool failFast = false;
+    bool timings = false;
+};
+
+RenderResult renderMerge(const MergeRequest &request);
 
 } // namespace stellar::serve
 

@@ -11,6 +11,7 @@
 
 #include "accel/analytic.hpp"
 #include "accel/pipeline.hpp"
+#include "accel/records.hpp"
 #include "core/accelerator.hpp"
 #include "core/spatial_array.hpp"
 #include "dataflow/enumerate.hpp"
@@ -358,6 +359,137 @@ evaluateEnumerateInput(Rng &rng, const FuzzOptions &options,
     return {};
 }
 
+/**
+ * Records domain: scan a tiny sharded sweep into real ShardRecords
+ * documents, then attack the codec. A clean round-trip must be exact
+ * (serialize(parse(text)) == text) and the full partition must merge;
+ * every deterministic corruption mode must be *rejected*; arbitrary
+ * byte-level mutilations and merge misuse (a dropped or duplicated
+ * shard file) may fail, but only as classified failures — an
+ * unclassified throw, or a corruption mode that parses, is the
+ * violation. Property breaches throw std::logic_error (deliberately
+ * unclassified) so they surface with a seeded repro.
+ */
+EvalOutcome
+evaluateRecordsInput(Rng &rng, const FuzzOptions &options,
+                     std::string &input)
+{
+    accel::ShardConfig config;
+    config.dim = 2 + std::int64_t(rng.nextBounded(3));
+    config.maxHop = 1 + std::int64_t(rng.nextBounded(2));
+    config.maxCoeff = 1;
+    config.topK = 1 + std::int64_t(rng.nextBounded(8));
+    config.analyticTopK = 1 + std::int64_t(rng.nextBounded(6));
+    static const std::int64_t kLimits[] = {1, 2, 7, 100, 4096};
+    config.enumLimit = kLimits[rng.nextBounded(std::size(kLimits))];
+    if (rng.nextBool(0.3))
+        config.maxPes = config.dim * config.dim;
+    std::int64_t shard_count = 1 + std::int64_t(rng.nextBounded(3));
+    std::int64_t victim = std::int64_t(
+            rng.nextBounded(std::uint64_t(shard_count)));
+    std::uint64_t attack = rng.nextBounded(10);
+    input = "records dim " + std::to_string(config.dim) + " hop " +
+            std::to_string(config.maxHop) + " shards " +
+            std::to_string(shard_count) + " victim " +
+            std::to_string(victim) + " attack " +
+            std::to_string(attack) + "\n";
+
+    WatchdogScope guard("fuzz.records", options.stepBudget,
+                        options.timeBudgetMillis);
+    model::AreaParams area_params;
+    model::TimingParams timing_params;
+    auto functional = func::matmulSpec();
+    IntVec bounds = {config.dim, config.dim, config.dim};
+    std::vector<accel::ShardRecords> shards;
+    for (std::int64_t i = 0; i < shard_count; i++)
+        shards.push_back(accel::scanShard(functional, bounds, config, i,
+                                          shard_count, 1, area_params,
+                                          timing_params));
+    std::string text = accel::serializeShardRecords(
+            shards[std::size_t(victim)]);
+
+    auto mergeAll = [&](std::vector<accel::ShardRecords> set) {
+        accel::MergeEvalOptions eval;
+        eval.threads = 1;
+        accel::DseStats stats;
+        return accel::mergeShardRecords(std::move(set), functional,
+                                        bounds, eval, area_params,
+                                        timing_params, &stats);
+    };
+
+    if (attack == 0) {
+        // Clean path: exact round-trip, and the full partition merges.
+        auto parsed = accel::parseShardRecords(text);
+        if (accel::serializeShardRecords(parsed) != text)
+            throw std::logic_error(
+                    "fuzz property violated: shard records round-trip "
+                    "is not byte-exact");
+        mergeAll(shards);
+        return {};
+    }
+    if (attack <= 5) {
+        // Each deterministic corruption mode must be rejected.
+        static const accel::RecordsCorruption kModes[] = {
+                accel::RecordsCorruption::TruncateTail,
+                accel::RecordsCorruption::FlipByte,
+                accel::RecordsCorruption::VersionBump,
+                accel::RecordsCorruption::ChecksumClobber,
+                accel::RecordsCorruption::GarbageHeader,
+        };
+        auto mode = kModes[attack - 1];
+        std::string damaged = accel::corruptShardRecords(text, mode);
+        try {
+            accel::parseShardRecords(damaged);
+        } catch (...) {
+            // Rejection is the required outcome — report it classified
+            // so an Unknown rejection still surfaces as a violation.
+            EvalOutcome outcome;
+            outcome.ok = false;
+            outcome.failure = classifyException(
+                    std::current_exception(), "fuzz.records",
+                    "corruption mode " + std::to_string(attack - 1));
+            return outcome;
+        }
+        throw std::logic_error(
+                "fuzz property violated: corrupted shard records "
+                "(mode " + std::to_string(attack - 1) + ") parsed");
+    }
+    if (attack == 6 || attack == 7) {
+        // Arbitrary mutilation: flip or excise a random span. May
+        // still parse (the mutation can land in a string we re-verify
+        // by checksum anyway) — it just must not throw unclassified.
+        std::size_t at = std::size_t(
+                rng.nextBounded(std::uint64_t(text.size())));
+        if (attack == 6)
+            text[at] = char(text[at] ^ (1 + rng.nextBounded(255)));
+        else
+            text.erase(at, 1 + std::size_t(rng.nextBounded(64)));
+        accel::parseShardRecords(text); // throws classified or succeeds
+        return {};
+    }
+    if (attack == 8 && shard_count > 1) {
+        // Merge misuse: drop one shard file — classified rejection.
+        auto partial = shards;
+        partial.erase(partial.begin() + std::ptrdiff_t(victim));
+        mergeAll(std::move(partial));
+        throw std::logic_error(
+                "fuzz property violated: merge accepted an incomplete "
+                "shard set");
+    }
+    if (shard_count > 1) {
+        // Merge misuse: duplicate a shard file — classified rejection.
+        auto doubled = shards;
+        doubled[std::size_t((victim + 1) % shard_count)] =
+                shards[std::size_t(victim)];
+        mergeAll(std::move(doubled));
+        throw std::logic_error(
+                "fuzz property violated: merge accepted a duplicated "
+                "shard range");
+    }
+    mergeAll(shards); // single shard: nothing to misuse; must succeed
+    return {};
+}
+
 std::string
 randomMatrixMarketText(Rng &rng)
 {
@@ -596,6 +728,7 @@ fuzzDomainName(FuzzDomain domain)
       case FuzzDomain::MatrixMarket: return "mtx";
       case FuzzDomain::Request: return "request";
       case FuzzDomain::Enumerate: return "enumerate";
+      case FuzzDomain::Records: return "records";
     }
     return "unknown";
 }
@@ -780,9 +913,9 @@ runFuzz(const FuzzOptions &options)
 {
     FuzzOptions opt = options;
     if (opt.domains.empty())
-        opt.domains = {FuzzDomain::Spec, FuzzDomain::Transform,
+        opt.domains = {FuzzDomain::Spec,      FuzzDomain::Transform,
                        FuzzDomain::MatrixMarket, FuzzDomain::Request,
-                       FuzzDomain::Enumerate};
+                       FuzzDomain::Enumerate, FuzzDomain::Records};
     // The Request domain's target: one private in-process server shared
     // across the run (so a state-poisoning request surfaces in later
     // iterations), created lazily on first use.
@@ -816,6 +949,9 @@ runFuzz(const FuzzOptions &options)
                 break;
               case FuzzDomain::Enumerate:
                 outcome = evaluateEnumerateInput(rng, opt, input);
+                break;
+              case FuzzDomain::Records:
+                outcome = evaluateRecordsInput(rng, opt, input);
                 break;
             }
         } catch (...) {

@@ -6,12 +6,13 @@
  * functional spec, a singular transform, a hostile Matrix Market file —
  * either succeeds or degrades to a classified util::Failure; it must
  * never crash, trip a sanitizer, or leak an unclassified exception.
- * This harness generates seeded random inputs across five domains,
+ * This harness generates seeded random inputs across six domains,
  * replays them against generatePipelineIsolated, the transform algebra,
- * the Matrix Market reader + sims, an in-process serve::Server, and the
+ * the Matrix Market reader + sims, an in-process serve::Server, the
  * streaming transform enumerator (differenced against its serial
- * oracle) under WatchdogScope budgets, and records every outcome
- * against that invariant. Classification to
+ * oracle), and the shard-records codec (valid documents mutilated
+ * through the parser and merge) under WatchdogScope budgets, and
+ * records every outcome against that invariant. Classification to
  * FailureKind::Unknown is the invariant breach: the offending input is
  * minimized (line-wise, for textual inputs) and dumped as a repro file.
  *
@@ -46,10 +47,11 @@ enum class FuzzDomain
     MatrixMarket, //!< corrupted .mtx texts through the reader + sims
     Request,      //!< hostile serve requests through serve::Server
     Enumerate,    //!< hostile enumeration options vs the serial oracle
+    Records,      //!< mutilated shard-records docs through parse + merge
 };
 
 /** Stable short name ("spec", "transform", "mtx", "request",
- *  "enumerate"). */
+ *  "enumerate", "records"). */
 const char *fuzzDomainName(FuzzDomain domain);
 
 /** Harness settings. */
@@ -58,7 +60,7 @@ struct FuzzOptions
     std::uint64_t seed = 1;
     std::size_t iterations = 1000;
 
-    /** Domains to cycle through (round-robin); empty = all five. */
+    /** Domains to cycle through (round-robin); empty = all six. */
     std::vector<FuzzDomain> domains;
 
     /** Watchdog step budget per replay (0 = unlimited). */

@@ -58,7 +58,7 @@ TEST(Fuzz, InvariantHoldsPerDomain)
 {
     for (auto domain : {FuzzDomain::Spec, FuzzDomain::Transform,
                         FuzzDomain::MatrixMarket, FuzzDomain::Request,
-                        FuzzDomain::Enumerate}) {
+                        FuzzDomain::Enumerate, FuzzDomain::Records}) {
         FuzzOptions options;
         options.iterations = 60;
         options.seed = 7;
